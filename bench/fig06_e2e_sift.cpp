@@ -1,0 +1,66 @@
+// Figure 6 reproduction: end-to-end performance on the SIFT-like corpus.
+//   (a) throughput vs nlist at fixed nprobe
+//   (b) throughput vs nprobe at fixed nlist
+// The paper reports DRIM-ANN at 2.35x-3.65x over Faiss-CPU (geomean 2.92x)
+// on SIFT100M. Scale and platform substitutions are described in
+// bench/support/harness.hpp and EXPERIMENTS.md.
+
+#include <cstdio>
+
+#include "common/stats.hpp"
+#include "support/harness.hpp"
+
+using namespace drim;
+using namespace drim::bench;
+
+namespace {
+
+void run_row(const BenchData& bench, const BenchScale& scale, std::size_t nlist,
+             std::size_t nprobe, std::vector<double>& speedups) {
+  const IvfPqIndex index = build_index(bench, nlist);
+  const CpuRun cpu = run_cpu(bench, index, scale.k, nprobe, scale.num_dpus);
+  const DrimRun drim =
+      run_drim(bench, index, default_engine_options(scale, nprobe), scale.k, nprobe);
+  const double speedup = drim.modeled_qps / cpu.modeled_qps;
+  speedups.push_back(speedup);
+  std::printf("%6zu %7zu | %8.3f %9.3f | %11.0f %11.0f | %8.2fx | %10.0f\n", nlist,
+              nprobe, cpu.recall, drim.recall, cpu.modeled_qps, drim.modeled_qps,
+              speedup, cpu.measured_qps);
+}
+
+void header() {
+  std::printf("%6s %7s | %8s %9s | %11s %11s | %9s | %10s\n", "nlist", "nprobe",
+              "cpu R@10", "drim R@10", "CPU QPS*", "DRIM QPS*", "speedup", "cpu meas");
+  print_rule();
+}
+
+}  // namespace
+
+int main() {
+  BenchScale scale;
+  std::printf("Fig. 6 — end-to-end performance, %s\n", "SIFT-like");
+  std::printf("scaled: N=%zu Q=%zu, %zu simulated DPUs; CPU modeled at the paper's\n"
+              "DPU:thread ratio (* = modeled paper-platform QPS)\n",
+              scale.num_base, scale.num_queries, scale.num_dpus);
+
+  const BenchData bench = make_sift_bench(scale);
+  std::vector<double> speedups;
+
+  print_title("Fig. 6(a): sweep nlist, nprobe = 16  (paper: nprobe = 96)");
+  header();
+  for (std::size_t nlist : {32, 64, 128, 256}) {
+    run_row(bench, scale, nlist, 16, speedups);
+  }
+
+  print_title("Fig. 6(b): sweep nprobe, nlist = 128  (paper: nlist = 2^14)");
+  header();
+  for (std::size_t nprobe : {8, 16, 24, 32}) {
+    run_row(bench, scale, 128, nprobe, speedups);
+  }
+
+  print_rule();
+  std::printf("geomean speedup over modeled CPU: %.2fx  (paper: 2.92x geomean, "
+              "2.35x-3.65x range)\n",
+              geomean(speedups));
+  return 0;
+}

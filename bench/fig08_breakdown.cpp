@@ -1,0 +1,64 @@
+// Figure 8 reproduction: PIM kernel latency breakdown by phase (RC / LC /
+// DC / TS / AUX) as nlist and nprobe sweep. The paper's findings:
+//   - DC's share falls and LC/TS's share rises as nlist grows (smaller
+//     clusters mean less scanning per (q, c) pair but the same LUT work),
+//   - shares barely move with nprobe (all DPU phases scale linearly in it),
+//   - RC and AUX stay small throughout,
+//   - the bottleneck shifts DC -> LC with growing nlist.
+
+#include <cstdio>
+
+#include "support/harness.hpp"
+
+using namespace drim;
+using namespace drim::bench;
+
+namespace {
+
+void run_row(const BenchData& bench, const BenchScale& scale, std::size_t nlist,
+             std::size_t nprobe) {
+  const IvfPqIndex index = build_index(bench, nlist);
+  const DrimRun drim =
+      run_drim(bench, index, default_engine_options(scale, nprobe), scale.k, nprobe);
+
+  double total = 0.0;
+  for (double s : drim.stats.phase_dpu_seconds) total += s;
+  auto share = [&](Phase p) {
+    return total > 0 ? 100.0 * drim.stats.phase_dpu_seconds[static_cast<int>(p)] / total
+                     : 0.0;
+  };
+  std::printf("%6zu %7zu | %6.1f%% %6.1f%% %6.1f%% %6.1f%% %6.1f%% | %9.4f s\n", nlist,
+              nprobe, share(Phase::RC), share(Phase::LC), share(Phase::DC),
+              share(Phase::TS), share(Phase::AUX), drim.stats.dpu_busy_seconds);
+}
+
+void header() {
+  std::printf("%6s %7s | %7s %7s %7s %7s %7s | %10s\n", "nlist", "nprobe", "RC", "LC",
+              "DC", "TS", "AUX", "DPU busy");
+  print_rule();
+}
+
+}  // namespace
+
+int main() {
+  BenchScale scale;
+  std::printf("Fig. 8 — DPU kernel latency breakdown (simulated cycle counters)\n");
+
+  const BenchData bench = make_sift_bench(scale);
+
+  print_title("Fig. 8(a): sweep nlist, nprobe = 16");
+  header();
+  for (std::size_t nlist : {32, 64, 128, 256}) {
+    run_row(bench, scale, nlist, 16);
+  }
+  std::printf("expected: DC share falls / LC share rises with nlist "
+              "(bottleneck shifts DC -> LC)\n");
+
+  print_title("Fig. 8(b): sweep nprobe, nlist = 128");
+  header();
+  for (std::size_t nprobe : {8, 16, 24, 32}) {
+    run_row(bench, scale, 128, nprobe);
+  }
+  std::printf("expected: shares approximately stable in nprobe; RC and AUX small\n");
+  return 0;
+}

@@ -1,0 +1,121 @@
+#include "support/harness.hpp"
+
+namespace drim::bench {
+
+namespace {
+
+SyntheticSpec spec_for(const BenchScale& scale) {
+  SyntheticSpec spec;
+  spec.num_base = scale.num_base;
+  spec.num_queries = scale.num_queries;
+  spec.num_learn = scale.num_learn;
+  spec.num_components = scale.num_components;
+  return spec;
+}
+
+}  // namespace
+
+BenchData make_sift_bench(const BenchScale& scale) {
+  BenchData bench;
+  bench.name = "SIFT-like (D=128, uint8)";
+  bench.data = make_sift_like(spec_for(scale));
+  bench.ground_truth = flat_search_all(bench.data.base, bench.data.queries, scale.k);
+  return bench;
+}
+
+BenchData make_deep_bench(const BenchScale& scale) {
+  BenchData bench;
+  bench.name = "DEEP-like (D=96, uint8-quantized)";
+  bench.data = make_deep_like(spec_for(scale));
+  bench.ground_truth = flat_search_all(bench.data.base, bench.data.queries, scale.k);
+  return bench;
+}
+
+IvfPqIndex build_index(const BenchData& bench, std::size_t nlist, std::size_t m,
+                       std::size_t cb, PQVariant variant) {
+  IvfPqParams p;
+  p.nlist = nlist;
+  p.pq.m = m;
+  p.pq.cb_entries = cb;
+  p.pq.train_iters = 10;
+  p.coarse_iters = 10;
+  p.variant = variant;
+  IvfPqIndex index;
+  index.train(bench.data.learn, p);
+  index.add(bench.data.base);
+  return index;
+}
+
+PlatformParams scaled_cpu_platform(std::size_t num_dpus) {
+  const double ratio = static_cast<double>(num_dpus) / 2530.0;
+  PlatformParams cpu = cpu_platform(32.0 * ratio);
+  // Memory bandwidth scales with the platform fraction; cache bandwidth is
+  // already per-thread inside cpu_platform().
+  cpu.bandwidth_Bps *= ratio;
+  return cpu;
+}
+
+AnnWorkload workload_for(const IvfPqIndex& index, std::size_t num_base,
+                         std::size_t num_queries, std::size_t k, std::size_t nprobe) {
+  AnnWorkload w;
+  w.N = static_cast<double>(num_base);
+  w.Q = static_cast<double>(num_queries);
+  w.D = static_cast<double>(index.dim());
+  w.K = static_cast<double>(k);
+  w.P = static_cast<double>(nprobe);
+  w.C = static_cast<double>(num_base) / static_cast<double>(index.nlist());
+  w.M = static_cast<double>(index.pq().m());
+  w.CB = static_cast<double>(index.pq().cb_entries());
+  return w;
+}
+
+CpuRun run_cpu(const BenchData& bench, const IvfPqIndex& index, std::size_t k,
+               std::size_t nprobe, std::size_t num_dpus) {
+  CpuRun run;
+  CpuIvfPq cpu(index);
+  const auto results = cpu.search_batch(bench.data.queries, k, nprobe, &run.stats);
+  run.recall = mean_recall_at_k(results, bench.ground_truth, k);
+  run.measured_qps = run.stats.qps();
+
+  const AnnWorkload w = workload_for(index, bench.data.base.count(),
+                                     bench.data.queries.count(), k, nprobe);
+  run.modeled_seconds =
+      estimate_single(w, scaled_cpu_platform(num_dpus), /*multiplier_less=*/false);
+  run.modeled_qps = static_cast<double>(bench.data.queries.count()) / run.modeled_seconds;
+  return run;
+}
+
+DrimRun run_drim(const BenchData& bench, const IvfPqIndex& index,
+                 const DrimEngineOptions& options, std::size_t k, std::size_t nprobe) {
+  DrimRun run;
+  DrimAnnEngine engine(index, bench.data.learn, options);
+  const auto results = engine.search(bench.data.queries, k, nprobe, &run.stats);
+  run.recall = mean_recall_at_k(results, bench.ground_truth, k);
+  run.modeled_seconds = run.stats.total_seconds;
+  run.modeled_qps = run.stats.qps();
+  return run;
+}
+
+DrimEngineOptions default_engine_options(const BenchScale& scale, std::size_t nprobe) {
+  DrimEngineOptions o;
+  o.pim.num_dpus = scale.num_dpus;
+  o.layout.split_threshold = 2048;  // paper-regime clusters hold thousands
+  o.layout.dup_copies = 1;
+  o.layout.dup_fraction = 0.25;
+  o.heat_nprobe = nprobe;
+  return o;
+}
+
+void print_rule(std::size_t width) {
+  for (std::size_t i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+void print_title(const std::string& title) {
+  std::printf("\n");
+  print_rule();
+  std::printf("%s\n", title.c_str());
+  print_rule();
+}
+
+}  // namespace drim::bench

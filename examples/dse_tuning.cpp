@@ -1,0 +1,91 @@
+// Architecture-aware tuning walkthrough (Section III end to end): prints the
+// Eq. (1)-(12) per-phase compute/IO/C2IO table for a workload, shows how the
+// multiplier-less conversion moves LC from compute- to IO-bound on UPMEM,
+// and runs the Bayesian-optimization DSE against a surrogate accuracy table
+// at paper scale (100M points, 2530 DPUs — all analytic, so it runs in
+// milliseconds).
+//
+//   ./example_dse_tuning
+
+#include <cmath>
+#include <cstdio>
+
+#include "model/dse.hpp"
+#include "model/perf_model.hpp"
+
+using namespace drim;
+
+namespace {
+
+void print_phase_table(const AnnWorkload& w, bool multiplier_less) {
+  const auto costs = phase_costs(w, multiplier_less);
+  const PlatformParams host = cpu_platform();
+  const PlatformParams pim = upmem_platform();
+  std::printf("%4s | %12s %12s | %8s | %10s %10s\n", "ph", "ops", "bytes", "C2IO",
+              "t@CPU(ms)", "t@PIM(ms)");
+  for (std::size_t i = 0; i < kAnnPhases; ++i) {
+    const auto p = static_cast<AnnPhase>(i);
+    std::printf("%4s | %12.3e %12.3e | %8.3f | %10.3f %10.3f\n",
+                ann_phase_name(p).data(), costs[i].compute_ops, costs[i].io_bytes,
+                costs[i].c2io(), phase_time(costs[i], host) * 1e3,
+                phase_time(costs[i], pim) * 1e3);
+  }
+}
+
+/// Surrogate accuracy table ("which can be fetched from a table [23]"):
+/// recall grows with nprobe/M/CB and shrinks with cluster size.
+double accuracy_table(const DseCandidate& c) {
+  const double score = 0.25 * std::log2(c.P) / 7.0 + 0.3 * std::log2(c.M) / 5.0 +
+                       0.3 * std::log2(c.CB) / 9.0 +
+                       0.15 * (1.0 - std::log2(c.C) / 15.0);
+  return std::min(1.0, std::max(0.0, score * 1.4));
+}
+
+}  // namespace
+
+int main() {
+  AnnWorkload w;  // SIFT100M defaults: N=100M, Q=10K, D=128
+  w.C = w.N / 16384.0;
+  w.P = 96;
+
+  std::printf("=== Eq. (1)-(12) phase model, SIFT100M, nlist=2^14, nprobe=96 ===\n");
+  std::printf("\nwith multiplication (no conversion):\n");
+  print_phase_table(w, false);
+  std::printf("\nafter multiplier-less conversion (square LUT):\n");
+  print_phase_table(w, true);
+  std::printf("\nnote how LC's compute collapses by ~the 32x multiply premium while"
+              "\nits IO stays put: the conversion trades compute for bandwidth,\n"
+              "which is the resource UPMEM has in abundance.\n");
+
+  std::printf("\n=== DSE at paper scale (2530 DPUs vs 32-thread Xeon) ===\n");
+  const DseSpace space = make_default_space(w.N, 12, 16);
+  std::size_t probes = 0;
+  const DseResult r = run_dse(
+      w, space, cpu_platform(), upmem_platform(), 0.80,
+      [&](const DseCandidate& c) {
+        ++probes;
+        return accuracy_table(c);
+      },
+      24);
+
+  std::printf("accuracy probes spent: %zu (budget 24, space %zu points)\n", probes,
+              space.K.size() * space.P.size() * space.C.size() * space.M.size() *
+                  space.CB.size());
+  if (r.found_feasible) {
+    std::printf("best: K=%.0f P=%.0f nlist=%.0f M=%.0f CB=%.0f\n", r.best.K, r.best.P,
+                w.N / r.best.C, r.best.M, r.best.CB);
+    std::printf("      accuracy %.3f, modeled batch time %.1f ms (%.0f QPS)\n",
+                r.best_accuracy, r.best_seconds * 1e3, w.Q / r.best_seconds);
+  }
+
+  std::printf("\nexploration history (first 10):\n");
+  std::printf("%3s | %5s %6s %4s %5s | %7s | %9s | %s\n", "#", "P", "nlist", "M",
+              "CB", "acc", "time(ms)", "feasible");
+  for (std::size_t i = 0; i < r.history.size() && i < 10; ++i) {
+    const DseObservation& o = r.history[i];
+    std::printf("%3zu | %5.0f %6.0f %4.0f %5.0f | %7.3f | %9.1f | %s\n", i, o.candidate.P,
+                w.N / o.candidate.C, o.candidate.M, o.candidate.CB, o.accuracy,
+                o.model_seconds * 1e3, o.feasible ? "yes" : "no");
+  }
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Recommendation-system scenario (the paper's other motivating application):
+// a SIFT-style item-embedding catalog served under heavy query skew, with
+// popularity drifting between "days". Demonstrates:
+//  - heat estimation from a sample query set (Section IV-A),
+//  - how stale heat degrades balance when popularity drifts, and how
+//    re-generating the layout recovers it,
+//  - the OPQ index variant as a drop-in for higher recall at equal M/CB.
+//
+//   ./example_recommendation [num_items]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/rng.hpp"
+#include "common/stats.hpp"
+#include "core/flat_search.hpp"
+#include "data/recall.hpp"
+#include "data/synthetic.hpp"
+#include "drim/engine.hpp"
+
+using namespace drim;
+
+namespace {
+
+/// Day-1 queries with drifted popularity: drawn near uniformly-random catalog
+/// items (popularity ~ cluster size) instead of the day-0 Zipf-rank skew, so
+/// the hot set moves while the corpus stays fixed.
+FloatMatrix drifted_queries(const SyntheticData& catalog, std::size_t count,
+                            std::uint64_t seed) {
+  Rng rng(seed);
+  const std::size_t dim = catalog.base.dim();
+  FloatMatrix out(count, dim);
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto pick = static_cast<std::size_t>(rng.next_below(catalog.base.count()));
+    auto row = out.row(i);
+    catalog.base.row_as_float(pick, row);
+    for (auto& x : row) {
+      x = std::min(255.0f, std::max(0.0f, x + static_cast<float>(rng.gaussian()) * 4.0f));
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  SyntheticSpec spec;
+  spec.num_base = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 40'000;
+  spec.num_queries = 192;
+  spec.num_learn = 8'000;
+  spec.num_components = 64;
+  spec.query_skew = 1.1;
+
+  std::printf("catalog: %zu item embeddings (D=%zu), Zipf(%.1f) popularity\n",
+              spec.num_base, spec.dim, spec.query_skew);
+  SyntheticData catalog = make_sift_like(spec);
+  const std::size_t k = 10, nprobe = 24;
+  const auto gt = flat_search_all(catalog.base, catalog.queries, k);
+
+  // ---- PQ vs OPQ variant at identical compression ----
+  std::printf("\ntraining PQ and OPQ variants (nlist=256, M=32, CB=128)...\n");
+  IvfPqParams params;
+  params.nlist = 256;
+  params.pq.m = 32;
+  params.pq.cb_entries = 128;
+
+  IvfPqIndex pq_index;
+  pq_index.train(catalog.learn, params);
+  pq_index.add(catalog.base);
+
+  params.variant = PQVariant::kOPQ;
+  params.opq_iters = 5;
+  IvfPqIndex opq_index;
+  opq_index.train(catalog.learn, params);
+  opq_index.add(catalog.base);
+
+  DrimEngineOptions opts;
+  opts.pim.num_dpus = 128;
+  opts.heat_nprobe = nprobe;
+
+  for (const auto& [name, index] :
+       {std::pair<const char*, const IvfPqIndex*>{"PQ ", &pq_index},
+        std::pair<const char*, const IvfPqIndex*>{"OPQ", &opq_index}}) {
+    DrimAnnEngine engine(*index, catalog.learn, opts);
+    DrimSearchStats stats;
+    const auto results = engine.search(catalog.queries, k, nprobe, &stats);
+    std::printf("  %s: recall@10 %.3f, %6.0f QPS modeled, imbalance %.2f\n", name,
+                mean_recall_at_k(results, gt, k), stats.qps(),
+                imbalance_factor(stats.per_dpu_seconds));
+  }
+
+  // ---- popularity drift ----
+  std::printf("\nsimulating popularity drift (layout heat trained on day-0 "
+              "queries)...\n");
+  DrimAnnEngine engine(pq_index, catalog.learn, opts);
+
+  DrimSearchStats day0;
+  engine.search(catalog.queries, k, nprobe, &day0);
+  std::printf("  day 0 (heat matches traffic)  : %6.0f QPS, imbalance %.2f\n",
+              day0.qps(), imbalance_factor(day0.per_dpu_seconds));
+
+  const FloatMatrix drifted = drifted_queries(catalog, spec.num_queries, 777);
+  DrimSearchStats day1;
+  engine.search(drifted, k, nprobe, &day1);
+  std::printf("  day 1 (stale heat, drifted)   : %6.0f QPS, imbalance %.2f\n",
+              day1.qps(), imbalance_factor(day1.per_dpu_seconds));
+
+  // Rebuild the layout with fresh heat: pass the drifted queries as the new
+  // sample set.
+  FloatMatrix sample(drifted.count(), drifted.dim());
+  for (std::size_t i = 0; i < drifted.count(); ++i) {
+    std::copy_n(drifted.row(i).data(), drifted.dim(), sample.row(i).data());
+  }
+  DrimAnnEngine refreshed(pq_index, sample, opts);
+  DrimSearchStats day1r;
+  refreshed.search(drifted, k, nprobe, &day1r);
+  std::printf("  day 1 (layout re-generated)   : %6.0f QPS, imbalance %.2f\n",
+              day1r.qps(), imbalance_factor(day1r.per_dpu_seconds));
+
+  std::printf("\nnote: offline layout generation is cheap (seconds) relative to\n"
+              "index training, so refreshing heat daily keeps DPUs balanced.\n");
+  return 0;
+}

@@ -1,0 +1,79 @@
+#include "baseline/cpu_ivfpq.hpp"
+
+#include <atomic>
+
+#include "common/parallel.hpp"
+#include "common/timer.hpp"
+
+namespace drim {
+
+std::vector<std::vector<Neighbor>> CpuIvfPq::search_batch(const FloatMatrix& queries,
+                                                          std::size_t k, std::size_t nprobe,
+                                                          CpuSearchStats* stats,
+                                                          bool collect_phases) const {
+  const std::size_t nq = queries.count();
+  std::vector<std::vector<Neighbor>> results(nq);
+
+  std::atomic<std::size_t> codes_scanned{0};
+  // Phase accumulators in nanoseconds to keep atomic adds integral.
+  std::atomic<std::uint64_t> cl_ns{0}, rc_ns{0}, lc_ns{0}, scan_ns{0};
+
+  const IvfPqIndex& index = index_;
+  const ProductQuantizer& pq = index.pq();
+  const std::size_t cs = index.code_size();
+
+  WallTimer wall;
+  parallel_for(0, nq, [&](std::size_t q) {
+    std::vector<float> residual(index.dim());
+    std::vector<float> lut(pq.m() * pq.cb_entries());
+    TopK topk(k);
+    std::size_t scanned = 0;
+    WallTimer t;
+
+    auto charge = [&](std::atomic<std::uint64_t>& acc) {
+      if (collect_phases) {
+        acc.fetch_add(static_cast<std::uint64_t>(t.seconds() * 1e9),
+                      std::memory_order_relaxed);
+        t.reset();
+      }
+    };
+
+    t.reset();
+    const std::vector<std::uint32_t> probes = index.locate_clusters(queries.row(q), nprobe);
+    charge(cl_ns);
+
+    for (std::uint32_t c : probes) {
+      const InvertedList& list = index.list(c);
+      if (list.size() == 0) continue;
+
+      t.reset();
+      index.query_residual(queries.row(q), c, residual);
+      charge(rc_ns);
+
+      pq.compute_adc_lut(residual, lut);
+      charge(lc_ns);
+
+      for (std::size_t i = 0; i < list.size(); ++i) {
+        const float d = pq.adc_distance(lut, list.code(i, cs));
+        topk.push(d, list.ids[i]);
+      }
+      charge(scan_ns);
+      scanned += list.size();
+    }
+    results[q] = topk.take_sorted();
+    codes_scanned.fetch_add(scanned, std::memory_order_relaxed);
+  });
+
+  if (stats != nullptr) {
+    stats->wall_seconds = wall.seconds();
+    stats->queries = nq;
+    stats->codes_scanned = codes_scanned.load();
+    stats->cl_seconds = cl_ns.load() * 1e-9;
+    stats->rc_seconds = rc_ns.load() * 1e-9;
+    stats->lc_seconds = lc_ns.load() * 1e-9;
+    stats->scan_seconds = scan_ns.load() * 1e-9;
+  }
+  return results;
+}
+
+}  // namespace drim

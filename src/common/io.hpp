@@ -1,0 +1,40 @@
+#pragma once
+// Readers/writers for the TEXMEX vector file formats used by SIFT1B / DEEP1B
+// (http://corpus-texmex.irisa.fr/): .fvecs (float32), .bvecs (uint8), .ivecs
+// (int32). Each record is a 4-byte little-endian dimension followed by that
+// many elements. These let DRIM-ANN run on the paper's real datasets when the
+// files are available; the benchmarks default to synthetic data otherwise.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace drim {
+
+/// A flat row-major matrix of `count` vectors with `dim` components each.
+template <typename T>
+struct VecFile {
+  std::size_t count = 0;
+  std::size_t dim = 0;
+  std::vector<T> data;  // count * dim elements
+
+  const T* row(std::size_t i) const { return data.data() + i * dim; }
+};
+
+/// Read up to `max_count` vectors from an .fvecs file (0 = all).
+/// Throws std::runtime_error on malformed input or IO failure.
+VecFile<float> read_fvecs(const std::string& path, std::size_t max_count = 0);
+
+/// Read up to `max_count` vectors from a .bvecs file (0 = all).
+VecFile<std::uint8_t> read_bvecs(const std::string& path, std::size_t max_count = 0);
+
+/// Read up to `max_count` vectors from an .ivecs file (0 = all); used for
+/// ground-truth neighbor lists.
+VecFile<std::int32_t> read_ivecs(const std::string& path, std::size_t max_count = 0);
+
+/// Write vectors in the corresponding format (round-trips with the readers).
+void write_fvecs(const std::string& path, const VecFile<float>& v);
+void write_bvecs(const std::string& path, const VecFile<std::uint8_t>& v);
+void write_ivecs(const std::string& path, const VecFile<std::int32_t>& v);
+
+}  // namespace drim

@@ -1,0 +1,41 @@
+#pragma once
+// OpenMP-backed parallel loop helper with a serial fallback, so the library
+// builds and behaves identically when OpenMP is unavailable. The CPU baseline
+// (Faiss-style) uses this to parallelize ADC scans the way the paper's
+// 32-thread comparator does.
+
+#include <cstddef>
+#include <cstdint>
+
+#if defined(_OPENMP)
+#include <omp.h>
+#endif
+
+namespace drim {
+
+/// Number of worker threads the host runtime will use.
+inline int num_threads() {
+#if defined(_OPENMP)
+  return omp_get_max_threads();
+#else
+  return 1;
+#endif
+}
+
+/// Parallel for over [begin, end) with a dynamic schedule. `body` is invoked
+/// as body(i) for every index exactly once; it must be safe to run
+/// concurrently for distinct indices.
+template <typename Body>
+void parallel_for(std::size_t begin, std::size_t end, const Body& body) {
+#if defined(_OPENMP)
+#pragma omp parallel for schedule(dynamic, 16)
+  for (std::int64_t i = static_cast<std::int64_t>(begin);
+       i < static_cast<std::int64_t>(end); ++i) {
+    body(static_cast<std::size_t>(i));
+  }
+#else
+  for (std::size_t i = begin; i < end; ++i) body(i);
+#endif
+}
+
+}  // namespace drim

@@ -1,0 +1,111 @@
+#include "common/rng.hpp"
+
+#include <cassert>
+
+namespace drim {
+namespace {
+
+std::uint64_t splitmix64(std::uint64_t& x) {
+  x += 0x9E3779B97F4A7C15ULL;
+  std::uint64_t z = x;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+std::uint64_t rotl(std::uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+void Rng::reseed(std::uint64_t seed) {
+  for (auto& s : s_) s = splitmix64(seed);
+  has_cached_gaussian_ = false;
+}
+
+std::uint64_t Rng::next_u64() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+std::uint64_t Rng::next_below(std::uint64_t bound) {
+  assert(bound > 0);
+  // Lemire's nearly-divisionless method would be overkill; modulo bias is
+  // negligible for bound << 2^64 as used here.
+  return next_u64() % bound;
+}
+
+double Rng::next_double() {
+  return static_cast<double>(next_u64() >> 11) * 0x1.0p-53;
+}
+
+float Rng::uniform(float lo, float hi) {
+  return lo + static_cast<float>(next_double()) * (hi - lo);
+}
+
+double Rng::gaussian() {
+  if (has_cached_gaussian_) {
+    has_cached_gaussian_ = false;
+    return cached_gaussian_;
+  }
+  double u1 = 0.0;
+  do {
+    u1 = next_double();
+  } while (u1 <= 1e-300);
+  const double u2 = next_double();
+  const double r = std::sqrt(-2.0 * std::log(u1));
+  const double theta = 2.0 * M_PI * u2;
+  cached_gaussian_ = r * std::sin(theta);
+  has_cached_gaussian_ = true;
+  return r * std::cos(theta);
+}
+
+std::vector<std::uint32_t> Rng::sample_without_replacement(std::uint32_t n, std::uint32_t k) {
+  assert(k <= n);
+  std::vector<std::uint32_t> out;
+  out.reserve(k);
+  // Selection sampling (Knuth 3.4.2 algorithm S): O(n), stable ascending order.
+  std::uint32_t remaining = k;
+  for (std::uint32_t i = 0; i < n && remaining > 0; ++i) {
+    const std::uint64_t left = n - i;
+    if (next_below(left) < remaining) {
+      out.push_back(i);
+      --remaining;
+    }
+  }
+  return out;
+}
+
+ZipfSampler::ZipfSampler(std::uint32_t n, double s) : n_(n), cdf_(n) {
+  assert(n > 0);
+  double total = 0.0;
+  for (std::uint32_t i = 0; i < n; ++i) {
+    total += 1.0 / std::pow(static_cast<double>(i + 1), s);
+    cdf_[i] = total;
+  }
+  for (auto& c : cdf_) c /= total;
+  cdf_.back() = 1.0;
+}
+
+std::uint32_t ZipfSampler::operator()(Rng& rng) const {
+  const double u = rng.next_double();
+  // Binary search for the first cdf entry >= u.
+  std::uint32_t lo = 0, hi = n_ - 1;
+  while (lo < hi) {
+    const std::uint32_t mid = lo + (hi - lo) / 2;
+    if (cdf_[mid] < u) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
+}
+
+}  // namespace drim

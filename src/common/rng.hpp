@@ -1,0 +1,75 @@
+#pragma once
+// Deterministic, fast random number generation for dataset synthesis and
+// randomized algorithms. All DRIM-ANN components take explicit seeds so that
+// every experiment in the repository is reproducible bit-for-bit.
+
+#include <cstdint>
+#include <cmath>
+#include <vector>
+
+namespace drim {
+
+/// xoshiro256** PRNG (Blackman & Vigna). Fast, high-quality, and seedable via
+/// SplitMix64 so that nearby seeds yield independent streams.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9E3779B97F4A7C15ULL) { reseed(seed); }
+
+  /// Re-initialize the generator state from a 64-bit seed.
+  void reseed(std::uint64_t seed);
+
+  /// Next raw 64-bit value.
+  std::uint64_t next_u64();
+
+  /// Uniform in [0, bound). bound must be > 0.
+  std::uint64_t next_below(std::uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double next_double();
+
+  /// Uniform float in [lo, hi).
+  float uniform(float lo, float hi);
+
+  /// Standard normal via Box-Muller (cached pair).
+  double gaussian();
+
+  /// Normal with the given mean / stddev.
+  double gaussian(double mean, double stddev) { return mean + stddev * gaussian(); }
+
+  /// Fisher-Yates shuffle of a vector.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::size_t j = static_cast<std::size_t>(next_below(i));
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n) (reservoir sampling, stable order).
+  std::vector<std::uint32_t> sample_without_replacement(std::uint32_t n, std::uint32_t k);
+
+ private:
+  std::uint64_t s_[4] = {};
+  double cached_gaussian_ = 0.0;
+  bool has_cached_gaussian_ = false;
+};
+
+/// Zipf-distributed integer sampler over [0, n). Used to model the skewed
+/// query-to-cluster popularity that drives the paper's load-imbalance
+/// observations (Section IV-B, Observation 3).
+class ZipfSampler {
+ public:
+  /// exponent s >= 0; s == 0 degenerates to uniform.
+  ZipfSampler(std::uint32_t n, double s);
+
+  /// Draw one sample using the provided generator.
+  std::uint32_t operator()(Rng& rng) const;
+
+  std::uint32_t size() const { return n_; }
+
+ private:
+  std::uint32_t n_;
+  std::vector<double> cdf_;  // cumulative probabilities, cdf_.back() == 1
+};
+
+}  // namespace drim

@@ -1,0 +1,71 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace drim {
+
+double mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double geomean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) {
+    assert(x > 0.0);
+    s += std::log(x);
+  }
+  return std::exp(s / static_cast<double>(v.size()));
+}
+
+double stddev(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  const double m = mean(v);
+  double s = 0.0;
+  for (double x : v) s += (x - m) * (x - m);
+  return std::sqrt(s / static_cast<double>(v.size()));
+}
+
+double percentile(std::vector<double> v, double p) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const double rank = (p / 100.0) * static_cast<double>(v.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, v.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return v[lo] * (1.0 - frac) + v[hi] * frac;
+}
+
+double imbalance_factor(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  const double m = mean(v);
+  if (m == 0.0) return 0.0;
+  return *std::max_element(v.begin(), v.end()) / m;
+}
+
+double max_min_ratio(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  const auto [mn, mx] = std::minmax_element(v.begin(), v.end());
+  if (*mn == 0.0) return 0.0;
+  return *mx / *mn;
+}
+
+std::vector<std::size_t> histogram(const std::vector<double>& v, double lo, double hi,
+                                   std::size_t bins) {
+  assert(bins > 0 && hi > lo);
+  std::vector<std::size_t> h(bins, 0);
+  const double w = (hi - lo) / static_cast<double>(bins);
+  for (double x : v) {
+    auto idx = static_cast<long>((x - lo) / w);
+    idx = std::clamp<long>(idx, 0, static_cast<long>(bins) - 1);
+    ++h[static_cast<std::size_t>(idx)];
+  }
+  return h;
+}
+
+}  // namespace drim

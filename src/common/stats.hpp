@@ -1,0 +1,36 @@
+#pragma once
+// Small statistics helpers shared by the load-balance analyses and the
+// benchmark reports (geomean speedups, tail ratios, imbalance factors).
+
+#include <cstddef>
+#include <vector>
+
+namespace drim {
+
+/// Arithmetic mean; returns 0 for an empty input.
+double mean(const std::vector<double>& v);
+
+/// Geometric mean; all inputs must be > 0. Returns 0 for an empty input.
+double geomean(const std::vector<double>& v);
+
+/// Population standard deviation.
+double stddev(const std::vector<double>& v);
+
+/// p-th percentile (0 <= p <= 100) with linear interpolation; input need not
+/// be sorted. Returns 0 for an empty input.
+double percentile(std::vector<double> v, double p);
+
+/// max / mean ratio — the load-imbalance factor of a set of per-DPU latencies.
+/// The paper reports the slowest DPU running up to 5x longer than the fastest
+/// under a trivial layout; this is the metric the layout optimizer minimizes.
+double imbalance_factor(const std::vector<double>& v);
+
+/// max / min ratio (the paper's "slowest vs fastest DPU" phrasing).
+double max_min_ratio(const std::vector<double>& v);
+
+/// Simple fixed-width histogram over [lo, hi) with `bins` buckets; values
+/// outside the range are clamped into the edge buckets.
+std::vector<std::size_t> histogram(const std::vector<double>& v, double lo, double hi,
+                                   std::size_t bins);
+
+}  // namespace drim

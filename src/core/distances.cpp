@@ -1,0 +1,44 @@
+#include "core/distances.hpp"
+
+#include <cassert>
+
+namespace drim {
+
+float l2_sq(std::span<const float> a, std::span<const float> b) {
+  assert(a.size() == b.size());
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const float d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+float l2_sq_u8(std::span<const float> a, std::span<const std::uint8_t> b) {
+  assert(a.size() == b.size());
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const float d = a[i] - static_cast<float>(b[i]);
+    acc += d * d;
+  }
+  return acc;
+}
+
+std::int64_t l2_sq_u8u8(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b) {
+  assert(a.size() == b.size());
+  std::int64_t acc = 0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const std::int64_t d = static_cast<std::int64_t>(a[i]) - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+float dot(std::span<const float> a, std::span<const float> b) {
+  assert(a.size() == b.size());
+  float acc = 0.0f;
+  for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+}  // namespace drim

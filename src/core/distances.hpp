@@ -1,0 +1,24 @@
+#pragma once
+// Scalar L2 / inner-product kernels. The CPU baseline relies on the compiler
+// auto-vectorizing these tight loops (the paper's comparator is AVX2 Faiss);
+// the DPU kernels in src/drim deliberately do NOT use them — they go through
+// the cycle-charging DpuContext instead.
+
+#include <cstdint>
+#include <span>
+
+namespace drim {
+
+/// Squared Euclidean distance between two float vectors.
+float l2_sq(std::span<const float> a, std::span<const float> b);
+
+/// Squared Euclidean distance between a float query and a uint8 base point.
+float l2_sq_u8(std::span<const float> a, std::span<const std::uint8_t> b);
+
+/// Squared Euclidean distance between two uint8 vectors (exact, in int64).
+std::int64_t l2_sq_u8u8(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b);
+
+/// Inner product of two float vectors.
+float dot(std::span<const float> a, std::span<const float> b);
+
+}  // namespace drim

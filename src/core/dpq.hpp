@@ -1,0 +1,28 @@
+#pragma once
+// DPQ-style codebook refinement. The paper lists DPQ (Klein & Wolf, CVPR'19,
+// "End-to-end supervised product quantization") among the supported IVF-PQ
+// variants. The original DPQ learns codebooks by gradient descent through a
+// soft-assignment relaxation; here we implement its unsupervised core — the
+// differentiable codebook update with softmin assignments and temperature
+// annealing — as a post-training refinement pass over a k-means-initialized
+// ProductQuantizer. This reproduces DPQ's effect on the search engine (a
+// different, typically lower-MSE codebook feeding the identical ADC search
+// path) without the supervised labels the paper's corpora do not provide.
+
+#include "core/pq.hpp"
+
+namespace drim {
+
+/// Refinement hyperparameters.
+struct DPQParams {
+  std::size_t iters = 10;        ///< refinement epochs over the training set
+  double temperature = 8.0;      ///< initial softmin temperature
+  double temperature_decay = 0.7;///< per-epoch multiplicative annealing
+  double learning_rate = 0.3;    ///< codeword update step toward soft means
+};
+
+/// Refine `pq`'s codebooks in place using soft assignments over `points`
+/// (same rows the PQ was trained on). Returns the final reconstruction MSE.
+double dpq_refine(ProductQuantizer& pq, const FloatMatrix& points, const DPQParams& params);
+
+}  // namespace drim

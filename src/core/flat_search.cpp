@@ -1,0 +1,27 @@
+#include "core/flat_search.hpp"
+
+#include "common/parallel.hpp"
+#include "core/distances.hpp"
+
+namespace drim {
+
+std::vector<Neighbor> flat_search(const ByteDataset& base, std::span<const float> query,
+                                  std::size_t k) {
+  TopK topk(k);
+  for (std::size_t i = 0; i < base.count(); ++i) {
+    const float d = l2_sq_u8(query, base.row(i));
+    topk.push(d, static_cast<std::uint32_t>(i));
+  }
+  return topk.take_sorted();
+}
+
+std::vector<std::vector<Neighbor>> flat_search_all(const ByteDataset& base,
+                                                   const FloatMatrix& queries, std::size_t k) {
+  std::vector<std::vector<Neighbor>> out(queries.count());
+  parallel_for(0, queries.count(), [&](std::size_t q) {
+    out[q] = flat_search(base, queries.row(q), k);
+  });
+  return out;
+}
+
+}  // namespace drim

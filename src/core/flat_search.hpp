@@ -1,0 +1,23 @@
+#pragma once
+// Exact brute-force k-NN over a uint8 corpus. This is the ground-truth oracle
+// for every recall measurement in the repository (the paper's accuracy
+// constraint is recall@10 >= 0.8 against exact neighbors).
+
+#include <cstdint>
+#include <vector>
+
+#include "core/topk.hpp"
+#include "data/dataset.hpp"
+
+namespace drim {
+
+/// Exact top-k neighbors of a single float query against a uint8 corpus.
+std::vector<Neighbor> flat_search(const ByteDataset& base, std::span<const float> query,
+                                  std::size_t k);
+
+/// Exact top-k for every query, parallelized over queries on the host.
+/// Result: queries.count() rows, each with k ascending-sorted neighbors.
+std::vector<std::vector<Neighbor>> flat_search_all(const ByteDataset& base,
+                                                   const FloatMatrix& queries, std::size_t k);
+
+}  // namespace drim

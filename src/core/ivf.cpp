@@ -1,0 +1,179 @@
+#include "core/ivf.hpp"
+
+#include <cassert>
+#include <vector>
+
+#include "common/parallel.hpp"
+#include "core/distances.hpp"
+
+namespace drim {
+
+void IvfPqIndex::train(const FloatMatrix& learn, const IvfPqParams& params) {
+  assert(learn.count() >= params.nlist);
+  params_ = params;
+
+  // Coarse quantizer over the raw learn vectors.
+  KMeansParams coarse;
+  coarse.k = params.nlist;
+  coarse.max_iters = params.coarse_iters;
+  coarse.seed = params.seed;
+  KMeansResult km = kmeans(learn, coarse);
+  centroids_ = std::move(km.centroids);
+
+  // Residuals of every learn vector against its assigned centroid — the
+  // training distribution for the product quantizer (ADC operates on
+  // residuals in cluster searching, Fig. 1).
+  FloatMatrix residuals(learn.count(), learn.dim());
+  parallel_for(0, learn.count(), [&](std::size_t i) {
+    auto src = learn.row(i);
+    auto cen = centroids_.row(km.assignment[i]);
+    auto dst = residuals.row(i);
+    for (std::size_t d = 0; d < learn.dim(); ++d) dst[d] = src[d] - cen[d];
+  });
+
+  switch (params.variant) {
+    case PQVariant::kPQ: {
+      PQParams pq = params.pq;
+      pq.seed = params.seed + 1;
+      pq_.train(residuals, pq);
+      break;
+    }
+    case PQVariant::kOPQ: {
+      OPQParams opq;
+      opq.pq = params.pq;
+      opq.pq.seed = params.seed + 1;
+      opq.outer_iters = params.opq_iters;
+      opq_ = std::make_unique<OptimizedProductQuantizer>();
+      opq_->train(residuals, opq);
+      pq_ = opq_->pq();
+      break;
+    }
+    case PQVariant::kDPQ: {
+      PQParams pq = params.pq;
+      pq.seed = params.seed + 1;
+      pq_.train(residuals, pq);
+      dpq_refine(pq_, residuals, params.dpq);
+      break;
+    }
+  }
+
+  lists_.assign(params.nlist, {});
+  ntotal_ = 0;
+  trained_ = true;
+}
+
+void IvfPqIndex::restore(const IvfPqParams& params, FloatMatrix centroids,
+                         ProductQuantizer pq,
+                         std::unique_ptr<OptimizedProductQuantizer> opq,
+                         std::vector<InvertedList> lists, std::size_t ntotal) {
+  assert(centroids.count() == params.nlist);
+  assert(lists.size() == params.nlist);
+  assert((params.variant == PQVariant::kOPQ) == (opq != nullptr));
+  params_ = params;
+  centroids_ = std::move(centroids);
+  pq_ = std::move(pq);
+  opq_ = std::move(opq);
+  lists_ = std::move(lists);
+  ntotal_ = ntotal;
+  trained_ = true;
+}
+
+void IvfPqIndex::encode_residual(std::span<const float> v, std::uint32_t cluster,
+                                 std::span<std::uint8_t> code) const {
+  const std::size_t dim = centroids_.dim();
+  std::vector<float> residual(dim);
+  auto cen = centroids_.row(cluster);
+  for (std::size_t d = 0; d < dim; ++d) residual[d] = v[d] - cen[d];
+  if (opq_) {
+    std::vector<float> rotated(dim);
+    opq_->rotate(residual, rotated);
+    pq_.encode(rotated, code);
+  } else {
+    pq_.encode(residual, code);
+  }
+}
+
+void IvfPqIndex::add(const ByteDataset& base) {
+  assert(trained_);
+  assert(base.dim() == dim());
+  const std::size_t n = base.count();
+  const std::size_t cs = code_size();
+
+  // Assign points to clusters in parallel, then fill lists serially (cheap).
+  std::vector<std::uint32_t> assign(n);
+  parallel_for(0, n, [&](std::size_t i) {
+    std::vector<float> v(dim());
+    base.row_as_float(i, v);
+    assign[i] = nearest_centroid(centroids_, v);
+  });
+
+  std::vector<std::size_t> counts(params_.nlist, 0);
+  for (std::size_t i = 0; i < n; ++i) ++counts[assign[i]];
+  for (std::size_t c = 0; c < params_.nlist; ++c) {
+    lists_[c].ids.reserve(lists_[c].ids.size() + counts[c]);
+    lists_[c].codes.reserve(lists_[c].codes.size() + counts[c] * cs);
+  }
+  const auto id_base = static_cast<std::uint32_t>(ntotal_);
+  std::vector<float> v(dim());
+  std::vector<std::uint8_t> code(cs);
+  for (std::size_t i = 0; i < n; ++i) {
+    base.row_as_float(i, v);
+    encode_residual(v, assign[i], code);
+    InvertedList& list = lists_[assign[i]];
+    list.ids.push_back(id_base + static_cast<std::uint32_t>(i));
+    list.codes.insert(list.codes.end(), code.begin(), code.end());
+  }
+  ntotal_ += n;
+}
+
+std::vector<std::size_t> IvfPqIndex::list_sizes() const {
+  std::vector<std::size_t> sizes(lists_.size());
+  for (std::size_t c = 0; c < lists_.size(); ++c) sizes[c] = lists_[c].size();
+  return sizes;
+}
+
+std::vector<std::uint32_t> IvfPqIndex::locate_clusters(std::span<const float> query,
+                                                       std::size_t nprobe) const {
+  return nearest_centroids(centroids_, query, nprobe);
+}
+
+void IvfPqIndex::query_residual(std::span<const float> query, std::uint32_t cluster,
+                                std::span<float> out) const {
+  const std::size_t d = dim();
+  assert(query.size() == d && out.size() == d);
+  auto cen = centroids_.row(cluster);
+  if (opq_) {
+    std::vector<float> residual(d);
+    for (std::size_t i = 0; i < d; ++i) residual[i] = query[i] - cen[i];
+    opq_->rotate(residual, out);
+  } else {
+    for (std::size_t i = 0; i < d; ++i) out[i] = query[i] - cen[i];
+  }
+}
+
+std::vector<Neighbor> IvfPqIndex::search(std::span<const float> query, std::size_t k,
+                                         std::size_t nprobe) const {
+  assert(trained_);
+  const std::size_t cs = code_size();
+  TopK topk(k);
+  std::vector<float> residual(dim());
+  std::vector<float> lut(pq_.m() * pq_.cb_entries());
+
+  // CL phase.
+  const std::vector<std::uint32_t> probes = locate_clusters(query, nprobe);
+  for (std::uint32_t c : probes) {
+    const InvertedList& list = lists_[c];
+    if (list.size() == 0) continue;
+    // RC + LC phases.
+    query_residual(query, c, residual);
+    pq_.compute_adc_lut(residual, lut);
+    // DC + TS phases.
+    for (std::size_t i = 0; i < list.size(); ++i) {
+      const float d = pq_.adc_distance(lut, list.code(i, cs));
+      topk.push(d, list.ids[i]);
+    }
+  }
+  return topk.take_sorted();
+}
+
+}  // namespace drim

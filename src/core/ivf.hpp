@@ -1,0 +1,110 @@
+#pragma once
+// Cluster-based (IVF) index with PQ-compressed residuals — the index family
+// DRIM-ANN targets (Section II-A). Train learns nlist coarse centroids plus a
+// product quantizer over residuals; add() assigns base points to clusters and
+// stores their PQ codes; search() is the reference host implementation of the
+// five-phase pipeline (CL -> RC -> LC -> DC -> TS). The DRIM engine reuses
+// the trained index but executes RC/LC/DC/TS on simulated DPUs.
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/dpq.hpp"
+#include "core/opq.hpp"
+#include "core/pq.hpp"
+#include "core/topk.hpp"
+#include "data/dataset.hpp"
+
+namespace drim {
+
+/// Which PQ variant encodes residuals.
+enum class PQVariant : std::uint8_t { kPQ, kOPQ, kDPQ };
+
+/// Index construction parameters (the paper's K/P/C/M/CB map to: K = search k,
+/// P = nprobe, C = N/nlist, M = pq.m, CB = pq.cb_entries).
+struct IvfPqParams {
+  std::size_t nlist = 256;    ///< number of coarse clusters
+  PQParams pq;                ///< residual quantizer shape (M, CB)
+  PQVariant variant = PQVariant::kPQ;
+  std::size_t opq_iters = 6;  ///< OPQ alternations (variant == kOPQ)
+  DPQParams dpq;              ///< refinement knobs (variant == kDPQ)
+  std::size_t coarse_iters = 15;
+  std::uint64_t seed = 2024;
+};
+
+/// One inverted list: ids plus contiguous PQ codes.
+struct InvertedList {
+  std::vector<std::uint32_t> ids;
+  std::vector<std::uint8_t> codes;  ///< ids.size() * code_size bytes
+
+  std::size_t size() const { return ids.size(); }
+  std::span<const std::uint8_t> code(std::size_t i, std::size_t code_size) const {
+    return {codes.data() + i * code_size, code_size};
+  }
+};
+
+/// Trained, populated IVF-PQ index.
+class IvfPqIndex {
+ public:
+  /// Learn coarse centroids and the residual quantizer from float rows.
+  void train(const FloatMatrix& learn, const IvfPqParams& params);
+
+  /// Assign base points to clusters, encode residuals, append to inverted
+  /// lists. May be called repeatedly after train(); ids are assigned
+  /// sequentially across calls (first batch gets 0..n-1, the next continues
+  /// from ntotal()).
+  void add(const ByteDataset& base);
+
+  bool trained() const { return trained_; }
+  std::size_t nlist() const { return params_.nlist; }
+  std::size_t dim() const { return centroids_.dim(); }
+  std::size_t ntotal() const { return ntotal_; }
+  std::size_t code_size() const { return pq_.code_size(); }
+  const IvfPqParams& params() const { return params_; }
+
+  const FloatMatrix& centroids() const { return centroids_; }
+  const ProductQuantizer& pq() const { return pq_; }
+  const InvertedList& list(std::size_t c) const { return lists_[c]; }
+  PQVariant variant() const { return params_.variant; }
+  /// The OPQ rotation owner, or nullptr for non-OPQ variants.
+  const OptimizedProductQuantizer* opq() const { return opq_.get(); }
+
+  /// Rebuild a trained index from serialized state (see core/serialize.hpp).
+  /// `opq` must be non-null iff params.variant == kOPQ.
+  void restore(const IvfPqParams& params, FloatMatrix centroids, ProductQuantizer pq,
+               std::unique_ptr<OptimizedProductQuantizer> opq,
+               std::vector<InvertedList> lists, std::size_t ntotal);
+
+  /// Sizes of all inverted lists (the paper's uneven-cluster observation).
+  std::vector<std::size_t> list_sizes() const;
+
+  /// CL phase: ids of the nprobe closest centroids, ascending by distance.
+  std::vector<std::uint32_t> locate_clusters(std::span<const float> query,
+                                             std::size_t nprobe) const;
+
+  /// RC phase for one (query, cluster) pair, including the OPQ rotation when
+  /// applicable: out = R * (query - centroid). out.size() == dim().
+  void query_residual(std::span<const float> query, std::uint32_t cluster,
+                      std::span<float> out) const;
+
+  /// Reference host search for one query: exact five-phase ADC pipeline.
+  std::vector<Neighbor> search(std::span<const float> query, std::size_t k,
+                               std::size_t nprobe) const;
+
+ private:
+  /// Residual of a raw base/learn vector against a centroid, rotated when the
+  /// variant uses OPQ.
+  void encode_residual(std::span<const float> v, std::uint32_t cluster,
+                       std::span<std::uint8_t> code) const;
+
+  IvfPqParams params_;
+  bool trained_ = false;
+  std::size_t ntotal_ = 0;
+  FloatMatrix centroids_;
+  ProductQuantizer pq_;              // operates in (possibly rotated) space
+  std::unique_ptr<OptimizedProductQuantizer> opq_;  // rotation owner when kOPQ
+  std::vector<InvertedList> lists_;
+};
+
+}  // namespace drim

@@ -1,0 +1,158 @@
+#include "core/kmeans.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+
+#include "common/parallel.hpp"
+#include "common/rng.hpp"
+#include "core/distances.hpp"
+#include "core/topk.hpp"
+
+namespace drim {
+namespace {
+
+FloatMatrix seed_kmeanspp(const FloatMatrix& points, std::size_t k, Rng& rng) {
+  const std::size_t n = points.count();
+  FloatMatrix centroids(k, points.dim());
+
+  std::vector<float> min_dist(n, std::numeric_limits<float>::max());
+  std::size_t first = static_cast<std::size_t>(rng.next_below(n));
+  std::copy_n(points.row(first).data(), points.dim(), centroids.row(0).data());
+
+  for (std::size_t c = 1; c < k; ++c) {
+    // Update min distance to the most recent centroid, then D^2-sample.
+    double total = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      const float d = l2_sq(points.row(i), centroids.row(c - 1));
+      min_dist[i] = std::min(min_dist[i], d);
+      total += min_dist[i];
+    }
+    std::size_t chosen = 0;
+    if (total > 0.0) {
+      double target = rng.next_double() * total;
+      for (std::size_t i = 0; i < n; ++i) {
+        target -= min_dist[i];
+        if (target <= 0.0) {
+          chosen = i;
+          break;
+        }
+      }
+    } else {
+      chosen = static_cast<std::size_t>(rng.next_below(n));
+    }
+    std::copy_n(points.row(chosen).data(), points.dim(), centroids.row(c).data());
+  }
+  return centroids;
+}
+
+FloatMatrix seed_uniform(const FloatMatrix& points, std::size_t k, Rng& rng) {
+  FloatMatrix centroids(k, points.dim());
+  const auto picks =
+      rng.sample_without_replacement(static_cast<std::uint32_t>(points.count()),
+                                     static_cast<std::uint32_t>(k));
+  for (std::size_t c = 0; c < k; ++c) {
+    std::copy_n(points.row(picks[c]).data(), points.dim(), centroids.row(c).data());
+  }
+  return centroids;
+}
+
+}  // namespace
+
+KMeansResult kmeans(const FloatMatrix& points, const KMeansParams& params) {
+  const std::size_t n = points.count();
+  const std::size_t dim = points.dim();
+  const std::size_t k = params.k;
+  assert(n >= k && k > 0);
+
+  Rng rng(params.seed);
+  KMeansResult res;
+  res.centroids = params.use_kmeanspp ? seed_kmeanspp(points, k, rng)
+                                      : seed_uniform(points, k, rng);
+  res.assignment.assign(n, 0);
+
+  std::vector<double> sums(k * dim);
+  std::vector<std::size_t> counts(k);
+  std::vector<float> point_dist(n);
+
+  double prev_inertia = std::numeric_limits<double>::max();
+  for (std::size_t iter = 0; iter < params.max_iters; ++iter) {
+    res.iters_run = iter + 1;
+
+    // Assignment step (parallel over points).
+    parallel_for(0, n, [&](std::size_t i) {
+      const std::uint32_t c = nearest_centroid(res.centroids, points.row(i));
+      res.assignment[i] = c;
+      point_dist[i] = l2_sq(points.row(i), res.centroids.row(c));
+    });
+
+    res.inertia = 0.0;
+    for (std::size_t i = 0; i < n; ++i) res.inertia += point_dist[i];
+
+    // Update step.
+    std::fill(sums.begin(), sums.end(), 0.0);
+    std::fill(counts.begin(), counts.end(), 0);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint32_t c = res.assignment[i];
+      auto p = points.row(i);
+      double* s = sums.data() + static_cast<std::size_t>(c) * dim;
+      for (std::size_t d = 0; d < dim; ++d) s[d] += p[d];
+      ++counts[c];
+    }
+    for (std::size_t c = 0; c < k; ++c) {
+      if (counts[c] == 0) {
+        // Re-seed an empty cluster at the farthest outlier.
+        const std::size_t worst =
+            static_cast<std::size_t>(std::max_element(point_dist.begin(), point_dist.end()) -
+                                     point_dist.begin());
+        std::copy_n(points.row(worst).data(), dim, res.centroids.row(c).data());
+        point_dist[worst] = 0.0f;
+        continue;
+      }
+      auto cen = res.centroids.row(c);
+      const double* s = sums.data() + c * dim;
+      for (std::size_t d = 0; d < dim; ++d) {
+        cen[d] = static_cast<float>(s[d] / static_cast<double>(counts[c]));
+      }
+    }
+
+    if (prev_inertia < std::numeric_limits<double>::max() &&
+        std::abs(prev_inertia - res.inertia) <= params.tol * prev_inertia) {
+      break;
+    }
+    prev_inertia = res.inertia;
+  }
+
+  // Final assignment against the converged centroids.
+  parallel_for(0, n, [&](std::size_t i) {
+    res.assignment[i] = nearest_centroid(res.centroids, points.row(i));
+  });
+  return res;
+}
+
+std::uint32_t nearest_centroid(const FloatMatrix& centroids, std::span<const float> v) {
+  std::uint32_t best = 0;
+  float best_d = std::numeric_limits<float>::max();
+  for (std::size_t c = 0; c < centroids.count(); ++c) {
+    const float d = l2_sq(centroids.row(c), v);
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<std::uint32_t>(c);
+    }
+  }
+  return best;
+}
+
+std::vector<std::uint32_t> nearest_centroids(const FloatMatrix& centroids,
+                                             std::span<const float> v, std::size_t n) {
+  TopK topk(std::min(n, centroids.count()));
+  for (std::size_t c = 0; c < centroids.count(); ++c) {
+    topk.push(l2_sq(centroids.row(c), v), static_cast<std::uint32_t>(c));
+  }
+  std::vector<std::uint32_t> out;
+  for (const Neighbor& nb : topk.take_sorted()) out.push_back(nb.id);
+  return out;
+}
+
+}  // namespace drim

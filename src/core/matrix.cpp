@@ -1,0 +1,176 @@
+#include "core/matrix.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <numeric>
+
+namespace drim {
+
+Matrix Matrix::identity(std::size_t n) {
+  Matrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m.at(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) t.at(c, r) = at(r, c);
+  }
+  return t;
+}
+
+double Matrix::frobenius_distance(const Matrix& other) const {
+  assert(rows_ == other.rows_ && cols_ == other.cols_);
+  double s = 0.0;
+  for (std::size_t i = 0; i < data_.size(); ++i) {
+    const double d = data_[i] - other.data_[i];
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+double Matrix::orthogonality_error() const {
+  assert(rows_ == cols_);
+  const Matrix gram = matmul(transposed(), *this);
+  double err = 0.0;
+  for (std::size_t r = 0; r < rows_; ++r) {
+    for (std::size_t c = 0; c < cols_; ++c) {
+      const double target = (r == c) ? 1.0 : 0.0;
+      err = std::max(err, std::abs(gram.at(r, c) - target));
+    }
+  }
+  return err;
+}
+
+Matrix matmul(const Matrix& a, const Matrix& b) {
+  assert(a.cols() == b.rows());
+  Matrix c(a.rows(), b.cols());
+  for (std::size_t i = 0; i < a.rows(); ++i) {
+    for (std::size_t k = 0; k < a.cols(); ++k) {
+      const double aik = a.at(i, k);
+      if (aik == 0.0) continue;
+      for (std::size_t j = 0; j < b.cols(); ++j) {
+        c.at(i, j) += aik * b.at(k, j);
+      }
+    }
+  }
+  return c;
+}
+
+EigenResult jacobi_eigen(const Matrix& input, std::size_t max_sweeps) {
+  assert(input.rows() == input.cols());
+  const std::size_t n = input.rows();
+  Matrix a = input;
+  Matrix v = Matrix::identity(n);
+
+  for (std::size_t sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) off += a.at(p, q) * a.at(p, q);
+    }
+    if (off < 1e-22) break;
+
+    for (std::size_t p = 0; p < n; ++p) {
+      for (std::size_t q = p + 1; q < n; ++q) {
+        const double apq = a.at(p, q);
+        if (std::abs(apq) < 1e-300) continue;
+        const double app = a.at(p, p);
+        const double aqq = a.at(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+        // Rotate rows/columns p and q of A.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double akp = a.at(k, p);
+          const double akq = a.at(k, q);
+          a.at(k, p) = c * akp - s * akq;
+          a.at(k, q) = s * akp + c * akq;
+        }
+        for (std::size_t k = 0; k < n; ++k) {
+          const double apk = a.at(p, k);
+          const double aqk = a.at(q, k);
+          a.at(p, k) = c * apk - s * aqk;
+          a.at(q, k) = s * apk + c * aqk;
+        }
+        // Accumulate the rotation into V.
+        for (std::size_t k = 0; k < n; ++k) {
+          const double vkp = v.at(k, p);
+          const double vkq = v.at(k, q);
+          v.at(k, p) = c * vkp - s * vkq;
+          v.at(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  EigenResult res;
+  res.values.resize(n);
+  for (std::size_t i = 0; i < n; ++i) res.values[i] = a.at(i, i);
+
+  // Sort descending by eigenvalue, permuting eigenvector columns to match.
+  std::vector<std::size_t> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&](std::size_t x, std::size_t y) { return res.values[x] > res.values[y]; });
+  EigenResult sorted;
+  sorted.values.resize(n);
+  sorted.vectors = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    sorted.values[j] = res.values[order[j]];
+    for (std::size_t i = 0; i < n; ++i) sorted.vectors.at(i, j) = v.at(i, order[j]);
+  }
+  return sorted;
+}
+
+SvdResult svd_square(const Matrix& a) {
+  assert(a.rows() == a.cols());
+  const std::size_t n = a.rows();
+  // A^T A = V s^2 V^T gives V and singular values; U = A V / s, with a
+  // Gram-Schmidt fallback for (near-)zero singular values.
+  const EigenResult eig = jacobi_eigen(matmul(a.transposed(), a));
+
+  SvdResult res;
+  res.s.resize(n);
+  res.v = eig.vectors;
+  res.u = Matrix(n, n);
+  for (std::size_t j = 0; j < n; ++j) {
+    res.s[j] = std::sqrt(std::max(eig.values[j], 0.0));
+  }
+  const Matrix av = matmul(a, res.v);
+  for (std::size_t j = 0; j < n; ++j) {
+    if (res.s[j] > 1e-10) {
+      for (std::size_t i = 0; i < n; ++i) res.u.at(i, j) = av.at(i, j) / res.s[j];
+    } else {
+      // Null-space column: pick any unit vector orthogonal to previous U cols.
+      std::vector<double> cand(n, 0.0);
+      for (std::size_t seed = 0; seed < n; ++seed) {
+        std::fill(cand.begin(), cand.end(), 0.0);
+        cand[seed] = 1.0;
+        for (std::size_t p = 0; p < j; ++p) {
+          double proj = 0.0;
+          for (std::size_t i = 0; i < n; ++i) proj += cand[i] * res.u.at(i, p);
+          for (std::size_t i = 0; i < n; ++i) cand[i] -= proj * res.u.at(i, p);
+        }
+        double norm = 0.0;
+        for (double x : cand) norm += x * x;
+        if (norm > 1e-8) {
+          norm = std::sqrt(norm);
+          for (std::size_t i = 0; i < n; ++i) res.u.at(i, j) = cand[i] / norm;
+          break;
+        }
+      }
+    }
+  }
+  return res;
+}
+
+Matrix procrustes_rotation(const Matrix& a) {
+  const SvdResult svd = svd_square(a);
+  return matmul(svd.u, svd.v.transposed());
+}
+
+}  // namespace drim

@@ -1,0 +1,72 @@
+#pragma once
+// Minimal dense linear algebra for OPQ's orthogonal Procrustes step: square
+// row-major matrices, multiplication, transpose, and an SVD built on the
+// two-sided Jacobi eigenvalue iteration. Dimensions here are the vector
+// dimensionality D (<= a few hundred), so O(D^3) routines are fine.
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace drim {
+
+/// Dense row-major matrix of doubles.
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(std::size_t rows, std::size_t cols)
+      : rows_(rows), cols_(cols), data_(rows * cols, 0.0) {}
+
+  static Matrix identity(std::size_t n);
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+
+  double& at(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  double at(std::size_t r, std::size_t c) const { return data_[r * cols_ + c]; }
+
+  std::span<double> row(std::size_t r) { return {data_.data() + r * cols_, cols_}; }
+  std::span<const double> row(std::size_t r) const {
+    return {data_.data() + r * cols_, cols_};
+  }
+
+  Matrix transposed() const;
+
+  /// Frobenius norm of (this - other).
+  double frobenius_distance(const Matrix& other) const;
+
+  /// Max |A^T A - I| entry — orthogonality residual, used by tests.
+  double orthogonality_error() const;
+
+ private:
+  std::size_t rows_ = 0, cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// C = A * B.
+Matrix matmul(const Matrix& a, const Matrix& b);
+
+/// Symmetric eigendecomposition A = V diag(w) V^T by cyclic Jacobi rotations.
+/// `a` must be symmetric. Eigenvalues are returned descending with matching
+/// eigenvector columns in V.
+struct EigenResult {
+  std::vector<double> values;
+  Matrix vectors;  // columns are eigenvectors
+};
+EigenResult jacobi_eigen(const Matrix& a, std::size_t max_sweeps = 64);
+
+/// Thin SVD of a square matrix A = U diag(s) V^T via eigendecomposition of
+/// A^T A and A A^T. Accurate enough for the Procrustes polar factor used by
+/// OPQ training.
+struct SvdResult {
+  Matrix u;
+  std::vector<double> s;
+  Matrix v;  // NOT transposed: A = U diag(s) V^T
+};
+SvdResult svd_square(const Matrix& a);
+
+/// Nearest orthogonal matrix to A (polar factor U V^T from the SVD) — the
+/// closed-form solution of the orthogonal Procrustes problem min ||R A - B||.
+Matrix procrustes_rotation(const Matrix& a);
+
+}  // namespace drim

@@ -1,0 +1,96 @@
+#include "core/opq.hpp"
+
+#include <cassert>
+#include <vector>
+
+#include "core/distances.hpp"
+
+namespace drim {
+namespace {
+
+FloatMatrix apply_rotation(const Matrix& r, const FloatMatrix& points) {
+  const std::size_t dim = points.dim();
+  FloatMatrix out(points.count(), dim);
+  for (std::size_t i = 0; i < points.count(); ++i) {
+    auto src = points.row(i);
+    auto dst = out.row(i);
+    for (std::size_t row = 0; row < dim; ++row) {
+      double acc = 0.0;
+      for (std::size_t col = 0; col < dim; ++col) acc += r.at(row, col) * src[col];
+      dst[row] = static_cast<float>(acc);
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void OptimizedProductQuantizer::train(const FloatMatrix& points, const OPQParams& params) {
+  const std::size_t dim = points.dim();
+  rotation_ = Matrix::identity(dim);
+
+  std::vector<std::uint8_t> code;
+  std::vector<float> recon(dim);
+
+  for (std::size_t it = 0; it < params.outer_iters; ++it) {
+    // (1) Train PQ in the current rotated space.
+    const FloatMatrix rotated = apply_rotation(rotation_, points);
+    PQParams pq_params = params.pq;
+    pq_params.seed = params.pq.seed + it;
+    pq_.train(rotated, pq_params);
+
+    if (it + 1 == params.outer_iters) break;
+
+    // (2) Procrustes: R = polar(X^T X_hat), where X_hat is the reconstruction
+    // mapped back through the identity (reconstructions live in rotated
+    // space, originals in input space). Accumulate M = sum_i x_i * xhat_i^T.
+    code.resize(pq_.code_size());
+    Matrix m(dim, dim);
+    for (std::size_t i = 0; i < points.count(); ++i) {
+      pq_.encode(rotated.row(i), code);
+      pq_.decode(code, recon);
+      auto x = points.row(i);
+      for (std::size_t r = 0; r < dim; ++r) {
+        const double xr = x[r];
+        if (xr == 0.0) continue;
+        for (std::size_t c = 0; c < dim; ++c) m.at(c, r) += recon[c] * xr;
+      }
+    }
+    // min_R ||R X - Xhat||_F over orthogonal R has solution R = U V^T where
+    // Xhat X^T = U S V^T; `m` above is exactly Xhat X^T.
+    rotation_ = procrustes_rotation(m);
+  }
+}
+
+void OptimizedProductQuantizer::rotate(std::span<const float> v, std::span<float> out) const {
+  const std::size_t dim = rotation_.rows();
+  assert(v.size() == dim && out.size() == dim);
+  for (std::size_t row = 0; row < dim; ++row) {
+    double acc = 0.0;
+    for (std::size_t col = 0; col < dim; ++col) acc += rotation_.at(row, col) * v[col];
+    out[row] = static_cast<float>(acc);
+  }
+}
+
+void OptimizedProductQuantizer::encode(std::span<const float> v,
+                                       std::span<std::uint8_t> code) const {
+  std::vector<float> rotated(v.size());
+  rotate(v, rotated);
+  pq_.encode(rotated, code);
+}
+
+double OptimizedProductQuantizer::reconstruction_error(const FloatMatrix& points) const {
+  std::vector<std::uint8_t> code(pq_.code_size());
+  std::vector<float> rotated(points.dim());
+  std::vector<float> recon(points.dim());
+  double total = 0.0;
+  for (std::size_t i = 0; i < points.count(); ++i) {
+    rotate(points.row(i), rotated);
+    pq_.encode(rotated, code);
+    pq_.decode(code, recon);
+    total += l2_sq(std::span<const float>(rotated), std::span<const float>(recon));
+  }
+  return points.count() > 0 ? total / static_cast<double>(points.count()) : 0.0;
+}
+
+}  // namespace drim

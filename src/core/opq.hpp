@@ -1,0 +1,54 @@
+#pragma once
+// Optimized Product Quantization (Ge et al., CVPR'13), non-parametric
+// variant: learn an orthogonal rotation R that minimizes PQ reconstruction
+// error by alternating (1) PQ training/encoding in the rotated space and
+// (2) solving the orthogonal Procrustes problem for R. DRIM-ANN's engine
+// accepts OPQ as a drop-in IVF-PQ variant (Section I lists OPQ support).
+
+#include "core/matrix.hpp"
+#include "core/pq.hpp"
+
+namespace drim {
+
+/// OPQ training configuration.
+struct OPQParams {
+  PQParams pq;              ///< inner product quantizer parameters
+  std::size_t outer_iters = 8;  ///< rotation/codebook alternations
+  std::uint64_t seed = 11;
+};
+
+/// Rotation + product quantizer trained jointly.
+class OptimizedProductQuantizer {
+ public:
+  /// Train on float rows (typically IVF residuals).
+  void train(const FloatMatrix& points, const OPQParams& params);
+
+  /// Rotate a vector into the PQ space: out = R * v.
+  void rotate(std::span<const float> v, std::span<float> out) const;
+
+  /// Encode a vector (rotation then PQ encode).
+  void encode(std::span<const float> v, std::span<std::uint8_t> code) const;
+
+  /// The underlying PQ operating in rotated space. ADC LUTs must be built
+  /// from *rotated* query residuals.
+  const ProductQuantizer& pq() const { return pq_; }
+
+  /// Learned rotation (row-major D x D, orthogonal).
+  const Matrix& rotation() const { return rotation_; }
+
+  /// Reconstruction MSE in the *original* space (rotation is orthogonal, so
+  /// it equals the rotated-space MSE; used by tests to show OPQ <= PQ).
+  double reconstruction_error(const FloatMatrix& points) const;
+
+  /// Rebuild from serialized state (see core/serialize.hpp).
+  void restore(Matrix rotation, ProductQuantizer pq) {
+    rotation_ = std::move(rotation);
+    pq_ = std::move(pq);
+  }
+
+ private:
+  ProductQuantizer pq_;
+  Matrix rotation_;  // R, applied as out = R v
+};
+
+}  // namespace drim

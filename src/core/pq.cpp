@@ -1,0 +1,132 @@
+#include "core/pq.hpp"
+
+#include <cassert>
+#include <cstring>
+#include <limits>
+
+#include "core/distances.hpp"
+
+namespace drim {
+
+void ProductQuantizer::train(const FloatMatrix& points, const PQParams& params) {
+  assert(params.m > 0 && points.dim() % params.m == 0);
+  assert(params.cb_entries >= 2 && params.cb_entries <= 65536);
+  dim_ = points.dim();
+  m_ = params.m;
+  cb_ = params.cb_entries;
+  const std::size_t dsub = dim_ / m_;
+
+  codebooks_.clear();
+  codebooks_.reserve(m_);
+  for (std::size_t sub = 0; sub < m_; ++sub) {
+    // Slice out this subspace from every training row.
+    FloatMatrix slice(points.count(), dsub);
+    for (std::size_t i = 0; i < points.count(); ++i) {
+      auto src = points.row(i);
+      auto dst = slice.row(i);
+      for (std::size_t d = 0; d < dsub; ++d) dst[d] = src[sub * dsub + d];
+    }
+    KMeansParams km;
+    km.k = cb_;
+    km.max_iters = params.train_iters;
+    km.seed = params.seed + sub;  // independent stream per subspace
+    codebooks_.push_back(kmeans(slice, km).centroids);
+  }
+}
+
+void ProductQuantizer::restore(std::size_t dim, std::size_t m, std::size_t cb,
+                               std::vector<FloatMatrix> codebooks) {
+  assert(m > 0 && dim % m == 0 && codebooks.size() == m);
+  for (const FloatMatrix& book : codebooks) {
+    assert(book.count() == cb && book.dim() == dim / m);
+    (void)book;
+  }
+  dim_ = dim;
+  m_ = m;
+  cb_ = cb;
+  codebooks_ = std::move(codebooks);
+}
+
+std::span<const float> ProductQuantizer::codeword(std::size_t sub, std::size_t e) const {
+  return codebooks_[sub].row(e);
+}
+
+void ProductQuantizer::encode(std::span<const float> v, std::span<std::uint8_t> code) const {
+  assert(v.size() == dim_ && code.size() >= code_size());
+  const std::size_t dsub = this->dsub();
+  for (std::size_t sub = 0; sub < m_; ++sub) {
+    const std::span<const float> sv = v.subspan(sub * dsub, dsub);
+    const std::uint32_t best = nearest_centroid(codebooks_[sub], sv);
+    if (wide_codes()) {
+      const auto v16 = static_cast<std::uint16_t>(best);
+      std::memcpy(code.data() + sub * 2, &v16, 2);
+    } else {
+      code[sub] = static_cast<std::uint8_t>(best);
+    }
+  }
+}
+
+void ProductQuantizer::decode(std::span<const std::uint8_t> code, std::span<float> out) const {
+  assert(out.size() == dim_);
+  const std::size_t dsub = this->dsub();
+  for (std::size_t sub = 0; sub < m_; ++sub) {
+    const std::uint32_t e = code_at(code, sub);
+    auto cw = codeword(sub, e);
+    for (std::size_t d = 0; d < dsub; ++d) out[sub * dsub + d] = cw[d];
+  }
+}
+
+std::uint32_t ProductQuantizer::code_at(std::span<const std::uint8_t> code,
+                                        std::size_t sub) const {
+  if (wide_codes()) {
+    std::uint16_t v = 0;
+    std::memcpy(&v, code.data() + sub * 2, 2);
+    return v;
+  }
+  return code[sub];
+}
+
+void ProductQuantizer::compute_adc_lut(std::span<const float> query,
+                                       std::span<float> lut) const {
+  assert(query.size() == dim_ && lut.size() >= m_ * cb_);
+  const std::size_t dsub = this->dsub();
+  for (std::size_t sub = 0; sub < m_; ++sub) {
+    const std::span<const float> sv = query.subspan(sub * dsub, dsub);
+    float* row = lut.data() + sub * cb_;
+    for (std::size_t e = 0; e < cb_; ++e) {
+      row[e] = l2_sq(sv, codeword(sub, e));
+    }
+  }
+}
+
+float ProductQuantizer::adc_distance(std::span<const float> lut,
+                                     std::span<const std::uint8_t> code) const {
+  float acc = 0.0f;
+  for (std::size_t sub = 0; sub < m_; ++sub) {
+    acc += lut[sub * cb_ + code_at(code, sub)];
+  }
+  return acc;
+}
+
+float ProductQuantizer::sdc_distance(std::span<const std::uint8_t> a,
+                                     std::span<const std::uint8_t> b) const {
+  float acc = 0.0f;
+  for (std::size_t sub = 0; sub < m_; ++sub) {
+    acc += l2_sq(codeword(sub, code_at(a, sub)), codeword(sub, code_at(b, sub)));
+  }
+  return acc;
+}
+
+double ProductQuantizer::reconstruction_error(const FloatMatrix& points) const {
+  std::vector<std::uint8_t> code(code_size());
+  std::vector<float> recon(dim_);
+  double total = 0.0;
+  for (std::size_t i = 0; i < points.count(); ++i) {
+    encode(points.row(i), code);
+    decode(code, recon);
+    total += l2_sq(points.row(i), recon);
+  }
+  return points.count() > 0 ? total / static_cast<double>(points.count()) : 0.0;
+}
+
+}  // namespace drim

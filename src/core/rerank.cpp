@@ -1,0 +1,28 @@
+#include "core/rerank.hpp"
+
+#include "common/parallel.hpp"
+#include "core/distances.hpp"
+
+namespace drim {
+
+std::vector<Neighbor> rerank_exact(const ByteDataset& base, std::span<const float> query,
+                                   const std::vector<Neighbor>& candidates,
+                                   std::size_t k) {
+  TopK topk(k);
+  for (const Neighbor& c : candidates) {
+    topk.push(l2_sq_u8(query, base.row(c.id)), c.id);
+  }
+  return topk.take_sorted();
+}
+
+std::vector<std::vector<Neighbor>> rerank_exact_all(
+    const ByteDataset& base, const FloatMatrix& queries,
+    const std::vector<std::vector<Neighbor>>& candidates, std::size_t k) {
+  std::vector<std::vector<Neighbor>> out(candidates.size());
+  parallel_for(0, candidates.size(), [&](std::size_t q) {
+    out[q] = rerank_exact(base, queries.row(q), candidates[q], k);
+  });
+  return out;
+}
+
+}  // namespace drim

@@ -1,0 +1,27 @@
+#pragma once
+// Exact re-ranking: refine an ADC candidate list with true L2 distances
+// against the raw base vectors. A standard IVF-PQ accuracy extension (used
+// by several of the paper's baselines, e.g. Quick-ADC and Faiss's
+// refine-index): search with k' > k candidates, then re-rank the k' down to
+// k exactly. On the DRIM-ANN system this runs on the host after the PIM
+// merge, trading a little host compute + DRAM traffic for recall — letting
+// the DSE pick a cheaper (M, CB) at the same accuracy constraint.
+
+#include <vector>
+
+#include "core/topk.hpp"
+#include "data/dataset.hpp"
+
+namespace drim {
+
+/// Re-rank `candidates` for one query against the raw corpus, returning the
+/// k exact-nearest among them (ascending by true distance).
+std::vector<Neighbor> rerank_exact(const ByteDataset& base, std::span<const float> query,
+                                   const std::vector<Neighbor>& candidates, std::size_t k);
+
+/// Batch form over a whole result set.
+std::vector<std::vector<Neighbor>> rerank_exact_all(
+    const ByteDataset& base, const FloatMatrix& queries,
+    const std::vector<std::vector<Neighbor>>& candidates, std::size_t k);
+
+}  // namespace drim

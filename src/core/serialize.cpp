@@ -1,0 +1,185 @@
+#include "core/serialize.hpp"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <stdexcept>
+
+namespace drim {
+namespace {
+
+constexpr char kMagic[4] = {'D', 'R', 'I', 'M'};
+
+struct FileCloser {
+  void operator()(std::FILE* f) const {
+    if (f != nullptr) std::fclose(f);
+  }
+};
+using FilePtr = std::unique_ptr<std::FILE, FileCloser>;
+
+// ---- primitive writers/readers (little-endian host assumed) ----
+
+void write_bytes(std::FILE* f, const void* p, std::size_t n) {
+  if (std::fwrite(p, 1, n, f) != n) throw std::runtime_error("index write failure");
+}
+
+void read_bytes(std::FILE* f, void* p, std::size_t n) {
+  if (std::fread(p, 1, n, f) != n) throw std::runtime_error("index read failure");
+}
+
+template <typename T>
+void write_pod(std::FILE* f, const T& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  write_bytes(f, &v, sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::FILE* f) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  T v{};
+  read_bytes(f, &v, sizeof(T));
+  return v;
+}
+
+template <typename T>
+void write_vec(std::FILE* f, const std::vector<T>& v) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  write_pod<std::uint64_t>(f, v.size());
+  write_bytes(f, v.data(), v.size() * sizeof(T));
+}
+
+template <typename T>
+std::vector<T> read_vec(std::FILE* f) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  const auto n = read_pod<std::uint64_t>(f);
+  std::vector<T> v(n);
+  read_bytes(f, v.data(), n * sizeof(T));
+  return v;
+}
+
+void write_float_matrix(std::FILE* f, const FloatMatrix& m) {
+  write_pod<std::uint64_t>(f, m.count());
+  write_pod<std::uint64_t>(f, m.dim());
+  write_bytes(f, m.data(), m.count() * m.dim() * sizeof(float));
+}
+
+FloatMatrix read_float_matrix(std::FILE* f) {
+  const auto count = read_pod<std::uint64_t>(f);
+  const auto dim = read_pod<std::uint64_t>(f);
+  FloatMatrix m(count, dim);
+  read_bytes(f, m.data(), count * dim * sizeof(float));
+  return m;
+}
+
+void write_pq(std::FILE* f, const ProductQuantizer& pq) {
+  write_pod<std::uint64_t>(f, pq.dim());
+  write_pod<std::uint64_t>(f, pq.m());
+  write_pod<std::uint64_t>(f, pq.cb_entries());
+  for (std::size_t sub = 0; sub < pq.m(); ++sub) {
+    write_float_matrix(f, pq.codebook(sub));
+  }
+}
+
+ProductQuantizer read_pq(std::FILE* f) {
+  const auto dim = read_pod<std::uint64_t>(f);
+  const auto m = read_pod<std::uint64_t>(f);
+  const auto cb = read_pod<std::uint64_t>(f);
+  std::vector<FloatMatrix> books;
+  books.reserve(m);
+  for (std::size_t sub = 0; sub < m; ++sub) books.push_back(read_float_matrix(f));
+  ProductQuantizer pq;
+  pq.restore(dim, m, cb, std::move(books));
+  return pq;
+}
+
+void write_matrix(std::FILE* f, const Matrix& m) {
+  write_pod<std::uint64_t>(f, m.rows());
+  write_pod<std::uint64_t>(f, m.cols());
+  for (std::size_t r = 0; r < m.rows(); ++r) {
+    write_bytes(f, m.row(r).data(), m.cols() * sizeof(double));
+  }
+}
+
+Matrix read_matrix(std::FILE* f) {
+  const auto rows = read_pod<std::uint64_t>(f);
+  const auto cols = read_pod<std::uint64_t>(f);
+  Matrix m(rows, cols);
+  for (std::size_t r = 0; r < rows; ++r) {
+    read_bytes(f, m.row(r).data(), cols * sizeof(double));
+  }
+  return m;
+}
+
+}  // namespace
+
+void save_index(const IvfPqIndex& index, const std::string& path) {
+  if (!index.trained()) throw std::runtime_error("cannot save an untrained index");
+  FilePtr f(std::fopen(path.c_str(), "wb"));
+  if (!f) throw std::runtime_error("cannot open " + path + " for writing");
+
+  write_bytes(f.get(), kMagic, sizeof(kMagic));
+  write_pod<std::uint32_t>(f.get(), kIndexFormatVersion);
+
+  const IvfPqParams& p = index.params();
+  write_pod<std::uint64_t>(f.get(), p.nlist);
+  write_pod<std::uint64_t>(f.get(), p.pq.m);
+  write_pod<std::uint64_t>(f.get(), p.pq.cb_entries);
+  write_pod<std::uint8_t>(f.get(), static_cast<std::uint8_t>(p.variant));
+  write_pod<std::uint64_t>(f.get(), index.ntotal());
+
+  write_float_matrix(f.get(), index.centroids());
+  write_pq(f.get(), index.pq());
+  if (p.variant == PQVariant::kOPQ) {
+    write_matrix(f.get(), index.opq()->rotation());
+  }
+  for (std::size_t c = 0; c < index.nlist(); ++c) {
+    write_vec(f.get(), index.list(c).ids);
+    write_vec(f.get(), index.list(c).codes);
+  }
+}
+
+IvfPqIndex load_index(const std::string& path) {
+  FilePtr f(std::fopen(path.c_str(), "rb"));
+  if (!f) throw std::runtime_error("cannot open " + path);
+
+  char magic[4];
+  read_bytes(f.get(), magic, sizeof(magic));
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    throw std::runtime_error(path + " is not a DRIM index file");
+  }
+  const auto version = read_pod<std::uint32_t>(f.get());
+  if (version != kIndexFormatVersion) {
+    throw std::runtime_error("unsupported index format version " +
+                             std::to_string(version));
+  }
+
+  IvfPqParams p;
+  p.nlist = read_pod<std::uint64_t>(f.get());
+  p.pq.m = read_pod<std::uint64_t>(f.get());
+  p.pq.cb_entries = read_pod<std::uint64_t>(f.get());
+  p.variant = static_cast<PQVariant>(read_pod<std::uint8_t>(f.get()));
+  const auto ntotal = read_pod<std::uint64_t>(f.get());
+
+  FloatMatrix centroids = read_float_matrix(f.get());
+  ProductQuantizer pq = read_pq(f.get());
+  std::unique_ptr<OptimizedProductQuantizer> opq;
+  if (p.variant == PQVariant::kOPQ) {
+    opq = std::make_unique<OptimizedProductQuantizer>();
+    Matrix rotation = read_matrix(f.get());
+    ProductQuantizer inner = pq;  // the OPQ's quantizer is the index's
+    opq->restore(std::move(rotation), std::move(inner));
+  }
+
+  std::vector<InvertedList> lists(p.nlist);
+  for (std::size_t c = 0; c < p.nlist; ++c) {
+    lists[c].ids = read_vec<std::uint32_t>(f.get());
+    lists[c].codes = read_vec<std::uint8_t>(f.get());
+  }
+
+  IvfPqIndex index;
+  index.restore(p, std::move(centroids), std::move(pq), std::move(opq),
+                std::move(lists), ntotal);
+  return index;
+}
+
+}  // namespace drim

@@ -1,0 +1,27 @@
+#pragma once
+// Binary serialization for trained indices. A production ANNS deployment
+// trains once and serves many times (the paper's offline/online split), so
+// the trained coarse quantizer, PQ codebooks, OPQ rotation, and inverted
+// lists round-trip through a single versioned file.
+//
+// Format: little-endian, magic "DRIM" + version, then length-prefixed
+// sections. Not intended to be portable across endianness.
+
+#include <string>
+
+#include "core/ivf.hpp"
+
+namespace drim {
+
+/// Current on-disk format version.
+inline constexpr std::uint32_t kIndexFormatVersion = 1;
+
+/// Write a trained (and optionally populated) index to `path`.
+/// Throws std::runtime_error on IO failure or an untrained index.
+void save_index(const IvfPqIndex& index, const std::string& path);
+
+/// Load an index written by save_index. Throws std::runtime_error on IO
+/// failure, bad magic, or an unsupported version.
+IvfPqIndex load_index(const std::string& path);
+
+}  // namespace drim

@@ -1,0 +1,47 @@
+#include "core/topk.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace drim {
+namespace {
+
+// Max-heap comparator: the root is the *worst* (largest) kept candidate.
+bool heap_less(const Neighbor& a, const Neighbor& b) { return a < b; }
+
+}  // namespace
+
+TopK::TopK(std::size_t k) : k_(k) {
+  assert(k > 0);
+  heap_.reserve(k);
+}
+
+bool TopK::push(float dist, std::uint32_t id) {
+  if (heap_.size() < k_) {
+    heap_.push_back({dist, id});
+    std::push_heap(heap_.begin(), heap_.end(), heap_less);
+    return true;
+  }
+  const Neighbor cand{dist, id};
+  if (!(cand < heap_.front())) return false;
+  std::pop_heap(heap_.begin(), heap_.end(), heap_less);
+  heap_.back() = cand;
+  std::push_heap(heap_.begin(), heap_.end(), heap_less);
+  return true;
+}
+
+float TopK::threshold() const {
+  if (heap_.size() < k_) return std::numeric_limits<float>::infinity();
+  return heap_.front().dist;
+}
+
+std::vector<Neighbor> TopK::take_sorted() {
+  std::sort_heap(heap_.begin(), heap_.end(), heap_less);
+  return std::move(heap_);
+}
+
+void TopK::merge(const TopK& other) {
+  for (const Neighbor& n : other.heap_) push(n.dist, n.id);
+}
+
+}  // namespace drim

@@ -1,0 +1,55 @@
+#pragma once
+// Bounded max-heap for top-k smallest-distance selection — the TS (top-k
+// sorting) phase of cluster-based ANNS. Both the CPU baseline and the DPU
+// top-k kernel use this structure; the DPU kernel additionally charges cycles
+// per heap operation through its context.
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+namespace drim {
+
+/// Candidate neighbor: (distance, id). Ordered by distance, ties by id so
+/// results are deterministic across schedules.
+struct Neighbor {
+  float dist = std::numeric_limits<float>::infinity();
+  std::uint32_t id = 0;
+
+  friend bool operator<(const Neighbor& a, const Neighbor& b) {
+    if (a.dist != b.dist) return a.dist < b.dist;
+    return a.id < b.id;
+  }
+};
+
+/// Fixed-capacity top-k tracker keeping the k smallest-distance candidates.
+/// push() is O(log k) when the candidate is admitted, O(1) when rejected.
+class TopK {
+ public:
+  explicit TopK(std::size_t k);
+
+  /// Offer a candidate; returns true if it entered the current top-k.
+  bool push(float dist, std::uint32_t id);
+
+  /// Current admission threshold (distance of the worst kept candidate, or
+  /// +inf while the heap is not yet full).
+  float threshold() const;
+
+  std::size_t size() const { return heap_.size(); }
+  std::size_t capacity() const { return k_; }
+
+  /// Extract results sorted ascending by (distance, id). The heap is consumed.
+  std::vector<Neighbor> take_sorted();
+
+  /// Merge another tracker's contents into this one.
+  void merge(const TopK& other);
+
+  /// Read-only view of the unsorted heap contents.
+  const std::vector<Neighbor>& raw() const { return heap_; }
+
+ private:
+  std::size_t k_;
+  std::vector<Neighbor> heap_;  // max-heap on (dist, id)
+};
+
+}  // namespace drim

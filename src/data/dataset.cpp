@@ -1,0 +1,48 @@
+#include "data/dataset.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace drim {
+
+void FloatMatrix::push_back(std::span<const float> v) {
+  if (count_ == 0 && dim_ == 0) dim_ = v.size();
+  assert(v.size() == dim_);
+  data_.insert(data_.end(), v.begin(), v.end());
+  ++count_;
+}
+
+void ByteDataset::row_as_float(std::size_t i, std::span<float> out) const {
+  assert(out.size() == dim_);
+  const std::uint8_t* src = data_.data() + i * dim_;
+  for (std::size_t d = 0; d < dim_; ++d) out[d] = static_cast<float>(src[d]);
+}
+
+FloatMatrix ByteDataset::to_float() const {
+  FloatMatrix out(count_, dim_);
+  for (std::size_t i = 0; i < count_; ++i) row_as_float(i, out.row(i));
+  return out;
+}
+
+FloatMatrix ByteDataset::to_float(std::span<const std::uint32_t> rows) const {
+  FloatMatrix out(rows.size(), dim_);
+  for (std::size_t i = 0; i < rows.size(); ++i) row_as_float(rows[i], out.row(i));
+  return out;
+}
+
+ByteDataset quantize_to_u8(const FloatMatrix& m, float lo, float hi) {
+  assert(hi > lo);
+  ByteDataset out(m.count(), m.dim());
+  const float scale = 255.0f / (hi - lo);
+  for (std::size_t i = 0; i < m.count(); ++i) {
+    auto src = m.row(i);
+    auto dst = out.row(i);
+    for (std::size_t d = 0; d < m.dim(); ++d) {
+      const float q = std::round((src[d] - lo) * scale);
+      dst[d] = static_cast<std::uint8_t>(std::clamp(q, 0.0f, 255.0f));
+    }
+  }
+  return out;
+}
+
+}  // namespace drim

@@ -1,0 +1,84 @@
+#pragma once
+// Vector dataset containers. The paper's base corpora (SIFT100M, DEEP100M
+// quantized to uint8) store points as 8-bit unsigned components; training and
+// centroid math happens in float. Both views are flat row-major arrays.
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace drim {
+
+/// Row-major matrix of float vectors (used for queries, centroids, learn sets).
+class FloatMatrix {
+ public:
+  FloatMatrix() = default;
+  FloatMatrix(std::size_t count, std::size_t dim)
+      : count_(count), dim_(dim), data_(count * dim, 0.0f) {}
+
+  std::size_t count() const { return count_; }
+  std::size_t dim() const { return dim_; }
+
+  std::span<float> row(std::size_t i) {
+    assert(i < count_);
+    return {data_.data() + i * dim_, dim_};
+  }
+  std::span<const float> row(std::size_t i) const {
+    assert(i < count_);
+    return {data_.data() + i * dim_, dim_};
+  }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+
+  /// Append one vector (must match dim; first append fixes dim if unset).
+  void push_back(std::span<const float> v);
+
+ private:
+  std::size_t count_ = 0;
+  std::size_t dim_ = 0;
+  std::vector<float> data_;
+};
+
+/// Row-major matrix of uint8 vectors — the on-disk / in-MRAM base points.
+class ByteDataset {
+ public:
+  ByteDataset() = default;
+  ByteDataset(std::size_t count, std::size_t dim)
+      : count_(count), dim_(dim), data_(count * dim, 0) {}
+
+  std::size_t count() const { return count_; }
+  std::size_t dim() const { return dim_; }
+
+  std::span<std::uint8_t> row(std::size_t i) {
+    assert(i < count_);
+    return {data_.data() + i * dim_, dim_};
+  }
+  std::span<const std::uint8_t> row(std::size_t i) const {
+    assert(i < count_);
+    return {data_.data() + i * dim_, dim_};
+  }
+
+  std::uint8_t* data() { return data_.data(); }
+  const std::uint8_t* data() const { return data_.data(); }
+
+  /// Widen one row to float (for training / exact distance computation).
+  void row_as_float(std::size_t i, std::span<float> out) const;
+
+  /// Widen the whole dataset (or a subset of rows) to float.
+  FloatMatrix to_float() const;
+  FloatMatrix to_float(std::span<const std::uint32_t> rows) const;
+
+ private:
+  std::size_t count_ = 0;
+  std::size_t dim_ = 0;
+  std::vector<std::uint8_t> data_;
+};
+
+/// Quantize a float matrix to uint8 by affine mapping [lo, hi] -> [0, 255],
+/// clamping outliers. This mirrors the paper's "DEEP100M is quantified to
+/// uint8 to keep in coincidence with SIFT100M".
+ByteDataset quantize_to_u8(const FloatMatrix& m, float lo, float hi);
+
+}  // namespace drim

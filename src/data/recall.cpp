@@ -1,0 +1,38 @@
+#include "data/recall.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace drim {
+
+double recall_at_k(const std::vector<Neighbor>& result,
+                   const std::vector<Neighbor>& ground_truth, std::size_t k) {
+  assert(k > 0);
+  const std::size_t gk = std::min(k, ground_truth.size());
+  if (gk == 0) return 0.0;
+  const std::size_t rk = std::min(k, result.size());
+  std::size_t hits = 0;
+  for (std::size_t g = 0; g < gk; ++g) {
+    for (std::size_t r = 0; r < rk; ++r) {
+      if (result[r].id == ground_truth[g].id) {
+        ++hits;
+        break;
+      }
+    }
+  }
+  return static_cast<double>(hits) / static_cast<double>(gk);
+}
+
+double mean_recall_at_k(const std::vector<std::vector<Neighbor>>& results,
+                        const std::vector<std::vector<Neighbor>>& ground_truth,
+                        std::size_t k) {
+  assert(results.size() == ground_truth.size());
+  if (results.empty()) return 0.0;
+  double sum = 0.0;
+  for (std::size_t q = 0; q < results.size(); ++q) {
+    sum += recall_at_k(results[q], ground_truth[q], k);
+  }
+  return sum / static_cast<double>(results.size());
+}
+
+}  // namespace drim

@@ -1,0 +1,22 @@
+#pragma once
+// Recall metrics. The paper's single accuracy constraint is recall@10 >= 0.8;
+// the DSE (Section III-C) treats the parameter->accuracy mapping `a` as a
+// lookup it must satisfy, which we realize by measuring recall directly.
+
+#include <vector>
+
+#include "core/topk.hpp"
+
+namespace drim {
+
+/// recall@k of one result list against one ground-truth list: fraction of the
+/// first k ground-truth ids present among the first k returned ids.
+double recall_at_k(const std::vector<Neighbor>& result,
+                   const std::vector<Neighbor>& ground_truth, std::size_t k);
+
+/// Mean recall@k across a query set.
+double mean_recall_at_k(const std::vector<std::vector<Neighbor>>& results,
+                        const std::vector<std::vector<Neighbor>>& ground_truth,
+                        std::size_t k);
+
+}  // namespace drim

@@ -1,0 +1,152 @@
+#include "data/synthetic.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/rng.hpp"
+
+namespace drim {
+namespace {
+
+/// Mixture components: each has a mean plus a low-rank factor basis, so the
+/// generated points live on a low-dimensional manifold around the mean — the
+/// structure that makes nearest-neighbor search meaningful at D ~ 100 (and
+/// that PQ exploits on real descriptors).
+struct Mixture {
+  FloatMatrix means;                 // num_components x dim
+  std::vector<FloatMatrix> bases;    // per component: intrinsic_dim x dim
+  ZipfSampler size_sampler;
+  ZipfSampler query_sampler;
+};
+
+Mixture make_mixture(const SyntheticSpec& spec, Rng& rng, float mean_lo, float mean_hi) {
+  Mixture mix{FloatMatrix(spec.num_components, spec.dim),
+              {},
+              ZipfSampler(static_cast<std::uint32_t>(spec.num_components), spec.size_skew),
+              ZipfSampler(static_cast<std::uint32_t>(spec.num_components), spec.query_skew)};
+  mix.bases.reserve(spec.num_components);
+  const float basis_scale = 1.0f / std::sqrt(static_cast<float>(spec.intrinsic_dim));
+  for (std::size_t c = 0; c < spec.num_components; ++c) {
+    auto m = mix.means.row(c);
+    for (auto& x : m) x = rng.uniform(mean_lo, mean_hi);
+    FloatMatrix basis(spec.intrinsic_dim, spec.dim);
+    for (std::size_t r = 0; r < spec.intrinsic_dim; ++r) {
+      for (auto& x : basis.row(r)) {
+        x = static_cast<float>(rng.gaussian()) * basis_scale;
+      }
+    }
+    mix.bases.push_back(std::move(basis));
+  }
+  return mix;
+}
+
+/// x = mean + spread * B^T z + noise, z ~ N(0, I_r).
+void sample_around(const Mixture& mix, std::uint32_t c, float spread, float noise,
+                   Rng& rng, std::span<float> out) {
+  const FloatMatrix& basis = mix.bases[c];
+  auto mean = mix.means.row(c);
+  for (std::size_t d = 0; d < out.size(); ++d) out[d] = mean[d];
+  for (std::size_t r = 0; r < basis.count(); ++r) {
+    const float z = static_cast<float>(rng.gaussian()) * spread;
+    auto b = basis.row(r);
+    for (std::size_t d = 0; d < out.size(); ++d) out[d] += z * b[d];
+  }
+  if (noise > 0.0f) {
+    for (auto& x : out) x += static_cast<float>(rng.gaussian()) * noise;
+  }
+}
+
+}  // namespace
+
+SyntheticData make_sift_like(const SyntheticSpec& spec) {
+  Rng rng(spec.seed);
+  // SIFT components are non-negative gradient-histogram counts, mostly small
+  // with occasional large bins; component means in [20, 160] with clamping to
+  // [0, 255] reproduce that profile well enough for ANNS behaviour.
+  Mixture mix = make_mixture(spec, rng, 20.0f, 160.0f);
+
+  SyntheticData out;
+  out.base = ByteDataset(spec.num_base, spec.dim);
+  std::vector<float> buf(spec.dim);
+  for (std::size_t i = 0; i < spec.num_base; ++i) {
+    const std::uint32_t c = mix.size_sampler(rng);
+    sample_around(mix, c, spec.component_spread, spec.noise_spread, rng, buf);
+    auto dst = out.base.row(i);
+    for (std::size_t d = 0; d < spec.dim; ++d) {
+      dst[d] = static_cast<std::uint8_t>(std::clamp(std::round(buf[d]), 0.0f, 255.0f));
+    }
+  }
+
+  out.queries = FloatMatrix(spec.num_queries, spec.dim);
+  for (std::size_t i = 0; i < spec.num_queries; ++i) {
+    const std::uint32_t c = mix.query_sampler(rng);
+    sample_around(mix, c, spec.query_spread, spec.noise_spread, rng, out.queries.row(i));
+    for (auto& x : out.queries.row(i)) x = std::clamp(std::round(x), 0.0f, 255.0f);
+  }
+
+  out.learn = FloatMatrix(spec.num_learn, spec.dim);
+  for (std::size_t i = 0; i < spec.num_learn; ++i) {
+    const std::uint32_t c = mix.size_sampler(rng);
+    sample_around(mix, c, spec.component_spread, spec.noise_spread, rng, out.learn.row(i));
+    for (auto& x : out.learn.row(i)) x = std::clamp(std::round(x), 0.0f, 255.0f);
+  }
+  return out;
+}
+
+SyntheticData make_deep_like(SyntheticSpec spec) {
+  if (spec.dim == 128) spec.dim = 96;  // DEEP's native dimensionality
+  Rng rng(spec.seed + 1);
+  // DEEP vectors are L2-normalized CNN descriptors: zero-centered, small
+  // magnitude. Generate on the low-rank manifold in float, normalize, then
+  // quantize to uint8 exactly as the paper does for DEEP100M.
+  Mixture mix = make_mixture(spec, rng, -1.0f, 1.0f);
+  const float spread = spec.component_spread / 60.0f;   // scale into float regime
+  const float qspread = spec.query_spread / 60.0f;
+  const float noise = spec.noise_spread / 60.0f;
+
+  auto normalize = [](std::span<float> v) {
+    double n = 0.0;
+    for (float x : v) n += static_cast<double>(x) * x;
+    n = std::sqrt(std::max(n, 1e-12));
+    for (auto& x : v) x = static_cast<float>(x / n);
+  };
+
+  FloatMatrix base_f(spec.num_base, spec.dim);
+  for (std::size_t i = 0; i < spec.num_base; ++i) {
+    const std::uint32_t c = mix.size_sampler(rng);
+    sample_around(mix, c, spread, noise, rng, base_f.row(i));
+    normalize(base_f.row(i));
+  }
+
+  SyntheticData out;
+  out.base = quantize_to_u8(base_f, -1.0f, 1.0f);
+
+  // Queries and learn set are quantized through the same affine map so the
+  // whole pipeline operates in the common uint8 domain, as in the paper.
+  auto quantize_rows = [&](FloatMatrix& m) {
+    for (std::size_t i = 0; i < m.count(); ++i) {
+      for (auto& x : m.row(i)) {
+        x = std::round((std::clamp(x, -1.0f, 1.0f) + 1.0f) * 255.0f / 2.0f);
+      }
+    }
+  };
+
+  out.queries = FloatMatrix(spec.num_queries, spec.dim);
+  for (std::size_t i = 0; i < spec.num_queries; ++i) {
+    const std::uint32_t c = mix.query_sampler(rng);
+    sample_around(mix, c, qspread, noise, rng, out.queries.row(i));
+    normalize(out.queries.row(i));
+  }
+  quantize_rows(out.queries);
+
+  out.learn = FloatMatrix(spec.num_learn, spec.dim);
+  for (std::size_t i = 0; i < spec.num_learn; ++i) {
+    const std::uint32_t c = mix.size_sampler(rng);
+    sample_around(mix, c, spread, noise, rng, out.learn.row(i));
+    normalize(out.learn.row(i));
+  }
+  quantize_rows(out.learn);
+  return out;
+}
+
+}  // namespace drim

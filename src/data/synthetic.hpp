@@ -1,0 +1,52 @@
+#pragma once
+// Synthetic dataset generators standing in for SIFT100M / DEEP100M (the paper
+// evaluates on 100M-point slices of SIFT1B and DEEP1B; see DESIGN.md for the
+// substitution rationale). Both generators draw points from a Gaussian
+// mixture whose component sizes follow a power law, reproducing the two
+// structural properties the paper's load-balancing work depends on:
+//   - uneven cluster sizes (Observation 1), and
+//   - skewed query popularity across clusters (Observations 2-3), because
+//     queries are drawn near mixture components with a Zipfian component
+//     choice.
+
+#include <cstdint>
+
+#include "data/dataset.hpp"
+
+namespace drim {
+
+/// Parameters for the clustered synthetic generator.
+struct SyntheticSpec {
+  std::size_t num_base = 200'000;  ///< base corpus size (paper: 100M)
+  std::size_t num_queries = 1'000; ///< query set size (paper: 10K)
+  std::size_t num_learn = 20'000;  ///< training subsample size
+  std::size_t dim = 128;           ///< SIFT: 128, DEEP: 96
+  std::size_t num_components = 512;///< latent mixture components
+  std::size_t intrinsic_dim = 12;  ///< latent factors per component (real
+                                   ///< descriptors live on low-dim manifolds;
+                                   ///< iid Gaussians would make NN meaningless
+                                   ///< at D=128 due to distance concentration)
+  double size_skew = 0.7;          ///< Zipf exponent for component sizes
+  double query_skew = 0.9;         ///< Zipf exponent for query popularity
+  float component_spread = 14.0f;  ///< stddev along the latent factors
+  float noise_spread = 2.0f;       ///< iid residual noise stddev
+  float query_spread = 14.0f;      ///< latent stddev for queries
+  std::uint64_t seed = 42;
+};
+
+/// A generated workload: uint8 base points, float queries, a learn subset.
+struct SyntheticData {
+  ByteDataset base;
+  FloatMatrix queries;
+  FloatMatrix learn;
+};
+
+/// SIFT-like data: D=128, components in [0, 255] with SIFT's characteristic
+/// sparse, low-magnitude histogram-of-gradients value profile.
+SyntheticData make_sift_like(const SyntheticSpec& spec);
+
+/// DEEP-like data: D=96 (default), originally L2-normalized floats, quantized
+/// to uint8 exactly as the paper does for DEEP100M.
+SyntheticData make_deep_like(SyntheticSpec spec);
+
+}  // namespace drim

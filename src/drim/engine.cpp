@@ -1,0 +1,367 @@
+#include "drim/engine.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace drim {
+
+SchedulerParams derive_scheduler_params(const PimConfig& cfg, std::size_t dim,
+                                        std::size_t m, std::size_t cb, std::size_t k,
+                                        bool use_square_lut) {
+  const std::size_t dsub = dim / m;
+  const DpuInstructionCosts& c = cfg.costs;
+  SchedulerParams p;
+  // LC dominates the per-task fixed cost: per LUT entry, dsub squares (LUT or
+  // mul) + 2*dsub adds + WRAM traffic; plus RC and the codebook DMA.
+  const double square_cost = use_square_lut ? c.sq_lut_lookup : c.mul32;
+  const double per_entry = static_cast<double>(dsub) * square_cost +
+                           2.0 * static_cast<double>(dsub) * c.add + c.wram_access;
+  const double rc = static_cast<double>(dim) * (c.add + 3.0 * c.wram_access);
+  const double lc_dma = static_cast<double>(m * cb * dsub * 2) * cfg.dma_cycles_per_byte;
+  p.l_lut = static_cast<double>(m * cb) * per_entry + rc + lc_dma;
+  // DC per point: m LUT loads + (m-1) adds + streamed code bytes.
+  p.l_calu = static_cast<double>(m) * c.lut_lookup +
+             static_cast<double>(m - 1) * c.add +
+             static_cast<double>(m) * cfg.dma_cycles_per_byte;
+  // TS per point: threshold compare plus amortized heap maintenance.
+  double log2k = 1.0;
+  for (std::size_t v = k; v > 1; v >>= 1) log2k += 1.0;
+  p.l_sortu = c.cmp + 0.25 * log2k * (c.cmp + 2.0 * c.wram_access);
+  return p;
+}
+
+DrimAnnEngine::DrimAnnEngine(const IvfPqIndex& index, const FloatMatrix& sample_queries,
+                             const DrimEngineOptions& options)
+    : index_(index),
+      opts_(options),
+      data_(index),
+      // Cover |residual| + |codeword|; OPQ rotations can widen residual
+      // components, so leave generous headroom (misses fall back to the
+      // multiply path, results stay exact either way).
+      sq_lut_(std::min<std::int32_t>(8192, 2 * (255 + data_.max_operand_abs()))) {
+  // Heat estimation from the sample query set (Section IV-A).
+  const std::vector<double> heat =
+      estimate_heat(index_, sample_queries, opts_.heat_nprobe);
+  layout_ = std::make_unique<DataLayout>(data_, opts_.pim.num_dpus, heat, opts_.layout);
+
+  // Exact Eq. 15 coefficients for this index geometry, preserving any filter
+  // and policy choices the caller configured.
+  const bool filter = opts_.scheduler.enable_filter;
+  const double slack = opts_.scheduler.filter_slack;
+  const SchedulePolicy policy = opts_.scheduler.policy;
+  opts_.scheduler = derive_scheduler_params(opts_.pim, data_.dim(), data_.m(),
+                                            data_.cb_entries(), 10, opts_.use_square_lut);
+  opts_.scheduler.enable_filter = filter;
+  opts_.scheduler.filter_slack = slack;
+  opts_.scheduler.policy = policy;
+  scheduler_ = std::make_unique<RuntimeScheduler>(*layout_, opts_.scheduler);
+
+  pim_ = std::make_unique<PimSystem>(opts_.pim);
+  load_static_data();
+}
+
+void DrimAnnEngine::load_static_data() {
+  // ---- broadcast regions (same offset on every DPU) ----
+  sq_lut_off_ = pim_->alloc_symmetric(sq_lut_.size_bytes());
+  pim_->broadcast(sq_lut_off_,
+                  {reinterpret_cast<const std::uint8_t*>(sq_lut_.raw().data()),
+                   sq_lut_.size_bytes()});
+
+  const auto books = data_.codebooks();
+  codebooks_off_ = pim_->alloc_symmetric(books.size() * 2);
+  pim_->broadcast(codebooks_off_,
+                  {reinterpret_cast<const std::uint8_t*>(books.data()), books.size() * 2});
+
+  const auto cents = data_.centroids();
+  centroids_off_ = pim_->alloc_symmetric(cents.size() * 2);
+  pim_->broadcast(centroids_off_,
+                  {reinterpret_cast<const std::uint8_t*>(cents.data()), cents.size() * 2});
+
+  // ---- per-DPU shard data ----
+  const std::size_t num_dpus = pim_->num_dpus();
+  dpu_shard_regions_.resize(num_dpus);
+  dpu_shard_ids_.resize(num_dpus);
+  shard_slot_.assign(layout_->shards().size(), 0);
+
+  std::size_t max_used = 0;
+  for (std::size_t d = 0; d < num_dpus; ++d) {
+    for (std::uint32_t shard_id : layout_->dpu_shards(d)) {
+      const Shard& sh = layout_->shard(shard_id);
+      const auto codes = data_.cluster_codes(sh.cluster);
+      const auto ids = data_.cluster_ids(sh.cluster);
+      const std::size_t cs = data_.code_size();
+
+      ShardRegion region;
+      region.size = sh.size();
+      region.cluster = sh.cluster;
+      region.codes_offset = pim_->dpu(d).mram().alloc(region.size * cs);
+      region.ids_offset = pim_->dpu(d).mram().alloc(region.size * sizeof(std::uint32_t));
+      pim_->push(d, region.codes_offset,
+                 codes.subspan(sh.begin * cs, static_cast<std::size_t>(region.size) * cs));
+      pim_->push(d, region.ids_offset,
+                 {reinterpret_cast<const std::uint8_t*>(ids.data() + sh.begin),
+                  static_cast<std::size_t>(region.size) * sizeof(std::uint32_t)});
+
+      shard_slot_[shard_id] = static_cast<std::uint32_t>(dpu_shard_regions_[d].size());
+      dpu_shard_regions_[d].push_back(region);
+      dpu_shard_ids_[d].push_back(shard_id);
+    }
+    max_used = std::max(max_used, pim_->dpu(d).mram().used());
+  }
+  // Staging region starts above the highest static allocation on any DPU so
+  // kernel args can use one offset for all DPUs.
+  staging_base_ = (max_used + 7) & ~std::size_t{7};
+
+  // One warm-up style sanity check: staging must have room for something.
+  if (staging_base_ >= opts_.pim.mram_bytes) {
+    throw std::runtime_error("MRAM exhausted by static data; reduce dataset or add DPUs");
+  }
+}
+
+double DrimAnnEngine::model_host_cl_seconds(std::size_t num_queries) const {
+  // CL = exhaustive centroid scan + partial selection on the host.
+  const double flops = static_cast<double>(num_queries) *
+                       static_cast<double>(index_.nlist()) *
+                       (3.0 * static_cast<double>(data_.dim()));
+  const double bytes = static_cast<double>(num_queries) *
+                       static_cast<double>(index_.nlist()) *
+                       (static_cast<double>(data_.dim()) * 4.0);
+  return std::max(flops / opts_.host.flops_per_sec, bytes / opts_.host.bytes_per_sec);
+}
+
+double DrimAnnEngine::locate_on_pim(
+    const std::vector<std::vector<std::int16_t>>& quantized, std::size_t begin,
+    std::size_t end, std::size_t nprobe,
+    std::vector<std::vector<std::uint32_t>>& probes, DrimSearchStats& stats) {
+  const std::size_t dim = data_.dim();
+  const std::size_t num_dpus = pim_->num_dpus();
+  const std::size_t nq = end - begin;
+  const std::size_t nlist = data_.nlist();
+  const std::size_t per_dpu = (nlist + num_dpus - 1) / num_dpus;
+  const std::size_t keep = std::min(nprobe, nlist);
+
+  // Stage the chunk's queries on every DPU (broadcast region of the staging
+  // area), outputs right after.
+  const std::size_t queries_bytes = nq * dim * 2;
+  const std::size_t output_off = staging_base_ + ((queries_bytes + 7) & ~std::size_t{7});
+  const std::size_t output_bytes = nq * keep * sizeof(KernelHit);
+  if (output_off + output_bytes > opts_.pim.mram_bytes) {
+    throw std::runtime_error("CL staging exceeds MRAM; lower batch_size");
+  }
+  for (std::size_t q = 0; q < nq; ++q) {
+    // Broadcast: transmitted once, resident on every DPU.
+    pim_->broadcast(staging_base_ + q * dim * 2,
+                    {reinterpret_cast<const std::uint8_t*>(quantized[begin + q].data()),
+                     dim * 2});
+  }
+
+  std::vector<TopK> merged(nq, TopK(keep));
+  const BatchResult batch = pim_->run_batch(
+      [&](std::size_t d, DpuContext& ctx) {
+        ClKernelArgs args;
+        args.dim = static_cast<std::uint32_t>(dim);
+        args.nprobe = static_cast<std::uint32_t>(keep);
+        args.centroid_begin = static_cast<std::uint32_t>(std::min(d * per_dpu, nlist));
+        args.centroid_count = static_cast<std::uint32_t>(
+            std::min(per_dpu, nlist - args.centroid_begin));
+        args.centroids_offset = centroids_off_;
+        args.queries_offset = staging_base_;
+        args.num_queries = static_cast<std::uint32_t>(nq);
+        args.output_offset = output_off;
+        args.sq_lut_offset = sq_lut_off_;
+        args.sq_lut_max_abs = static_cast<std::uint32_t>(sq_lut_.max_abs());
+        args.use_square_lut = opts_.use_square_lut;
+        run_cl_kernel(ctx, args);
+      },
+      [&]() {
+        std::vector<KernelHit> hits(keep);
+        for (std::size_t d = 0; d < num_dpus; ++d) {
+          if (d * per_dpu >= nlist) break;  // DPUs beyond the centroid range
+          for (std::size_t q = 0; q < nq; ++q) {
+            pim_->pull(d, output_off + q * keep * sizeof(KernelHit),
+                       {reinterpret_cast<std::uint8_t*>(hits.data()),
+                        keep * sizeof(KernelHit)});
+            for (const KernelHit& h : hits) {
+              if (h.id == 0xFFFFFFFFu && h.dist == 0xFFFFFFFFu) break;
+              merged[q].push(static_cast<float>(h.dist), h.id);
+            }
+          }
+        }
+      });
+
+  for (std::size_t q = 0; q < nq; ++q) {
+    probes[begin + q].clear();
+    for (const Neighbor& n : merged[q].take_sorted()) {
+      probes[begin + q].push_back(n.id);
+    }
+  }
+
+  stats.transfer_in_seconds += batch.transfer_in_seconds;
+  stats.transfer_out_seconds += batch.transfer_out_seconds;
+  stats.dpu_busy_seconds += batch.dpu_seconds;
+  for (std::size_t d = 0; d < num_dpus; ++d) {
+    stats.per_dpu_seconds[d] += batch.per_dpu_seconds[d];
+    stats.phase_dpu_seconds[static_cast<std::size_t>(Phase::CL)] +=
+        pim_->dpu(d).phase_seconds(Phase::CL);
+  }
+  stats.counters.add(pim_->aggregate_counters());
+  return batch.total_seconds();
+}
+
+std::vector<std::vector<Neighbor>> DrimAnnEngine::search(const FloatMatrix& queries,
+                                                         std::size_t k, std::size_t nprobe,
+                                                         DrimSearchStats* stats) {
+  const std::size_t nq = queries.count();
+  const std::size_t dim = data_.dim();
+  std::vector<TopK> accum(nq, TopK(k));
+
+  DrimSearchStats local;
+  DrimSearchStats& st = stats != nullptr ? *stats : local;
+  st = DrimSearchStats{};
+  st.queries = nq;
+  st.per_dpu_seconds.assign(pim_->num_dpus(), 0.0);
+
+  // Quantized query payloads.
+  std::vector<std::vector<std::int16_t>> quantized(nq);
+  for (std::size_t q = 0; q < nq; ++q) {
+    quantized[q] = PimIndexData::quantize_query(queries.row(q));
+  }
+
+  // ---- CL: on the host by default (overlapped with PIM per batch), or on
+  // the DPUs when cl_on_pim is set (filled lazily per chunk below) ----
+  std::vector<std::vector<std::uint32_t>> probes(nq);
+  if (!opts_.cl_on_pim) {
+    for (std::size_t q = 0; q < nq; ++q) {
+      probes[q] = index_.locate_clusters(queries.row(q), nprobe);
+    }
+  }
+
+  const std::size_t batch_queries = opts_.batch_size == 0 ? nq : opts_.batch_size;
+  std::vector<Task> carried;
+  std::size_t next_query = 0;
+
+  while (next_query < nq || !carried.empty()) {
+    const std::size_t begin = next_query;
+    const std::size_t end = std::min(nq, begin + batch_queries);
+    next_query = end;
+    const bool last_chunk = next_query >= nq;
+
+    // CL-on-PIM: a dedicated barrier launch precedes the search launch (it
+    // cannot overlap — the search needs its output).
+    double cl_pim_seconds = 0.0;
+    if (opts_.cl_on_pim && end > begin) {
+      cl_pim_seconds = locate_on_pim(quantized, begin, end, nprobe, probes, st);
+    }
+
+    // Chunk-local probe lists; the scheduler sees chunk-global query ids via
+    // an offset-free copy (Task.query indexes the full query array).
+    std::vector<std::vector<std::uint32_t>> chunk_probes(nq);
+    for (std::size_t q = begin; q < end; ++q) chunk_probes[q] = probes[q];
+
+    const Assignment assignment =
+        scheduler_->schedule(chunk_probes, carried, last_chunk);
+    carried = assignment.deferred;
+
+    // ---- stage per-DPU inputs ----
+    const std::size_t num_dpus = pim_->num_dpus();
+    std::vector<std::vector<KernelTask>> dpu_tasks(num_dpus);
+    std::vector<std::vector<std::uint32_t>> dpu_task_query(num_dpus);  // global q ids
+    std::vector<std::size_t> dpu_output_off(num_dpus, 0);
+    std::vector<std::size_t> dpu_query_slots(num_dpus, 0);
+
+    for (std::size_t d = 0; d < num_dpus; ++d) {
+      const auto& tasks = assignment.per_dpu[d];
+      if (tasks.empty()) continue;
+      std::unordered_map<std::uint32_t, std::uint32_t> slot_of;
+      std::vector<std::uint32_t> slot_query;
+      for (const Task& t : tasks) {
+        auto [it, inserted] =
+            slot_of.try_emplace(t.query, static_cast<std::uint32_t>(slot_query.size()));
+        if (inserted) slot_query.push_back(t.query);
+        dpu_tasks[d].push_back({it->second, shard_slot_[t.shard]});
+        dpu_task_query[d].push_back(t.query);
+      }
+      dpu_query_slots[d] = slot_query.size();
+
+      // Staging layout: [queries][outputs].
+      const std::size_t queries_bytes = slot_query.size() * dim * 2;
+      const std::size_t output_bytes = tasks.size() * k * sizeof(KernelHit);
+      dpu_output_off[d] = staging_base_ + ((queries_bytes + 7) & ~std::size_t{7});
+      if (dpu_output_off[d] + output_bytes > opts_.pim.mram_bytes) {
+        throw std::runtime_error("per-batch staging exceeds MRAM; lower batch_size");
+      }
+      for (std::size_t s = 0; s < slot_query.size(); ++s) {
+        const auto& qv = quantized[slot_query[s]];
+        pim_->push(d, staging_base_ + s * dim * 2,
+                   {reinterpret_cast<const std::uint8_t*>(qv.data()), dim * 2});
+      }
+    }
+
+    // ---- launch ----
+    SearchKernelArgs args;
+    args.dim = static_cast<std::uint32_t>(dim);
+    args.m = static_cast<std::uint32_t>(data_.m());
+    args.cb = static_cast<std::uint32_t>(data_.cb_entries());
+    args.code_size = static_cast<std::uint32_t>(data_.code_size());
+    args.wide_codes = data_.wide_codes();
+    args.k = static_cast<std::uint32_t>(k);
+    args.sq_lut_offset = sq_lut_off_;
+    args.sq_lut_max_abs = static_cast<std::uint32_t>(sq_lut_.max_abs());
+    args.codebooks_offset = codebooks_off_;
+    args.centroids_offset = centroids_off_;
+    args.queries_offset = staging_base_;
+    args.use_square_lut = opts_.use_square_lut;
+
+    BatchResult batch = pim_->run_batch(
+        [&](std::size_t d, DpuContext& ctx) {
+          if (dpu_tasks[d].empty()) return;
+          SearchKernelArgs a = args;
+          a.output_offset = dpu_output_off[d];
+          run_search_kernel(ctx, a, dpu_shard_regions_[d], dpu_tasks[d]);
+        },
+        [&]() {
+          // Collect: pull each task's k hits and merge into its query's heap.
+          std::vector<KernelHit> hits(k);
+          for (std::size_t d = 0; d < num_dpus; ++d) {
+            for (std::size_t t = 0; t < dpu_tasks[d].size(); ++t) {
+              pim_->pull(d, dpu_output_off[d] + t * k * sizeof(KernelHit),
+                         {reinterpret_cast<std::uint8_t*>(hits.data()),
+                          k * sizeof(KernelHit)});
+              const std::uint32_t q = dpu_task_query[d][t];
+              for (const KernelHit& h : hits) {
+                if (h.id == 0xFFFFFFFFu && h.dist == 0xFFFFFFFFu) break;  // pad
+                accum[q].push(static_cast<float>(h.dist), h.id);
+              }
+            }
+          }
+        });
+
+    // ---- accounting: host work overlaps the PIM batch; a CL-on-PIM launch
+    // serializes before it ----
+    const double host_cl = opts_.cl_on_pim ? 0.0 : model_host_cl_seconds(end - begin);
+    st.total_seconds += cl_pim_seconds + std::max(host_cl, batch.total_seconds());
+    st.host_cl_seconds += host_cl;
+    st.transfer_in_seconds += batch.transfer_in_seconds;
+    st.transfer_out_seconds += batch.transfer_out_seconds;
+    st.dpu_busy_seconds += batch.dpu_seconds;
+    for (std::size_t d = 0; d < num_dpus; ++d) {
+      st.per_dpu_seconds[d] += batch.per_dpu_seconds[d];
+      st.tasks += dpu_tasks[d].size();
+      for (std::size_t p = 0; p < kNumPhases; ++p) {
+        st.phase_dpu_seconds[p] += pim_->dpu(d).phase_seconds(static_cast<Phase>(p));
+      }
+    }
+    st.counters.add(pim_->aggregate_counters());
+    ++st.batches;
+  }
+
+  st.energy_joules = opts_.energy.pim_energy_joules(opts_.pim, st.total_seconds);
+
+  std::vector<std::vector<Neighbor>> results(nq);
+  for (std::size_t q = 0; q < nq; ++q) results[q] = accum[q].take_sorted();
+  return results;
+}
+
+}  // namespace drim

@@ -1,0 +1,128 @@
+#pragma once
+// DrimAnnEngine — the end-to-end DRIM-ANN system (Fig. 4): offline it
+// quantizes a trained IVF-PQ index, generates the load-balanced data layout,
+// and loads every DPU's MRAM; online it runs host-side cluster locating,
+// schedules (q, c) tasks across DPU replicas, launches the search kernel in
+// barrier-synchronized batches, and merges per-task top-k hits into final
+// results. Timing follows the paper's pipeline model: host execution and
+// host<->DPU transfer overlap DPU execution, so each batch costs
+// max(host work, PIM batch time).
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "core/ivf.hpp"
+#include "drim/kernels.hpp"
+#include "drim/layout.hpp"
+#include "drim/pim_index.hpp"
+#include "drim/scheduler.hpp"
+#include "drim/square_lut.hpp"
+#include "pim/energy_model.hpp"
+#include "pim/pim_system.hpp"
+
+namespace drim {
+
+/// Analytic model of the host CPU driving the PIM server (Xeon Silver class).
+/// Used to cost the CL phase, which DRIM-ANN keeps on the host because its
+/// post-conversion compute-to-IO ratio is the highest of the five phases.
+struct HostModelParams {
+  double flops_per_sec = 150e9;  ///< sustained multi-thread AVX2 throughput
+  double bytes_per_sec = 80e9;   ///< sustained DDR4 bandwidth (paper cites ~80 GB/s)
+};
+
+/// Everything configurable about an engine instance.
+struct DrimEngineOptions {
+  PimConfig pim;
+  LayoutParams layout;
+  SchedulerParams scheduler;  ///< l_* fields are recalibrated from the index
+  HostModelParams host;
+  EnergyModel energy;
+  bool use_square_lut = true;   ///< Fig. 10a ablation toggle
+  std::size_t heat_nprobe = 32; ///< nprobe used when estimating cluster heat
+  std::size_t batch_size = 0;   ///< queries per PIM batch; 0 = all at once
+  /// Run cluster locating on the DPUs instead of the host (the Section III-B
+  /// placement alternative): centroids are range-partitioned across DPUs and
+  /// the host merges per-DPU candidate lists. Costs an extra barrier launch
+  /// plus P * num_dpus hits of host-link traffic per query — measurably worse
+  /// than host CL on UPMEM-like links, which is the point of exposing it.
+  bool cl_on_pim = false;
+};
+
+/// Timing/energy/traffic report for one search() call.
+struct DrimSearchStats {
+  double total_seconds = 0.0;       ///< modeled end-to-end latency
+  double host_cl_seconds = 0.0;     ///< host CL time (overlapped)
+  double transfer_in_seconds = 0.0;
+  double transfer_out_seconds = 0.0;
+  double dpu_busy_seconds = 0.0;    ///< sum over batches of max-DPU time
+  std::array<double, kNumPhases> phase_dpu_seconds{};  ///< total DPU-seconds per phase
+  std::vector<double> per_dpu_seconds;  ///< per-DPU busy time, all batches
+  std::size_t batches = 0;
+  std::size_t tasks = 0;
+  std::size_t queries = 0;
+  DpuCounters counters;             ///< aggregate over DPUs and batches
+  double energy_joules = 0.0;
+
+  double qps() const { return total_seconds > 0 ? queries / total_seconds : 0.0; }
+};
+
+/// Derive Eq. 15 predictor coefficients (in DPU cycles) from the index
+/// geometry and the platform cost table, matching the kernel's charges.
+SchedulerParams derive_scheduler_params(const PimConfig& cfg, std::size_t dim,
+                                        std::size_t m, std::size_t cb, std::size_t k,
+                                        bool use_square_lut);
+
+/// The engine. Holds a reference to the trained index (for host CL), so the
+/// index must outlive the engine.
+class DrimAnnEngine {
+ public:
+  DrimAnnEngine(const IvfPqIndex& index, const FloatMatrix& sample_queries,
+                const DrimEngineOptions& options);
+
+  /// Batch search. Results are ascending (distance, id); distances are the
+  /// integer ADC values from the quantized PIM domain, widened to float.
+  std::vector<std::vector<Neighbor>> search(const FloatMatrix& queries, std::size_t k,
+                                            std::size_t nprobe,
+                                            DrimSearchStats* stats = nullptr);
+
+  const DrimEngineOptions& options() const { return opts_; }
+  const PimIndexData& data() const { return data_; }
+  const DataLayout& layout() const { return *layout_; }
+  const PimSystem& pim() const { return *pim_; }
+  const SquareLut& square_lut() const { return sq_lut_; }
+
+ private:
+  void load_static_data();
+  double model_host_cl_seconds(std::size_t num_queries) const;
+
+  /// CL-on-PIM path: locate clusters for queries [begin, end) with a
+  /// dedicated kernel launch; fills probes[] and accumulates stats. Returns
+  /// the batch's modeled seconds.
+  double locate_on_pim(const std::vector<std::vector<std::int16_t>>& quantized,
+                       std::size_t begin, std::size_t end, std::size_t nprobe,
+                       std::vector<std::vector<std::uint32_t>>& probes,
+                       DrimSearchStats& stats);
+
+  const IvfPqIndex& index_;
+  DrimEngineOptions opts_;
+  PimIndexData data_;
+  SquareLut sq_lut_;
+  std::unique_ptr<DataLayout> layout_;
+  std::unique_ptr<PimSystem> pim_;
+  std::unique_ptr<RuntimeScheduler> scheduler_;
+
+  // MRAM geometry.
+  std::size_t sq_lut_off_ = 0;
+  std::size_t codebooks_off_ = 0;
+  std::size_t centroids_off_ = 0;
+  std::size_t staging_base_ = 0;  // identical on every DPU
+  // Per DPU: shard slots in kernel order; slot i of dpu d describes shard
+  // dpu_shard_ids_[d][i].
+  std::vector<std::vector<ShardRegion>> dpu_shard_regions_;
+  std::vector<std::vector<std::uint32_t>> dpu_shard_ids_;
+  std::vector<std::uint32_t> shard_slot_;  // global shard id -> slot on its DPU
+};
+
+}  // namespace drim

@@ -1,0 +1,264 @@
+#include "drim/kernels.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstring>
+
+namespace drim {
+namespace {
+
+/// DMA a region in <= kMaxDmaBytes chunks (UPMEM transfers are bounded).
+void mram_read_chunked(DpuContext& ctx, std::size_t offset, std::span<std::uint8_t> dst) {
+  std::size_t done = 0;
+  while (done < dst.size()) {
+    const std::size_t n = std::min(kMaxDmaBytes, dst.size() - done);
+    ctx.mram_read(offset + done, dst.subspan(done, n));
+    done += n;
+  }
+}
+
+// Squaring cost policy: a difference covered by the broadcast square table
+// costs a WRAM LUT lookup; anything else falls back to a software multiply
+// (the paper's miss path — "other parts are constructed and cached on-chip
+// online" — modeled conservatively at full multiply cost). The arithmetic
+// itself is done natively; only the charges follow the policy, and they are
+// accumulated in bulk per LUT entry to keep the simulation fast.
+
+/// Fixed-capacity WRAM top-k (binary max-heap on distance, ties by id).
+class WramTopK {
+ public:
+  explicit WramTopK(std::uint32_t k) : k_(k) { heap_.reserve(k); }
+
+  void push(DpuContext& ctx, std::uint32_t dist, std::uint32_t local_idx) {
+    ctx.charge_cmps(1);  // threshold test
+    if (heap_.size() >= k_ && !less(dist, local_idx, heap_.front())) return;
+    // log2(k) sift cost: compare + WRAM swap per level.
+    std::uint32_t levels = 1;
+    for (std::size_t s = heap_.size(); s > 1; s >>= 1) ++levels;
+    ctx.charge_cmps(levels);
+    ctx.charge_wram(levels * 2);
+    if (heap_.size() < k_) {
+      heap_.push_back({dist, local_idx});
+      std::push_heap(heap_.begin(), heap_.end(), heap_cmp);
+    } else {
+      std::pop_heap(heap_.begin(), heap_.end(), heap_cmp);
+      heap_.back() = {dist, local_idx};
+      std::push_heap(heap_.begin(), heap_.end(), heap_cmp);
+    }
+  }
+
+  /// Ascending (distance, local index) pairs.
+  std::vector<KernelHit> sorted() {
+    std::sort_heap(heap_.begin(), heap_.end(), heap_cmp);
+    return heap_;
+  }
+
+ private:
+  static bool heap_cmp(const KernelHit& a, const KernelHit& b) {
+    if (a.dist != b.dist) return a.dist < b.dist;
+    return a.id < b.id;
+  }
+  bool less(std::uint32_t dist, std::uint32_t idx, const KernelHit& h) const {
+    if (dist != h.dist) return dist < h.dist;
+    return idx < h.id;
+  }
+
+  std::uint32_t k_;
+  std::vector<KernelHit> heap_;  // .id holds the local point index until ids
+                                 // are resolved at task end
+};
+
+void charge_square(DpuContext& ctx, bool use_lut, std::uint32_t max_abs,
+                   std::uint64_t in_range, std::uint64_t total) {
+  if (use_lut) {
+    ctx.charge_sq_lut_lookups(in_range);
+    ctx.charge_muls(total - in_range);
+  } else {
+    ctx.charge_muls(total);
+  }
+  (void)max_abs;
+}
+
+}  // namespace
+
+void run_cl_kernel(DpuContext& ctx, const ClKernelArgs& args) {
+  const std::size_t dim = args.dim;
+  if (args.num_queries == 0 || args.centroid_count == 0) return;
+
+  std::vector<std::int16_t> query(dim);
+  std::vector<std::int16_t> centroid(dim);
+  const std::size_t wram =
+      query.size() * 2 + centroid.size() * 2 + args.nprobe * sizeof(KernelHit) +
+      (args.use_square_lut ? (args.sq_lut_max_abs + 1) * sizeof(std::uint32_t) : 0);
+  check_wram_budget(ctx.config(), wram);
+
+  ctx.set_phase(Phase::CL);
+  for (std::uint32_t q = 0; q < args.num_queries; ++q) {
+    ctx.mram_read_t<std::int16_t>(args.queries_offset + q * dim * 2,
+                                  std::span<std::int16_t>(query));
+    WramTopK topk(args.nprobe);
+    for (std::uint32_t c = 0; c < args.centroid_count; ++c) {
+      const std::uint32_t global = args.centroid_begin + c;
+      ctx.mram_read_t<std::int16_t>(args.centroids_offset + global * dim * 2,
+                                    std::span<std::int16_t>(centroid));
+      std::uint32_t dist = 0;
+      std::uint64_t in_range = 0;
+      for (std::size_t d = 0; d < dim; ++d) {
+        const std::int32_t diff = static_cast<std::int32_t>(query[d]) - centroid[d];
+        const auto a = static_cast<std::uint32_t>(diff < 0 ? -diff : diff);
+        dist += a * a;
+        in_range += (args.use_square_lut && a <= args.sq_lut_max_abs) ? 1 : 0;
+      }
+      // Per dim: subtract + square + accumulate (the Eq. 1 "3D - 1" shape).
+      charge_square(ctx, args.use_square_lut, args.sq_lut_max_abs, in_range, dim);
+      ctx.charge_adds(2 * dim);
+      topk.push(ctx, dist, global);
+    }
+    std::vector<KernelHit> hits = topk.sorted();
+    hits.resize(args.nprobe, KernelHit{});
+    ctx.mram_write(args.output_offset + q * args.nprobe * sizeof(KernelHit),
+                   {reinterpret_cast<const std::uint8_t*>(hits.data()),
+                    args.nprobe * sizeof(KernelHit)});
+  }
+}
+
+void run_search_kernel(DpuContext& ctx, const SearchKernelArgs& args,
+                       std::span<const ShardRegion> shards,
+                       std::span<const KernelTask> tasks) {
+  const std::size_t dim = args.dim;
+  const std::size_t m = args.m;
+  const std::size_t cb = args.cb;
+  const std::size_t dsub = dim / m;
+
+  // ---- WRAM working set (checked against the 64 KB budget) ----
+  std::vector<std::int16_t> query(dim);
+  std::vector<std::int16_t> centroid(dim);
+  std::vector<std::int32_t> residual(dim);
+  std::vector<std::uint32_t> lut(m * cb);              // ADC lookup table
+  std::vector<std::int16_t> cb_slice(cb * dsub);       // one subquantizer's book
+  std::vector<std::uint8_t> code_block(kMaxDmaBytes);  // streamed PQ codes
+  std::vector<std::uint8_t> id_buf(sizeof(std::uint32_t));
+  const std::size_t sq_lut_bytes =
+      args.use_square_lut ? (args.sq_lut_max_abs + 1) * sizeof(std::uint32_t) : 0;
+  const std::size_t wram_bytes =
+      query.size() * 2 + centroid.size() * 2 + residual.size() * 4 + lut.size() * 4 +
+      std::min(cb_slice.size() * 2, kMaxDmaBytes * 2) + code_block.size() +
+      sq_lut_bytes + args.k * sizeof(KernelHit);
+  check_wram_budget(ctx.config(), wram_bytes);
+
+  // Task list itself is fetched from MRAM by the real kernel; charge its DMA.
+  ctx.set_phase(Phase::AUX);
+  ctx.charge_cycles(tasks.size() * 4);  // task decode / loop control
+  {
+    PhaseCounters& aux = ctx.counters().at(Phase::AUX);
+    aux.dma_cycles += ctx.config().dma_fixed_cycles +
+                      static_cast<double>(tasks.size() * sizeof(KernelTask)) *
+                          ctx.config().dma_cycles_per_byte;
+    aux.mram_bytes_read += tasks.size() * sizeof(KernelTask);
+  }
+
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    const KernelTask& task = tasks[t];
+    const ShardRegion& shard = shards[task.shard_slot];
+
+    // ---- RC: residual = query - centroid ----
+    ctx.set_phase(Phase::RC);
+    ctx.mram_read_t<std::int16_t>(args.queries_offset + task.query_slot * dim * 2,
+                                  std::span<std::int16_t>(query));
+    ctx.mram_read_t<std::int16_t>(args.centroids_offset + shard.cluster * dim * 2,
+                                  std::span<std::int16_t>(centroid));
+    for (std::size_t d = 0; d < dim; ++d) {
+      residual[d] = static_cast<std::int32_t>(query[d]) - centroid[d];
+    }
+    ctx.charge_adds(dim);
+    ctx.charge_wram(dim * 3);  // two loads + one store per component
+
+    // ---- LC: lut[sub][e] = sum_d (residual - codeword)^2 ----
+    ctx.set_phase(Phase::LC);
+    for (std::size_t sub = 0; sub < m; ++sub) {
+      mram_read_chunked(
+          ctx, args.codebooks_offset + sub * cb * dsub * 2,
+          {reinterpret_cast<std::uint8_t*>(cb_slice.data()), cb * dsub * 2});
+      const std::int32_t* res = residual.data() + sub * dsub;
+      std::uint32_t* lrow = lut.data() + sub * cb;
+      std::uint64_t lut_hits = 0;
+      for (std::size_t e = 0; e < cb; ++e) {
+        const std::int16_t* cw = cb_slice.data() + e * dsub;
+        std::uint32_t acc = 0;
+        for (std::size_t d = 0; d < dsub; ++d) {
+          const std::int32_t diff = res[d] - cw[d];
+          const auto a = static_cast<std::uint32_t>(diff < 0 ? -diff : diff);
+          acc += a * a;
+          lut_hits += (args.use_square_lut && a <= args.sq_lut_max_abs) ? 1 : 0;
+        }
+        lrow[e] = acc;
+      }
+      // Cost per dimension of each entry: one subtract, one square (square-
+      // table lookup when covered, multiply otherwise), one accumulate — the
+      // paper's "M x 3 - 1 per subvector" accounting — plus one WRAM store
+      // per finished entry.
+      ctx.charge_sq_lut_lookups(lut_hits);
+      ctx.charge_muls(cb * dsub - lut_hits);
+      ctx.charge_adds(cb * 2 * dsub);
+      ctx.charge_wram(cb);
+    }
+
+    // ---- DC + TS: stream codes, accumulate LUT entries, keep top-k ----
+    WramTopK topk(std::min<std::uint32_t>(args.k, std::max<std::uint32_t>(shard.size, 1)));
+    const std::size_t codes_bytes = static_cast<std::size_t>(shard.size) * args.code_size;
+    std::size_t streamed = 0;
+    std::uint32_t point = 0;
+    while (streamed < codes_bytes) {
+      ctx.set_phase(Phase::DC);
+      // Stream whole codes per block.
+      const std::size_t codes_per_block = kMaxDmaBytes / args.code_size;
+      const std::size_t block_bytes =
+          std::min(codes_per_block * args.code_size, codes_bytes - streamed);
+      ctx.mram_read(shard.codes_offset + streamed,
+                    {code_block.data(), block_bytes});
+      const std::size_t points_in_block = block_bytes / args.code_size;
+
+      for (std::size_t i = 0; i < points_in_block; ++i, ++point) {
+        ctx.set_phase(Phase::DC);
+        const std::uint8_t* code = code_block.data() + i * args.code_size;
+        std::uint32_t dist = 0;
+        for (std::size_t sub = 0; sub < m; ++sub) {
+          std::uint32_t entry;
+          if (args.wide_codes) {
+            std::uint16_t v = 0;
+            std::memcpy(&v, code + sub * 2, 2);
+            entry = v;
+          } else {
+            entry = code[sub];
+          }
+          dist += lut[sub * cb + entry];
+        }
+        // Per point: m LUT loads (address calc + load) + (m-1) adds.
+        ctx.charge_lut_lookups(m);
+        ctx.charge_adds(m - 1);
+
+        ctx.set_phase(Phase::TS);
+        topk.push(ctx, dist, point);
+      }
+      streamed += block_bytes;
+    }
+
+    // Resolve winners' base-point ids from the shard's id table, then write
+    // the task result row to MRAM.
+    ctx.set_phase(Phase::AUX);
+    std::vector<KernelHit> hits = topk.sorted();
+    for (KernelHit& h : hits) {
+      ctx.mram_read(shard.ids_offset + h.id * sizeof(std::uint32_t),
+                    {id_buf.data(), sizeof(std::uint32_t)});
+      std::uint32_t global_id = 0;
+      std::memcpy(&global_id, id_buf.data(), sizeof(global_id));
+      h.id = global_id;
+    }
+    hits.resize(args.k, KernelHit{});  // sentinel-pad short shards
+    ctx.mram_write(args.output_offset + t * args.k * sizeof(KernelHit),
+                   {reinterpret_cast<const std::uint8_t*>(hits.data()),
+                    args.k * sizeof(KernelHit)});
+  }
+}
+
+}  // namespace drim

@@ -1,0 +1,101 @@
+#pragma once
+// The DPU-side search kernel of DRIM-ANN. One launch processes a DPU's task
+// list for the batch; each task runs the cluster-searching pipeline on one
+// shard: RC (residual), LC (ADC LUT build, multiplier-less via the square
+// LUT), DC (code scan), TS (top-k). The kernel only touches MRAM through the
+// DpuContext DMA API (2 KB max per transfer, as on real UPMEM) and keeps its
+// working set within the 64 KB WRAM budget; every operation charges cycles
+// into the per-phase counters that drive batch timing and Fig. 8.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "pim/dpu.hpp"
+
+namespace drim {
+
+/// Maximum bytes per single MRAM DMA transfer (UPMEM hardware limit).
+inline constexpr std::size_t kMaxDmaBytes = 2048;
+
+/// Where one shard's data lives in this DPU's MRAM.
+struct ShardRegion {
+  std::size_t codes_offset = 0;
+  std::size_t ids_offset = 0;
+  std::uint32_t size = 0;      ///< points in the shard
+  std::uint32_t cluster = 0;   ///< original cluster id (selects the centroid)
+};
+
+/// One task in the per-DPU task list: scan shard `shard_slot` for the query
+/// staged at `query_slot`.
+struct KernelTask {
+  std::uint32_t query_slot = 0;
+  std::uint32_t shard_slot = 0;
+};
+
+/// Result entry written back to MRAM: (distance, base-point id).
+struct KernelHit {
+  std::uint32_t dist = 0xFFFFFFFFu;
+  std::uint32_t id = 0xFFFFFFFFu;
+};
+
+/// Static geometry + offsets shared by all tasks of a launch.
+struct SearchKernelArgs {
+  // Index geometry.
+  std::uint32_t dim = 0;
+  std::uint32_t m = 0;
+  std::uint32_t cb = 0;
+  std::uint32_t code_size = 0;
+  bool wide_codes = false;
+  std::uint32_t k = 10;  ///< hits kept per task
+
+  // Broadcast regions.
+  std::size_t sq_lut_offset = 0;     ///< uint32[sq_lut_entries]
+  std::uint32_t sq_lut_max_abs = 0;  ///< table covers |x| <= max_abs
+  std::size_t codebooks_offset = 0;  ///< int16[m * cb * dsub]
+  std::size_t centroids_offset = 0;  ///< int16[nlist * dim]
+
+  // Per-batch staging regions (per DPU).
+  std::size_t queries_offset = 0;  ///< int16[num_query_slots * dim]
+  std::size_t output_offset = 0;   ///< KernelHit[num_tasks * k]
+
+  // Toggle for the Fig. 10a ablation: with the conversion off, LC squares
+  // via 32-cycle multiplies instead of square-LUT lookups.
+  bool use_square_lut = true;
+};
+
+/// Execute the search kernel for `tasks` against the shard catalog. Results
+/// for task t land at output_offset + t * k * sizeof(KernelHit), sorted
+/// ascending, padded with sentinel (0xFFFFFFFF) entries when a shard has
+/// fewer than k points.
+void run_search_kernel(DpuContext& ctx, const SearchKernelArgs& args,
+                       std::span<const ShardRegion> shards,
+                       std::span<const KernelTask> tasks);
+
+/// Arguments for the optional cluster-locating kernel (CL on the PIM instead
+/// of the host — the placement alternative of Section III-B). Each DPU owns
+/// a contiguous range of centroids and reports, per query, its local top-P
+/// candidates; the host merges the per-DPU lists. DRIM-ANN defaults to
+/// host-side CL because this path pays P * num_dpus result traffic over the
+/// thin host link per query — the ablation makes that trade measurable.
+struct ClKernelArgs {
+  std::uint32_t dim = 0;
+  std::uint32_t nprobe = 0;         ///< candidates kept per query (P)
+  std::uint32_t centroid_begin = 0; ///< first centroid this DPU owns
+  std::uint32_t centroid_count = 0; ///< how many it owns
+  std::size_t centroids_offset = 0; ///< int16[nlist * dim] (broadcast region)
+  std::size_t queries_offset = 0;   ///< int16[num_queries * dim]
+  std::uint32_t num_queries = 0;
+  std::size_t output_offset = 0;    ///< KernelHit[num_queries * nprobe]
+
+  std::size_t sq_lut_offset = 0;
+  std::uint32_t sq_lut_max_abs = 0;
+  bool use_square_lut = true;
+};
+
+/// Run cluster locating on one DPU: L2 distance from every staged query to
+/// every owned centroid, keeping the top-nprobe (global centroid ids) per
+/// query. Output rows are sentinel-padded like the search kernel's.
+void run_cl_kernel(DpuContext& ctx, const ClKernelArgs& args);
+
+}  // namespace drim

@@ -1,0 +1,77 @@
+#include "drim/pim_index.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <cstring>
+
+namespace drim {
+namespace {
+
+std::int16_t to_i16(float v) {
+  const float r = std::round(v);
+  assert(r >= -32768.0f && r <= 32767.0f);
+  return static_cast<std::int16_t>(r);
+}
+
+}  // namespace
+
+PimIndexData::PimIndexData(const IvfPqIndex& index) {
+  assert(index.trained());
+  dim_ = index.dim();
+  const ProductQuantizer& pq = index.pq();
+  m_ = pq.m();
+  cb_ = pq.cb_entries();
+  nlist_ = index.nlist();
+  code_size_ = pq.code_size();
+  wide_codes_ = pq.wide_codes();
+
+  centroids_.resize(nlist_ * dim_);
+  for (std::size_t c = 0; c < nlist_; ++c) {
+    auto src = index.centroids().row(c);
+    for (std::size_t d = 0; d < dim_; ++d) {
+      const std::int16_t q = to_i16(src[d]);
+      centroids_[c * dim_ + d] = q;
+      max_operand_abs_ = std::max<std::int32_t>(max_operand_abs_, std::abs(q));
+    }
+  }
+
+  const std::size_t dsub = dim_ / m_;
+  codebooks_.resize(m_ * cb_ * dsub);
+  for (std::size_t sub = 0; sub < m_; ++sub) {
+    for (std::size_t e = 0; e < cb_; ++e) {
+      auto cw = pq.codeword(sub, e);
+      for (std::size_t d = 0; d < dsub; ++d) {
+        const std::int16_t q = to_i16(cw[d]);
+        codebooks_[(sub * cb_ + e) * dsub + d] = q;
+        max_operand_abs_ = std::max<std::int32_t>(max_operand_abs_, std::abs(q));
+      }
+    }
+  }
+
+  lists_codes_.resize(nlist_);
+  lists_ids_.resize(nlist_);
+  for (std::size_t c = 0; c < nlist_; ++c) {
+    const InvertedList& list = index.list(c);
+    lists_ids_[c] = list.ids;
+    lists_codes_[c] = list.codes;
+  }
+}
+
+std::uint32_t PimIndexData::code_at(std::span<const std::uint8_t> codes, std::size_t i,
+                                    std::size_t sub) const {
+  const std::uint8_t* p = codes.data() + i * code_size_;
+  if (wide_codes_) {
+    std::uint16_t v = 0;
+    std::memcpy(&v, p + sub * 2, 2);
+    return v;
+  }
+  return p[sub];
+}
+
+std::vector<std::int16_t> PimIndexData::quantize_query(std::span<const float> q) {
+  std::vector<std::int16_t> out(q.size());
+  for (std::size_t d = 0; d < q.size(); ++d) out[d] = to_i16(q[d]);
+  return out;
+}
+
+}  // namespace drim

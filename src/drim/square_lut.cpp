@@ -1,0 +1,23 @@
+#include "drim/square_lut.hpp"
+
+#include <cassert>
+#include <cstdlib>
+
+namespace drim {
+
+SquareLut::SquareLut(std::int32_t max_abs) : max_abs_(max_abs) {
+  assert(max_abs >= 0);
+  table_.resize(static_cast<std::size_t>(max_abs) + 1);
+  for (std::int32_t x = 0; x <= max_abs; ++x) {
+    table_[static_cast<std::size_t>(x)] =
+        static_cast<std::uint32_t>(x) * static_cast<std::uint32_t>(x);
+  }
+}
+
+std::uint32_t SquareLut::square(std::int32_t x) const {
+  const std::int32_t a = std::abs(x);
+  assert(a <= max_abs_);
+  return table_[static_cast<std::size_t>(a)];
+}
+
+}  // namespace drim

@@ -1,0 +1,40 @@
+#pragma once
+// Multiplier-less ANNS conversion (Section III-A). L2 distance needs only
+// squares of differences, and after the index is quantized to integers the
+// set of possible operands is small — so all squares are precomputed into a
+// lossless lookup table that is broadcast to every DPU. On UPMEM a 32-bit
+// multiply costs ~32 cycles while a WRAM table lookup costs ~2, so LC trades
+// compute for (abundant) memory accesses.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace drim {
+
+/// Lossless square table over |x| <= max_abs.
+class SquareLut {
+ public:
+  /// Build the table host-side. max_abs must cover every difference the
+  /// kernels will square: with uint8 data and int16-quantized centroids /
+  /// codewords, residual and codeword entries lie in [-255, 255] and their
+  /// difference in [-510, 510], so 510 is the tight default for the paper's
+  /// datasets ("we construct an LUT that only stores the square results of
+  /// small values").
+  explicit SquareLut(std::int32_t max_abs = 510);
+
+  /// Exact square; |x| must be <= max_abs (checked by assert).
+  std::uint32_t square(std::int32_t x) const;
+
+  std::int32_t max_abs() const { return max_abs_; }
+  std::size_t size_bytes() const { return table_.size() * sizeof(std::uint32_t); }
+
+  /// Raw table for broadcasting into DPU memory (index = |x|).
+  std::span<const std::uint32_t> raw() const { return table_; }
+
+ private:
+  std::int32_t max_abs_;
+  std::vector<std::uint32_t> table_;  // table_[|x|] == x*x
+};
+
+}  // namespace drim

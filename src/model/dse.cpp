@@ -1,0 +1,159 @@
+#include "model/dse.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/rng.hpp"
+#include "model/gp.hpp"
+
+namespace drim {
+namespace {
+
+AnnWorkload apply(const AnnWorkload& base, const DseCandidate& c) {
+  AnnWorkload w = base;
+  w.K = c.K;
+  w.P = c.P;
+  w.C = c.C;
+  w.M = c.M;
+  w.CB = c.CB;
+  return w;
+}
+
+double model_seconds(const AnnWorkload& base, const DseCandidate& c,
+                     const PlatformParams& host, const PlatformParams& pim) {
+  return estimate(apply(base, c), host, pim).total_seconds();
+}
+
+/// Normalize a candidate into [0,1]^5 using the space's axis extents (log
+/// scale for the wide axes) so one GP length scale fits all dimensions.
+std::vector<double> normalize(const DseSpace& space, const DseCandidate& c) {
+  auto norm_log = [](const std::vector<double>& axis, double v) {
+    if (axis.size() < 2) return 0.5;
+    const double lo = std::log2(axis.front());
+    const double hi = std::log2(axis.back());
+    return hi > lo ? (std::log2(v) - lo) / (hi - lo) : 0.5;
+  };
+  return {norm_log(space.K, c.K), norm_log(space.P, c.P), norm_log(space.C, c.C),
+          norm_log(space.M, c.M), norm_log(space.CB, c.CB)};
+}
+
+std::vector<DseCandidate> enumerate(const DseSpace& space) {
+  std::vector<DseCandidate> all;
+  for (double k : space.K)
+    for (double p : space.P)
+      for (double c : space.C)
+        for (double m : space.M)
+          for (double cb : space.CB) all.push_back({k, p, c, m, cb});
+  return all;
+}
+
+}  // namespace
+
+DseSpace make_default_space(double n_points, int min_log2_nlist, int max_log2_nlist) {
+  DseSpace space;
+  for (int l = max_log2_nlist; l >= min_log2_nlist; --l) {
+    space.C.push_back(n_points / std::pow(2.0, l));  // ascending C
+  }
+  return space;
+}
+
+DseResult run_dse(const AnnWorkload& base, const DseSpace& space,
+                  const PlatformParams& host, const PlatformParams& pim,
+                  double accuracy_constraint,
+                  const std::function<double(const DseCandidate&)>& accuracy_fn,
+                  std::size_t budget, std::uint64_t seed) {
+  DseResult result;
+  result.best_seconds = std::numeric_limits<double>::max();
+
+  std::vector<DseCandidate> candidates = enumerate(space);
+  if (candidates.empty() || budget == 0) return result;
+
+  // Sort by modeled time so the greedy phase probes fast candidates first
+  // ("At the beginning, we find a group ... within the accuracy constraint
+  // through greedy search").
+  std::sort(candidates.begin(), candidates.end(),
+            [&](const DseCandidate& a, const DseCandidate& b) {
+              return model_seconds(base, a, host, pim) < model_seconds(base, b, host, pim);
+            });
+
+  std::vector<double> gp_x;
+  std::vector<double> gp_y;
+  GaussianProcess gp(5);
+  Rng rng(seed);
+
+  auto measure = [&](const DseCandidate& c) {
+    DseObservation obs;
+    obs.candidate = c;
+    obs.accuracy = accuracy_fn(c);
+    obs.model_seconds = model_seconds(base, c, host, pim);
+    obs.feasible = obs.accuracy >= accuracy_constraint;
+    result.history.push_back(obs);
+
+    const auto x = normalize(space, c);
+    gp_x.insert(gp_x.end(), x.begin(), x.end());
+    gp_y.push_back(obs.accuracy);
+    gp.fit(gp_x, gp_y);
+
+    if (obs.feasible && obs.model_seconds < result.best_seconds) {
+      result.best = c;
+      result.best_seconds = obs.model_seconds;
+      result.best_accuracy = obs.accuracy;
+      result.found_feasible = true;
+    }
+    return obs;
+  };
+
+  // Greedy seeding: walk the time-sorted list until a feasible point is
+  // found (plus one extra probe for GP contrast), spending at most half the
+  // budget.
+  std::size_t spent = 0;
+  for (std::size_t i = 0; i < candidates.size() && spent < budget / 2; ++i) {
+    const DseObservation obs = measure(candidates[i]);
+    ++spent;
+    if (obs.feasible && spent >= 2) break;
+  }
+
+  // Bayesian-optimization loop: among unmeasured candidates, pick the one
+  // with the lowest modeled time whose GP lower-confidence accuracy clears
+  // the constraint; if none qualifies, probe the most uncertain candidate.
+  std::vector<bool> measured(candidates.size(), false);
+  for (std::size_t i = 0; i < candidates.size(); ++i) {
+    for (const DseObservation& o : result.history) {
+      if (o.candidate.K == candidates[i].K && o.candidate.P == candidates[i].P &&
+          o.candidate.C == candidates[i].C && o.candidate.M == candidates[i].M &&
+          o.candidate.CB == candidates[i].CB) {
+        measured[i] = true;
+        break;
+      }
+    }
+  }
+
+  const double beta = 0.8;  // confidence width for the feasibility test
+  while (spent < budget) {
+    std::size_t pick = candidates.size();
+    double best_uncertainty = -1.0;
+    std::size_t most_uncertain = candidates.size();
+    for (std::size_t i = 0; i < candidates.size(); ++i) {
+      if (measured[i]) continue;
+      const auto pred = gp.predict(normalize(space, candidates[i]));
+      const double sigma = std::sqrt(pred.variance);
+      if (pred.mean - beta * sigma >= accuracy_constraint) {
+        pick = i;  // candidates are time-sorted: first qualifying is fastest
+        break;
+      }
+      if (sigma > best_uncertainty) {
+        best_uncertainty = sigma;
+        most_uncertain = i;
+      }
+    }
+    if (pick == candidates.size()) pick = most_uncertain;
+    if (pick == candidates.size()) break;  // everything measured
+    measured[pick] = true;
+    measure(candidates[pick]);
+    ++spent;
+  }
+  return result;
+}
+
+}  // namespace drim

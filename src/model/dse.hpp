@@ -1,0 +1,62 @@
+#pragma once
+// Design-space exploration (Section III-C): find (K, P, C, M, CB) minimizing
+// the modeled pipeline time (Eq. 13) under the accuracy constraint
+// a(K, P, C, M, CB) >= accuracy_constraint. The analytic performance model
+// prices every candidate for free; the accuracy mapping `a` is the expensive
+// black box (a real recall measurement), so a Gaussian process models it and
+// Bayesian optimization decides which candidates to actually measure,
+// seeded by a greedy feasible start.
+
+#include <functional>
+#include <vector>
+
+#include "model/perf_model.hpp"
+
+namespace drim {
+
+/// One point of the discrete design space.
+struct DseCandidate {
+  double K = 10;
+  double P = 32;
+  double C = 1526;   ///< average cluster size (nlist = N / C)
+  double M = 16;
+  double CB = 256;
+};
+
+/// Discrete axes to explore. K is usually pinned by the application.
+struct DseSpace {
+  std::vector<double> K = {10};
+  std::vector<double> P = {8, 16, 32, 64, 96, 128};
+  std::vector<double> C;   ///< filled from nlist choices by make_default_space
+  std::vector<double> M = {8, 16, 32};
+  std::vector<double> CB = {64, 128, 256, 512};
+};
+
+/// Build a space whose C axis matches nlist in {2^min_log2 .. 2^max_log2}.
+DseSpace make_default_space(double n_points, int min_log2_nlist, int max_log2_nlist);
+
+/// Result of one explored configuration.
+struct DseObservation {
+  DseCandidate candidate;
+  double accuracy = 0.0;
+  double model_seconds = 0.0;
+  bool feasible = false;
+};
+
+struct DseResult {
+  DseCandidate best;
+  double best_seconds = 0.0;
+  double best_accuracy = 0.0;
+  bool found_feasible = false;
+  std::vector<DseObservation> history;  ///< every accuracy measurement made
+};
+
+/// `accuracy_fn` measures (or looks up) recall for one candidate; each call
+/// is treated as expensive. `budget` bounds the number of accuracy_fn calls.
+DseResult run_dse(const AnnWorkload& base, const DseSpace& space,
+                  const PlatformParams& host, const PlatformParams& pim,
+                  double accuracy_constraint,
+                  const std::function<double(const DseCandidate&)>& accuracy_fn,
+                  std::size_t budget = 24, std::uint64_t seed = 99);
+
+}  // namespace drim

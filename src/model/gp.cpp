@@ -1,0 +1,99 @@
+#include "model/gp.hpp"
+
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace drim {
+
+GaussianProcess::GaussianProcess(std::size_t dim, double length_scale, double signal_var,
+                                 double noise_var)
+    : dim_(dim), l2_(length_scale * length_scale), s2_(signal_var), noise_(noise_var) {}
+
+double GaussianProcess::kernel(const double* a, const double* b) const {
+  double d2 = 0.0;
+  for (std::size_t i = 0; i < dim_; ++i) {
+    const double d = a[i] - b[i];
+    d2 += d * d;
+  }
+  return s2_ * std::exp(-d2 / (2.0 * l2_));
+}
+
+void GaussianProcess::fit(const std::vector<double>& x, const std::vector<double>& y) {
+  assert(x.size() == y.size() * dim_);
+  n_ = y.size();
+  x_ = x;
+
+  y_mean_ = 0.0;
+  for (double v : y) y_mean_ += v;
+  if (n_ > 0) y_mean_ /= static_cast<double>(n_);
+
+  // K + noise I, then its Cholesky factor L.
+  std::vector<double> k(n_ * n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      const double v = kernel(&x_[i * dim_], &x_[j * dim_]);
+      k[i * n_ + j] = v;
+      k[j * n_ + i] = v;
+    }
+    k[i * n_ + i] += noise_;
+  }
+
+  chol_.assign(n_ * n_, 0.0);
+  for (std::size_t i = 0; i < n_; ++i) {
+    for (std::size_t j = 0; j <= i; ++j) {
+      double sum = k[i * n_ + j];
+      for (std::size_t p = 0; p < j; ++p) sum -= chol_[i * n_ + p] * chol_[j * n_ + p];
+      if (i == j) {
+        if (sum <= 0.0) throw std::runtime_error("GP covariance not positive definite");
+        chol_[i * n_ + i] = std::sqrt(sum);
+      } else {
+        chol_[i * n_ + j] = sum / chol_[j * n_ + j];
+      }
+    }
+  }
+
+  // alpha = K^-1 (y - mean): forward then backward substitution.
+  std::vector<double> z(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    double sum = y[i] - y_mean_;
+    for (std::size_t p = 0; p < i; ++p) sum -= chol_[i * n_ + p] * z[p];
+    z[i] = sum / chol_[i * n_ + i];
+  }
+  alpha_.assign(n_, 0.0);
+  for (std::size_t ii = n_; ii-- > 0;) {
+    double sum = z[ii];
+    for (std::size_t p = ii + 1; p < n_; ++p) sum -= chol_[p * n_ + ii] * alpha_[p];
+    alpha_[ii] = sum / chol_[ii * n_ + ii];
+  }
+}
+
+GaussianProcess::Prediction GaussianProcess::predict(const std::vector<double>& x) const {
+  assert(x.size() == dim_);
+  Prediction out;
+  if (n_ == 0) {
+    out.mean = y_mean_;
+    out.variance = s2_;
+    return out;
+  }
+  std::vector<double> kstar(n_);
+  for (std::size_t i = 0; i < n_; ++i) kstar[i] = kernel(&x_[i * dim_], x.data());
+
+  out.mean = y_mean_;
+  for (std::size_t i = 0; i < n_; ++i) out.mean += kstar[i] * alpha_[i];
+
+  // v = L^-1 k*; variance = k(x,x) - v.v
+  std::vector<double> v(n_);
+  for (std::size_t i = 0; i < n_; ++i) {
+    double sum = kstar[i];
+    for (std::size_t p = 0; p < i; ++p) sum -= chol_[i * n_ + p] * v[p];
+    v[i] = sum / chol_[i * n_ + i];
+  }
+  double vv = 0.0;
+  for (double u : v) vv += u * u;
+  out.variance = s2_ + noise_ - vv;
+  if (out.variance < 0.0) out.variance = 0.0;
+  return out;
+}
+
+}  // namespace drim

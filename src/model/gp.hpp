@@ -1,0 +1,46 @@
+#pragma once
+// Small Gaussian-process regressor (RBF kernel, Cholesky solve) used by the
+// design-space exploration of Section III-C: the paper applies Bayesian
+// optimization [6] where the cheap analytic performance model scores
+// candidates and the GP models the expensive black box — the accuracy
+// mapping a(K, P, C, M, CB).
+
+#include <cstddef>
+#include <vector>
+
+namespace drim {
+
+/// GP over fixed-dimension inputs with an RBF kernel
+/// k(x, y) = s2 * exp(-||x - y||^2 / (2 l^2)) + noise on the diagonal.
+class GaussianProcess {
+ public:
+  /// `dim` — input dimensionality; hyperparameters are fixed (inputs are
+  /// expected pre-normalized to ~[0, 1] per component).
+  explicit GaussianProcess(std::size_t dim, double length_scale = 0.35,
+                           double signal_var = 1.0, double noise_var = 1e-4);
+
+  /// Fit on observations; x is row-major [n x dim].
+  void fit(const std::vector<double>& x, const std::vector<double>& y);
+
+  std::size_t observations() const { return n_; }
+
+  /// Posterior mean and variance at a point.
+  struct Prediction {
+    double mean = 0.0;
+    double variance = 0.0;
+  };
+  Prediction predict(const std::vector<double>& x) const;
+
+ private:
+  double kernel(const double* a, const double* b) const;
+
+  std::size_t dim_;
+  double l2_, s2_, noise_;
+  std::size_t n_ = 0;
+  std::vector<double> x_;      // training inputs
+  std::vector<double> alpha_;  // K^-1 y
+  std::vector<double> chol_;   // lower Cholesky factor of K
+  double y_mean_ = 0.0;
+};
+
+}  // namespace drim

@@ -1,0 +1,168 @@
+#include "model/perf_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace drim {
+namespace {
+
+double log2c(double v) { return std::log2(std::max(v, 2.0)); }
+
+}  // namespace
+
+PlatformParams upmem_platform(double compute_scale, double num_dpus) {
+  PlatformParams p;
+  p.frequency_hz = 450e6 * compute_scale;
+  p.pe = num_dpus;
+  // Aggregate *achievable* MRAM bandwidth: ~633 MB/s per DPU (63.3% of the
+  // nominal 1 GB/s, Section V-D) summed over DPUs.
+  p.bandwidth_Bps = 633e6 * num_dpus;
+  p.cycles_per_op = 1.0;  // 1 IPC with a saturated pipeline
+  p.mul_premium = 31.0;   // no hardware multiplier: ~32 cycles per multiply
+  return p;
+}
+
+PlatformParams cpu_platform(double threads) {
+  PlatformParams p;
+  p.frequency_hz = 2.3e9;  // Xeon Gold 5218
+  // AVX2 gives ~16 scalar int/float ops per cycle per core; the model's PE
+  // counts effective lanes so op counts stay scalar.
+  p.pe = threads * 16.0;
+  p.bandwidth_Bps = 80e9;  // the paper's "typically around 80 GB/s"
+  p.cycles_per_op = 1.0;
+  // Effective cached-gather bandwidth: the LC/DC cache traffic is 4-byte
+  // random gathers into L1/L2-resident tables, which Skylake-class cores
+  // sustain at ~1 element/cycle (~12 GB/s/core) — far below streaming L2
+  // bandwidth but far above the shared DRAM stream.
+  p.cache_bandwidth_Bps = threads * 12e9;
+  return p;
+}
+
+PlatformParams gpu_platform() {
+  PlatformParams p;
+  p.frequency_hz = 2.5e9;            // RTX 4090 boost
+  p.pe = 16384;                      // CUDA cores
+  p.bandwidth_Bps = 1.008e12;        // GDDR6X
+  p.cycles_per_op = 1.0;
+  // Faiss-GPU stages ADC LUTs in shared memory / L2; aggregate on-chip
+  // bandwidth is an order of magnitude above GDDR.
+  p.cache_bandwidth_Bps = 8e12;
+  return p;
+}
+
+PlatformParams hbm_pim_platform() {
+  PlatformParams p;
+  p.frequency_hz = 1.2e9;   // Aquabolt-XL PCU clock class
+  p.pe = 512;               // two PCUs per pseudo-channel across a 16-die stack
+  p.bandwidth_Bps = 1.2e12; // internal per-bank bandwidth, aggregated
+  p.cycles_per_op = 1.0;    // real FP16 SIMD units: no multiply premium
+  return p;
+}
+
+std::string ann_phase_name(AnnPhase p) {
+  switch (p) {
+    case AnnPhase::CL: return "CL";
+    case AnnPhase::RC: return "RC";
+    case AnnPhase::LC: return "LC";
+    case AnnPhase::DC: return "DC";
+    case AnnPhase::TS: return "TS";
+    case AnnPhase::kCount: break;
+  }
+  return "?";
+}
+
+std::array<PhaseCost, kAnnPhases> phase_costs(const AnnWorkload& w, bool multiplier_less) {
+  std::array<PhaseCost, kAnnPhases> costs{};
+  const double nlist = w.nlist();
+  const double logP = log2c(w.P);
+  const double logK = log2c(w.K);
+  // Bit widths enter the equations as written; bytes = bits / 8.
+  const double to_bytes = 1.0 / 8.0;
+
+  // Eq. (1)-(2): CL scans all centroids and maintains a P-sized partial sort.
+  // One multiply (the square) per dimension per centroid.
+  auto& cl = costs[static_cast<std::size_t>(AnnPhase::CL)];
+  cl.compute_ops = w.Q * nlist * ((w.D * 3.0 - 1.0) + (logP - 1.0));
+  cl.mul_ops = w.Q * nlist * w.D;
+  cl.io_bytes = w.Q * nlist *
+                ((w.Bc + w.Bq) * w.D + (w.Bq * 4.0 + w.Bq) * (logP + 1.0)) * to_bytes;
+
+  // Eq. (3)-(4): residual per (query, cluster).
+  auto& rc = costs[static_cast<std::size_t>(AnnPhase::RC)];
+  rc.compute_ops = w.Q * w.P * w.D;
+  rc.io_bytes = (w.Bc + w.Bq) * w.Q * w.P * w.D * to_bytes;
+
+  // Eq. (5)-(6): LUT construction: one square per dimension per codebook
+  // entry. The multiplier-less conversion (Section III-A) turns those
+  // squares into table lookups, zeroing mul_ops — which is what removes the
+  // UPMEM multiply premium while leaving hardware-multiplier platforms
+  // untouched. All LC traffic (codebook slices, LUT writes) touches small
+  // per-query structures, so it is classed as cache-served.
+  auto& lc = costs[static_cast<std::size_t>(AnnPhase::LC)];
+  lc.compute_ops = w.Q * w.P * w.CB * (w.M * 3.0 - 1.0) * (w.D / w.M);
+  lc.mul_ops = multiplier_less ? 0.0 : w.Q * w.P * w.CB * w.D;
+  lc.cache_io_bytes = w.Q * w.P * w.CB * (w.D * 2.0 * w.Bq + w.Bl * w.M) * to_bytes;
+
+  // Eq. (7)-(8): ADC distance accumulation over cluster points. Eq. (8)
+  // covers the per-point LUT lookups (address + entry) — cache-served — but
+  // omits the PQ-code stream itself, which is the phase's true memory
+  // stream: M codes of Bp bits per scanned point (documented extension).
+  auto& dc = costs[static_cast<std::size_t>(AnnPhase::DC)];
+  dc.compute_ops = w.Q * w.P * w.C * (w.M - 1.0);
+  dc.cache_io_bytes = w.Q * w.P * w.C * (w.M * (w.Ba + w.Bl) + w.Bl) * to_bytes;
+  dc.io_bytes = w.Q * w.P * w.C * w.M * w.Bp * to_bytes;
+
+  // Eq. (9)-(10): top-k heap maintenance — the heap lives in cache.
+  auto& ts = costs[static_cast<std::size_t>(AnnPhase::TS)];
+  ts.compute_ops = w.Q * w.P * w.C * (logK - 1.0);
+  ts.cache_io_bytes = w.Q * w.P * w.C * (logK + 1.0) * (w.Bl + w.Ba) * to_bytes;
+
+  return costs;
+}
+
+double phase_time(const PhaseCost& cost, const PlatformParams& platform) {
+  const double cycles =
+      (cost.compute_ops + cost.mul_ops * platform.mul_premium) * platform.cycles_per_op;
+  const double compute_sec = cycles / (platform.frequency_hz * platform.pe);
+  double io_sec;
+  if (platform.cache_bandwidth_Bps > 0.0) {
+    io_sec = cost.io_bytes / platform.bandwidth_Bps +
+             cost.cache_io_bytes / platform.cache_bandwidth_Bps;
+  } else {
+    io_sec = cost.total_io_bytes() / platform.bandwidth_Bps;
+  }
+  return std::max(compute_sec, io_sec);  // Eq. (11)
+}
+
+ModelEstimate estimate(const AnnWorkload& w, const PlatformParams& host,
+                       const PlatformParams& pim, const Placement& placement,
+                       bool multiplier_less) {
+  const auto costs = phase_costs(w, multiplier_less);
+  ModelEstimate est;
+  for (std::size_t i = 0; i < kAnnPhases; ++i) {
+    const PlatformParams& target = placement.on_host[i] ? host : pim;
+    est.phase_seconds[i] = phase_time(costs[i], target);
+    (placement.on_host[i] ? est.host_seconds : est.pim_seconds) += est.phase_seconds[i];
+  }
+  return est;
+}
+
+double estimate_single(const AnnWorkload& w, const PlatformParams& platform,
+                       bool multiplier_less) {
+  const auto costs = phase_costs(w, multiplier_less);
+  double total = 0.0;
+  for (const PhaseCost& c : costs) total += phase_time(c, platform);
+  return total;
+}
+
+double arithmetic_intensity(const AnnWorkload& w, bool multiplier_less) {
+  const auto costs = phase_costs(w, multiplier_less);
+  double ops = 0.0, bytes = 0.0;
+  for (const PhaseCost& c : costs) {
+    ops += c.compute_ops;
+    bytes += c.total_io_bytes();
+  }
+  return bytes > 0 ? ops / bytes : 0.0;
+}
+
+}  // namespace drim

@@ -1,0 +1,140 @@
+#pragma once
+// The PIM-aware ANNS performance model of Section III-B, Equations (1)-(12),
+// reproduced exactly with the paper's notation (Table I):
+//   N  total points per PU's corpus slice   Q  queries per PU
+//   D  point dimension                      K  neighbors per query
+//   P  located clusters per query on a PU   C  average cluster size
+//   M  subvectors per point                 CB codebook entries
+//   B_x bit widths, BW_x phase bandwidths, PE processing elements, F_x clocks
+// Each phase's time is t_x = max(C_x / (F_x * PE_x), IO_x / BW_x) (Eq. 11);
+// the engine's DSE minimizes max(sum of host phases, sum of PIM phases)
+// subject to the accuracy constraint (Eq. 13).
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace drim {
+
+/// Index / workload parameters — the DSE search space (K, P, C, M, CB) plus
+/// the dataset shape (N, Q, D) and bit widths.
+struct AnnWorkload {
+  double N = 100e6;  ///< corpus points
+  double Q = 10'000; ///< batch queries
+  double D = 128;    ///< dimension
+  double K = 10;     ///< top-k
+  double P = 32;     ///< nprobe (located clusters per query)
+  double C = 1526;   ///< average cluster size (N / nlist)
+  double M = 16;     ///< subvectors
+  double CB = 256;   ///< codebook entries
+
+  // Bit widths (bits): centroid, query, point, codebook, LUT entry, address.
+  double Bc = 8, Bq = 8, Bp = 8, Bcb = 8, Bl = 32, Ba = 32;
+
+  double nlist() const { return N / C; }
+};
+
+/// Hardware-side parameters for one execution target (host or PIM).
+struct PlatformParams {
+  double frequency_hz = 450e6;   ///< F_x
+  double pe = 2530;              ///< PE: DPUs or host threads
+  double bandwidth_Bps = 1.6e12; ///< BW_x: aggregate memory bandwidth
+  /// Multiplier applied to compute cycles (e.g. 32x-cost multiplies on DPUs
+  /// are already in the phase formulas via ops; this models IPC < 1 etc.).
+  double cycles_per_op = 1.0;
+  /// Aggregate on-chip cache bandwidth; 0 disables cache modeling and every
+  /// byte is priced at bandwidth_Bps (the paper's uniform-IO treatment).
+  /// CPUs keep small hot structures (PQ codebooks, per-query ADC LUTs, heaps)
+  /// in L1/L2 — pricing those at DRAM bandwidth makes the CPU baseline
+  /// unrealistically slow on LC-heavy workloads and inverts the paper's
+  /// SIFT-vs-DEEP ordering, so the CPU preset enables this.
+  double cache_bandwidth_Bps = 0.0;
+  /// Extra cycles per multiplication beyond a 1-cycle op. UPMEM DPUs lack a
+  /// hardware multiplier ("multiplication is approximately 32 times more
+  /// expensive than addition"), so the UPMEM preset uses 31; CPUs and GPUs
+  /// multiply at full rate and use 0.
+  double mul_premium = 0.0;
+};
+
+/// Canonical targets matching the paper's evaluation platforms.
+PlatformParams upmem_platform(double compute_scale = 1.0, double num_dpus = 2530);
+PlatformParams cpu_platform(double threads = 32);
+PlatformParams gpu_platform();  ///< RTX 4090-class (Section V-D comparison)
+/// Samsung HBM-PIM (Aquabolt-XL)-class platform: fewer processing units than
+/// UPMEM but each sits on a logic die with real FPUs and far higher per-unit
+/// bandwidth. The paper's Section II-B positions it as the other commercial
+/// DRAM-PIM family (simulator-only for now); this preset supports the
+/// what-if study in bench/fig13.
+PlatformParams hbm_pim_platform();
+
+/// The five phases.
+enum class AnnPhase : std::uint8_t { CL = 0, RC, LC, DC, TS, kCount };
+constexpr std::size_t kAnnPhases = static_cast<std::size_t>(AnnPhase::kCount);
+std::string ann_phase_name(AnnPhase p);
+
+/// Compute (ops) and IO (bytes) of each phase per Eq. (1)-(10). IO is split
+/// into a memory stream and a cache-served portion: on platforms without
+/// cache modeling both are priced at memory bandwidth (the paper's uniform
+/// treatment); on the CPU the cache portion (codebook/LUT/heap traffic) is
+/// priced at cache bandwidth. One documented extension to the verbatim
+/// equations: Eq. (8) omits the PQ-code stream itself, which is added to the
+/// DC memory bytes (M * Bp bits per scanned point).
+struct PhaseCost {
+  double compute_ops = 0.0;
+  /// How many of compute_ops are multiplications: these cost an extra
+  /// platform.mul_premium cycles each on multiplier-less hardware. The
+  /// multiplier-less conversion (Section III-A) zeroes LC's mul_ops by
+  /// replacing squares with table lookups.
+  double mul_ops = 0.0;
+  double io_bytes = 0.0;        ///< memory-stream bytes
+  double cache_io_bytes = 0.0;  ///< bytes served from cache when modeled
+  double total_io_bytes() const { return io_bytes + cache_io_bytes; }
+  /// C2IO (Eq. 12).
+  double c2io() const {
+    const double total = total_io_bytes();
+    return total > 0 ? compute_ops / total : 0.0;
+  }
+};
+
+/// Evaluate Eq. (1)-(10) for a workload. `multiplier_less` replaces the LC
+/// multiplications with LUT accesses: compute shrinks by the 32x multiply
+/// premium while IO grows by the square-LUT traffic.
+std::array<PhaseCost, kAnnPhases> phase_costs(const AnnWorkload& w,
+                                              bool multiplier_less = true);
+
+/// Eq. (11): seconds for one phase on one platform.
+double phase_time(const PhaseCost& cost, const PlatformParams& platform);
+
+/// Phase placement: which phases run on the host vs the PIM. DRIM-ANN keeps
+/// CL on the host (highest C2IO after conversion) and RC/LC/DC/TS on DPUs.
+struct Placement {
+  std::array<bool, kAnnPhases> on_host = {true, false, false, false, false};
+};
+
+/// Eq. (13) objective: max(host pipeline, PIM pipeline) seconds; host and
+/// PIM run overlapped.
+struct ModelEstimate {
+  std::array<double, kAnnPhases> phase_seconds{};
+  double host_seconds = 0.0;
+  double pim_seconds = 0.0;
+  double total_seconds() const { return host_seconds > pim_seconds ? host_seconds : pim_seconds; }
+  double qps(double queries) const {
+    const double t = total_seconds();
+    return t > 0 ? queries / t : 0.0;
+  }
+};
+
+ModelEstimate estimate(const AnnWorkload& w, const PlatformParams& host,
+                       const PlatformParams& pim, const Placement& placement = {},
+                       bool multiplier_less = true);
+
+/// Single-platform estimate (e.g. the pure-CPU baseline): all phases on one
+/// target, summed.
+double estimate_single(const AnnWorkload& w, const PlatformParams& platform,
+                       bool multiplier_less = false);
+
+/// Arithmetic intensity (flops/byte) of the whole pipeline — the x-axis of
+/// the Fig. 2 roofline.
+double arithmetic_intensity(const AnnWorkload& w, bool multiplier_less = false);
+
+}  // namespace drim

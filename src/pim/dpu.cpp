@@ -1,0 +1,89 @@
+#include "pim/dpu.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace drim {
+
+void Mram::ensure_backing(std::size_t end) {
+  if (end > data_.size()) {
+    // Grow geometrically to amortize, never past the logical capacity.
+    data_.resize(std::min(capacity_, std::max(end, data_.size() * 2)));
+  }
+}
+
+std::size_t Mram::alloc(std::size_t bytes) {
+  const std::size_t aligned = (bytes + 7) & ~std::size_t{7};
+  if (used_ + aligned > capacity_) {
+    throw std::runtime_error("MRAM exhausted: need " + std::to_string(aligned) +
+                             " bytes, free " + std::to_string(capacity_ - used_));
+  }
+  const std::size_t offset = used_;
+  used_ += aligned;
+  return offset;
+}
+
+void Mram::write(std::size_t offset, std::span<const std::uint8_t> src) {
+  if (offset + src.size() > capacity_) {
+    throw std::runtime_error("MRAM write out of range");
+  }
+  ensure_backing(offset + src.size());
+  std::memcpy(data_.data() + offset, src.data(), src.size());
+}
+
+void Mram::read(std::size_t offset, std::span<std::uint8_t> dst) const {
+  if (offset + dst.size() > capacity_) {
+    throw std::runtime_error("MRAM read out of range");
+  }
+  if (offset + dst.size() > data_.size()) {
+    // Untouched MRAM reads as zeros without forcing backing allocation.
+    std::fill(dst.begin(), dst.end(), std::uint8_t{0});
+    const std::size_t avail = offset < data_.size() ? data_.size() - offset : 0;
+    if (avail > 0) std::memcpy(dst.data(), data_.data() + offset, std::min(avail, dst.size()));
+    return;
+  }
+  std::memcpy(dst.data(), data_.data() + offset, dst.size());
+}
+
+void DpuContext::mram_read(std::size_t mram_offset, std::span<std::uint8_t> dst) {
+  mram_.read(mram_offset, dst);
+  PhaseCounters& c = cur();
+  c.dma_cycles += dma_cost(dst.size());
+  c.mram_bytes_read += dst.size();
+}
+
+void DpuContext::mram_write(std::size_t mram_offset, std::span<const std::uint8_t> src) {
+  mram_.write(mram_offset, src);
+  PhaseCounters& c = cur();
+  c.dma_cycles += dma_cost(src.size());
+  c.mram_bytes_written += src.size();
+}
+
+double Dpu::execution_seconds() const {
+  const double compute =
+      static_cast<double>(counters_.total_instr_cycles()) / cfg_.effective_ipc();
+  const double dma = counters_.total_dma_cycles();
+  // compute_scale accelerates the instruction stream only (Fig. 13 scales
+  // "computational ability"); the DMA engine speed is a memory property.
+  const double compute_sec = compute * cfg_.seconds_per_cycle();
+  const double dma_sec = dma / cfg_.frequency_hz;
+  return std::max(compute_sec, dma_sec);
+}
+
+double Dpu::phase_seconds(Phase p) const {
+  const PhaseCounters& c = counters_.at(p);
+  const double compute_sec =
+      static_cast<double>(c.instr_cycles) / cfg_.effective_ipc() * cfg_.seconds_per_cycle();
+  const double dma_sec = c.dma_cycles / cfg_.frequency_hz;
+  return std::max(compute_sec, dma_sec);
+}
+
+void check_wram_budget(const PimConfig& config, std::size_t bytes) {
+  if (bytes > config.wram_bytes) {
+    throw std::runtime_error("WRAM budget exceeded: kernel needs " +
+                             std::to_string(bytes) + " bytes, WRAM is " +
+                             std::to_string(config.wram_bytes));
+  }
+}
+
+}  // namespace drim

@@ -1,0 +1,85 @@
+#pragma once
+// Configuration of the simulated UPMEM-style DRAM-PIM platform. Values
+// default to the published UPMEM DDR4-PIM characteristics the paper relies
+// on (UPMEM SDK docs and the Gomez-Luna et al. characterization, ref [19]):
+//   - DPU: 24-hw-thread ("tasklet") in-order RISC core @ 450 MHz, ~1
+//     instruction/cycle when the 11-stage pipeline is saturated (>= 11
+//     tasklets), no hardware multiplier (32-bit multiply ~= 32 cycles).
+//   - Memory: 64 MB MRAM + 64 KB WRAM per DPU; MRAM is reachable only via
+//     DMA whose cost is affine in the transfer size, peaking near 630 MB/s
+//     (the paper quotes 63.3% of the nominal 1 GB/s).
+//   - Host link: ~19.2 GB/s total across all DPUs (DDR4-2400 channel bound),
+//     i.e. 0.75% of the aggregate internal PIM bandwidth.
+//   - Launch semantics: the host synchronizes with ALL DPUs per batch, so
+//     batch latency is governed by the slowest DPU.
+
+#include <cstddef>
+#include <cstdint>
+
+namespace drim {
+
+/// Per-instruction cycle costs on a DPU (UPMEM has no hardware mul/div; the
+/// paper: "multiplication is approximately 32 times more expensive than
+/// addition").
+struct DpuInstructionCosts {
+  std::uint32_t add = 1;       ///< integer add/sub
+  std::uint32_t mul32 = 32;    ///< 32-bit multiply (software shift-add)
+  std::uint32_t div32 = 64;    ///< 32-bit divide
+  std::uint32_t cmp = 1;       ///< compare / branch
+  std::uint32_t wram_access = 1;  ///< WRAM load or store
+  std::uint32_t lut_lookup = 2;   ///< WRAM table lookup (address calc + load)
+  /// One squaring via the broadcast square table (Section III-A): absolute
+  /// value, bounds test, address arithmetic, and the load itself. Calibrated
+  /// to the paper's measurement that the conversion speeds LC up by only
+  /// ~1.93x over 32-cycle multiplies (random accesses into the square table
+  /// miss the sequential-DMA sweet spot): (12 + 2 adds) vs (32 + 2 adds)
+  /// per dimension ~= 2.4x.
+  std::uint32_t sq_lut_lookup = 12;
+};
+
+/// Full platform description.
+struct PimConfig {
+  // --- topology ---
+  std::size_t num_dpus = 64;        ///< simulated DPU count (paper HW: 2530)
+  std::size_t dpus_per_dimm = 128;  ///< UPMEM PIM-DIMM organization
+  std::size_t tasklets = 16;        ///< software threads per DPU (max 24)
+  std::size_t pipeline_depth = 11;  ///< stages to fill for 1 instr/cycle
+
+  // --- clocks & compute ---
+  double frequency_hz = 450e6;
+  double compute_scale = 1.0;  ///< Fig. 13 what-if: 2x / 5x faster compute
+  DpuInstructionCosts costs;
+
+  // --- per-DPU memories ---
+  std::size_t mram_bytes = 64ull << 20;
+  std::size_t wram_bytes = 64ull << 10;
+
+  // --- MRAM DMA cost model: cycles = dma_fixed_cycles + size * cycles/byte.
+  // 0.7 cycles/byte @450MHz ~= 643 MB/s streaming, matching the measured
+  // ~63% of nominal bandwidth; small/random transfers pay the fixed cost.
+  double dma_fixed_cycles = 24.0;
+  double dma_cycles_per_byte = 0.7;
+
+  // --- host link ---
+  double host_link_bytes_per_sec = 19.2e9;  ///< shared by all DPUs
+  double launch_overhead_sec = 20e-6;       ///< per batch-launch host cost
+
+  /// Effective instructions-per-cycle given the tasklet count: the in-order
+  /// pipeline issues one instruction per tasklet per `pipeline_depth` cycles
+  /// until >= pipeline_depth tasklets keep it full.
+  double effective_ipc() const {
+    const double fill = static_cast<double>(tasklets) /
+                        static_cast<double>(pipeline_depth);
+    return fill < 1.0 ? fill : 1.0;
+  }
+
+  /// Seconds per (scaled) compute cycle.
+  double seconds_per_cycle() const { return 1.0 / (frequency_hz * compute_scale); }
+
+  /// Peak per-DPU MRAM streaming bandwidth implied by the DMA model (B/s).
+  double mram_stream_bandwidth() const {
+    return frequency_hz / dma_cycles_per_byte;
+  }
+};
+
+}  // namespace drim

@@ -1,0 +1,80 @@
+#include "pim/pim_system.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace drim {
+
+PimSystem::PimSystem(const PimConfig& config) : config_(config) {
+  if (config_.num_dpus == 0) throw std::runtime_error("PimSystem needs >= 1 DPU");
+  dpus_.reserve(config_.num_dpus);
+  for (std::size_t i = 0; i < config_.num_dpus; ++i) {
+    dpus_.push_back(std::make_unique<Dpu>(config_));
+  }
+}
+
+void PimSystem::push(std::size_t dpu_id, std::size_t offset,
+                     std::span<const std::uint8_t> data) {
+  dpus_.at(dpu_id)->mram().write(offset, data);
+  pending_in_bytes_ += data.size();
+}
+
+void PimSystem::broadcast(std::size_t offset, std::span<const std::uint8_t> data) {
+  for (auto& dpu : dpus_) dpu->mram().write(offset, data);
+  pending_in_bytes_ += data.size();  // transmitted once (rank-level broadcast)
+}
+
+std::size_t PimSystem::alloc_symmetric(std::size_t bytes) {
+  std::size_t offset = dpus_[0]->mram().alloc(bytes);
+  for (std::size_t i = 1; i < dpus_.size(); ++i) {
+    const std::size_t o = dpus_[i]->mram().alloc(bytes);
+    if (o != offset) throw std::runtime_error("symmetric heap desynchronized");
+  }
+  return offset;
+}
+
+void PimSystem::pull(std::size_t dpu_id, std::size_t offset, std::span<std::uint8_t> out) {
+  dpus_.at(dpu_id)->mram().read(offset, out);
+  if (collecting_) pending_out_bytes_ += out.size();
+}
+
+BatchResult PimSystem::run_batch(
+    const std::function<void(std::size_t, DpuContext&)>& kernel,
+    const std::function<void()>& collect) {
+  BatchResult result;
+  result.launch_overhead_seconds = config_.launch_overhead_sec;
+  result.transfer_in_seconds =
+      static_cast<double>(pending_in_bytes_) / config_.host_link_bytes_per_sec;
+  pending_in_bytes_ = 0;
+
+  result.per_dpu_seconds.resize(dpus_.size());
+  for (std::size_t i = 0; i < dpus_.size(); ++i) {
+    dpus_[i]->reset_counters();
+    DpuContext ctx = dpus_[i]->context();
+    kernel(i, ctx);
+    result.per_dpu_seconds[i] = dpus_[i]->execution_seconds();
+  }
+  result.dpu_seconds = result.per_dpu_seconds.empty()
+                           ? 0.0
+                           : *std::max_element(result.per_dpu_seconds.begin(),
+                                               result.per_dpu_seconds.end());
+
+  if (collect) {
+    collecting_ = true;
+    pending_out_bytes_ = 0;
+    collect();
+    collecting_ = false;
+    result.transfer_out_seconds =
+        static_cast<double>(pending_out_bytes_) / config_.host_link_bytes_per_sec;
+    pending_out_bytes_ = 0;
+  }
+  return result;
+}
+
+DpuCounters PimSystem::aggregate_counters() const {
+  DpuCounters total;
+  for (const auto& dpu : dpus_) total.add(dpu->counters());
+  return total;
+}
+
+}  // namespace drim

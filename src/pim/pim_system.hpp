@@ -1,0 +1,80 @@
+#pragma once
+// The whole PIM platform: an array of DPUs plus the host link. Models the
+// UPMEM execution contract the paper's load-balancing work targets:
+//   - the host launches a kernel on ALL DPUs and must wait for every one of
+//     them (batch latency = slowest DPU),
+//   - host<->DPU transfers share one ~19.2 GB/s channel (0.75% of aggregate
+//     internal bandwidth), so per-batch data movement is accounted and
+//     reported separately,
+//   - DPUs cannot communicate with each other.
+// Kernels run serially on the simulation host but are timed as if parallel.
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "pim/dpu.hpp"
+
+namespace drim {
+
+/// Timing of one barrier-synchronized batch launch.
+struct BatchResult {
+  std::vector<double> per_dpu_seconds;  ///< modeled execution time per DPU
+  double dpu_seconds = 0.0;          ///< max over DPUs (the barrier)
+  double transfer_in_seconds = 0.0;  ///< host -> DPUs before launch
+  double transfer_out_seconds = 0.0; ///< DPUs -> host after completion
+  double launch_overhead_seconds = 0.0;
+
+  double total_seconds() const {
+    return transfer_in_seconds + dpu_seconds + transfer_out_seconds +
+           launch_overhead_seconds;
+  }
+};
+
+/// A PIM platform instance.
+class PimSystem {
+ public:
+  explicit PimSystem(const PimConfig& config);
+  PimSystem(const PimSystem&) = delete;
+  PimSystem& operator=(const PimSystem&) = delete;
+
+  const PimConfig& config() const { return config_; }
+  std::size_t num_dpus() const { return dpus_.size(); }
+  Dpu& dpu(std::size_t i) { return *dpus_[i]; }
+  const Dpu& dpu(std::size_t i) const { return *dpus_[i]; }
+
+  // ---- host -> DPU data movement (accumulates into the next batch's
+  //      transfer_in time) ----
+  /// Copy bytes into one DPU's MRAM at `offset`.
+  void push(std::size_t dpu_id, std::size_t offset, std::span<const std::uint8_t> data);
+  /// Copy the same bytes into every DPU at per-DPU offset `offset`
+  /// (hardware broadcast: transmitted once over the channel).
+  void broadcast(std::size_t offset, std::span<const std::uint8_t> data);
+  /// Allocate `bytes` at the same offset on every DPU; returns the offset.
+  /// All DPUs stay allocation-synchronized (the usual UPMEM symmetric-heap
+  /// pattern).
+  std::size_t alloc_symmetric(std::size_t bytes);
+
+  // ---- DPU -> host ----
+  void pull(std::size_t dpu_id, std::size_t offset, std::span<std::uint8_t> out);
+
+  /// Run `kernel(dpu_id, ctx)` on every DPU, modeling a barrier-synchronized
+  /// launch. Counters are reset before the run; transfer bytes accumulated
+  /// via push/broadcast since the previous batch are billed as transfer_in,
+  /// and bytes pulled during `collect` (invoked after the barrier) as
+  /// transfer_out.
+  BatchResult run_batch(const std::function<void(std::size_t, DpuContext&)>& kernel,
+                        const std::function<void()>& collect = nullptr);
+
+  /// Aggregate counters over all DPUs (for energy / bandwidth reports).
+  DpuCounters aggregate_counters() const;
+
+ private:
+  PimConfig config_;
+  std::vector<std::unique_ptr<Dpu>> dpus_;
+  std::uint64_t pending_in_bytes_ = 0;   // host->DPU since last batch
+  std::uint64_t pending_out_bytes_ = 0;  // DPU->host during collect
+  bool collecting_ = false;
+};
+
+}  // namespace drim

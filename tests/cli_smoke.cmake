@@ -1,0 +1,46 @@
+# CTest driver for the drim CLI: exercises the full gen -> build -> info ->
+# gt -> search pipeline and asserts a sane recall is reported.
+
+file(REMOVE_RECURSE ${WORK_DIR})
+file(MAKE_DIRECTORY ${WORK_DIR})
+
+function(run_step)
+  execute_process(COMMAND ${ARGV}
+                  WORKING_DIRECTORY ${WORK_DIR}
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 0)
+    message(FATAL_ERROR "step failed (${rc}): ${ARGV}\n${out}\n${err}")
+  endif()
+  set(STEP_OUTPUT "${out}" PARENT_SCOPE)
+endfunction()
+
+run_step(${DRIM_BIN} gen --out-base base.bvecs --out-queries q.fvecs
+         --out-learn learn.fvecs --n 6000 --queries 40 --components 16)
+run_step(${DRIM_BIN} build --base base.bvecs --learn learn.fvecs
+         --out test.idx --nlist 32 --m 16 --cb 64)
+run_step(${DRIM_BIN} info --index test.idx)
+if(NOT STEP_OUTPUT MATCHES "nlist      : 32")
+  message(FATAL_ERROR "info output missing nlist: ${STEP_OUTPUT}")
+endif()
+
+run_step(${DRIM_BIN} gt --base base.bvecs --queries q.fvecs --out gt.ivecs --k 10)
+
+# CPU search with ground truth.
+run_step(${DRIM_BIN} search --index test.idx --queries q.fvecs
+         --k 10 --nprobe 8 --gt gt.ivecs)
+string(REGEX MATCH "recall@10 = ([0-9.]+)" _ "${STEP_OUTPUT}")
+if(NOT CMAKE_MATCH_1 OR CMAKE_MATCH_1 LESS 0.4)
+  message(FATAL_ERROR "CPU recall too low or missing: ${STEP_OUTPUT}")
+endif()
+
+# Simulated-PIM search with re-ranking.
+run_step(${DRIM_BIN} search --index test.idx --queries q.fvecs --base base.bvecs
+         --k 10 --nprobe 8 --gt gt.ivecs --pim --dpus 8 --rerank 50)
+string(REGEX MATCH "recall@10 = ([0-9.]+)" _ "${STEP_OUTPUT}")
+if(NOT CMAKE_MATCH_1 OR CMAKE_MATCH_1 LESS 0.5)
+  message(FATAL_ERROR "PIM+rerank recall too low or missing: ${STEP_OUTPUT}")
+endif()
+
+message(STATUS "cli smoke ok")

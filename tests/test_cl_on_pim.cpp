@@ -1,0 +1,106 @@
+// Tests for the CL-on-PIM placement alternative (Section III-B): result
+// quality must match host-side CL while the modeled cost shows why DRIM-ANN
+// keeps CL on the host.
+
+#include <gtest/gtest.h>
+
+#include "core/flat_search.hpp"
+#include "data/recall.hpp"
+#include "data/synthetic.hpp"
+#include "drim/engine.hpp"
+
+namespace drim {
+namespace {
+
+class ClOnPimTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SyntheticSpec spec;
+    spec.num_base = 4000;
+    spec.num_queries = 32;
+    spec.num_learn = 1500;
+    spec.num_components = 32;
+    data_ = new SyntheticData(make_sift_like(spec));
+
+    IvfPqParams p;
+    p.nlist = 32;
+    p.pq.m = 16;
+    p.pq.cb_entries = 64;
+    index_ = new IvfPqIndex();
+    index_->train(data_->learn, p);
+    index_->add(data_->base);
+    gt_ = new std::vector<std::vector<Neighbor>>(
+        flat_search_all(data_->base, data_->queries, 10));
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    delete index_;
+    delete gt_;
+  }
+
+  static DrimEngineOptions options(bool cl_on_pim) {
+    DrimEngineOptions o;
+    o.pim.num_dpus = 8;
+    o.heat_nprobe = 8;
+    o.cl_on_pim = cl_on_pim;
+    return o;
+  }
+
+  static SyntheticData* data_;
+  static IvfPqIndex* index_;
+  static std::vector<std::vector<Neighbor>>* gt_;
+};
+
+SyntheticData* ClOnPimTest::data_ = nullptr;
+IvfPqIndex* ClOnPimTest::index_ = nullptr;
+std::vector<std::vector<Neighbor>>* ClOnPimTest::gt_ = nullptr;
+
+TEST_F(ClOnPimTest, RecallMatchesHostCl) {
+  DrimAnnEngine host_cl(*index_, data_->learn, options(false));
+  DrimAnnEngine pim_cl(*index_, data_->learn, options(true));
+  const auto a = host_cl.search(data_->queries, 10, 8);
+  const auto b = pim_cl.search(data_->queries, 10, 8);
+  // PIM CL uses int16-quantized centroids; probe sets may differ at ties.
+  EXPECT_NEAR(mean_recall_at_k(a, *gt_, 10), mean_recall_at_k(b, *gt_, 10), 0.05);
+}
+
+TEST_F(ClOnPimTest, ChargesClPhaseOnDpus) {
+  DrimAnnEngine engine(*index_, data_->learn, options(true));
+  DrimSearchStats st;
+  engine.search(data_->queries, 10, 8, &st);
+  EXPECT_GT(st.phase_dpu_seconds[static_cast<int>(Phase::CL)], 0.0);
+  EXPECT_GT(st.counters.at(Phase::CL).instr_cycles, 0u);
+  EXPECT_DOUBLE_EQ(st.host_cl_seconds, 0.0);
+}
+
+TEST_F(ClOnPimTest, HostClKeepsDpusFreeOfClWork) {
+  DrimAnnEngine engine(*index_, data_->learn, options(false));
+  DrimSearchStats st;
+  engine.search(data_->queries, 10, 8, &st);
+  EXPECT_DOUBLE_EQ(st.phase_dpu_seconds[static_cast<int>(Phase::CL)], 0.0);
+  EXPECT_GT(st.host_cl_seconds, 0.0);
+}
+
+TEST_F(ClOnPimTest, PimClCostsAnExtraSerializedLaunch) {
+  DrimSearchStats host_st, pim_st;
+  DrimAnnEngine host_cl(*index_, data_->learn, options(false));
+  DrimAnnEngine pim_cl(*index_, data_->learn, options(true));
+  host_cl.search(data_->queries, 10, 8, &host_st);
+  pim_cl.search(data_->queries, 10, 8, &pim_st);
+  // The placement lesson: with CL on the PIM the end-to-end time cannot hide
+  // the locate step behind the search launch.
+  EXPECT_GT(pim_st.total_seconds, host_st.total_seconds);
+}
+
+TEST_F(ClOnPimTest, WorksAcrossBatches) {
+  DrimEngineOptions o = options(true);
+  o.batch_size = 8;
+  DrimAnnEngine engine(*index_, data_->learn, o);
+  DrimSearchStats st;
+  const auto results = engine.search(data_->queries, 10, 8, &st);
+  EXPECT_GE(st.batches, 4u);
+  EXPECT_GT(mean_recall_at_k(results, *gt_, 10), 0.4);
+}
+
+}  // namespace
+}  // namespace drim

@@ -1,0 +1,71 @@
+// Tests for the scalar distance kernels.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "core/distances.hpp"
+
+namespace drim {
+namespace {
+
+TEST(Distances, L2SqKnownValues) {
+  const float a[3] = {1, 2, 3};
+  const float b[3] = {4, 6, 3};
+  EXPECT_FLOAT_EQ(l2_sq(a, b), 9.0f + 16.0f);
+}
+
+TEST(Distances, L2SqZeroForIdentical) {
+  const float a[4] = {1.5f, -2.5f, 0, 100};
+  EXPECT_FLOAT_EQ(l2_sq(a, a), 0.0f);
+}
+
+TEST(Distances, L2SqU8MatchesFloatPath) {
+  Rng rng(1);
+  std::vector<float> q(64);
+  std::vector<std::uint8_t> p(64);
+  std::vector<float> pf(64);
+  for (std::size_t i = 0; i < 64; ++i) {
+    q[i] = rng.uniform(0, 255);
+    p[i] = static_cast<std::uint8_t>(rng.next_below(256));
+    pf[i] = static_cast<float>(p[i]);
+  }
+  EXPECT_FLOAT_EQ(l2_sq_u8(q, p), l2_sq(q, pf));
+}
+
+TEST(Distances, L2SqU8U8ExactInteger) {
+  std::vector<std::uint8_t> a{0, 255, 100};
+  std::vector<std::uint8_t> b{255, 0, 100};
+  EXPECT_EQ(l2_sq_u8u8(a, b), 2 * 255ll * 255ll);
+}
+
+TEST(Distances, L2SqU8U8Symmetric) {
+  Rng rng(2);
+  std::vector<std::uint8_t> a(128), b(128);
+  for (std::size_t i = 0; i < 128; ++i) {
+    a[i] = static_cast<std::uint8_t>(rng.next_below(256));
+    b[i] = static_cast<std::uint8_t>(rng.next_below(256));
+  }
+  EXPECT_EQ(l2_sq_u8u8(a, b), l2_sq_u8u8(b, a));
+}
+
+TEST(Distances, DotKnownValue) {
+  const float a[3] = {1, 2, 3};
+  const float b[3] = {4, 5, 6};
+  EXPECT_FLOAT_EQ(dot(a, b), 32.0f);
+}
+
+TEST(Distances, L2ExpandsAsDotIdentity) {
+  // ||a-b||^2 == ||a||^2 + ||b||^2 - 2 a.b (within float tolerance).
+  Rng rng(3);
+  std::vector<float> a(32), b(32);
+  for (std::size_t i = 0; i < 32; ++i) {
+    a[i] = rng.uniform(-5, 5);
+    b[i] = rng.uniform(-5, 5);
+  }
+  const float lhs = l2_sq(a, b);
+  const float rhs = dot(a, a) + dot(b, b) - 2.0f * dot(a, b);
+  EXPECT_NEAR(lhs, rhs, 1e-3f);
+}
+
+}  // namespace
+}  // namespace drim

@@ -1,0 +1,237 @@
+// End-to-end tests for the DRIM-ANN engine on the simulated UPMEM platform:
+// result correctness against the host reference, recall parity, the
+// multiplier-less toggle, load-balance timing effects, and compute scaling.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "common/stats.hpp"
+#include "core/flat_search.hpp"
+#include "data/recall.hpp"
+#include "data/synthetic.hpp"
+#include "drim/engine.hpp"
+
+namespace drim {
+namespace {
+
+class EngineTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SyntheticSpec spec;
+    spec.num_base = 6000;
+    spec.num_queries = 60;
+    spec.num_learn = 2500;
+    spec.num_components = 48;
+    data_ = new SyntheticData(make_sift_like(spec));
+
+    IvfPqParams p;
+    p.nlist = 48;
+    p.pq.m = 16;
+    p.pq.cb_entries = 32;
+    index_ = new IvfPqIndex();
+    index_->train(data_->learn, p);
+    index_->add(data_->base);
+
+    gt_ = new std::vector<std::vector<Neighbor>>(
+        flat_search_all(data_->base, data_->queries, 10));
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    delete index_;
+    delete gt_;
+  }
+
+  static DrimEngineOptions default_options(std::size_t dpus = 16) {
+    DrimEngineOptions o;
+    o.pim.num_dpus = dpus;
+    o.layout.split_threshold = 128;
+    o.heat_nprobe = 8;
+    return o;
+  }
+
+  static SyntheticData* data_;
+  static IvfPqIndex* index_;
+  static std::vector<std::vector<Neighbor>>* gt_;
+};
+
+SyntheticData* EngineTest::data_ = nullptr;
+IvfPqIndex* EngineTest::index_ = nullptr;
+std::vector<std::vector<Neighbor>>* EngineTest::gt_ = nullptr;
+
+TEST_F(EngineTest, RecallMatchesHostReference) {
+  DrimAnnEngine engine(*index_, data_->learn, default_options());
+  const auto drim = engine.search(data_->queries, 10, 8);
+
+  std::vector<std::vector<Neighbor>> host;
+  for (std::size_t q = 0; q < data_->queries.count(); ++q) {
+    host.push_back(index_->search(data_->queries.row(q), 10, 8));
+  }
+  const double drim_recall = mean_recall_at_k(drim, *gt_, 10);
+  const double host_recall = mean_recall_at_k(host, *gt_, 10);
+  // Quantized PIM domain may differ slightly from the float host path.
+  EXPECT_NEAR(drim_recall, host_recall, 0.03);
+}
+
+TEST_F(EngineTest, ResultIdsLargelyAgreeWithHost) {
+  DrimAnnEngine engine(*index_, data_->learn, default_options());
+  const auto drim = engine.search(data_->queries, 10, 8);
+  std::size_t agree = 0, total = 0;
+  for (std::size_t q = 0; q < data_->queries.count(); ++q) {
+    const auto host = index_->search(data_->queries.row(q), 10, 8);
+    for (const Neighbor& h : host) {
+      ++total;
+      for (const Neighbor& d : drim[q]) {
+        if (d.id == h.id) {
+          ++agree;
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_GT(static_cast<double>(agree) / total, 0.9);
+}
+
+TEST_F(EngineTest, DeterministicAcrossRuns) {
+  DrimAnnEngine e1(*index_, data_->learn, default_options());
+  DrimAnnEngine e2(*index_, data_->learn, default_options());
+  const auto r1 = e1.search(data_->queries, 10, 8);
+  const auto r2 = e2.search(data_->queries, 10, 8);
+  ASSERT_EQ(r1.size(), r2.size());
+  for (std::size_t q = 0; q < r1.size(); ++q) {
+    ASSERT_EQ(r1[q].size(), r2[q].size());
+    for (std::size_t i = 0; i < r1[q].size(); ++i) {
+      EXPECT_EQ(r1[q][i].id, r2[q][i].id);
+    }
+  }
+}
+
+TEST_F(EngineTest, SquareLutToggleKeepsResultsIdentical) {
+  // The conversion is lossless: distances must be bit-identical, only the
+  // modeled time changes.
+  DrimEngineOptions with_lut = default_options();
+  DrimEngineOptions without_lut = default_options();
+  without_lut.use_square_lut = false;
+
+  DrimAnnEngine e1(*index_, data_->learn, with_lut);
+  DrimAnnEngine e2(*index_, data_->learn, without_lut);
+  DrimSearchStats s1, s2;
+  const auto r1 = e1.search(data_->queries, 10, 8, &s1);
+  const auto r2 = e2.search(data_->queries, 10, 8, &s2);
+
+  for (std::size_t q = 0; q < r1.size(); ++q) {
+    ASSERT_EQ(r1[q].size(), r2[q].size());
+    for (std::size_t i = 0; i < r1[q].size(); ++i) {
+      EXPECT_EQ(r1[q][i].id, r2[q][i].id);
+      EXPECT_EQ(r1[q][i].dist, r2[q][i].dist);
+    }
+  }
+  // Multiplier-less conversion must speed up the (compute-bound) kernels.
+  EXPECT_LT(s1.dpu_busy_seconds, s2.dpu_busy_seconds);
+  // No multiplies in LC with the LUT on (all operands covered by the table).
+  EXPECT_EQ(s1.counters.at(Phase::LC).mul_count, 0u);
+  EXPECT_GT(s2.counters.at(Phase::LC).mul_count, 0u);
+}
+
+TEST_F(EngineTest, LoadBalancingReducesBatchTime) {
+  DrimEngineOptions balanced = default_options();
+  DrimEngineOptions trivial = default_options();
+  trivial.layout.enable_split = false;
+  trivial.layout.enable_duplicate = false;
+  trivial.layout.heat_allocation = false;
+  trivial.scheduler.enable_filter = false;
+
+  DrimAnnEngine e_bal(*index_, data_->learn, balanced);
+  DrimAnnEngine e_tri(*index_, data_->learn, trivial);
+  DrimSearchStats s_bal, s_tri;
+  e_bal.search(data_->queries, 10, 8, &s_bal);
+  e_tri.search(data_->queries, 10, 8, &s_tri);
+
+  EXPECT_LT(s_bal.dpu_busy_seconds, s_tri.dpu_busy_seconds);
+  EXPECT_LT(imbalance_factor(s_bal.per_dpu_seconds),
+            imbalance_factor(s_tri.per_dpu_seconds));
+}
+
+TEST_F(EngineTest, ComputeScaleSpeedsUpComputeBoundSearch) {
+  DrimEngineOptions base = default_options();
+  DrimEngineOptions fast = default_options();
+  fast.pim.compute_scale = 5.0;
+
+  DrimAnnEngine e1(*index_, data_->learn, base);
+  DrimAnnEngine e2(*index_, data_->learn, fast);
+  DrimSearchStats s1, s2;
+  e1.search(data_->queries, 10, 8, &s1);
+  e2.search(data_->queries, 10, 8, &s2);
+  EXPECT_LT(s2.dpu_busy_seconds, s1.dpu_busy_seconds);
+}
+
+TEST_F(EngineTest, StatsAreInternallyConsistent) {
+  DrimAnnEngine engine(*index_, data_->learn, default_options());
+  DrimSearchStats st;
+  engine.search(data_->queries, 10, 8, &st);
+
+  EXPECT_EQ(st.queries, data_->queries.count());
+  EXPECT_GE(st.batches, 1u);
+  EXPECT_GT(st.tasks, 0u);
+  EXPECT_GT(st.total_seconds, 0.0);
+  EXPECT_GE(st.total_seconds, st.dpu_busy_seconds);
+  EXPECT_GT(st.energy_joules, 0.0);
+  // Phase seconds should be dominated by LC + DC (the paper's finding).
+  const double lc = st.phase_dpu_seconds[static_cast<int>(Phase::LC)];
+  const double dc = st.phase_dpu_seconds[static_cast<int>(Phase::DC)];
+  const double rc = st.phase_dpu_seconds[static_cast<int>(Phase::RC)];
+  EXPECT_GT(lc + dc, rc);
+  // Max per-DPU time equals the busy time for a single batch.
+  if (st.batches == 1) {
+    EXPECT_NEAR(*std::max_element(st.per_dpu_seconds.begin(), st.per_dpu_seconds.end()),
+                st.dpu_busy_seconds, 1e-12);
+  }
+}
+
+TEST_F(EngineTest, MultiBatchProcessesAllQueries) {
+  DrimEngineOptions o = default_options();
+  o.batch_size = 16;  // forces several batches + filter carry-over
+  DrimAnnEngine engine(*index_, data_->learn, o);
+  DrimSearchStats st;
+  const auto results = engine.search(data_->queries, 10, 8, &st);
+  EXPECT_GE(st.batches, 4u);
+  const double recall = mean_recall_at_k(results, *gt_, 10);
+
+  DrimAnnEngine single(*index_, data_->learn, default_options());
+  const auto single_results = single.search(data_->queries, 10, 8);
+  EXPECT_NEAR(recall, mean_recall_at_k(single_results, *gt_, 10), 1e-9)
+      << "batching must not change results";
+}
+
+TEST_F(EngineTest, WorksWithOpqVariantIndex) {
+  IvfPqParams p;
+  p.nlist = 32;
+  p.pq.m = 16;
+  p.pq.cb_entries = 32;
+  p.variant = PQVariant::kOPQ;
+  p.opq_iters = 3;
+  IvfPqIndex opq_index;
+  opq_index.train(data_->learn, p);
+  opq_index.add(data_->base);
+
+  DrimAnnEngine engine(opq_index, data_->learn, default_options());
+  const auto results = engine.search(data_->queries, 10, 8);
+
+  std::vector<std::vector<Neighbor>> host;
+  for (std::size_t q = 0; q < data_->queries.count(); ++q) {
+    host.push_back(opq_index.search(data_->queries.row(q), 10, 8));
+  }
+  EXPECT_NEAR(mean_recall_at_k(results, *gt_, 10), mean_recall_at_k(host, *gt_, 10),
+              0.05);
+}
+
+TEST_F(EngineTest, TransferTimeAccounted) {
+  DrimAnnEngine engine(*index_, data_->learn, default_options());
+  DrimSearchStats st;
+  engine.search(data_->queries, 10, 8, &st);
+  EXPECT_GT(st.transfer_in_seconds, 0.0);   // queries staged per batch
+  EXPECT_GT(st.transfer_out_seconds, 0.0);  // hits pulled per task
+}
+
+}  // namespace
+}  // namespace drim

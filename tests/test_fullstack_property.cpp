@@ -1,0 +1,108 @@
+// Full-stack property sweep: for a grid of (nlist, M, num_dpus, split
+// threshold, duplication) configurations, the simulated-PIM engine must (a)
+// return results whose recall tracks the float host reference within the
+// int16 quantization tolerance, (b) produce sorted result lists, and (c)
+// account time consistently (total >= max component). This is the "does the
+// whole machine stay correct under any knob setting" net that individual
+// unit tests cannot provide.
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+
+#include "core/flat_search.hpp"
+#include "data/recall.hpp"
+#include "data/synthetic.hpp"
+#include "drim/engine.hpp"
+
+namespace drim {
+namespace {
+
+struct SharedWorld {
+  SyntheticData data;
+  std::vector<std::vector<Neighbor>> gt;
+
+  SharedWorld() {
+    SyntheticSpec spec;
+    spec.num_base = 3000;
+    spec.num_queries = 24;
+    spec.num_learn = 1200;
+    spec.num_components = 16;
+    data = make_sift_like(spec);
+    gt = flat_search_all(data.base, data.queries, 10);
+  }
+};
+
+SharedWorld& world() {
+  static SharedWorld w;
+  return w;
+}
+
+using Config = std::tuple<int /*nlist*/, int /*m*/, int /*dpus*/, int /*split*/,
+                          int /*dup_copies*/>;
+
+class FullStackProperty : public ::testing::TestWithParam<Config> {};
+
+TEST_P(FullStackProperty, EngineStaysCorrectAndConsistent) {
+  const auto [nlist, m, dpus, split, dup] = GetParam();
+  SharedWorld& w = world();
+
+  IvfPqParams p;
+  p.nlist = static_cast<std::size_t>(nlist);
+  p.pq.m = static_cast<std::size_t>(m);
+  p.pq.cb_entries = 32;
+  IvfPqIndex index;
+  index.train(w.data.learn, p);
+  index.add(w.data.base);
+
+  DrimEngineOptions o;
+  o.pim.num_dpus = static_cast<std::size_t>(dpus);
+  o.layout.split_threshold = static_cast<std::size_t>(split);
+  o.layout.dup_copies = static_cast<std::size_t>(dup);
+  o.layout.enable_duplicate = dup > 0;
+  o.heat_nprobe = 8;
+  DrimAnnEngine engine(index, w.data.learn, o);
+
+  DrimSearchStats st;
+  const auto drim = engine.search(w.data.queries, 10, 8, &st);
+
+  // (a) recall parity with the float host reference.
+  std::vector<std::vector<Neighbor>> host;
+  for (std::size_t q = 0; q < w.data.queries.count(); ++q) {
+    host.push_back(index.search(w.data.queries.row(q), 10, 8));
+  }
+  EXPECT_NEAR(mean_recall_at_k(drim, w.gt, 10), mean_recall_at_k(host, w.gt, 10), 0.06)
+      << "config nlist=" << nlist << " m=" << m << " dpus=" << dpus
+      << " split=" << split << " dup=" << dup;
+
+  // (b) sorted, deduplicated result lists.
+  for (const auto& r : drim) {
+    for (std::size_t i = 1; i < r.size(); ++i) {
+      EXPECT_LE(r[i - 1].dist, r[i].dist);
+      EXPECT_NE(r[i - 1].id, r[i].id);
+    }
+  }
+
+  // (c) time accounting: end-to-end covers the slowest DPU per batch; per-DPU
+  // times are non-negative and some DPU did work.
+  EXPECT_GE(st.total_seconds, st.dpu_busy_seconds - 1e-12);
+  double busiest = 0.0;
+  for (double t : st.per_dpu_seconds) {
+    EXPECT_GE(t, 0.0);
+    busiest = std::max(busiest, t);
+  }
+  EXPECT_GT(busiest, 0.0);
+  EXPECT_GT(st.tasks, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, FullStackProperty,
+    ::testing::Values(Config{8, 8, 2, 100000, 0},    // coarse, no balancing
+                      Config{8, 16, 16, 64, 1},      // more DPUs than clusters
+                      Config{16, 8, 4, 128, 0},      // split only
+                      Config{16, 16, 8, 100000, 2},  // duplicate only
+                      Config{32, 16, 8, 64, 1},      // full stack
+                      Config{32, 8, 3, 37, 3}));     // odd sizes everywhere
+
+}  // namespace
+}  // namespace drim

@@ -1,0 +1,98 @@
+// Round-trip tests for the TEXMEX .fvecs/.bvecs/.ivecs readers and writers.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "common/io.hpp"
+#include "common/rng.hpp"
+
+namespace drim {
+namespace {
+
+class IoTest : public ::testing::Test {
+ protected:
+  std::string path(const char* name) {
+    return (std::filesystem::temp_directory_path() / name).string();
+  }
+  void TearDown() override {
+    for (const auto& p : created_) std::remove(p.c_str());
+  }
+  std::string track(std::string p) {
+    created_.push_back(p);
+    return p;
+  }
+  std::vector<std::string> created_;
+};
+
+TEST_F(IoTest, FvecsRoundTrip) {
+  VecFile<float> v;
+  v.count = 5;
+  v.dim = 7;
+  Rng rng(1);
+  for (std::size_t i = 0; i < v.count * v.dim; ++i) v.data.push_back(rng.uniform(-10, 10));
+
+  const std::string p = track(path("drim_test.fvecs"));
+  write_fvecs(p, v);
+  const auto r = read_fvecs(p);
+  ASSERT_EQ(r.count, v.count);
+  ASSERT_EQ(r.dim, v.dim);
+  EXPECT_EQ(r.data, v.data);
+}
+
+TEST_F(IoTest, BvecsRoundTrip) {
+  VecFile<std::uint8_t> v;
+  v.count = 3;
+  v.dim = 128;
+  Rng rng(2);
+  for (std::size_t i = 0; i < v.count * v.dim; ++i) {
+    v.data.push_back(static_cast<std::uint8_t>(rng.next_below(256)));
+  }
+  const std::string p = track(path("drim_test.bvecs"));
+  write_bvecs(p, v);
+  const auto r = read_bvecs(p);
+  ASSERT_EQ(r.count, v.count);
+  ASSERT_EQ(r.dim, v.dim);
+  EXPECT_EQ(r.data, v.data);
+}
+
+TEST_F(IoTest, IvecsRoundTrip) {
+  VecFile<std::int32_t> v;
+  v.count = 4;
+  v.dim = 10;
+  for (std::size_t i = 0; i < v.count * v.dim; ++i) v.data.push_back(static_cast<int>(i) - 20);
+  const std::string p = track(path("drim_test.ivecs"));
+  write_ivecs(p, v);
+  const auto r = read_ivecs(p);
+  ASSERT_EQ(r.count, v.count);
+  EXPECT_EQ(r.data, v.data);
+}
+
+TEST_F(IoTest, MaxCountTruncates) {
+  VecFile<float> v;
+  v.count = 10;
+  v.dim = 4;
+  v.data.assign(40, 1.5f);
+  const std::string p = track(path("drim_trunc.fvecs"));
+  write_fvecs(p, v);
+  const auto r = read_fvecs(p, 3);
+  EXPECT_EQ(r.count, 3u);
+  EXPECT_EQ(r.data.size(), 12u);
+}
+
+TEST_F(IoTest, MissingFileThrows) {
+  EXPECT_THROW(read_fvecs("/nonexistent/nowhere.fvecs"), std::runtime_error);
+}
+
+TEST_F(IoTest, RowAccessor) {
+  VecFile<float> v;
+  v.count = 2;
+  v.dim = 3;
+  v.data = {1, 2, 3, 4, 5, 6};
+  EXPECT_EQ(v.row(1)[0], 4.0f);
+  EXPECT_EQ(v.row(1)[2], 6.0f);
+}
+
+}  // namespace
+}  // namespace drim

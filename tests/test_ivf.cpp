@@ -1,0 +1,177 @@
+// Tests for the IVF-PQ index: construction invariants, the five-phase host
+// search, recall properties, and the OPQ/DPQ variants through the index API.
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "baseline/cpu_ivfpq.hpp"
+#include "core/flat_search.hpp"
+#include "core/ivf.hpp"
+#include "data/recall.hpp"
+#include "data/synthetic.hpp"
+
+namespace drim {
+namespace {
+
+/// Shared fixture: one synthetic dataset + trained index per variant.
+class IvfTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SyntheticSpec spec;
+    spec.num_base = 8000;
+    spec.num_queries = 60;
+    spec.num_learn = 3000;
+    spec.num_components = 64;
+    data_ = new SyntheticData(make_sift_like(spec));
+    gt_ = new std::vector<std::vector<Neighbor>>(
+        flat_search_all(data_->base, data_->queries, 10));
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    delete gt_;
+    data_ = nullptr;
+    gt_ = nullptr;
+  }
+
+  static IvfPqIndex make_index(PQVariant variant, std::size_t m = 32,
+                               std::size_t cb = 64) {
+    IvfPqParams p;
+    p.nlist = 32;
+    p.pq.m = m;
+    p.pq.cb_entries = cb;
+    p.variant = variant;
+    p.opq_iters = 3;
+    IvfPqIndex index;
+    index.train(data_->learn, p);
+    index.add(data_->base);
+    return index;
+  }
+
+  static SyntheticData* data_;
+  static std::vector<std::vector<Neighbor>>* gt_;
+};
+
+SyntheticData* IvfTest::data_ = nullptr;
+std::vector<std::vector<Neighbor>>* IvfTest::gt_ = nullptr;
+
+TEST_F(IvfTest, ListsPartitionTheCorpus) {
+  const IvfPqIndex index = make_index(PQVariant::kPQ);
+  const auto sizes = index.list_sizes();
+  EXPECT_EQ(std::accumulate(sizes.begin(), sizes.end(), std::size_t{0}), 8000u);
+
+  // Every id appears exactly once across all lists.
+  std::vector<int> seen(8000, 0);
+  for (std::size_t c = 0; c < index.nlist(); ++c) {
+    for (std::uint32_t id : index.list(c).ids) ++seen[id];
+  }
+  for (int s : seen) EXPECT_EQ(s, 1);
+}
+
+TEST_F(IvfTest, CodesSizedConsistently) {
+  const IvfPqIndex index = make_index(PQVariant::kPQ);
+  for (std::size_t c = 0; c < index.nlist(); ++c) {
+    EXPECT_EQ(index.list(c).codes.size(), index.list(c).ids.size() * index.code_size());
+  }
+}
+
+TEST_F(IvfTest, RecallImprovesWithNprobe) {
+  const IvfPqIndex index = make_index(PQVariant::kPQ);
+  double prev = -1.0;
+  for (std::size_t nprobe : {1, 4, 16, 32}) {
+    std::vector<std::vector<Neighbor>> results;
+    for (std::size_t q = 0; q < data_->queries.count(); ++q) {
+      results.push_back(index.search(data_->queries.row(q), 10, nprobe));
+    }
+    const double r = mean_recall_at_k(results, *gt_, 10);
+    EXPECT_GE(r, prev - 0.02) << "recall should be ~monotone in nprobe";
+    prev = r;
+  }
+  EXPECT_GT(prev, 0.6);
+}
+
+TEST_F(IvfTest, FullProbeRecallIsHigh) {
+  const IvfPqIndex index = make_index(PQVariant::kPQ);
+  std::vector<std::vector<Neighbor>> results;
+  for (std::size_t q = 0; q < data_->queries.count(); ++q) {
+    results.push_back(index.search(data_->queries.row(q), 10, index.nlist()));
+  }
+  EXPECT_GT(mean_recall_at_k(results, *gt_, 10), 0.70);
+}
+
+TEST_F(IvfTest, SearchResultsSortedAscending) {
+  const IvfPqIndex index = make_index(PQVariant::kPQ);
+  const auto r = index.search(data_->queries.row(0), 10, 8);
+  for (std::size_t i = 1; i < r.size(); ++i) {
+    EXPECT_LE(r[i - 1].dist, r[i].dist);
+  }
+}
+
+TEST_F(IvfTest, OpqVariantSearchesCorrectly) {
+  const IvfPqIndex index = make_index(PQVariant::kOPQ);
+  std::vector<std::vector<Neighbor>> results;
+  for (std::size_t q = 0; q < data_->queries.count(); ++q) {
+    results.push_back(index.search(data_->queries.row(q), 10, 16));
+  }
+  EXPECT_GT(mean_recall_at_k(results, *gt_, 10), 0.55);
+}
+
+TEST_F(IvfTest, DpqVariantSearchesCorrectly) {
+  const IvfPqIndex index = make_index(PQVariant::kDPQ);
+  std::vector<std::vector<Neighbor>> results;
+  for (std::size_t q = 0; q < data_->queries.count(); ++q) {
+    results.push_back(index.search(data_->queries.row(q), 10, 16));
+  }
+  EXPECT_GT(mean_recall_at_k(results, *gt_, 10), 0.55);
+}
+
+TEST_F(IvfTest, LocateClustersReturnsRequestedCount) {
+  const IvfPqIndex index = make_index(PQVariant::kPQ);
+  EXPECT_EQ(index.locate_clusters(data_->queries.row(0), 5).size(), 5u);
+  EXPECT_EQ(index.locate_clusters(data_->queries.row(0), 200).size(), index.nlist());
+}
+
+TEST_F(IvfTest, QueryResidualSubtractsCentroid) {
+  const IvfPqIndex index = make_index(PQVariant::kPQ);
+  std::vector<float> residual(index.dim());
+  index.query_residual(data_->queries.row(0), 3, residual);
+  auto cen = index.centroids().row(3);
+  auto q = data_->queries.row(0);
+  for (std::size_t d = 0; d < index.dim(); ++d) {
+    EXPECT_FLOAT_EQ(residual[d], q[d] - cen[d]);
+  }
+}
+
+TEST_F(IvfTest, CpuBaselineMatchesReferenceSearch) {
+  const IvfPqIndex index = make_index(PQVariant::kPQ);
+  CpuIvfPq cpu(index);
+  const auto batch = cpu.search_batch(data_->queries, 10, 16);
+  for (std::size_t q = 0; q < data_->queries.count(); ++q) {
+    const auto ref = index.search(data_->queries.row(q), 10, 16);
+    ASSERT_EQ(batch[q].size(), ref.size());
+    for (std::size_t i = 0; i < ref.size(); ++i) {
+      EXPECT_EQ(batch[q][i].id, ref[i].id);
+      EXPECT_FLOAT_EQ(batch[q][i].dist, ref[i].dist);
+    }
+  }
+}
+
+TEST_F(IvfTest, CpuBaselineStatsAccountPhases) {
+  const IvfPqIndex index = make_index(PQVariant::kPQ);
+  CpuIvfPq cpu(index);
+  CpuSearchStats stats;
+  cpu.search_batch(data_->queries, 10, 16, &stats, /*collect_phases=*/true);
+  EXPECT_EQ(stats.queries, data_->queries.count());
+  EXPECT_GT(stats.codes_scanned, 0u);
+  EXPECT_GT(stats.wall_seconds, 0.0);
+  EXPECT_GT(stats.phase_total(), 0.0);
+  EXPECT_GT(stats.scan_seconds, 0.0);
+}
+
+TEST_F(IvfTest, UntrainedIndexReportsNotTrained) {
+  IvfPqIndex index;
+  EXPECT_FALSE(index.trained());
+}
+
+}  // namespace
+}  // namespace drim

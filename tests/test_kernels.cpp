@@ -1,0 +1,196 @@
+// Direct tests of the DPU search kernel against a hand-computed reference:
+// exact integer ADC distances, sentinel padding, phase counter placement,
+// and WRAM budget enforcement.
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "drim/kernels.hpp"
+#include "drim/square_lut.hpp"
+#include "pim/pim_system.hpp"
+
+namespace drim {
+namespace {
+
+/// A tiny hand-rolled index: dim=4, m=2, cb=4, one cluster with 3 points.
+struct TinyWorld {
+  PimConfig cfg;
+  std::unique_ptr<Dpu> dpu;
+  SearchKernelArgs args;
+  std::vector<ShardRegion> shards;
+
+  // Host-side copies for reference math.
+  std::vector<std::int16_t> centroid = {10, 10, 20, 20};
+  // codebooks[sub][entry][d]: 2 subs x 4 entries x 2 dims.
+  std::vector<std::int16_t> codebooks = {
+      // sub 0
+      0, 0,  5, 5,  -5, -5,  10, 0,
+      // sub 1
+      0, 0,  3, -3,  8, 8,  -2, 6,
+  };
+  std::vector<std::uint8_t> codes = {0, 1, 3, 2, 1, 0};  // 3 points x 2 codes
+  std::vector<std::uint32_t> ids = {100, 200, 300};
+  std::vector<std::int16_t> query = {12, 9, 25, 18};
+
+  TinyWorld() {
+    cfg.num_dpus = 1;
+    cfg.mram_bytes = 1 << 20;
+    dpu = std::make_unique<Dpu>(cfg);
+
+    const SquareLut lut(64);
+    Mram& mram = dpu->mram();
+
+    args.dim = 4;
+    args.m = 2;
+    args.cb = 4;
+    args.code_size = 2;
+    args.wide_codes = false;
+    args.k = 10;
+    args.sq_lut_max_abs = 64;
+    args.use_square_lut = true;
+
+    args.sq_lut_offset = mram.alloc(lut.size_bytes());
+    mram.write(args.sq_lut_offset,
+               {reinterpret_cast<const std::uint8_t*>(lut.raw().data()), lut.size_bytes()});
+    args.codebooks_offset = mram.alloc(codebooks.size() * 2);
+    mram.write(args.codebooks_offset,
+               {reinterpret_cast<const std::uint8_t*>(codebooks.data()), codebooks.size() * 2});
+    args.centroids_offset = mram.alloc(centroid.size() * 2);
+    mram.write(args.centroids_offset,
+               {reinterpret_cast<const std::uint8_t*>(centroid.data()), centroid.size() * 2});
+
+    ShardRegion region;
+    region.size = 3;
+    region.cluster = 0;
+    region.codes_offset = mram.alloc(codes.size());
+    mram.write(region.codes_offset, codes);
+    region.ids_offset = mram.alloc(ids.size() * 4);
+    mram.write(region.ids_offset,
+               {reinterpret_cast<const std::uint8_t*>(ids.data()), ids.size() * 4});
+    shards.push_back(region);
+
+    args.queries_offset = mram.alloc(query.size() * 2);
+    mram.write(args.queries_offset,
+               {reinterpret_cast<const std::uint8_t*>(query.data()), query.size() * 2});
+    args.output_offset = mram.alloc(args.k * sizeof(KernelHit));
+  }
+
+  /// Reference integer ADC distance of point i.
+  std::uint32_t reference_distance(std::size_t i) const {
+    std::uint32_t total = 0;
+    for (std::size_t sub = 0; sub < 2; ++sub) {
+      const std::uint8_t e = codes[i * 2 + sub];
+      for (std::size_t d = 0; d < 2; ++d) {
+        const std::int32_t res = query[sub * 2 + d] - centroid[sub * 2 + d];
+        const std::int32_t cw = codebooks[(sub * 4 + e) * 2 + d];
+        const std::int32_t diff = res - cw;
+        total += static_cast<std::uint32_t>(diff * diff);
+      }
+    }
+    return total;
+  }
+
+  std::vector<KernelHit> run() {
+    dpu->reset_counters();
+    DpuContext ctx = dpu->context();
+    const KernelTask task{0, 0};
+    run_search_kernel(ctx, args, shards, {&task, 1});
+    std::vector<KernelHit> hits(args.k);
+    dpu->mram().read(args.output_offset,
+                     {reinterpret_cast<std::uint8_t*>(hits.data()),
+                      args.k * sizeof(KernelHit)});
+    return hits;
+  }
+};
+
+TEST(Kernel, DistancesMatchReferenceExactly) {
+  TinyWorld world;
+  const auto hits = world.run();
+
+  // All three points returned (k=10 > 3), sorted ascending, exact distances.
+  std::vector<std::pair<std::uint32_t, std::uint32_t>> expect;  // (dist, id)
+  for (std::size_t i = 0; i < 3; ++i) {
+    expect.push_back({world.reference_distance(i), world.ids[i]});
+  }
+  std::sort(expect.begin(), expect.end());
+  for (std::size_t i = 0; i < 3; ++i) {
+    EXPECT_EQ(hits[i].dist, expect[i].first) << "rank " << i;
+    EXPECT_EQ(hits[i].id, expect[i].second) << "rank " << i;
+  }
+}
+
+TEST(Kernel, PadsShortShardWithSentinels) {
+  TinyWorld world;
+  const auto hits = world.run();
+  for (std::size_t i = 3; i < world.args.k; ++i) {
+    EXPECT_EQ(hits[i].dist, 0xFFFFFFFFu);
+    EXPECT_EQ(hits[i].id, 0xFFFFFFFFu);
+  }
+}
+
+TEST(Kernel, ChargesPhasesSeparately) {
+  TinyWorld world;
+  world.run();
+  const DpuCounters& c = world.dpu->counters();
+  EXPECT_GT(c.at(Phase::RC).instr_cycles, 0u);
+  EXPECT_GT(c.at(Phase::LC).instr_cycles, 0u);
+  EXPECT_GT(c.at(Phase::DC).instr_cycles, 0u);
+  EXPECT_GT(c.at(Phase::TS).instr_cycles, 0u);
+  EXPECT_EQ(c.at(Phase::CL).instr_cycles, 0u);  // CL runs on the host
+  EXPECT_GT(c.at(Phase::LC).mram_bytes_read, 0u);  // codebook DMA
+  EXPECT_GT(c.at(Phase::DC).mram_bytes_read, 0u);  // code stream
+}
+
+TEST(Kernel, SquareLutEliminatesLcMultiplies) {
+  TinyWorld world;
+  world.run();
+  EXPECT_EQ(world.dpu->counters().at(Phase::LC).mul_count, 0u);
+
+  world.args.use_square_lut = false;
+  world.run();
+  // 2 subs x 4 entries x 2 dims squares, all multiplies now.
+  EXPECT_EQ(world.dpu->counters().at(Phase::LC).mul_count, 16u);
+}
+
+TEST(Kernel, OutOfRangeOperandFallsBackToMultiply) {
+  TinyWorld world;
+  world.args.sq_lut_max_abs = 2;  // tiny table: most diffs miss
+  const auto hits = world.run();
+  EXPECT_GT(world.dpu->counters().at(Phase::LC).mul_count, 0u);
+  // Distances stay exact regardless of the charging path.
+  std::vector<std::uint32_t> dists;
+  for (std::size_t i = 0; i < 3; ++i) dists.push_back(world.reference_distance(i));
+  std::sort(dists.begin(), dists.end());
+  EXPECT_EQ(hits[0].dist, dists[0]);
+}
+
+TEST(Kernel, MultiplyPathCostsMoreCycles) {
+  TinyWorld world;
+  world.run();
+  const std::uint64_t lut_cycles = world.dpu->counters().at(Phase::LC).instr_cycles;
+  world.args.use_square_lut = false;
+  world.run();
+  const std::uint64_t mul_cycles = world.dpu->counters().at(Phase::LC).instr_cycles;
+  EXPECT_GT(mul_cycles, lut_cycles);
+}
+
+TEST(Kernel, WramBudgetEnforced) {
+  TinyWorld world;
+  world.cfg.wram_bytes = 64;  // absurdly small
+  Dpu tiny_dpu(world.cfg);
+  DpuContext ctx = tiny_dpu.context();
+  const KernelTask task{0, 0};
+  EXPECT_THROW(run_search_kernel(ctx, world.args, world.shards, {&task, 1}),
+               std::runtime_error);
+}
+
+TEST(Kernel, EmptyTaskListIsNoop) {
+  TinyWorld world;
+  DpuContext ctx = world.dpu->context();
+  run_search_kernel(ctx, world.args, world.shards, {});
+  EXPECT_EQ(world.dpu->counters().at(Phase::LC).instr_cycles, 0u);
+}
+
+}  // namespace
+}  // namespace drim

@@ -1,0 +1,122 @@
+// Tests for k-means (the coarse quantizer and PQ codebook trainer).
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "common/rng.hpp"
+#include "core/distances.hpp"
+#include "core/kmeans.hpp"
+
+namespace drim {
+namespace {
+
+/// Well-separated blobs: k-means must recover them exactly.
+FloatMatrix make_blobs(std::size_t per_blob, std::size_t blobs, std::size_t dim,
+                       Rng& rng, float separation = 100.0f, float spread = 1.0f) {
+  FloatMatrix m(per_blob * blobs, dim);
+  for (std::size_t b = 0; b < blobs; ++b) {
+    for (std::size_t i = 0; i < per_blob; ++i) {
+      auto row = m.row(b * per_blob + i);
+      for (std::size_t d = 0; d < dim; ++d) {
+        row[d] = separation * static_cast<float>(b) +
+                 static_cast<float>(rng.gaussian()) * spread;
+      }
+    }
+  }
+  return m;
+}
+
+TEST(KMeans, RecoversSeparatedBlobs) {
+  Rng rng(1);
+  const FloatMatrix pts = make_blobs(50, 4, 8, rng);
+  KMeansParams p;
+  p.k = 4;
+  p.max_iters = 25;
+  const KMeansResult r = kmeans(pts, p);
+
+  // Every blob maps to exactly one centroid.
+  for (std::size_t b = 0; b < 4; ++b) {
+    std::set<std::uint32_t> assigned;
+    for (std::size_t i = 0; i < 50; ++i) assigned.insert(r.assignment[b * 50 + i]);
+    EXPECT_EQ(assigned.size(), 1u) << "blob " << b << " split across centroids";
+  }
+}
+
+TEST(KMeans, AllCentroidsLive) {
+  Rng rng(2);
+  const FloatMatrix pts = make_blobs(30, 2, 4, rng);
+  KMeansParams p;
+  p.k = 8;  // more centroids than natural blobs: empty-cluster reseeding kicks in
+  const KMeansResult r = kmeans(pts, p);
+  std::set<std::uint32_t> used(r.assignment.begin(), r.assignment.end());
+  // At least most centroids should attract points after reseeding.
+  EXPECT_GE(used.size(), 6u);
+}
+
+TEST(KMeans, InertiaNotWorseThanSeeding) {
+  Rng rng(3);
+  const FloatMatrix pts = make_blobs(40, 5, 16, rng, 20.0f, 4.0f);
+  KMeansParams one_iter;
+  one_iter.k = 5;
+  one_iter.max_iters = 1;
+  KMeansParams many_iters = one_iter;
+  many_iters.max_iters = 20;
+  EXPECT_LE(kmeans(pts, many_iters).inertia, kmeans(pts, one_iter).inertia * 1.0001);
+}
+
+TEST(KMeans, DeterministicForFixedSeed) {
+  Rng rng(4);
+  const FloatMatrix pts = make_blobs(20, 3, 4, rng);
+  KMeansParams p;
+  p.k = 3;
+  const KMeansResult a = kmeans(pts, p);
+  const KMeansResult b = kmeans(pts, p);
+  EXPECT_EQ(a.assignment, b.assignment);
+  EXPECT_DOUBLE_EQ(a.inertia, b.inertia);
+}
+
+TEST(KMeans, UniformSeedingAlsoWorks) {
+  Rng rng(5);
+  const FloatMatrix pts = make_blobs(30, 4, 8, rng);
+  KMeansParams p;
+  p.k = 4;
+  p.use_kmeanspp = false;
+  const KMeansResult r = kmeans(pts, p);
+  EXPECT_GT(r.iters_run, 0u);
+  EXPECT_EQ(r.centroids.count(), 4u);
+}
+
+TEST(NearestCentroid, PicksTrueNearest) {
+  FloatMatrix cents(3, 2);
+  cents.row(0)[0] = 0;  cents.row(0)[1] = 0;
+  cents.row(1)[0] = 10; cents.row(1)[1] = 0;
+  cents.row(2)[0] = 0;  cents.row(2)[1] = 10;
+  const float q[2] = {9.0f, 1.0f};
+  EXPECT_EQ(nearest_centroid(cents, q), 1u);
+}
+
+TEST(NearestCentroids, SortedAscendingByDistance) {
+  FloatMatrix cents(4, 1);
+  cents.row(0)[0] = 0;
+  cents.row(1)[0] = 5;
+  cents.row(2)[0] = 2;
+  cents.row(3)[0] = 9;
+  const float q[1] = {1.0f};
+  const auto ids = nearest_centroids(cents, q, 3);
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(ids[0], 0u);
+  EXPECT_EQ(ids[1], 2u);
+  EXPECT_EQ(ids[2], 1u);
+}
+
+TEST(NearestCentroids, ClampsToAvailable) {
+  FloatMatrix cents(2, 1);
+  cents.row(0)[0] = 0;
+  cents.row(1)[0] = 1;
+  const float q[1] = {0.4f};
+  EXPECT_EQ(nearest_centroids(cents, q, 10).size(), 2u);
+}
+
+}  // namespace
+}  // namespace drim

@@ -1,0 +1,135 @@
+// Tests for the dense linear algebra backing OPQ (Jacobi eigen, SVD,
+// Procrustes rotation).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "core/matrix.hpp"
+
+namespace drim {
+namespace {
+
+Matrix random_matrix(std::size_t n, Rng& rng, double scale = 1.0) {
+  Matrix m(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) m.at(r, c) = rng.gaussian() * scale;
+  }
+  return m;
+}
+
+TEST(Matrix, IdentityAndMatmul) {
+  Rng rng(1);
+  const Matrix a = random_matrix(5, rng);
+  const Matrix i = Matrix::identity(5);
+  const Matrix ai = matmul(a, i);
+  EXPECT_NEAR(a.frobenius_distance(ai), 0.0, 1e-12);
+}
+
+TEST(Matrix, TransposeInvolution) {
+  Rng rng(2);
+  const Matrix a = random_matrix(6, rng);
+  EXPECT_NEAR(a.frobenius_distance(a.transposed().transposed()), 0.0, 1e-12);
+}
+
+TEST(Matrix, MatmulKnownValue) {
+  Matrix a(2, 2), b(2, 2);
+  a.at(0, 0) = 1; a.at(0, 1) = 2; a.at(1, 0) = 3; a.at(1, 1) = 4;
+  b.at(0, 0) = 5; b.at(0, 1) = 6; b.at(1, 0) = 7; b.at(1, 1) = 8;
+  const Matrix c = matmul(a, b);
+  EXPECT_DOUBLE_EQ(c.at(0, 0), 19);
+  EXPECT_DOUBLE_EQ(c.at(0, 1), 22);
+  EXPECT_DOUBLE_EQ(c.at(1, 0), 43);
+  EXPECT_DOUBLE_EQ(c.at(1, 1), 50);
+}
+
+TEST(JacobiEigen, DiagonalMatrix) {
+  Matrix a(3, 3);
+  a.at(0, 0) = 1.0;
+  a.at(1, 1) = 5.0;
+  a.at(2, 2) = 3.0;
+  const EigenResult e = jacobi_eigen(a);
+  EXPECT_NEAR(e.values[0], 5.0, 1e-10);
+  EXPECT_NEAR(e.values[1], 3.0, 1e-10);
+  EXPECT_NEAR(e.values[2], 1.0, 1e-10);
+}
+
+TEST(JacobiEigen, ReconstructsSymmetricMatrix) {
+  Rng rng(3);
+  const std::size_t n = 8;
+  Matrix g = random_matrix(n, rng);
+  const Matrix a = matmul(g.transposed(), g);  // symmetric PSD
+  const EigenResult e = jacobi_eigen(a);
+
+  // Rebuild V diag(w) V^T and compare.
+  Matrix vd(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) vd.at(r, c) = e.vectors.at(r, c) * e.values[c];
+  }
+  const Matrix rebuilt = matmul(vd, e.vectors.transposed());
+  EXPECT_LT(a.frobenius_distance(rebuilt), 1e-8);
+}
+
+TEST(JacobiEigen, EigenvectorsOrthonormal) {
+  Rng rng(4);
+  Matrix g = random_matrix(10, rng);
+  const Matrix a = matmul(g.transposed(), g);
+  const EigenResult e = jacobi_eigen(a);
+  EXPECT_LT(e.vectors.orthogonality_error(), 1e-9);
+}
+
+TEST(Svd, SingularValuesOfOrthogonalAreOnes) {
+  const Matrix i = Matrix::identity(4);
+  const SvdResult s = svd_square(i);
+  for (double v : s.s) EXPECT_NEAR(v, 1.0, 1e-10);
+}
+
+TEST(Svd, ReconstructsInput) {
+  Rng rng(5);
+  const std::size_t n = 6;
+  const Matrix a = random_matrix(n, rng, 2.0);
+  const SvdResult s = svd_square(a);
+  Matrix us(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) us.at(r, c) = s.u.at(r, c) * s.s[c];
+  }
+  const Matrix rebuilt = matmul(us, s.v.transposed());
+  EXPECT_LT(a.frobenius_distance(rebuilt), 1e-7);
+}
+
+TEST(Svd, HandlesRankDeficiency) {
+  // Rank-1 matrix: one nonzero singular value; U must still be orthogonal
+  // enough to rebuild the input.
+  const std::size_t n = 4;
+  Matrix a(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) a.at(r, c) = (r + 1.0) * (c + 1.0);
+  }
+  const SvdResult s = svd_square(a);
+  EXPECT_GT(s.s[0], 1.0);
+  for (std::size_t i = 1; i < n; ++i) EXPECT_NEAR(s.s[i], 0.0, 1e-6);
+  Matrix us(n, n);
+  for (std::size_t r = 0; r < n; ++r) {
+    for (std::size_t c = 0; c < n; ++c) us.at(r, c) = s.u.at(r, c) * s.s[c];
+  }
+  EXPECT_LT(a.frobenius_distance(matmul(us, s.v.transposed())), 1e-6);
+}
+
+TEST(Procrustes, ReturnsOrthogonalMatrix) {
+  Rng rng(6);
+  const Matrix a = random_matrix(12, rng);
+  const Matrix r = procrustes_rotation(a);
+  EXPECT_LT(r.orthogonality_error(), 1e-8);
+}
+
+TEST(Procrustes, RecoversKnownRotation) {
+  // If A is itself orthogonal, the polar factor is A.
+  Rng rng(7);
+  const Matrix q = procrustes_rotation(random_matrix(8, rng));
+  const Matrix r = procrustes_rotation(q);
+  EXPECT_LT(q.frobenius_distance(r), 1e-7);
+}
+
+}  // namespace
+}  // namespace drim

@@ -1,0 +1,179 @@
+// Tests for the Eq. (1)-(12) performance model and platform presets.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "model/perf_model.hpp"
+
+namespace drim {
+namespace {
+
+AnnWorkload paper_workload() {
+  AnnWorkload w;  // defaults mirror SIFT100M with nlist = 2^16
+  return w;
+}
+
+TEST(PerfModel, PhaseCostsPositive) {
+  const auto costs = phase_costs(paper_workload());
+  for (const PhaseCost& c : costs) {
+    EXPECT_GT(c.compute_ops, 0.0);
+    EXPECT_GT(c.total_io_bytes(), 0.0);
+  }
+}
+
+TEST(PerfModel, Eq1ClVerbatim) {
+  AnnWorkload w = paper_workload();
+  const auto costs = phase_costs(w);
+  const double nlist = w.N / w.C;
+  const double logP = std::log2(w.P);
+  const double expect = w.Q * nlist * ((w.D * 3.0 - 1.0) + (logP - 1.0));
+  EXPECT_DOUBLE_EQ(costs[static_cast<int>(AnnPhase::CL)].compute_ops, expect);
+}
+
+TEST(PerfModel, Eq3RcVerbatim) {
+  AnnWorkload w = paper_workload();
+  const auto costs = phase_costs(w);
+  EXPECT_DOUBLE_EQ(costs[static_cast<int>(AnnPhase::RC)].compute_ops, w.Q * w.P * w.D);
+  EXPECT_DOUBLE_EQ(costs[static_cast<int>(AnnPhase::RC)].io_bytes,
+                   (w.Bc + w.Bq) * w.Q * w.P * w.D / 8.0);
+}
+
+TEST(PerfModel, Eq7DcVerbatim) {
+  AnnWorkload w = paper_workload();
+  const auto costs = phase_costs(w);
+  EXPECT_DOUBLE_EQ(costs[static_cast<int>(AnnPhase::DC)].compute_ops,
+                   w.Q * w.P * w.C * (w.M - 1.0));
+  // Eq. (8) traffic is the cache-served LUT portion; the code stream itself
+  // (a documented extension, M * Bp bits per point) is the memory portion.
+  EXPECT_DOUBLE_EQ(costs[static_cast<int>(AnnPhase::DC)].cache_io_bytes,
+                   w.Q * w.P * w.C * (w.M * (w.Ba + w.Bl) + w.Bl) / 8.0);
+  EXPECT_DOUBLE_EQ(costs[static_cast<int>(AnnPhase::DC)].io_bytes,
+                   w.Q * w.P * w.C * w.M * w.Bp / 8.0);
+}
+
+TEST(PerfModel, CacheModelingSpeedsUpCpuLc) {
+  AnnWorkload w = paper_workload();
+  PlatformParams cpu = cpu_platform();
+  PlatformParams no_cache = cpu;
+  no_cache.cache_bandwidth_Bps = 0.0;
+  const auto costs = phase_costs(w);
+  const auto lc = static_cast<int>(AnnPhase::LC);
+  EXPECT_LT(phase_time(costs[lc], cpu), phase_time(costs[lc], no_cache));
+}
+
+TEST(PerfModel, MultiplierLessZeroesLcMultiplies) {
+  AnnWorkload w = paper_workload();
+  const auto converted = phase_costs(w, /*multiplier_less=*/true);
+  const auto mult = phase_costs(w, /*multiplier_less=*/false);
+  const auto lc = static_cast<int>(AnnPhase::LC);
+  EXPECT_DOUBLE_EQ(converted[lc].mul_ops, 0.0);
+  EXPECT_GT(mult[lc].mul_ops, 0.0);
+  // Only LC changes; base op counts stay verbatim.
+  for (int p = 0; p < static_cast<int>(kAnnPhases); ++p) {
+    EXPECT_DOUBLE_EQ(mult[p].compute_ops, converted[p].compute_ops);
+  }
+}
+
+TEST(PerfModel, MulPremiumHitsUpmemNotCpu) {
+  AnnWorkload w = paper_workload();
+  const auto lc = static_cast<int>(AnnPhase::LC);
+  const auto converted = phase_costs(w, true)[lc];
+  const auto mult = phase_costs(w, false)[lc];
+  // UPMEM (no hardware multiplier): conversion is a big win.
+  const PlatformParams pim = upmem_platform();
+  EXPECT_GT(phase_time(mult, pim), phase_time(converted, pim) * 3.0);
+  // CPU (hardware multiplier): conversion is a no-op for the model.
+  const PlatformParams cpu = cpu_platform();
+  EXPECT_DOUBLE_EQ(phase_time(mult, cpu), phase_time(converted, cpu));
+}
+
+TEST(PerfModel, C2ioDefinition) {
+  PhaseCost c;
+  c.compute_ops = 10;
+  c.io_bytes = 5;
+  EXPECT_DOUBLE_EQ(c.c2io(), 2.0);
+}
+
+TEST(PerfModel, Eq11TimeIsMaxOfComputeAndIo) {
+  PhaseCost c;
+  c.compute_ops = 1e9;
+  c.io_bytes = 1.0;
+  PlatformParams p;
+  p.frequency_hz = 1e9;
+  p.pe = 1;
+  p.bandwidth_Bps = 1e9;
+  EXPECT_DOUBLE_EQ(phase_time(c, p), 1.0);  // compute-bound
+
+  c.compute_ops = 1.0;
+  c.io_bytes = 2e9;
+  EXPECT_DOUBLE_EQ(phase_time(c, p), 2.0);  // IO-bound
+}
+
+TEST(PerfModel, PipelineOverlapTakesMax) {
+  const AnnWorkload w = paper_workload();
+  const ModelEstimate est = estimate(w, cpu_platform(), upmem_platform());
+  EXPECT_DOUBLE_EQ(est.total_seconds(), std::max(est.host_seconds, est.pim_seconds));
+  EXPECT_GT(est.host_seconds, 0.0);
+  EXPECT_GT(est.pim_seconds, 0.0);
+}
+
+TEST(PerfModel, DefaultPlacementPutsOnlyClOnHost) {
+  const AnnWorkload w = paper_workload();
+  const Placement placement;
+  EXPECT_TRUE(placement.on_host[static_cast<int>(AnnPhase::CL)]);
+  for (int p = 1; p < static_cast<int>(kAnnPhases); ++p) {
+    EXPECT_FALSE(placement.on_host[p]);
+  }
+  const ModelEstimate est = estimate(w, cpu_platform(), upmem_platform(), placement);
+  EXPECT_DOUBLE_EQ(est.host_seconds, est.phase_seconds[static_cast<int>(AnnPhase::CL)]);
+}
+
+TEST(PerfModel, UpmemComputeScaleShortensComputeBoundPhases) {
+  AnnWorkload w = paper_workload();
+  const double base =
+      estimate(w, cpu_platform(), upmem_platform(1.0)).pim_seconds;
+  const double fast =
+      estimate(w, cpu_platform(), upmem_platform(5.0)).pim_seconds;
+  EXPECT_LT(fast, base);
+}
+
+TEST(PerfModel, CpuIsMemoryBoundAtBalancedSettings) {
+  // The Fig. 2 claim: practical Faiss-CPU settings sit in the memory-bound
+  // region, i.e. arithmetic intensity below the machine balance point.
+  AnnWorkload w = paper_workload();
+  const PlatformParams cpu = cpu_platform();
+  const double machine_balance =
+      cpu.frequency_hz * cpu.pe / cpu.bandwidth_Bps;  // ops per byte at the ridge
+  for (double c : {1526.0, 6103.0, 24414.0}) {   // nlist 2^16 .. 2^12
+    w.C = c;
+    EXPECT_LT(arithmetic_intensity(w, false), machine_balance)
+        << "C=" << c << " should be memory-bound on CPU";
+  }
+}
+
+TEST(PerfModel, GpuPlatformFasterThanCpu) {
+  const AnnWorkload w = paper_workload();
+  EXPECT_LT(estimate_single(w, gpu_platform()), estimate_single(w, cpu_platform()));
+}
+
+TEST(PerfModel, PhaseNames) {
+  EXPECT_EQ(ann_phase_name(AnnPhase::CL), "CL");
+  EXPECT_EQ(ann_phase_name(AnnPhase::TS), "TS");
+}
+
+class NprobeScalingTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(NprobeScalingTest, PimTimeGrowsWithNprobe) {
+  AnnWorkload w = paper_workload();
+  w.P = GetParam();
+  const double t1 = estimate(w, cpu_platform(), upmem_platform()).pim_seconds;
+  w.P = GetParam() * 2;
+  const double t2 = estimate(w, cpu_platform(), upmem_platform()).pim_seconds;
+  EXPECT_GT(t2, t1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, NprobeScalingTest, ::testing::Values(16.0, 32.0, 64.0));
+
+}  // namespace
+}  // namespace drim

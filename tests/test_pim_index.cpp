@@ -1,0 +1,125 @@
+// Tests for the integer-quantized PIM index representation.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "data/synthetic.hpp"
+#include "drim/pim_index.hpp"
+
+namespace drim {
+namespace {
+
+class PimIndexTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SyntheticSpec spec;
+    spec.num_base = 3000;
+    spec.num_queries = 20;
+    spec.num_learn = 1200;
+    spec.num_components = 24;
+    data_ = new SyntheticData(make_sift_like(spec));
+    IvfPqParams p;
+    p.nlist = 24;
+    p.pq.m = 8;
+    p.pq.cb_entries = 16;
+    index_ = new IvfPqIndex();
+    index_->train(data_->learn, p);
+    index_->add(data_->base);
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    delete index_;
+  }
+  static SyntheticData* data_;
+  static IvfPqIndex* index_;
+};
+
+SyntheticData* PimIndexTest::data_ = nullptr;
+IvfPqIndex* PimIndexTest::index_ = nullptr;
+
+TEST_F(PimIndexTest, GeometryMirrorsSource) {
+  const PimIndexData d(*index_);
+  EXPECT_EQ(d.dim(), index_->dim());
+  EXPECT_EQ(d.m(), index_->pq().m());
+  EXPECT_EQ(d.cb_entries(), index_->pq().cb_entries());
+  EXPECT_EQ(d.nlist(), index_->nlist());
+  EXPECT_EQ(d.code_size(), index_->code_size());
+}
+
+TEST_F(PimIndexTest, CentroidsRoundedToNearestInt) {
+  const PimIndexData d(*index_);
+  for (std::size_t c = 0; c < d.nlist(); ++c) {
+    auto qc = d.centroid(c);
+    auto fc = index_->centroids().row(c);
+    for (std::size_t i = 0; i < d.dim(); ++i) {
+      EXPECT_LE(std::abs(qc[i] - fc[i]), 0.5f + 1e-4f);
+    }
+  }
+}
+
+TEST_F(PimIndexTest, CodewordsRoundedToNearestInt) {
+  const PimIndexData d(*index_);
+  for (std::size_t sub = 0; sub < d.m(); ++sub) {
+    for (std::size_t e = 0; e < d.cb_entries(); ++e) {
+      auto qw = d.codeword(sub, e);
+      auto fw = index_->pq().codeword(sub, e);
+      for (std::size_t i = 0; i < d.dsub(); ++i) {
+        EXPECT_LE(std::abs(qw[i] - fw[i]), 0.5f + 1e-4f);
+      }
+    }
+  }
+}
+
+TEST_F(PimIndexTest, ClusterContentsCopiedVerbatim) {
+  const PimIndexData d(*index_);
+  std::size_t total = 0;
+  for (std::size_t c = 0; c < d.nlist(); ++c) {
+    const InvertedList& list = index_->list(c);
+    EXPECT_EQ(d.cluster_size(c), list.size());
+    EXPECT_TRUE(std::equal(d.cluster_ids(c).begin(), d.cluster_ids(c).end(),
+                           list.ids.begin()));
+    EXPECT_TRUE(std::equal(d.cluster_codes(c).begin(), d.cluster_codes(c).end(),
+                           list.codes.begin()));
+    total += list.size();
+  }
+  EXPECT_EQ(total, 3000u);
+}
+
+TEST_F(PimIndexTest, MaxOperandCoversCentroidsAndCodewords) {
+  const PimIndexData d(*index_);
+  std::int32_t seen = 0;
+  for (std::size_t c = 0; c < d.nlist(); ++c) {
+    for (std::int16_t v : d.centroid(c)) seen = std::max<std::int32_t>(seen, std::abs(v));
+  }
+  for (std::size_t sub = 0; sub < d.m(); ++sub) {
+    for (std::size_t e = 0; e < d.cb_entries(); ++e) {
+      for (std::int16_t v : d.codeword(sub, e)) {
+        seen = std::max<std::int32_t>(seen, std::abs(v));
+      }
+    }
+  }
+  EXPECT_EQ(d.max_operand_abs(), seen);
+}
+
+TEST_F(PimIndexTest, QueryQuantizationRounds) {
+  const std::vector<float> q = {1.4f, -2.6f, 0.0f, 255.0f};
+  const auto out = PimIndexData::quantize_query(q);
+  EXPECT_EQ(out[0], 1);
+  EXPECT_EQ(out[1], -3);
+  EXPECT_EQ(out[2], 0);
+  EXPECT_EQ(out[3], 255);
+}
+
+TEST_F(PimIndexTest, CodeAtHandlesNarrowCodes) {
+  const PimIndexData d(*index_);
+  const auto codes = d.cluster_codes(0);
+  if (d.cluster_size(0) > 0) {
+    for (std::size_t sub = 0; sub < d.m(); ++sub) {
+      EXPECT_LT(d.code_at(codes, 0, sub), d.cb_entries());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace drim

@@ -1,0 +1,94 @@
+// Tests for recall metrics and the flat-search ground-truth oracle.
+
+#include <gtest/gtest.h>
+
+#include "core/flat_search.hpp"
+#include "data/recall.hpp"
+#include "data/synthetic.hpp"
+
+namespace drim {
+namespace {
+
+std::vector<Neighbor> neighbors(std::initializer_list<std::uint32_t> ids) {
+  std::vector<Neighbor> out;
+  float d = 0.0f;
+  for (std::uint32_t id : ids) out.push_back({d += 1.0f, id});
+  return out;
+}
+
+TEST(Recall, PerfectMatch) {
+  EXPECT_DOUBLE_EQ(recall_at_k(neighbors({1, 2, 3}), neighbors({1, 2, 3}), 3), 1.0);
+}
+
+TEST(Recall, OrderIrrelevantWithinK) {
+  EXPECT_DOUBLE_EQ(recall_at_k(neighbors({3, 1, 2}), neighbors({1, 2, 3}), 3), 1.0);
+}
+
+TEST(Recall, PartialOverlap) {
+  EXPECT_DOUBLE_EQ(recall_at_k(neighbors({1, 9, 8}), neighbors({1, 2, 3}), 3), 1.0 / 3.0);
+}
+
+TEST(Recall, RespectsKPrefix) {
+  // Only the first k entries of each list count.
+  EXPECT_DOUBLE_EQ(recall_at_k(neighbors({9, 1}), neighbors({1, 2}), 1), 0.0);
+}
+
+TEST(Recall, ShortResultList) {
+  EXPECT_DOUBLE_EQ(recall_at_k(neighbors({1}), neighbors({1, 2, 3}), 3), 1.0 / 3.0);
+}
+
+TEST(Recall, MeanAcrossQueries) {
+  std::vector<std::vector<Neighbor>> results = {neighbors({1, 2}), neighbors({9, 9})};
+  std::vector<std::vector<Neighbor>> gt = {neighbors({1, 2}), neighbors({1, 2})};
+  EXPECT_DOUBLE_EQ(mean_recall_at_k(results, gt, 2), 0.5);
+}
+
+TEST(FlatSearch, FindsExactNeighbors) {
+  // Construct points at known distances from the query.
+  ByteDataset base(4, 2);
+  base.row(0)[0] = 10; base.row(0)[1] = 10;  // d^2 = 0
+  base.row(1)[0] = 11; base.row(1)[1] = 10;  // d^2 = 1
+  base.row(2)[0] = 20; base.row(2)[1] = 20;  // d^2 = 200
+  base.row(3)[0] = 10; base.row(3)[1] = 12;  // d^2 = 4
+  const float q[2] = {10.0f, 10.0f};
+  const auto r = flat_search(base, q, 3);
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0].id, 0u);
+  EXPECT_EQ(r[1].id, 1u);
+  EXPECT_EQ(r[2].id, 3u);
+  EXPECT_FLOAT_EQ(r[0].dist, 0.0f);
+  EXPECT_FLOAT_EQ(r[2].dist, 4.0f);
+}
+
+TEST(FlatSearch, BatchMatchesSingle) {
+  SyntheticSpec spec;
+  spec.num_base = 500;
+  spec.num_queries = 10;
+  spec.num_learn = 100;
+  spec.num_components = 8;
+  const SyntheticData data = make_sift_like(spec);
+  const auto batch = flat_search_all(data.base, data.queries, 5);
+  for (std::size_t q = 0; q < 10; ++q) {
+    const auto single = flat_search(data.base, data.queries.row(q), 5);
+    ASSERT_EQ(batch[q].size(), single.size());
+    for (std::size_t i = 0; i < single.size(); ++i) {
+      EXPECT_EQ(batch[q][i].id, single[i].id);
+    }
+  }
+}
+
+TEST(FlatSearch, SelfQueryReturnsSelfFirst) {
+  SyntheticSpec spec;
+  spec.num_base = 300;
+  spec.num_queries = 1;
+  spec.num_learn = 100;
+  spec.num_components = 4;
+  const SyntheticData data = make_sift_like(spec);
+  std::vector<float> q(data.base.dim());
+  data.base.row_as_float(42, q);
+  const auto r = flat_search(data.base, q, 1);
+  EXPECT_FLOAT_EQ(r[0].dist, 0.0f);
+}
+
+}  // namespace
+}  // namespace drim

@@ -1,0 +1,128 @@
+// Unit + property tests for the deterministic RNG and the Zipf sampler the
+// workload generators depend on.
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+#include "common/rng.hpp"
+
+namespace drim {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  std::vector<std::uint64_t> first;
+  for (int i = 0; i < 16; ++i) first.push_back(a.next_u64());
+  a.reseed(7);
+  for (int i = 0; i < 16; ++i) EXPECT_EQ(a.next_u64(), first[i]);
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) same += (a.next_u64() == b.next_u64());
+  EXPECT_LT(same, 2);
+}
+
+TEST(Rng, NextBelowInRange) {
+  Rng rng(42);
+  for (int i = 0; i < 10'000; ++i) {
+    EXPECT_LT(rng.next_below(17), 17u);
+  }
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(42);
+  for (int i = 0; i < 10'000; ++i) {
+    const double d = rng.next_double();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanApproximatelyCentered) {
+  Rng rng(42);
+  double sum = 0.0;
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) sum += rng.uniform(0.0f, 10.0f);
+  EXPECT_NEAR(sum / n, 5.0, 0.05);
+}
+
+TEST(Rng, GaussianMomentsMatch) {
+  Rng rng(42);
+  double sum = 0.0, sq = 0.0;
+  const int n = 200'000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sq += g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sq / n, 1.0, 0.02);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinctAndSorted) {
+  Rng rng(9);
+  const auto s = rng.sample_without_replacement(1000, 100);
+  ASSERT_EQ(s.size(), 100u);
+  EXPECT_TRUE(std::is_sorted(s.begin(), s.end()));
+  std::set<std::uint32_t> uniq(s.begin(), s.end());
+  EXPECT_EQ(uniq.size(), 100u);
+  for (auto v : s) EXPECT_LT(v, 1000u);
+}
+
+TEST(Rng, SampleWithoutReplacementFullRange) {
+  Rng rng(9);
+  const auto s = rng.sample_without_replacement(10, 10);
+  ASSERT_EQ(s.size(), 10u);
+  for (std::uint32_t i = 0; i < 10; ++i) EXPECT_EQ(s[i], i);
+}
+
+TEST(Zipf, UniformWhenExponentZero) {
+  Rng rng(3);
+  ZipfSampler zipf(10, 0.0);
+  std::vector<int> counts(10, 0);
+  const int n = 100'000;
+  for (int i = 0; i < n; ++i) ++counts[zipf(rng)];
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 10 * 0.15);
+}
+
+TEST(Zipf, SkewConcentratesOnSmallIds) {
+  Rng rng(3);
+  ZipfSampler zipf(100, 1.2);
+  std::vector<int> counts(100, 0);
+  for (int i = 0; i < 100'000; ++i) ++counts[zipf(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[90]);
+}
+
+// Property: Zipf probabilities should follow rank^-s within sampling noise.
+class ZipfExponentTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(ZipfExponentTest, HeadProbabilityMatchesAnalytic) {
+  const double s = GetParam();
+  const std::uint32_t n = 50;
+  ZipfSampler zipf(n, s);
+  Rng rng(11);
+  std::vector<int> counts(n, 0);
+  const int draws = 200'000;
+  for (int i = 0; i < draws; ++i) ++counts[zipf(rng)];
+
+  double z = 0.0;
+  for (std::uint32_t i = 1; i <= n; ++i) z += 1.0 / std::pow(i, s);
+  const double p0 = 1.0 / z;
+  EXPECT_NEAR(static_cast<double>(counts[0]) / draws, p0, 0.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(Exponents, ZipfExponentTest,
+                         ::testing::Values(0.5, 0.8, 1.0, 1.5));
+
+}  // namespace
+}  // namespace drim

@@ -1,0 +1,173 @@
+// Tests for index serialization round-trips and exact re-ranking.
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "baseline/cpu_ivfpq.hpp"
+#include "core/flat_search.hpp"
+#include "core/rerank.hpp"
+#include "core/serialize.hpp"
+#include "data/recall.hpp"
+#include "data/synthetic.hpp"
+
+namespace drim {
+namespace {
+
+class SerializeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SyntheticSpec spec;
+    spec.num_base = 3000;
+    spec.num_queries = 30;
+    spec.num_learn = 1200;
+    spec.num_components = 16;
+    data_ = new SyntheticData(make_sift_like(spec));
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    data_ = nullptr;
+  }
+  void TearDown() override {
+    for (const auto& p : files_) std::remove(p.c_str());
+  }
+  std::string temp_path(const char* name) {
+    auto p = (std::filesystem::temp_directory_path() / name).string();
+    files_.push_back(p);
+    return p;
+  }
+
+  static IvfPqIndex make_index(PQVariant variant) {
+    IvfPqParams p;
+    p.nlist = 16;
+    p.pq.m = 16;
+    p.pq.cb_entries = 32;
+    p.variant = variant;
+    p.opq_iters = 3;
+    IvfPqIndex index;
+    index.train(data_->learn, p);
+    index.add(data_->base);
+    return index;
+  }
+
+  static void expect_same_results(const IvfPqIndex& a, const IvfPqIndex& b) {
+    for (std::size_t q = 0; q < data_->queries.count(); ++q) {
+      const auto ra = a.search(data_->queries.row(q), 10, 8);
+      const auto rb = b.search(data_->queries.row(q), 10, 8);
+      ASSERT_EQ(ra.size(), rb.size());
+      for (std::size_t i = 0; i < ra.size(); ++i) {
+        EXPECT_EQ(ra[i].id, rb[i].id);
+        EXPECT_FLOAT_EQ(ra[i].dist, rb[i].dist);
+      }
+    }
+  }
+
+  static SyntheticData* data_;
+  std::vector<std::string> files_;
+};
+
+SyntheticData* SerializeTest::data_ = nullptr;
+
+TEST_F(SerializeTest, PqIndexRoundTrips) {
+  const IvfPqIndex index = make_index(PQVariant::kPQ);
+  const std::string path = temp_path("drim_pq.idx");
+  save_index(index, path);
+  const IvfPqIndex loaded = load_index(path);
+
+  EXPECT_EQ(loaded.nlist(), index.nlist());
+  EXPECT_EQ(loaded.ntotal(), index.ntotal());
+  EXPECT_EQ(loaded.code_size(), index.code_size());
+  EXPECT_EQ(loaded.variant(), PQVariant::kPQ);
+  expect_same_results(index, loaded);
+}
+
+TEST_F(SerializeTest, OpqIndexRoundTripsWithRotation) {
+  const IvfPqIndex index = make_index(PQVariant::kOPQ);
+  const std::string path = temp_path("drim_opq.idx");
+  save_index(index, path);
+  const IvfPqIndex loaded = load_index(path);
+
+  ASSERT_NE(loaded.opq(), nullptr);
+  EXPECT_LT(loaded.opq()->rotation().frobenius_distance(index.opq()->rotation()), 1e-12);
+  expect_same_results(index, loaded);
+}
+
+TEST_F(SerializeTest, DpqIndexRoundTrips) {
+  const IvfPqIndex index = make_index(PQVariant::kDPQ);
+  const std::string path = temp_path("drim_dpq.idx");
+  save_index(index, path);
+  expect_same_results(index, load_index(path));
+}
+
+TEST_F(SerializeTest, UntrainedIndexRefusesToSave) {
+  IvfPqIndex index;
+  EXPECT_THROW(save_index(index, temp_path("drim_untrained.idx")), std::runtime_error);
+}
+
+TEST_F(SerializeTest, BadMagicRejected) {
+  const std::string path = temp_path("drim_bad.idx");
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("NOPE-not-an-index", f);
+  std::fclose(f);
+  EXPECT_THROW(load_index(path), std::runtime_error);
+}
+
+TEST_F(SerializeTest, MissingFileRejected) {
+  EXPECT_THROW(load_index("/nonexistent/nothing.idx"), std::runtime_error);
+}
+
+TEST_F(SerializeTest, TruncatedFileRejected) {
+  const IvfPqIndex index = make_index(PQVariant::kPQ);
+  const std::string path = temp_path("drim_trunc.idx");
+  save_index(index, path);
+  // Truncate to the first 100 bytes.
+  std::filesystem::resize_file(path, 100);
+  EXPECT_THROW(load_index(path), std::runtime_error);
+}
+
+TEST_F(SerializeTest, RerankImprovesRecall) {
+  const IvfPqIndex index = make_index(PQVariant::kPQ);
+  CpuIvfPq cpu(index);
+  const std::size_t k = 10;
+  const auto gt = flat_search_all(data_->base, data_->queries, k);
+
+  // ADC top-10 directly vs ADC top-50 re-ranked exactly to 10.
+  const auto adc10 = cpu.search_batch(data_->queries, k, 8);
+  const auto adc50 = cpu.search_batch(data_->queries, 50, 8);
+  const auto refined = rerank_exact_all(data_->base, data_->queries, adc50, k);
+
+  const double base_recall = mean_recall_at_k(adc10, gt, k);
+  const double refined_recall = mean_recall_at_k(refined, gt, k);
+  EXPECT_GE(refined_recall, base_recall);
+  EXPECT_GT(refined_recall, base_recall + 0.01)
+      << "re-ranking 5x candidates should visibly lift recall";
+}
+
+TEST_F(SerializeTest, RerankReturnsExactDistances) {
+  const IvfPqIndex index = make_index(PQVariant::kPQ);
+  const auto cands = index.search(data_->queries.row(0), 20, 8);
+  const auto refined = rerank_exact(data_->base, data_->queries.row(0), cands, 5);
+  ASSERT_LE(refined.size(), 5u);
+  for (const Neighbor& n : refined) {
+    std::vector<float> v(data_->base.dim());
+    data_->base.row_as_float(n.id, v);
+    float exact = 0.0f;
+    for (std::size_t d = 0; d < v.size(); ++d) {
+      const float diff = data_->queries.row(0)[d] - v[d];
+      exact += diff * diff;
+    }
+    EXPECT_FLOAT_EQ(n.dist, exact);
+  }
+}
+
+TEST_F(SerializeTest, RerankHandlesFewerCandidatesThanK) {
+  const IvfPqIndex index = make_index(PQVariant::kPQ);
+  const auto cands = index.search(data_->queries.row(0), 3, 4);
+  const auto refined = rerank_exact(data_->base, data_->queries.row(0), cands, 10);
+  EXPECT_EQ(refined.size(), cands.size());
+}
+
+}  // namespace
+}  // namespace drim

@@ -1,0 +1,60 @@
+// Tests for the multiplier-less conversion primitive: the square LUT must be
+// lossless over its whole operand range (the paper's core claim for the
+// conversion is exactness).
+
+#include <gtest/gtest.h>
+
+#include "drim/square_lut.hpp"
+
+namespace drim {
+namespace {
+
+TEST(SquareLut, LosslessOverFullRange) {
+  const SquareLut lut(510);
+  for (std::int32_t x = -510; x <= 510; ++x) {
+    EXPECT_EQ(lut.square(x), static_cast<std::uint32_t>(x * x)) << "x=" << x;
+  }
+}
+
+TEST(SquareLut, SizeMatchesRange) {
+  const SquareLut lut(100);
+  EXPECT_EQ(lut.max_abs(), 100);
+  EXPECT_EQ(lut.raw().size(), 101u);
+  EXPECT_EQ(lut.size_bytes(), 101 * sizeof(std::uint32_t));
+}
+
+TEST(SquareLut, RawTableIsIndexedByAbsoluteValue) {
+  const SquareLut lut(16);
+  for (std::size_t i = 0; i <= 16; ++i) {
+    EXPECT_EQ(lut.raw()[i], i * i);
+  }
+}
+
+TEST(SquareLut, DefaultCoversUint8DifferenceDomain) {
+  // uint8 residual minus int16-quantized codeword: |diff| <= 510 for the
+  // paper's datasets.
+  const SquareLut lut;
+  EXPECT_GE(lut.max_abs(), 510);
+  EXPECT_EQ(lut.square(510), 510u * 510u);
+}
+
+TEST(SquareLut, ZeroRangeStillValid) {
+  const SquareLut lut(0);
+  EXPECT_EQ(lut.square(0), 0u);
+}
+
+class SquareLutRange : public ::testing::TestWithParam<std::int32_t> {};
+
+TEST_P(SquareLutRange, EdgeValuesExact) {
+  const std::int32_t r = GetParam();
+  const SquareLut lut(r);
+  EXPECT_EQ(lut.square(r), static_cast<std::uint32_t>(r) * static_cast<std::uint32_t>(r));
+  EXPECT_EQ(lut.square(-r), lut.square(r));
+  EXPECT_EQ(lut.square(0), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ranges, SquareLutRange,
+                         ::testing::Values(1, 127, 255, 510, 1024, 4096, 8192));
+
+}  // namespace
+}  // namespace drim

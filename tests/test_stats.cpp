@@ -1,0 +1,74 @@
+// Unit tests for the statistics helpers used in load-balance analyses.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/stats.hpp"
+
+namespace drim {
+namespace {
+
+TEST(Stats, MeanBasics) {
+  EXPECT_DOUBLE_EQ(mean({}), 0.0);
+  EXPECT_DOUBLE_EQ(mean({2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(mean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Stats, GeomeanBasics) {
+  EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+  EXPECT_NEAR(geomean({2.0, 8.0}), 4.0, 1e-12);
+  EXPECT_NEAR(geomean({1.0, 1.0, 1.0}), 1.0, 1e-12);
+}
+
+TEST(Stats, GeomeanMatchesPaperStyleSpeedups) {
+  // Paper-style usage: geomean of per-config speedups.
+  EXPECT_NEAR(geomean({2.35, 3.65}), std::sqrt(2.35 * 3.65), 1e-12);
+}
+
+TEST(Stats, StddevOfConstantIsZero) {
+  EXPECT_DOUBLE_EQ(stddev({5.0, 5.0, 5.0}), 0.0);
+}
+
+TEST(Stats, StddevKnownValue) {
+  EXPECT_NEAR(stddev({2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}), 2.0, 1e-12);
+}
+
+TEST(Stats, PercentileInterpolates) {
+  std::vector<double> v{1, 2, 3, 4, 5};
+  EXPECT_DOUBLE_EQ(percentile(v, 0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 100), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.0);
+}
+
+TEST(Stats, PercentileUnsortedInput) {
+  EXPECT_DOUBLE_EQ(percentile({5, 1, 3, 2, 4}, 50), 3.0);
+}
+
+TEST(Stats, ImbalanceFactorUniformIsOne) {
+  EXPECT_DOUBLE_EQ(imbalance_factor({3, 3, 3, 3}), 1.0);
+}
+
+TEST(Stats, ImbalanceFactorSkewed) {
+  // mean = 2, max = 5 -> 2.5
+  EXPECT_DOUBLE_EQ(imbalance_factor({1, 1, 1, 5}), 2.5);
+}
+
+TEST(Stats, MaxMinRatio) {
+  // The paper's "slowest DPU up to 5x the fastest" metric.
+  EXPECT_DOUBLE_EQ(max_min_ratio({1, 2, 5}), 5.0);
+  EXPECT_DOUBLE_EQ(max_min_ratio({2, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(max_min_ratio({0, 2}), 0.0);  // guarded
+}
+
+TEST(Stats, HistogramCountsAndClamps) {
+  const auto h = histogram({0.5, 1.5, 2.5, -1.0, 10.0}, 0.0, 3.0, 3);
+  ASSERT_EQ(h.size(), 3u);
+  EXPECT_EQ(h[0], 2u);  // 0.5 and clamped -1.0
+  EXPECT_EQ(h[1], 1u);
+  EXPECT_EQ(h[2], 2u);  // 2.5 and clamped 10.0
+}
+
+}  // namespace
+}  // namespace drim

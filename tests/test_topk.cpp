@@ -1,0 +1,104 @@
+// Unit + property tests for the top-k tracker (the TS phase primitive).
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.hpp"
+#include "core/topk.hpp"
+
+namespace drim {
+namespace {
+
+TEST(TopK, KeepsSmallest) {
+  TopK t(3);
+  t.push(5.0f, 1);
+  t.push(1.0f, 2);
+  t.push(3.0f, 3);
+  t.push(4.0f, 4);
+  t.push(0.5f, 5);
+  const auto r = t.take_sorted();
+  ASSERT_EQ(r.size(), 3u);
+  EXPECT_EQ(r[0].id, 5u);
+  EXPECT_EQ(r[1].id, 2u);
+  EXPECT_EQ(r[2].id, 3u);
+}
+
+TEST(TopK, ThresholdInfiniteUntilFull) {
+  TopK t(2);
+  EXPECT_TRUE(std::isinf(t.threshold()));
+  t.push(1.0f, 1);
+  EXPECT_TRUE(std::isinf(t.threshold()));
+  t.push(2.0f, 2);
+  EXPECT_EQ(t.threshold(), 2.0f);
+  t.push(0.5f, 3);
+  EXPECT_EQ(t.threshold(), 1.0f);
+}
+
+TEST(TopK, PushReportsAdmission) {
+  TopK t(1);
+  EXPECT_TRUE(t.push(2.0f, 1));
+  EXPECT_FALSE(t.push(3.0f, 2));
+  EXPECT_TRUE(t.push(1.0f, 3));
+}
+
+TEST(TopK, TieBrokenById) {
+  TopK t(2);
+  t.push(1.0f, 9);
+  t.push(1.0f, 3);
+  t.push(1.0f, 7);  // rejected: same dist, higher id than kept {3, 7}? -> kept {3,7}
+  const auto r = t.take_sorted();
+  ASSERT_EQ(r.size(), 2u);
+  EXPECT_EQ(r[0].id, 3u);
+  EXPECT_EQ(r[1].id, 7u);
+}
+
+TEST(TopK, MergeEquivalentToCombinedStream) {
+  Rng rng(5);
+  TopK a(8), b(8), combined(8);
+  for (int i = 0; i < 200; ++i) {
+    const float d = rng.uniform(0, 100);
+    const auto id = static_cast<std::uint32_t>(i);
+    combined.push(d, id);
+    (i % 2 == 0 ? a : b).push(d, id);
+  }
+  a.merge(b);
+  const auto lhs = a.take_sorted();
+  const auto rhs = combined.take_sorted();
+  ASSERT_EQ(lhs.size(), rhs.size());
+  for (std::size_t i = 0; i < lhs.size(); ++i) {
+    EXPECT_EQ(lhs[i].id, rhs[i].id);
+    EXPECT_EQ(lhs[i].dist, rhs[i].dist);
+  }
+}
+
+// Property: TopK must agree with full sort for any k and stream size.
+class TopKProperty : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(TopKProperty, MatchesSortedPrefix) {
+  const auto [k, n] = GetParam();
+  Rng rng(static_cast<std::uint64_t>(k * 1000 + n));
+  TopK t(static_cast<std::size_t>(k));
+  std::vector<Neighbor> all;
+  for (int i = 0; i < n; ++i) {
+    const float d = rng.uniform(0, 50);  // dense range forces ties
+    t.push(d, static_cast<std::uint32_t>(i));
+    all.push_back({d, static_cast<std::uint32_t>(i)});
+  }
+  std::sort(all.begin(), all.end());
+  const auto got = t.take_sorted();
+  const std::size_t expect_n = std::min<std::size_t>(k, all.size());
+  ASSERT_EQ(got.size(), expect_n);
+  for (std::size_t i = 0; i < expect_n; ++i) {
+    EXPECT_EQ(got[i].id, all[i].id) << "at rank " << i;
+    EXPECT_EQ(got[i].dist, all[i].dist);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TopKProperty,
+    ::testing::Combine(::testing::Values(1, 2, 10, 100),
+                       ::testing::Values(0, 1, 10, 100, 5000)));
+
+}  // namespace
+}  // namespace drim

@@ -1,0 +1,285 @@
+// drim — command-line front end for the DRIM-ANN library.
+//
+//   drim gen    --out-base base.bvecs --out-queries q.fvecs --out-learn l.fvecs
+//               [--n 50000] [--queries 200] [--dim 128] [--deep] [--seed 42]
+//   drim build  --base base.bvecs --learn l.fvecs --out index.drim
+//               [--nlist 128] [--m 32] [--cb 256] [--variant pq|opq|dpq]
+//   drim info   --index index.drim
+//   drim search --index index.drim --queries q.fvecs [--base base.bvecs]
+//               [--k 10] [--nprobe 16] [--gt gt.ivecs] [--pim] [--dpus 64]
+//               [--rerank 0]
+//   drim gt     --base base.bvecs --queries q.fvecs --out gt.ivecs [--k 100]
+//
+// search runs the CPU baseline by default; --pim runs the simulated UPMEM
+// engine and prints its modeled timing report. --rerank R searches R
+// candidates and re-ranks them exactly (requires --base).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "baseline/cpu_ivfpq.hpp"
+#include "common/io.hpp"
+#include "common/timer.hpp"
+#include "core/flat_search.hpp"
+#include "core/rerank.hpp"
+#include "core/serialize.hpp"
+#include "data/recall.hpp"
+#include "data/synthetic.hpp"
+#include "drim/engine.hpp"
+
+namespace {
+
+using namespace drim;
+
+/// Minimal --key value argument map.
+class Args {
+ public:
+  Args(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      std::string key = argv[i];
+      if (key.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", argv[i]);
+        std::exit(2);
+      }
+      key = key.substr(2);
+      if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+        values_[key] = argv[++i];
+      } else {
+        values_[key] = "1";  // boolean flag
+      }
+    }
+  }
+
+  std::string get(const std::string& key, const std::string& fallback = "") const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  std::size_t get_size(const std::string& key, std::size_t fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+  bool has(const std::string& key) const { return values_.count(key) > 0; }
+  std::string require(const std::string& key) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) {
+      std::fprintf(stderr, "missing required --%s\n", key.c_str());
+      std::exit(2);
+    }
+    return it->second;
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+ByteDataset load_base(const std::string& path) {
+  const auto file = read_bvecs(path);
+  ByteDataset base(file.count, file.dim);
+  std::copy(file.data.begin(), file.data.end(), base.data());
+  return base;
+}
+
+FloatMatrix load_floats(const std::string& path) {
+  const auto file = read_fvecs(path);
+  FloatMatrix m(file.count, file.dim);
+  std::copy(file.data.begin(), file.data.end(), m.data());
+  return m;
+}
+
+void write_base(const std::string& path, const ByteDataset& base) {
+  VecFile<std::uint8_t> file;
+  file.count = base.count();
+  file.dim = base.dim();
+  file.data.assign(base.data(), base.data() + base.count() * base.dim());
+  write_bvecs(path, file);
+}
+
+void write_floats(const std::string& path, const FloatMatrix& m) {
+  VecFile<float> file;
+  file.count = m.count();
+  file.dim = m.dim();
+  file.data.assign(m.data(), m.data() + m.count() * m.dim());
+  write_fvecs(path, file);
+}
+
+int cmd_gen(const Args& args) {
+  SyntheticSpec spec;
+  spec.num_base = args.get_size("n", 50'000);
+  spec.num_queries = args.get_size("queries", 200);
+  spec.num_learn = args.get_size("learn", spec.num_base / 5);
+  spec.dim = args.get_size("dim", 128);
+  spec.num_components = args.get_size("components", 64);
+  spec.seed = args.get_size("seed", 42);
+
+  const SyntheticData data =
+      args.has("deep") ? make_deep_like(spec) : make_sift_like(spec);
+  write_base(args.require("out-base"), data.base);
+  write_floats(args.require("out-queries"), data.queries);
+  write_floats(args.require("out-learn"), data.learn);
+  std::printf("wrote %zu base (dim %zu), %zu queries, %zu learn vectors\n",
+              data.base.count(), data.base.dim(), data.queries.count(),
+              data.learn.count());
+  return 0;
+}
+
+int cmd_build(const Args& args) {
+  const ByteDataset base = load_base(args.require("base"));
+  const FloatMatrix learn = load_floats(args.require("learn"));
+
+  IvfPqParams params;
+  params.nlist = args.get_size("nlist", 128);
+  params.pq.m = args.get_size("m", 32);
+  params.pq.cb_entries = args.get_size("cb", 256);
+  const std::string variant = args.get("variant", "pq");
+  if (variant == "opq") {
+    params.variant = PQVariant::kOPQ;
+  } else if (variant == "dpq") {
+    params.variant = PQVariant::kDPQ;
+  } else if (variant != "pq") {
+    std::fprintf(stderr, "unknown variant %s (pq|opq|dpq)\n", variant.c_str());
+    return 2;
+  }
+
+  WallTimer timer;
+  IvfPqIndex index;
+  index.train(learn, params);
+  const double train_s = timer.seconds();
+  timer.reset();
+  index.add(base);
+  std::printf("trained in %.1fs, added %zu vectors in %.1fs\n", train_s,
+              index.ntotal(), timer.seconds());
+  save_index(index, args.require("out"));
+  std::printf("saved index to %s\n", args.get("out").c_str());
+  return 0;
+}
+
+int cmd_info(const Args& args) {
+  const IvfPqIndex index = load_index(args.require("index"));
+  const char* variants[] = {"PQ", "OPQ", "DPQ"};
+  std::printf("DRIM index: %zu vectors, dim %zu\n", index.ntotal(), index.dim());
+  std::printf("  variant    : %s\n", variants[static_cast<int>(index.variant())]);
+  std::printf("  nlist      : %zu\n", index.nlist());
+  std::printf("  M x CB     : %zu x %zu (%zu-byte codes)\n", index.pq().m(),
+              index.pq().cb_entries(), index.code_size());
+  const auto sizes = index.list_sizes();
+  std::size_t mn = SIZE_MAX, mx = 0, empty = 0;
+  for (std::size_t s : sizes) {
+    mn = std::min(mn, s);
+    mx = std::max(mx, s);
+    empty += (s == 0);
+  }
+  std::printf("  cluster sz : min %zu / max %zu, %zu empty\n", mn, mx, empty);
+  return 0;
+}
+
+int cmd_gt(const Args& args) {
+  const ByteDataset base = load_base(args.require("base"));
+  const FloatMatrix queries = load_floats(args.require("queries"));
+  const std::size_t k = args.get_size("k", 100);
+  const auto gt = flat_search_all(base, queries, k);
+
+  VecFile<std::int32_t> out;
+  out.count = gt.size();
+  out.dim = k;
+  for (const auto& row : gt) {
+    for (std::size_t i = 0; i < k; ++i) {
+      out.data.push_back(i < row.size() ? static_cast<std::int32_t>(row[i].id) : -1);
+    }
+  }
+  write_ivecs(args.require("out"), out);
+  std::printf("wrote exact top-%zu for %zu queries\n", k, gt.size());
+  return 0;
+}
+
+std::vector<std::vector<Neighbor>> load_gt(const std::string& path) {
+  const auto file = read_ivecs(path);
+  std::vector<std::vector<Neighbor>> gt(file.count);
+  for (std::size_t q = 0; q < file.count; ++q) {
+    for (std::size_t i = 0; i < file.dim; ++i) {
+      const std::int32_t id = file.row(q)[i];
+      if (id >= 0) gt[q].push_back({static_cast<float>(i), static_cast<std::uint32_t>(id)});
+    }
+  }
+  return gt;
+}
+
+int cmd_search(const Args& args) {
+  const IvfPqIndex index = load_index(args.require("index"));
+  const FloatMatrix queries = load_floats(args.require("queries"));
+  const std::size_t k = args.get_size("k", 10);
+  const std::size_t nprobe = args.get_size("nprobe", 16);
+  const std::size_t rerank = args.get_size("rerank", 0);
+  const std::size_t fetch_k = rerank > 0 ? rerank : k;
+
+  std::vector<std::vector<Neighbor>> results;
+  if (args.has("pim")) {
+    DrimEngineOptions opts;
+    opts.pim.num_dpus = args.get_size("dpus", 64);
+    opts.heat_nprobe = nprobe;
+    DrimAnnEngine engine(index, queries, opts);
+    DrimSearchStats stats;
+    results = engine.search(queries, fetch_k, nprobe, &stats);
+    std::printf("simulated UPMEM (%zu DPUs): modeled %.3f ms/batch, %.0f QPS, "
+                "%zu tasks, %.2f J\n",
+                opts.pim.num_dpus, stats.total_seconds * 1e3, stats.qps(), stats.tasks,
+                stats.energy_joules);
+  } else {
+    CpuIvfPq cpu(index);
+    CpuSearchStats stats;
+    WallTimer timer;
+    results = cpu.search_batch(queries, fetch_k, nprobe, &stats);
+    std::printf("CPU baseline: %.3f ms wall, %.0f QPS measured\n",
+                stats.wall_seconds * 1e3, stats.qps());
+  }
+
+  if (rerank > 0) {
+    const ByteDataset base = load_base(args.require("base"));
+    results = rerank_exact_all(base, queries, results, k);
+    std::printf("re-ranked %zu candidates down to top-%zu exactly\n", rerank, k);
+  }
+
+  if (args.has("gt")) {
+    const auto gt = load_gt(args.get("gt"));
+    std::printf("recall@%zu = %.4f\n", k, mean_recall_at_k(results, gt, k));
+  }
+
+  // Print the first few result rows.
+  for (std::size_t q = 0; q < std::min<std::size_t>(3, results.size()); ++q) {
+    std::printf("q%zu:", q);
+    for (const Neighbor& n : results[q]) std::printf(" %u", n.id);
+    std::printf("\n");
+  }
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: drim <gen|build|info|gt|search> [--key value ...]\n"
+               "see the header of tools/drim_cli.cpp for the full reference\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = argv[1];
+  const Args args(argc, argv, 2);
+  try {
+    if (cmd == "gen") return cmd_gen(args);
+    if (cmd == "build") return cmd_build(args);
+    if (cmd == "info") return cmd_info(args);
+    if (cmd == "gt") return cmd_gt(args);
+    if (cmd == "search") return cmd_search(args);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  usage();
+  return 2;
+}
