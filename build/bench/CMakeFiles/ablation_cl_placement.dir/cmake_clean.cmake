@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cl_placement.dir/ablation_cl_placement.cpp.o"
+  "CMakeFiles/ablation_cl_placement.dir/ablation_cl_placement.cpp.o.d"
+  "CMakeFiles/ablation_cl_placement.dir/support/harness.cpp.o"
+  "CMakeFiles/ablation_cl_placement.dir/support/harness.cpp.o.d"
+  "ablation_cl_placement"
+  "ablation_cl_placement.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cl_placement.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

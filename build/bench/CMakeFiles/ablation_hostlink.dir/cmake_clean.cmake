@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_hostlink.dir/ablation_hostlink.cpp.o"
+  "CMakeFiles/ablation_hostlink.dir/ablation_hostlink.cpp.o.d"
+  "CMakeFiles/ablation_hostlink.dir/support/harness.cpp.o"
+  "CMakeFiles/ablation_hostlink.dir/support/harness.cpp.o.d"
+  "ablation_hostlink"
+  "ablation_hostlink.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_hostlink.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_rerank.dir/ablation_rerank.cpp.o"
+  "CMakeFiles/ablation_rerank.dir/ablation_rerank.cpp.o.d"
+  "CMakeFiles/ablation_rerank.dir/support/harness.cpp.o"
+  "CMakeFiles/ablation_rerank.dir/support/harness.cpp.o.d"
+  "ablation_rerank"
+  "ablation_rerank.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_rerank.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

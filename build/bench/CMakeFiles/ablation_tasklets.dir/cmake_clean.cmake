@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_tasklets.dir/ablation_tasklets.cpp.o"
+  "CMakeFiles/ablation_tasklets.dir/ablation_tasklets.cpp.o.d"
+  "CMakeFiles/ablation_tasklets.dir/support/harness.cpp.o"
+  "CMakeFiles/ablation_tasklets.dir/support/harness.cpp.o.d"
+  "ablation_tasklets"
+  "ablation_tasklets.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_tasklets.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig06_e2e_sift.dir/fig06_e2e_sift.cpp.o"
+  "CMakeFiles/fig06_e2e_sift.dir/fig06_e2e_sift.cpp.o.d"
+  "CMakeFiles/fig06_e2e_sift.dir/support/harness.cpp.o"
+  "CMakeFiles/fig06_e2e_sift.dir/support/harness.cpp.o.d"
+  "fig06_e2e_sift"
+  "fig06_e2e_sift.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig06_e2e_sift.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for fig06_e2e_sift.
+# This may be replaced when dependencies are built.

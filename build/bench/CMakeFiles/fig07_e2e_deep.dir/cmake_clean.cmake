@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig07_e2e_deep.dir/fig07_e2e_deep.cpp.o"
+  "CMakeFiles/fig07_e2e_deep.dir/fig07_e2e_deep.cpp.o.d"
+  "CMakeFiles/fig07_e2e_deep.dir/support/harness.cpp.o"
+  "CMakeFiles/fig07_e2e_deep.dir/support/harness.cpp.o.d"
+  "fig07_e2e_deep"
+  "fig07_e2e_deep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig07_e2e_deep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_breakdown.dir/fig08_breakdown.cpp.o"
+  "CMakeFiles/fig08_breakdown.dir/fig08_breakdown.cpp.o.d"
+  "CMakeFiles/fig08_breakdown.dir/support/harness.cpp.o"
+  "CMakeFiles/fig08_breakdown.dir/support/harness.cpp.o.d"
+  "fig08_breakdown"
+  "fig08_breakdown.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_breakdown.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

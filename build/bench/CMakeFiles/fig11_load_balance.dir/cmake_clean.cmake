@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_load_balance.dir/fig11_load_balance.cpp.o"
+  "CMakeFiles/fig11_load_balance.dir/fig11_load_balance.cpp.o.d"
+  "CMakeFiles/fig11_load_balance.dir/support/harness.cpp.o"
+  "CMakeFiles/fig11_load_balance.dir/support/harness.cpp.o.d"
+  "fig11_load_balance"
+  "fig11_load_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_load_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

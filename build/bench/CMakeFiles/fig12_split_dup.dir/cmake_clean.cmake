@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_split_dup.dir/fig12_split_dup.cpp.o"
+  "CMakeFiles/fig12_split_dup.dir/fig12_split_dup.cpp.o.d"
+  "CMakeFiles/fig12_split_dup.dir/support/harness.cpp.o"
+  "CMakeFiles/fig12_split_dup.dir/support/harness.cpp.o.d"
+  "fig12_split_dup"
+  "fig12_split_dup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_split_dup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

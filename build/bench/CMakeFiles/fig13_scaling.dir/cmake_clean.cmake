@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_scaling.dir/fig13_scaling.cpp.o"
+  "CMakeFiles/fig13_scaling.dir/fig13_scaling.cpp.o.d"
+  "CMakeFiles/fig13_scaling.dir/support/harness.cpp.o"
+  "CMakeFiles/fig13_scaling.dir/support/harness.cpp.o.d"
+  "fig13_scaling"
+  "fig13_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_dse_tuning.dir/dse_tuning.cpp.o"
+  "CMakeFiles/example_dse_tuning.dir/dse_tuning.cpp.o.d"
+  "example_dse_tuning"
+  "example_dse_tuning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_dse_tuning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

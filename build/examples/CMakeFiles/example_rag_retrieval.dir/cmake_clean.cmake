@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_rag_retrieval.dir/rag_retrieval.cpp.o"
+  "CMakeFiles/example_rag_retrieval.dir/rag_retrieval.cpp.o.d"
+  "example_rag_retrieval"
+  "example_rag_retrieval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_rag_retrieval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/example_serving_tail_latency.dir/serving_tail_latency.cpp.o"
+  "CMakeFiles/example_serving_tail_latency.dir/serving_tail_latency.cpp.o.d"
+  "example_serving_tail_latency"
+  "example_serving_tail_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/example_serving_tail_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

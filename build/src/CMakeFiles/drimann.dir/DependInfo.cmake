@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baseline/cpu_ivfpq.cpp" "src/CMakeFiles/drimann.dir/baseline/cpu_ivfpq.cpp.o" "gcc" "src/CMakeFiles/drimann.dir/baseline/cpu_ivfpq.cpp.o.d"
+  "/root/repo/src/common/io.cpp" "src/CMakeFiles/drimann.dir/common/io.cpp.o" "gcc" "src/CMakeFiles/drimann.dir/common/io.cpp.o.d"
+  "/root/repo/src/common/rng.cpp" "src/CMakeFiles/drimann.dir/common/rng.cpp.o" "gcc" "src/CMakeFiles/drimann.dir/common/rng.cpp.o.d"
+  "/root/repo/src/common/stats.cpp" "src/CMakeFiles/drimann.dir/common/stats.cpp.o" "gcc" "src/CMakeFiles/drimann.dir/common/stats.cpp.o.d"
+  "/root/repo/src/core/distances.cpp" "src/CMakeFiles/drimann.dir/core/distances.cpp.o" "gcc" "src/CMakeFiles/drimann.dir/core/distances.cpp.o.d"
+  "/root/repo/src/core/dpq.cpp" "src/CMakeFiles/drimann.dir/core/dpq.cpp.o" "gcc" "src/CMakeFiles/drimann.dir/core/dpq.cpp.o.d"
+  "/root/repo/src/core/flat_search.cpp" "src/CMakeFiles/drimann.dir/core/flat_search.cpp.o" "gcc" "src/CMakeFiles/drimann.dir/core/flat_search.cpp.o.d"
+  "/root/repo/src/core/ivf.cpp" "src/CMakeFiles/drimann.dir/core/ivf.cpp.o" "gcc" "src/CMakeFiles/drimann.dir/core/ivf.cpp.o.d"
+  "/root/repo/src/core/kmeans.cpp" "src/CMakeFiles/drimann.dir/core/kmeans.cpp.o" "gcc" "src/CMakeFiles/drimann.dir/core/kmeans.cpp.o.d"
+  "/root/repo/src/core/matrix.cpp" "src/CMakeFiles/drimann.dir/core/matrix.cpp.o" "gcc" "src/CMakeFiles/drimann.dir/core/matrix.cpp.o.d"
+  "/root/repo/src/core/opq.cpp" "src/CMakeFiles/drimann.dir/core/opq.cpp.o" "gcc" "src/CMakeFiles/drimann.dir/core/opq.cpp.o.d"
+  "/root/repo/src/core/pq.cpp" "src/CMakeFiles/drimann.dir/core/pq.cpp.o" "gcc" "src/CMakeFiles/drimann.dir/core/pq.cpp.o.d"
+  "/root/repo/src/core/rerank.cpp" "src/CMakeFiles/drimann.dir/core/rerank.cpp.o" "gcc" "src/CMakeFiles/drimann.dir/core/rerank.cpp.o.d"
+  "/root/repo/src/core/serialize.cpp" "src/CMakeFiles/drimann.dir/core/serialize.cpp.o" "gcc" "src/CMakeFiles/drimann.dir/core/serialize.cpp.o.d"
+  "/root/repo/src/core/topk.cpp" "src/CMakeFiles/drimann.dir/core/topk.cpp.o" "gcc" "src/CMakeFiles/drimann.dir/core/topk.cpp.o.d"
+  "/root/repo/src/data/dataset.cpp" "src/CMakeFiles/drimann.dir/data/dataset.cpp.o" "gcc" "src/CMakeFiles/drimann.dir/data/dataset.cpp.o.d"
+  "/root/repo/src/data/recall.cpp" "src/CMakeFiles/drimann.dir/data/recall.cpp.o" "gcc" "src/CMakeFiles/drimann.dir/data/recall.cpp.o.d"
+  "/root/repo/src/data/synthetic.cpp" "src/CMakeFiles/drimann.dir/data/synthetic.cpp.o" "gcc" "src/CMakeFiles/drimann.dir/data/synthetic.cpp.o.d"
+  "/root/repo/src/drim/engine.cpp" "src/CMakeFiles/drimann.dir/drim/engine.cpp.o" "gcc" "src/CMakeFiles/drimann.dir/drim/engine.cpp.o.d"
+  "/root/repo/src/drim/kernels.cpp" "src/CMakeFiles/drimann.dir/drim/kernels.cpp.o" "gcc" "src/CMakeFiles/drimann.dir/drim/kernels.cpp.o.d"
+  "/root/repo/src/drim/layout.cpp" "src/CMakeFiles/drimann.dir/drim/layout.cpp.o" "gcc" "src/CMakeFiles/drimann.dir/drim/layout.cpp.o.d"
+  "/root/repo/src/drim/pim_index.cpp" "src/CMakeFiles/drimann.dir/drim/pim_index.cpp.o" "gcc" "src/CMakeFiles/drimann.dir/drim/pim_index.cpp.o.d"
+  "/root/repo/src/drim/scheduler.cpp" "src/CMakeFiles/drimann.dir/drim/scheduler.cpp.o" "gcc" "src/CMakeFiles/drimann.dir/drim/scheduler.cpp.o.d"
+  "/root/repo/src/drim/square_lut.cpp" "src/CMakeFiles/drimann.dir/drim/square_lut.cpp.o" "gcc" "src/CMakeFiles/drimann.dir/drim/square_lut.cpp.o.d"
+  "/root/repo/src/model/dse.cpp" "src/CMakeFiles/drimann.dir/model/dse.cpp.o" "gcc" "src/CMakeFiles/drimann.dir/model/dse.cpp.o.d"
+  "/root/repo/src/model/gp.cpp" "src/CMakeFiles/drimann.dir/model/gp.cpp.o" "gcc" "src/CMakeFiles/drimann.dir/model/gp.cpp.o.d"
+  "/root/repo/src/model/perf_model.cpp" "src/CMakeFiles/drimann.dir/model/perf_model.cpp.o" "gcc" "src/CMakeFiles/drimann.dir/model/perf_model.cpp.o.d"
+  "/root/repo/src/pim/dpu.cpp" "src/CMakeFiles/drimann.dir/pim/dpu.cpp.o" "gcc" "src/CMakeFiles/drimann.dir/pim/dpu.cpp.o.d"
+  "/root/repo/src/pim/perf_counters.cpp" "src/CMakeFiles/drimann.dir/pim/perf_counters.cpp.o" "gcc" "src/CMakeFiles/drimann.dir/pim/perf_counters.cpp.o.d"
+  "/root/repo/src/pim/pim_system.cpp" "src/CMakeFiles/drimann.dir/pim/pim_system.cpp.o" "gcc" "src/CMakeFiles/drimann.dir/pim/pim_system.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,45 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_cl_on_pim.cpp" "tests/CMakeFiles/drim_tests.dir/test_cl_on_pim.cpp.o" "gcc" "tests/CMakeFiles/drim_tests.dir/test_cl_on_pim.cpp.o.d"
+  "/root/repo/tests/test_dataset.cpp" "tests/CMakeFiles/drim_tests.dir/test_dataset.cpp.o" "gcc" "tests/CMakeFiles/drim_tests.dir/test_dataset.cpp.o.d"
+  "/root/repo/tests/test_distances.cpp" "tests/CMakeFiles/drim_tests.dir/test_distances.cpp.o" "gcc" "tests/CMakeFiles/drim_tests.dir/test_distances.cpp.o.d"
+  "/root/repo/tests/test_dse.cpp" "tests/CMakeFiles/drim_tests.dir/test_dse.cpp.o" "gcc" "tests/CMakeFiles/drim_tests.dir/test_dse.cpp.o.d"
+  "/root/repo/tests/test_engine.cpp" "tests/CMakeFiles/drim_tests.dir/test_engine.cpp.o" "gcc" "tests/CMakeFiles/drim_tests.dir/test_engine.cpp.o.d"
+  "/root/repo/tests/test_engine_edge.cpp" "tests/CMakeFiles/drim_tests.dir/test_engine_edge.cpp.o" "gcc" "tests/CMakeFiles/drim_tests.dir/test_engine_edge.cpp.o.d"
+  "/root/repo/tests/test_fullstack_property.cpp" "tests/CMakeFiles/drim_tests.dir/test_fullstack_property.cpp.o" "gcc" "tests/CMakeFiles/drim_tests.dir/test_fullstack_property.cpp.o.d"
+  "/root/repo/tests/test_incremental_policy.cpp" "tests/CMakeFiles/drim_tests.dir/test_incremental_policy.cpp.o" "gcc" "tests/CMakeFiles/drim_tests.dir/test_incremental_policy.cpp.o.d"
+  "/root/repo/tests/test_io.cpp" "tests/CMakeFiles/drim_tests.dir/test_io.cpp.o" "gcc" "tests/CMakeFiles/drim_tests.dir/test_io.cpp.o.d"
+  "/root/repo/tests/test_ivf.cpp" "tests/CMakeFiles/drim_tests.dir/test_ivf.cpp.o" "gcc" "tests/CMakeFiles/drim_tests.dir/test_ivf.cpp.o.d"
+  "/root/repo/tests/test_kernels.cpp" "tests/CMakeFiles/drim_tests.dir/test_kernels.cpp.o" "gcc" "tests/CMakeFiles/drim_tests.dir/test_kernels.cpp.o.d"
+  "/root/repo/tests/test_kmeans.cpp" "tests/CMakeFiles/drim_tests.dir/test_kmeans.cpp.o" "gcc" "tests/CMakeFiles/drim_tests.dir/test_kmeans.cpp.o.d"
+  "/root/repo/tests/test_layout.cpp" "tests/CMakeFiles/drim_tests.dir/test_layout.cpp.o" "gcc" "tests/CMakeFiles/drim_tests.dir/test_layout.cpp.o.d"
+  "/root/repo/tests/test_matrix.cpp" "tests/CMakeFiles/drim_tests.dir/test_matrix.cpp.o" "gcc" "tests/CMakeFiles/drim_tests.dir/test_matrix.cpp.o.d"
+  "/root/repo/tests/test_opq_dpq.cpp" "tests/CMakeFiles/drim_tests.dir/test_opq_dpq.cpp.o" "gcc" "tests/CMakeFiles/drim_tests.dir/test_opq_dpq.cpp.o.d"
+  "/root/repo/tests/test_perf_model.cpp" "tests/CMakeFiles/drim_tests.dir/test_perf_model.cpp.o" "gcc" "tests/CMakeFiles/drim_tests.dir/test_perf_model.cpp.o.d"
+  "/root/repo/tests/test_pim.cpp" "tests/CMakeFiles/drim_tests.dir/test_pim.cpp.o" "gcc" "tests/CMakeFiles/drim_tests.dir/test_pim.cpp.o.d"
+  "/root/repo/tests/test_pim_index.cpp" "tests/CMakeFiles/drim_tests.dir/test_pim_index.cpp.o" "gcc" "tests/CMakeFiles/drim_tests.dir/test_pim_index.cpp.o.d"
+  "/root/repo/tests/test_pq.cpp" "tests/CMakeFiles/drim_tests.dir/test_pq.cpp.o" "gcc" "tests/CMakeFiles/drim_tests.dir/test_pq.cpp.o.d"
+  "/root/repo/tests/test_recall.cpp" "tests/CMakeFiles/drim_tests.dir/test_recall.cpp.o" "gcc" "tests/CMakeFiles/drim_tests.dir/test_recall.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/drim_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/drim_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_scheduler.cpp" "tests/CMakeFiles/drim_tests.dir/test_scheduler.cpp.o" "gcc" "tests/CMakeFiles/drim_tests.dir/test_scheduler.cpp.o.d"
+  "/root/repo/tests/test_serialize_rerank.cpp" "tests/CMakeFiles/drim_tests.dir/test_serialize_rerank.cpp.o" "gcc" "tests/CMakeFiles/drim_tests.dir/test_serialize_rerank.cpp.o.d"
+  "/root/repo/tests/test_square_lut.cpp" "tests/CMakeFiles/drim_tests.dir/test_square_lut.cpp.o" "gcc" "tests/CMakeFiles/drim_tests.dir/test_square_lut.cpp.o.d"
+  "/root/repo/tests/test_stats.cpp" "tests/CMakeFiles/drim_tests.dir/test_stats.cpp.o" "gcc" "tests/CMakeFiles/drim_tests.dir/test_stats.cpp.o.d"
+  "/root/repo/tests/test_topk.cpp" "tests/CMakeFiles/drim_tests.dir/test_topk.cpp.o" "gcc" "tests/CMakeFiles/drim_tests.dir/test_topk.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/drimann.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

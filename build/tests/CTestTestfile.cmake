@@ -1,0 +1,9 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/drim_tests[1]_include.cmake")
+add_test(cli_end_to_end "/usr/bin/cmake" "-DDRIM_BIN=/root/repo/build/tools/drim" "-DWORK_DIR=/root/repo/build/tests/cli_smoke" "-P" "/root/repo/tests/cli_smoke.cmake")
+set_tests_properties(cli_end_to_end PROPERTIES  TIMEOUT "300" _BACKTRACE_TRIPLES "/root/repo/tests/CMakeLists.txt;12;add_test;/root/repo/tests/CMakeLists.txt;0;")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drim.dir/drim_cli.cpp.o"
+  "CMakeFiles/drim.dir/drim_cli.cpp.o.d"
+  "drim"
+  "drim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
