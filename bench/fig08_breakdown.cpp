@@ -27,14 +27,15 @@ void run_row(const BenchData& bench, const BenchScale& scale, std::size_t nlist,
     return total > 0 ? 100.0 * drim.stats.phase_dpu_seconds[static_cast<int>(p)] / total
                      : 0.0;
   };
-  std::printf("%6zu %7zu | %6.1f%% %6.1f%% %6.1f%% %6.1f%% %6.1f%% | %9.4f s\n", nlist,
-              nprobe, share(Phase::RC), share(Phase::LC), share(Phase::DC),
-              share(Phase::TS), share(Phase::AUX), drim.stats.dpu_busy_seconds);
+  std::printf("%6zu %7zu | %6.1f%% %6.1f%% %6.1f%% %6.1f%% %6.1f%% | %9.4f s | %8.3f s\n",
+              nlist, nprobe, share(Phase::RC), share(Phase::LC), share(Phase::DC),
+              share(Phase::TS), share(Phase::AUX), drim.stats.dpu_busy_seconds,
+              drim.wall_seconds);
 }
 
 void header() {
-  std::printf("%6s %7s | %7s %7s %7s %7s %7s | %10s\n", "nlist", "nprobe", "RC", "LC",
-              "DC", "TS", "AUX", "DPU busy");
+  std::printf("%6s %7s | %7s %7s %7s %7s %7s | %10s | %9s\n", "nlist", "nprobe", "RC",
+              "LC", "DC", "TS", "AUX", "DPU busy", "host wall");
   print_rule();
 }
 
@@ -43,6 +44,9 @@ void header() {
 int main() {
   BenchScale scale;
   std::printf("Fig. 8 — DPU kernel latency breakdown (simulated cycle counters)\n");
+  std::printf("host simulation threads: %zu (set DRIM_THREADS to change; "
+              "simulated columns are thread-count invariant)\n",
+              configure_host_threads(scale.threads));
 
   const BenchData bench = make_sift_bench(scale);
 

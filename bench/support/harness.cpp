@@ -1,6 +1,20 @@
 #include "support/harness.hpp"
 
+#include <cstdlib>
+
+#include "common/parallel.hpp"
+#include "common/timer.hpp"
+
 namespace drim::bench {
+
+std::size_t configure_host_threads(std::size_t n) {
+  if (n == 0) {
+    if (const char* env = std::getenv("DRIM_THREADS")) {
+      n = static_cast<std::size_t>(std::strtoul(env, nullptr, 10));
+    }
+  }
+  return static_cast<std::size_t>(set_num_threads(static_cast<int>(n)));
+}
 
 namespace {
 
@@ -86,10 +100,16 @@ CpuRun run_cpu(const BenchData& bench, const IvfPqIndex& index, std::size_t k,
 }
 
 DrimRun run_drim(const BenchData& bench, const IvfPqIndex& index,
-                 const DrimEngineOptions& options, std::size_t k, std::size_t nprobe) {
+                 const DrimEngineOptions& options, std::size_t k, std::size_t nprobe,
+                 std::size_t threads) {
   DrimRun run;
+  run.host_threads = configure_host_threads(threads);
+  WallTimer timer;
   DrimAnnEngine engine(index, bench.data.learn, options);
+  run.load_wall_seconds = timer.seconds();
+  timer.reset();
   const auto results = engine.search(bench.data.queries, k, nprobe, &run.stats);
+  run.wall_seconds = timer.seconds();
   run.recall = mean_recall_at_k(results, bench.ground_truth, k);
   run.modeled_seconds = run.stats.total_seconds;
   run.modeled_qps = run.stats.qps();

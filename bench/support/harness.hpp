@@ -39,7 +39,15 @@ struct BenchScale {
   std::size_t num_components = 64;
   std::size_t num_dpus = 64;
   std::size_t k = 10;
+  /// Host threads driving the simulation (0 = DRIM_THREADS env var, falling
+  /// back to all cores). Simulated seconds and recall are bit-identical at
+  /// any setting; only host wall-clock changes.
+  std::size_t threads = 0;
 };
+
+/// Apply the host-thread knob: n == 0 reads the DRIM_THREADS env var (unset
+/// or 0 = leave OpenMP at all cores). Returns the effective thread count.
+std::size_t configure_host_threads(std::size_t n = 0);
 
 /// Dataset + exact ground truth, built once per binary.
 struct BenchData {
@@ -75,15 +83,22 @@ struct CpuRun {
 CpuRun run_cpu(const BenchData& bench, const IvfPqIndex& index, std::size_t k,
                std::size_t nprobe, std::size_t num_dpus);
 
-/// One DRIM-ANN evaluation on the simulated platform.
+/// One DRIM-ANN evaluation on the simulated platform. `wall_seconds` is the
+/// measured host time spent simulating search() on this container (scales
+/// with the thread knob); `modeled_seconds` is the simulated latency and is
+/// independent of host threading.
 struct DrimRun {
   double recall = 0.0;
   double modeled_seconds = 0.0;
   double modeled_qps = 0.0;
+  double wall_seconds = 0.0;      ///< host wall-clock of search() simulation
+  double load_wall_seconds = 0.0; ///< host wall-clock of engine build + upload
+  std::size_t host_threads = 1;   ///< effective simulation threads
   DrimSearchStats stats;
 };
 DrimRun run_drim(const BenchData& bench, const IvfPqIndex& index,
-                 const DrimEngineOptions& options, std::size_t k, std::size_t nprobe);
+                 const DrimEngineOptions& options, std::size_t k, std::size_t nprobe,
+                 std::size_t threads = 0);
 
 /// Default engine options for a bench scale.
 DrimEngineOptions default_engine_options(const BenchScale& scale, std::size_t nprobe);

@@ -1,14 +1,42 @@
 #pragma once
 // OpenMP-backed parallel loop helper with a serial fallback, so the library
-// builds and behaves identically when OpenMP is unavailable. The CPU baseline
-// (Faiss-style) uses this to parallelize ADC scans the way the paper's
-// 32-thread comparator does.
+// builds and behaves identically when OpenMP is unavailable. Used by the CPU
+// baseline (Faiss-style ADC scans) and by the PIM simulator's host loops:
+// per-DPU kernel execution, input staging, and result collection all fan out
+// across host threads (see DESIGN.md "Host threading model").
+//
+// Under ThreadSanitizer the loop dispatches over std::thread instead of
+// OpenMP: GCC's libgomp is not TSan-instrumented, so the implicit join
+// barrier's happens-before edge is invisible and every write-in-worker /
+// read-after-join pair shows up as a false race. pthread create/join IS
+// instrumented, so the std::thread path gives TSan an accurate
+// happens-before graph while still exercising real concurrency.
 
 #include <cstddef>
 #include <cstdint>
+#include <exception>
+
+#if defined(__SANITIZE_THREAD__)
+#define DRIM_TSAN_ACTIVE 1
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define DRIM_TSAN_ACTIVE 1
+#endif
+#endif
+#ifndef DRIM_TSAN_ACTIVE
+#define DRIM_TSAN_ACTIVE 0
+#endif
 
 #if defined(_OPENMP)
 #include <omp.h>
+#endif
+
+#if DRIM_TSAN_ACTIVE
+#include <algorithm>
+#include <atomic>
+#include <mutex>
+#include <thread>
+#include <vector>
 #endif
 
 namespace drim {
@@ -17,22 +45,76 @@ namespace drim {
 inline int num_threads() {
 #if defined(_OPENMP)
   return omp_get_max_threads();
+#elif DRIM_TSAN_ACTIVE
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw > 0 ? static_cast<int>(hw) : 1;
 #else
+  return 1;
+#endif
+}
+
+/// Cap the worker-thread pool (0 = leave unchanged). Returns the effective
+/// count. Serial builds always report 1.
+inline int set_num_threads(int n) {
+#if defined(_OPENMP)
+  if (n > 0) omp_set_num_threads(n);
+  return omp_get_max_threads();
+#else
+  (void)n;
   return 1;
 #endif
 }
 
 /// Parallel for over [begin, end) with a dynamic schedule. `body` is invoked
 /// as body(i) for every index exactly once; it must be safe to run
-/// concurrently for distinct indices.
+/// concurrently for distinct indices. If any invocation throws, the first
+/// captured exception is rethrown on the calling thread after the loop
+/// drains (OpenMP would otherwise terminate on an escaping exception).
 template <typename Body>
 void parallel_for(std::size_t begin, std::size_t end, const Body& body) {
-#if defined(_OPENMP)
+#if DRIM_TSAN_ACTIVE
+  if (end <= begin) return;
+  const std::size_t n = end - begin;
+  const std::size_t workers =
+      std::min<std::size_t>(n, static_cast<std::size_t>(num_threads()));
+  if (workers <= 1) {
+    for (std::size_t i = begin; i < end; ++i) body(i);
+    return;
+  }
+  std::atomic<std::size_t> next{begin};
+  std::exception_ptr error = nullptr;
+  std::mutex error_mutex;
+  auto worker = [&] {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= end) break;
+      try {
+        body(i);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(error_mutex);
+        if (!error) error = std::current_exception();
+      }
+    }
+  };
+  std::vector<std::thread> pool;
+  pool.reserve(workers - 1);
+  for (std::size_t t = 1; t < workers; ++t) pool.emplace_back(worker);
+  worker();
+  for (auto& th : pool) th.join();
+  if (error) std::rethrow_exception(error);
+#elif defined(_OPENMP)
+  std::exception_ptr error = nullptr;
 #pragma omp parallel for schedule(dynamic, 16)
   for (std::int64_t i = static_cast<std::int64_t>(begin);
        i < static_cast<std::int64_t>(end); ++i) {
-    body(static_cast<std::size_t>(i));
+    try {
+      body(static_cast<std::size_t>(i));
+    } catch (...) {
+#pragma omp critical(drim_parallel_for_error)
+      if (!error) error = std::current_exception();
+    }
   }
+  if (error) std::rethrow_exception(error);
 #else
   for (std::size_t i = begin; i < end; ++i) body(i);
 #endif

@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "common/parallel.hpp"
+
 namespace drim {
 
 SchedulerParams derive_scheduler_params(const PimConfig& cfg, std::size_t dim,
@@ -46,20 +48,31 @@ DrimAnnEngine::DrimAnnEngine(const IvfPqIndex& index, const FloatMatrix& sample_
       estimate_heat(index_, sample_queries, opts_.heat_nprobe);
   layout_ = std::make_unique<DataLayout>(data_, opts_.pim.num_dpus, heat, opts_.layout);
 
-  // Exact Eq. 15 coefficients for this index geometry, preserving any filter
-  // and policy choices the caller configured.
-  const bool filter = opts_.scheduler.enable_filter;
-  const double slack = opts_.scheduler.filter_slack;
-  const SchedulePolicy policy = opts_.scheduler.policy;
-  opts_.scheduler = derive_scheduler_params(opts_.pim, data_.dim(), data_.m(),
-                                            data_.cb_entries(), 10, opts_.use_square_lut);
-  opts_.scheduler.enable_filter = filter;
-  opts_.scheduler.filter_slack = slack;
-  opts_.scheduler.policy = policy;
+  // Exact Eq. 15 coefficients for this index geometry at a placeholder depth;
+  // search() re-derives them for its actual k before scheduling.
+  ensure_scheduler_params(10);
   scheduler_ = std::make_unique<RuntimeScheduler>(*layout_, opts_.scheduler);
 
   pim_ = std::make_unique<PimSystem>(opts_.pim);
   load_static_data();
+  // Bill the static upload once, here, so the first search batch's
+  // transfer_in reflects only that batch's staged queries.
+  index_load_seconds_ = pim_->drain_pending_transfer();
+}
+
+void DrimAnnEngine::ensure_scheduler_params(std::size_t k) {
+  if (k == sched_params_k_) return;
+  // Preserve any filter and policy choices the caller configured.
+  const bool filter = opts_.scheduler.enable_filter;
+  const double slack = opts_.scheduler.filter_slack;
+  const SchedulePolicy policy = opts_.scheduler.policy;
+  opts_.scheduler = derive_scheduler_params(opts_.pim, data_.dim(), data_.m(),
+                                            data_.cb_entries(), k, opts_.use_square_lut);
+  opts_.scheduler.enable_filter = filter;
+  opts_.scheduler.filter_slack = slack;
+  opts_.scheduler.policy = policy;
+  sched_params_k_ = k;
+  if (scheduler_) scheduler_->params() = opts_.scheduler;
 }
 
 void DrimAnnEngine::load_static_data() {
@@ -85,8 +98,10 @@ void DrimAnnEngine::load_static_data() {
   dpu_shard_ids_.resize(num_dpus);
   shard_slot_.assign(layout_->shards().size(), 0);
 
-  std::size_t max_used = 0;
-  for (std::size_t d = 0; d < num_dpus; ++d) {
+  // Per-DPU uploads are independent (private MRAM allocators, disjoint
+  // shard_slot_ entries — every shard lives on exactly one DPU), so the
+  // whole index load fans out across host threads.
+  parallel_for(0, num_dpus, [&](std::size_t d) {
     for (std::uint32_t shard_id : layout_->dpu_shards(d)) {
       const Shard& sh = layout_->shard(shard_id);
       const auto codes = data_.cluster_codes(sh.cluster);
@@ -108,6 +123,9 @@ void DrimAnnEngine::load_static_data() {
       dpu_shard_regions_[d].push_back(region);
       dpu_shard_ids_[d].push_back(shard_id);
     }
+  });
+  std::size_t max_used = 0;
+  for (std::size_t d = 0; d < num_dpus; ++d) {
     max_used = std::max(max_used, pim_->dpu(d).mram().used());
   }
   // Staging region starts above the highest static allocation on any DPU so
@@ -150,13 +168,20 @@ double DrimAnnEngine::locate_on_pim(
   if (output_off + output_bytes > opts_.pim.mram_bytes) {
     throw std::runtime_error("CL staging exceeds MRAM; lower batch_size");
   }
-  for (std::size_t q = 0; q < nq; ++q) {
-    // Broadcast: transmitted once, resident on every DPU.
-    pim_->broadcast(staging_base_ + q * dim * 2,
-                    {reinterpret_cast<const std::uint8_t*>(quantized[begin + q].data()),
-                     dim * 2});
-  }
+  // Assemble the chunk's queries into one contiguous block and broadcast it
+  // in a single transfer (transmitted once, resident on every DPU; the
+  // per-DPU copies fan out across threads inside broadcast()).
+  std::vector<std::int16_t> staged(nq * dim);
+  parallel_for(0, nq, [&](std::size_t q) {
+    std::copy(quantized[begin + q].begin(), quantized[begin + q].end(),
+              staged.begin() + q * dim);
+  });
+  pim_->broadcast(staging_base_, {reinterpret_cast<const std::uint8_t*>(staged.data()),
+                                  staged.size() * 2});
 
+  const std::size_t active_dpus =
+      std::min(num_dpus, (nlist + per_dpu - 1) / per_dpu);
+  std::vector<std::vector<KernelHit>> dpu_hits(active_dpus);
   std::vector<TopK> merged(nq, TopK(keep));
   const BatchResult batch = pim_->run_batch(
       [&](std::size_t d, DpuContext& ctx) {
@@ -176,14 +201,19 @@ double DrimAnnEngine::locate_on_pim(
         run_cl_kernel(ctx, args);
       },
       [&]() {
-        std::vector<KernelHit> hits(keep);
-        for (std::size_t d = 0; d < num_dpus; ++d) {
-          if (d * per_dpu >= nlist) break;  // DPUs beyond the centroid range
+        // Pull each active DPU's whole candidate block concurrently (same
+        // bytes billed as per-query pulls), then merge serially in fixed
+        // (dpu, query) order so heap contents match the serial path exactly.
+        parallel_for(0, active_dpus, [&](std::size_t d) {
+          dpu_hits[d].resize(nq * keep);
+          pim_->pull(d, output_off,
+                     {reinterpret_cast<std::uint8_t*>(dpu_hits[d].data()),
+                      nq * keep * sizeof(KernelHit)});
+        });
+        for (std::size_t d = 0; d < active_dpus; ++d) {
           for (std::size_t q = 0; q < nq; ++q) {
-            pim_->pull(d, output_off + q * keep * sizeof(KernelHit),
-                       {reinterpret_cast<std::uint8_t*>(hits.data()),
-                        keep * sizeof(KernelHit)});
-            for (const KernelHit& h : hits) {
+            for (std::size_t i = 0; i < keep; ++i) {
+              const KernelHit& h = dpu_hits[d][q * keep + i];
               if (h.id == 0xFFFFFFFFu && h.dist == 0xFFFFFFFFu) break;
               merged[q].push(static_cast<float>(h.dist), h.id);
             }
@@ -217,25 +247,29 @@ std::vector<std::vector<Neighbor>> DrimAnnEngine::search(const FloatMatrix& quer
   const std::size_t dim = data_.dim();
   std::vector<TopK> accum(nq, TopK(k));
 
+  // Price the Eq. 15 TS term for this call's actual search depth.
+  ensure_scheduler_params(k);
+
   DrimSearchStats local;
   DrimSearchStats& st = stats != nullptr ? *stats : local;
   st = DrimSearchStats{};
   st.queries = nq;
   st.per_dpu_seconds.assign(pim_->num_dpus(), 0.0);
+  st.index_load_seconds = index_load_seconds_;
 
-  // Quantized query payloads.
+  // Quantized query payloads (independent per query).
   std::vector<std::vector<std::int16_t>> quantized(nq);
-  for (std::size_t q = 0; q < nq; ++q) {
+  parallel_for(0, nq, [&](std::size_t q) {
     quantized[q] = PimIndexData::quantize_query(queries.row(q));
-  }
+  });
 
   // ---- CL: on the host by default (overlapped with PIM per batch), or on
   // the DPUs when cl_on_pim is set (filled lazily per chunk below) ----
   std::vector<std::vector<std::uint32_t>> probes(nq);
   if (!opts_.cl_on_pim) {
-    for (std::size_t q = 0; q < nq; ++q) {
+    parallel_for(0, nq, [&](std::size_t q) {
       probes[q] = index_.locate_clusters(queries.row(q), nprobe);
-    }
+    });
   }
 
   const std::size_t batch_queries = opts_.batch_size == 0 ? nq : opts_.batch_size;
@@ -255,13 +289,10 @@ std::vector<std::vector<Neighbor>> DrimAnnEngine::search(const FloatMatrix& quer
       cl_pim_seconds = locate_on_pim(quantized, begin, end, nprobe, probes, st);
     }
 
-    // Chunk-local probe lists; the scheduler sees chunk-global query ids via
-    // an offset-free copy (Task.query indexes the full query array).
-    std::vector<std::vector<std::uint32_t>> chunk_probes(nq);
-    for (std::size_t q = begin; q < end; ++q) chunk_probes[q] = probes[q];
-
+    // The scheduler walks only this chunk's range of the probe table
+    // (Task.query indexes the full query array).
     const Assignment assignment =
-        scheduler_->schedule(chunk_probes, carried, last_chunk);
+        scheduler_->schedule(probes, begin, end, carried, last_chunk);
     carried = assignment.deferred;
 
     // ---- stage per-DPU inputs ----
@@ -271,9 +302,11 @@ std::vector<std::vector<Neighbor>> DrimAnnEngine::search(const FloatMatrix& quer
     std::vector<std::size_t> dpu_output_off(num_dpus, 0);
     std::vector<std::size_t> dpu_query_slots(num_dpus, 0);
 
-    for (std::size_t d = 0; d < num_dpus; ++d) {
+    // Per-DPU staging is independent (private task lists, private MRAM), so
+    // task deduplication and query pushes fan out across host threads.
+    parallel_for(0, num_dpus, [&](std::size_t d) {
       const auto& tasks = assignment.per_dpu[d];
-      if (tasks.empty()) continue;
+      if (tasks.empty()) return;
       std::unordered_map<std::uint32_t, std::uint32_t> slot_of;
       std::vector<std::uint32_t> slot_query;
       for (const Task& t : tasks) {
@@ -297,7 +330,7 @@ std::vector<std::vector<Neighbor>> DrimAnnEngine::search(const FloatMatrix& quer
         pim_->push(d, staging_base_ + s * dim * 2,
                    {reinterpret_cast<const std::uint8_t*>(qv.data()), dim * 2});
       }
-    }
+    });
 
     // ---- launch ----
     SearchKernelArgs args;
@@ -322,15 +355,24 @@ std::vector<std::vector<Neighbor>> DrimAnnEngine::search(const FloatMatrix& quer
           run_search_kernel(ctx, a, dpu_shard_regions_[d], dpu_tasks[d]);
         },
         [&]() {
-          // Collect: pull each task's k hits and merge into its query's heap.
-          std::vector<KernelHit> hits(k);
+          // Collect: pull each DPU's whole output block concurrently (same
+          // bytes billed as per-task pulls), then merge into the per-query
+          // heaps serially in fixed (dpu, task) order — accum[] heaps are
+          // shared across DPUs, and a fixed merge order keeps tie-breaking
+          // bit-identical to the serial path.
+          std::vector<std::vector<KernelHit>> dpu_hits(num_dpus);
+          parallel_for(0, num_dpus, [&](std::size_t d) {
+            if (dpu_tasks[d].empty()) return;
+            dpu_hits[d].resize(dpu_tasks[d].size() * k);
+            pim_->pull(d, dpu_output_off[d],
+                       {reinterpret_cast<std::uint8_t*>(dpu_hits[d].data()),
+                        dpu_hits[d].size() * sizeof(KernelHit)});
+          });
           for (std::size_t d = 0; d < num_dpus; ++d) {
             for (std::size_t t = 0; t < dpu_tasks[d].size(); ++t) {
-              pim_->pull(d, dpu_output_off[d] + t * k * sizeof(KernelHit),
-                         {reinterpret_cast<std::uint8_t*>(hits.data()),
-                          k * sizeof(KernelHit)});
               const std::uint32_t q = dpu_task_query[d][t];
-              for (const KernelHit& h : hits) {
+              for (std::size_t i = 0; i < k; ++i) {
+                const KernelHit& h = dpu_hits[d][t * k + i];
                 if (h.id == 0xFFFFFFFFu && h.dist == 0xFFFFFFFFu) break;  // pad
                 accum[q].push(static_cast<float>(h.dist), h.id);
               }

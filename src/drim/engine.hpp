@@ -54,6 +54,11 @@ struct DrimEngineOptions {
 struct DrimSearchStats {
   double total_seconds = 0.0;       ///< modeled end-to-end latency
   double host_cl_seconds = 0.0;     ///< host CL time (overlapped)
+  /// One-time static index upload (codebooks, centroids, shards) billed at
+  /// construction, NOT included in total_seconds or any batch's
+  /// transfer_in_seconds — the engine drains the load bytes before the first
+  /// search so first-batch latency reflects only per-batch traffic.
+  double index_load_seconds = 0.0;
   double transfer_in_seconds = 0.0;
   double transfer_out_seconds = 0.0;
   double dpu_busy_seconds = 0.0;    ///< sum over batches of max-DPU time
@@ -89,6 +94,9 @@ class DrimAnnEngine {
 
   const DrimEngineOptions& options() const { return opts_; }
   const PimIndexData& data() const { return data_; }
+  /// Seconds the one-time static index upload takes on the host link
+  /// (reported in every DrimSearchStats, never billed to a batch).
+  double index_load_seconds() const { return index_load_seconds_; }
   const DataLayout& layout() const { return *layout_; }
   const PimSystem& pim() const { return *pim_; }
   const SquareLut& square_lut() const { return sq_lut_; }
@@ -96,6 +104,12 @@ class DrimAnnEngine {
  private:
   void load_static_data();
   double model_host_cl_seconds(std::size_t num_queries) const;
+
+  /// (Re)derive the Eq. 15 predictor coefficients for search depth `k`,
+  /// preserving the caller's filter/policy settings. Cached per k: search()
+  /// calls this with its actual k so the TS term is never priced for the
+  /// wrong depth.
+  void ensure_scheduler_params(std::size_t k);
 
   /// CL-on-PIM path: locate clusters for queries [begin, end) with a
   /// dedicated kernel launch; fills probes[] and accumulates stats. Returns
@@ -112,6 +126,8 @@ class DrimAnnEngine {
   std::unique_ptr<DataLayout> layout_;
   std::unique_ptr<PimSystem> pim_;
   std::unique_ptr<RuntimeScheduler> scheduler_;
+  std::size_t sched_params_k_ = 0;     // k the Eq. 15 coefficients are derived for
+  double index_load_seconds_ = 0.0;    // one-time static upload cost
 
   // MRAM geometry.
   std::size_t sq_lut_off_ = 0;

@@ -6,6 +6,7 @@
 namespace drim {
 
 Assignment RuntimeScheduler::schedule(const std::vector<std::vector<std::uint32_t>>& probes,
+                                      std::size_t begin, std::size_t end,
                                       const std::vector<Task>& carried,
                                       bool final_batch) const {
   const std::size_t num_dpus = layout_.num_dpus();
@@ -38,7 +39,7 @@ Assignment RuntimeScheduler::schedule(const std::vector<std::vector<std::uint32_
     candidates.push_back({t.query, &groups[slice_idx], task_cost(sh)});
   }
 
-  for (std::size_t q = 0; q < probes.size(); ++q) {
+  for (std::size_t q = begin; q < end; ++q) {
     for (std::uint32_t c : probes[q]) {
       for (const auto& group : layout_.slice_groups(c)) {
         if (group.empty()) continue;

@@ -56,12 +56,23 @@ class RuntimeScheduler {
     return params_.l_lut + x * params_.l_calu + x * params_.l_sortu;
   }
 
-  /// Build the batch assignment. `probes[q]` lists the clusters query q must
-  /// visit; `carried` holds tasks the filter deferred from the previous
-  /// batch (scheduled first). When `final_batch` is true the filter is
-  /// disabled so nothing is left behind.
+  /// Build the batch assignment for queries [begin, end) of `probes`.
+  /// `probes[q]` lists the clusters query q must visit (Task.query keeps the
+  /// global index q, not q - begin); `carried` holds tasks the filter
+  /// deferred from the previous batch (scheduled first). When `final_batch`
+  /// is true the filter is disabled so nothing is left behind. Taking a
+  /// range keeps per-chunk scheduling O(chunk), not O(nq): callers hand over
+  /// the full probe table once instead of rebuilding an nq-sized copy per
+  /// chunk.
   Assignment schedule(const std::vector<std::vector<std::uint32_t>>& probes,
+                      std::size_t begin, std::size_t end,
                       const std::vector<Task>& carried, bool final_batch) const;
+
+  /// Whole-table convenience overload: schedule(probes, 0, probes.size(), ...).
+  Assignment schedule(const std::vector<std::vector<std::uint32_t>>& probes,
+                      const std::vector<Task>& carried, bool final_batch) const {
+    return schedule(probes, 0, probes.size(), carried, final_batch);
+  }
 
   const SchedulerParams& params() const { return params_; }
   SchedulerParams& params() { return params_; }

@@ -6,6 +6,12 @@
 // simulation"). A kernel interacts with the DPU exclusively through
 // DpuContext, mirroring the UPMEM SDK programming model (mram_read /
 // mram_write DMA intrinsics + WRAM scratch).
+//
+// Threading contract: a Dpu is NOT internally synchronized. PimSystem's
+// parallel run_batch assigns at most one host thread to each Dpu at a time
+// (kernel run, staging push, or collection pull), which is sufficient
+// because MRAM, WRAM budget, and counters are all per-DPU private state;
+// cross-DPU shared state lives in PimSystem and is atomic there.
 
 #include <cstdint>
 #include <cstring>

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "common/parallel.hpp"
+
 namespace drim {
 
 PimSystem::PimSystem(const PimConfig& config) : config_(config) {
@@ -16,12 +18,15 @@ PimSystem::PimSystem(const PimConfig& config) : config_(config) {
 void PimSystem::push(std::size_t dpu_id, std::size_t offset,
                      std::span<const std::uint8_t> data) {
   dpus_.at(dpu_id)->mram().write(offset, data);
-  pending_in_bytes_ += data.size();
+  pending_in_bytes_.fetch_add(data.size(), std::memory_order_relaxed);
 }
 
 void PimSystem::broadcast(std::size_t offset, std::span<const std::uint8_t> data) {
-  for (auto& dpu : dpus_) dpu->mram().write(offset, data);
-  pending_in_bytes_ += data.size();  // transmitted once (rank-level broadcast)
+  // Each DPU's Mram is private, so the per-DPU copies are independent.
+  parallel_for(0, dpus_.size(),
+               [&](std::size_t d) { dpus_[d]->mram().write(offset, data); });
+  // Transmitted once (rank-level broadcast).
+  pending_in_bytes_.fetch_add(data.size(), std::memory_order_relaxed);
 }
 
 std::size_t PimSystem::alloc_symmetric(std::size_t bytes) {
@@ -35,7 +40,12 @@ std::size_t PimSystem::alloc_symmetric(std::size_t bytes) {
 
 void PimSystem::pull(std::size_t dpu_id, std::size_t offset, std::span<std::uint8_t> out) {
   dpus_.at(dpu_id)->mram().read(offset, out);
-  if (collecting_) pending_out_bytes_ += out.size();
+  if (collecting_) pending_out_bytes_.fetch_add(out.size(), std::memory_order_relaxed);
+}
+
+double PimSystem::drain_pending_transfer() {
+  const std::uint64_t bytes = pending_in_bytes_.exchange(0, std::memory_order_relaxed);
+  return static_cast<double>(bytes) / config_.host_link_bytes_per_sec;
 }
 
 BatchResult PimSystem::run_batch(
@@ -43,17 +53,19 @@ BatchResult PimSystem::run_batch(
     const std::function<void()>& collect) {
   BatchResult result;
   result.launch_overhead_seconds = config_.launch_overhead_sec;
-  result.transfer_in_seconds =
-      static_cast<double>(pending_in_bytes_) / config_.host_link_bytes_per_sec;
-  pending_in_bytes_ = 0;
+  result.transfer_in_seconds = drain_pending_transfer();
 
+  // Per-DPU kernel runs are data-independent: each Dpu owns its MRAM and
+  // counters, and per_dpu_seconds slots are distinct. Cycle counts are
+  // integer tallies private to each DPU, so the modeled timings below are
+  // bit-identical no matter how the runs interleave.
   result.per_dpu_seconds.resize(dpus_.size());
-  for (std::size_t i = 0; i < dpus_.size(); ++i) {
+  parallel_for(0, dpus_.size(), [&](std::size_t i) {
     dpus_[i]->reset_counters();
     DpuContext ctx = dpus_[i]->context();
     kernel(i, ctx);
     result.per_dpu_seconds[i] = dpus_[i]->execution_seconds();
-  }
+  });
   result.dpu_seconds = result.per_dpu_seconds.empty()
                            ? 0.0
                            : *std::max_element(result.per_dpu_seconds.begin(),
@@ -61,12 +73,13 @@ BatchResult PimSystem::run_batch(
 
   if (collect) {
     collecting_ = true;
-    pending_out_bytes_ = 0;
+    pending_out_bytes_.store(0, std::memory_order_relaxed);
     collect();
     collecting_ = false;
     result.transfer_out_seconds =
-        static_cast<double>(pending_out_bytes_) / config_.host_link_bytes_per_sec;
-    pending_out_bytes_ = 0;
+        static_cast<double>(pending_out_bytes_.load(std::memory_order_relaxed)) /
+        config_.host_link_bytes_per_sec;
+    pending_out_bytes_.store(0, std::memory_order_relaxed);
   }
   return result;
 }

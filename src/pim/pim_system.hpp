@@ -7,8 +7,15 @@
 //     internal bandwidth), so per-batch data movement is accounted and
 //     reported separately,
 //   - DPUs cannot communicate with each other.
-// Kernels run serially on the simulation host but are timed as if parallel.
+// Kernel runs are data-independent (each Dpu owns private MRAM + counters),
+// so run_batch executes them across host threads with drim::parallel_for
+// while timing them as if hardware-parallel. Simulated cycle counts, batch
+// timings, and MRAM contents are bit-identical to a single-threaded run:
+// transfer billing sums exact integer byte counts (atomics), and every other
+// mutation is DPU-private. See DESIGN.md "Host threading model".
 
+#include <atomic>
+#include <cstdint>
 #include <functional>
 #include <memory>
 #include <vector>
@@ -45,10 +52,13 @@ class PimSystem {
 
   // ---- host -> DPU data movement (accumulates into the next batch's
   //      transfer_in time) ----
-  /// Copy bytes into one DPU's MRAM at `offset`.
+  /// Copy bytes into one DPU's MRAM at `offset`. Thread-safe for distinct
+  /// DPUs (each Mram is private; the byte tally is atomic), so per-DPU
+  /// staging loops may call it from parallel_for.
   void push(std::size_t dpu_id, std::size_t offset, std::span<const std::uint8_t> data);
   /// Copy the same bytes into every DPU at per-DPU offset `offset`
-  /// (hardware broadcast: transmitted once over the channel).
+  /// (hardware broadcast: transmitted once over the channel). The per-DPU
+  /// copies fan out across host threads internally.
   void broadcast(std::size_t offset, std::span<const std::uint8_t> data);
   /// Allocate `bytes` at the same offset on every DPU; returns the offset.
   /// All DPUs stay allocation-synchronized (the usual UPMEM symmetric-heap
@@ -56,13 +66,21 @@ class PimSystem {
   std::size_t alloc_symmetric(std::size_t bytes);
 
   // ---- DPU -> host ----
+  /// Thread-safe for distinct DPUs, like push().
   void pull(std::size_t dpu_id, std::size_t offset, std::span<std::uint8_t> out);
+
+  /// Bill all bytes pushed/broadcast since the last batch (or drain) NOW,
+  /// outside any batch: returns the seconds they take on the host link and
+  /// clears the pending tally. Used for one-time index loading so the first
+  /// search batch is not charged for the static upload.
+  double drain_pending_transfer();
 
   /// Run `kernel(dpu_id, ctx)` on every DPU, modeling a barrier-synchronized
   /// launch. Counters are reset before the run; transfer bytes accumulated
   /// via push/broadcast since the previous batch are billed as transfer_in,
   /// and bytes pulled during `collect` (invoked after the barrier) as
-  /// transfer_out.
+  /// transfer_out. Kernels execute concurrently across host threads; the
+  /// kernel callable must not mutate state shared between DPUs.
   BatchResult run_batch(const std::function<void(std::size_t, DpuContext&)>& kernel,
                         const std::function<void()>& collect = nullptr);
 
@@ -72,8 +90,11 @@ class PimSystem {
  private:
   PimConfig config_;
   std::vector<std::unique_ptr<Dpu>> dpus_;
-  std::uint64_t pending_in_bytes_ = 0;   // host->DPU since last batch
-  std::uint64_t pending_out_bytes_ = 0;  // DPU->host during collect
+  // Exact integer byte tallies; atomic so parallel staging / collection
+  // loops can push/pull concurrently. Summation order cannot change the
+  // total, so billed seconds stay bit-identical to a serial run.
+  std::atomic<std::uint64_t> pending_in_bytes_{0};   // host->DPU since last batch
+  std::atomic<std::uint64_t> pending_out_bytes_{0};  // DPU->host during collect
   bool collecting_ = false;
 };
 
