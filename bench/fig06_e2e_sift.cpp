@@ -23,15 +23,17 @@ void run_row(const BenchData& bench, const BenchScale& scale, std::size_t nlist,
       run_drim(bench, index, default_engine_options(scale, nprobe), scale.k, nprobe);
   const double speedup = drim.modeled_qps / cpu.modeled_qps;
   speedups.push_back(speedup);
-  std::printf("%6zu %7zu | %8.3f %9.3f | %11.0f %11.0f | %8.2fx | %10.0f\n", nlist,
-              nprobe, cpu.recall, drim.recall, cpu.modeled_qps, drim.modeled_qps,
-              speedup, cpu.measured_qps);
+  std::printf("%6zu %7zu | %8.3f %9.3f | %11.0f %11.0f | %8.2fx | %16s | %10.0f\n",
+              nlist, nprobe, cpu.recall, drim.recall, cpu.modeled_qps,
+              drim.modeled_qps, speedup, format_batch_tail(drim.batch_ms).c_str(),
+              cpu.measured_qps);
 }
 
 void header() {
-  std::printf("%6s %7s | %8s %9s | %11s %11s | %9s | %10s\n", "nlist", "nprobe",
-              "cpu R@10", "drim R@10", "CPU QPS*", "DRIM QPS*", "speedup", "cpu meas");
-  print_rule();
+  std::printf("%6s %7s | %8s %9s | %11s %11s | %9s | %16s | %10s\n", "nlist",
+              "nprobe", "cpu R@10", "drim R@10", "CPU QPS*", "DRIM QPS*", "speedup",
+              "batch ms 50/95/99", "cpu meas");
+  print_rule(96);
 }
 
 }  // namespace

@@ -30,15 +30,17 @@ void run_row(const BenchData& bench, const BenchScale& scale, std::size_t nlist,
   const double lc = drim.stats.phase_dpu_seconds[static_cast<int>(Phase::LC)];
   double all = 0.0;
   for (double s : drim.stats.phase_dpu_seconds) all += s;
-  std::printf("%6zu %7zu | %8.3f %9.3f | %11.0f %11.0f | %8.2fx | %6.1f%%\n", nlist,
-              nprobe, cpu.recall, drim.recall, cpu.modeled_qps, drim.modeled_qps,
-              speedup, all > 0 ? 100.0 * lc / all : 0.0);
+  std::printf("%6zu %7zu | %8.3f %9.3f | %11.0f %11.0f | %8.2fx | %16s | %6.1f%%\n",
+              nlist, nprobe, cpu.recall, drim.recall, cpu.modeled_qps,
+              drim.modeled_qps, speedup, format_batch_tail(drim.batch_ms).c_str(),
+              all > 0 ? 100.0 * lc / all : 0.0);
 }
 
 void header() {
-  std::printf("%6s %7s | %8s %9s | %11s %11s | %9s | %7s\n", "nlist", "nprobe",
-              "cpu R@10", "drim R@10", "CPU QPS*", "DRIM QPS*", "speedup", "LC share");
-  print_rule();
+  std::printf("%6s %7s | %8s %9s | %11s %11s | %9s | %16s | %7s\n", "nlist",
+              "nprobe", "cpu R@10", "drim R@10", "CPU QPS*", "DRIM QPS*", "speedup",
+              "batch ms 50/95/99", "LC share");
+  print_rule(96);
 }
 
 }  // namespace

@@ -1,0 +1,175 @@
+// Online serving benchmark: tail latency and goodput vs offered load.
+//
+// Builds the SIFT-like index, calibrates the engine's batch service rate from
+// one closed-loop search, then replays open-loop Poisson traces at multiples
+// of that capacity through the serving runtime (dynamic batching + admission
+// control). The left table (admission off) shows the classic open-loop
+// saturation curve: p99 rises sharply once offered load passes the service
+// capacity. The right table (admission on) shows load shedding holding
+// goodput near peak instead of collapsing.
+//
+// `--smoke` shrinks the corpus and trace so the run finishes in seconds and
+// self-checks invariants; ctest runs it under the `serve` label.
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+#include "serve/runtime.hpp"
+#include "support/harness.hpp"
+
+using namespace drim;
+using namespace drim::bench;
+using namespace drim::serve;
+
+namespace {
+
+struct LoadPoint {
+  double multiplier = 0.0;
+  ServeReport report;
+};
+
+void print_report_row(double mult, double offered_qps, const ServeReport& r) {
+  std::printf("%5.2fx %9.0f | %6zu %6zu %5.1f%% | %8.3f %8.3f %8.3f | %9.0f %7.1f%%\n",
+              mult, offered_qps, r.served, r.shed, 100.0 * r.shed_rate, r.p50_ms,
+              r.p95_ms, r.p99_ms, r.goodput_qps, 100.0 * r.timeout_rate);
+}
+
+void print_header() {
+  std::printf("%5s %9s | %6s %6s %6s | %8s %8s %8s | %9s %8s\n", "load",
+              "offered", "served", "shed", "shed%", "p50 ms", "p95 ms", "p99 ms",
+              "goodput", "timeout%");
+  print_rule(92);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::size_t num_requests = 2048;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+    if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
+      num_requests = std::strtoul(argv[++i], nullptr, 10);
+    }
+  }
+
+  BenchScale scale;
+  std::size_t nlist = 128;
+  if (smoke) {
+    scale.num_base = 20'000;
+    scale.num_queries = 64;
+    scale.num_learn = 4'000;
+    scale.num_dpus = 16;
+    nlist = 32;
+    num_requests = 512;
+  }
+  const std::size_t nprobe = 16;
+  configure_host_threads(scale.threads);
+
+  std::printf("serve_latency — open-loop tail latency vs offered load (%s)\n",
+              smoke ? "smoke" : "full");
+  std::printf("N=%zu, pool=%zu queries, %zu DPUs, nlist=%zu, nprobe=%zu, k=%zu, "
+              "%zu requests per point\n",
+              scale.num_base, scale.num_queries, scale.num_dpus, nlist, nprobe,
+              scale.k, num_requests);
+
+  const BenchData bench = make_sift_bench(scale);
+  const IvfPqIndex index = build_index(bench, nlist);
+
+  ServeParams sp;
+  sp.batcher.max_batch = 32;
+
+  DrimEngineOptions opts = default_engine_options(scale, nprobe);
+  opts.batch_size = sp.batcher.max_batch;  // calibration search uses serve batches
+  DrimAnnEngine engine(index, bench.data.learn, opts);
+
+  // Calibrate capacity from a closed-loop search at the serving batch size:
+  // the mean modeled batch time sets the service rate the sweep is scaled to.
+  DrimSearchStats cal;
+  engine.search(bench.data.queries, scale.k, nprobe, &cal);
+  const double mean_batch_s = mean(cal.batch_seconds);
+  const double capacity_qps =
+      static_cast<double>(sp.batcher.max_batch) / mean_batch_s;
+  // The batcher may wait one batch time to fill (cheap when a batch costs
+  // that long anyway); the SLO allows that wait plus a few batches of queue.
+  sp.batcher.max_wait_s = mean_batch_s;
+  sp.admission.slo_s = sp.batcher.max_wait_s + 6.0 * mean_batch_s;
+  // Shed conservatively: the queue-delay predictor can't see batch-time
+  // variance or a deferral's extra step, so admitting right up to the SLO
+  // line would let much of the queue finish just past it.
+  sp.admission.headroom = 0.6;
+  sp.flush_every = 2;  // bound filter deferral to one extra step
+  std::printf("calibrated: mean batch %.3f ms -> capacity ~%.0f qps, "
+              "max wait %.3f ms, SLO %.3f ms\n",
+              mean_batch_s * 1e3, capacity_qps, sp.batcher.max_wait_s * 1e3,
+              sp.admission.slo_s * 1e3);
+
+  ServingRuntime runtime(engine, bench.data.queries, sp);
+
+  WorkloadParams wp;
+  wp.num_requests = num_requests;
+  wp.query_skew = 0.5;
+  wp.k_choices = {static_cast<std::uint32_t>(scale.k)};
+  wp.nprobe_choices = {static_cast<std::uint32_t>(nprobe)};
+
+  const std::vector<double> multipliers =
+      smoke ? std::vector<double>{0.5, 1.5}
+            : std::vector<double>{0.25, 0.5, 0.75, 1.0, 1.25, 1.5, 2.0};
+
+  bool ok = true;
+  double prev_p99 = 0.0;
+  std::vector<LoadPoint> no_admit;
+
+  print_title("Open loop, admission OFF — saturation curve");
+  print_header();
+  for (double mult : multipliers) {
+    wp.offered_qps = mult * capacity_qps;
+    const std::vector<Request> trace =
+        generate_workload(bench.data.queries.count(), wp);
+    ServeParams p = sp;
+    p.admission.enabled = false;
+    ServeResult res = ServingRuntime(engine, bench.data.queries, p).run(trace);
+    print_report_row(mult, wp.offered_qps, res.report);
+    no_admit.push_back({mult, res.report});
+    ok = ok && res.report.served + res.report.shed == res.report.offered;
+    ok = ok && res.report.shed == 0;  // admission off never sheds
+    // Acceptance: latency is monotone in offered load (small tolerance for
+    // batching artifacts at low load).
+    ok = ok && res.report.p99_ms >= prev_p99 * 0.95;
+    prev_p99 = res.report.p99_ms;
+  }
+
+  print_title("Open loop, admission ON — shedding holds goodput");
+  print_header();
+  double peak_goodput = 0.0;
+  double overload_goodput = 0.0;
+  for (double mult : multipliers) {
+    wp.offered_qps = mult * capacity_qps;
+    const std::vector<Request> trace =
+        generate_workload(bench.data.queries.count(), wp);
+    ServeResult res = runtime.run(trace);
+    print_report_row(mult, wp.offered_qps, res.report);
+    ok = ok && res.report.served + res.report.shed == res.report.offered;
+    peak_goodput = std::max(peak_goodput, res.report.goodput_qps);
+    if (mult == multipliers.back()) overload_goodput = res.report.goodput_qps;
+  }
+
+  print_rule(92);
+  std::printf("admission at %.2fx overload keeps goodput at %.0f/%.0f qps "
+              "(%.0f%% of peak)\n",
+              multipliers.back(), overload_goodput, peak_goodput,
+              peak_goodput > 0 ? 100.0 * overload_goodput / peak_goodput : 0.0);
+  // Acceptance: shedding keeps goodput within 10% of the sweep's peak even
+  // past saturation.
+  ok = ok && overload_goodput >= 0.9 * peak_goodput;
+
+  if (!ok) {
+    std::printf("FAILED: serving invariants violated (see rows above)\n");
+    return 1;
+  }
+  std::printf("OK\n");
+  return 0;
+}

@@ -113,6 +113,12 @@ DrimRun run_drim(const BenchData& bench, const IvfPqIndex& index,
   run.recall = mean_recall_at_k(results, bench.ground_truth, k);
   run.modeled_seconds = run.stats.total_seconds;
   run.modeled_qps = run.stats.qps();
+  run.batch_ms = tail_summary(run.stats.batch_seconds);
+  run.batch_ms.p50 *= 1e3;
+  run.batch_ms.p95 *= 1e3;
+  run.batch_ms.p99 *= 1e3;
+  run.batch_ms.mean *= 1e3;
+  run.batch_ms.max *= 1e3;
   return run;
 }
 
@@ -136,6 +142,12 @@ void print_title(const std::string& title) {
   print_rule();
   std::printf("%s\n", title.c_str());
   print_rule();
+}
+
+std::string format_batch_tail(const TailSummary& t) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.2f/%.2f/%.2f", t.p50, t.p95, t.p99);
+  return buf;
 }
 
 }  // namespace drim::bench

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "baseline/cpu_ivfpq.hpp"
+#include "common/stats.hpp"
 #include "core/flat_search.hpp"
 #include "data/recall.hpp"
 #include "data/synthetic.hpp"
@@ -94,6 +95,10 @@ struct DrimRun {
   double wall_seconds = 0.0;      ///< host wall-clock of search() simulation
   double load_wall_seconds = 0.0; ///< host wall-clock of engine build + upload
   std::size_t host_threads = 1;   ///< effective simulation threads
+  /// Tail summary (milliseconds) of the per-batch modeled latencies in
+  /// stats.batch_seconds — the figure tables print p50/p95/p99 columns from
+  /// this so batching-induced latency spread is visible next to the mean.
+  TailSummary batch_ms;
   DrimSearchStats stats;
 };
 DrimRun run_drim(const BenchData& bench, const IvfPqIndex& index,
@@ -106,5 +111,8 @@ DrimEngineOptions default_engine_options(const BenchScale& scale, std::size_t np
 /// Formatting helpers for paper-style tables.
 void print_rule(std::size_t width = 78);
 void print_title(const std::string& title);
+
+/// "p50/p95/p99" of a per-batch tail summary, in ms (e.g. "0.42/0.55/0.61").
+std::string format_batch_tail(const TailSummary& t);
 
 }  // namespace drim::bench

@@ -41,6 +41,17 @@ double percentile(std::vector<double> v, double p) {
   return v[lo] * (1.0 - frac) + v[hi] * frac;
 }
 
+TailSummary tail_summary(const std::vector<double>& v) {
+  TailSummary t;
+  if (v.empty()) return t;
+  t.p50 = percentile(v, 50);
+  t.p95 = percentile(v, 95);
+  t.p99 = percentile(v, 99);
+  t.mean = mean(v);
+  t.max = *std::max_element(v.begin(), v.end());
+  return t;
+}
+
 double imbalance_factor(const std::vector<double>& v) {
   if (v.empty()) return 0.0;
   const double m = mean(v);

@@ -20,6 +20,19 @@ double stddev(const std::vector<double>& v);
 /// be sorted. Returns 0 for an empty input.
 double percentile(std::vector<double> v, double p);
 
+/// Tail percentiles of a latency sample, the summary the serving layer and
+/// the per-batch bench columns report.
+struct TailSummary {
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+  double mean = 0.0;
+  double max = 0.0;
+};
+
+/// Percentile/mean/max summary of `v` (all-zero for an empty input).
+TailSummary tail_summary(const std::vector<double>& v);
+
 /// max / mean ratio — the load-imbalance factor of a set of per-DPU latencies.
 /// The paper reports the slowest DPU running up to 5x longer than the fastest
 /// under a trivial layout; this is the metric the layout optimizer minimizes.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <cstdio>
 #include <stdexcept>
 #include <unordered_map>
 
@@ -58,6 +59,40 @@ DrimAnnEngine::DrimAnnEngine(const IvfPqIndex& index, const FloatMatrix& sample_
   // Bill the static upload once, here, so the first search batch's
   // transfer_in reflects only that batch's staged queries.
   index_load_seconds_ = pim_->drain_pending_transfer();
+
+  // Up-front batch_size feasibility: the staged query payloads alone must fit
+  // the per-DPU staging region even in the worst case where every query of a
+  // batch lands on one DPU. The k-dependent output footprint is re-validated
+  // exactly per step by search_batch().
+  if (opts_.batch_size > 0) {
+    const std::size_t cap = max_staged_queries(1);
+    if (opts_.batch_size > cap) {
+      char msg[160];
+      std::snprintf(msg, sizeof(msg),
+                    "batch_size %zu cannot be staged in MRAM; maximum feasible "
+                    "batch_size is %zu",
+                    opts_.batch_size, cap);
+      throw std::invalid_argument(msg);
+    }
+  }
+}
+
+std::size_t DrimAnnEngine::max_staged_queries(std::size_t k) const {
+  if (staging_base_ >= opts_.pim.mram_bytes) return 0;
+  const std::size_t capacity = opts_.pim.mram_bytes - staging_base_;
+  // Per staged query: its int16 payload plus at least one task's k-hit
+  // output block (alignment padding ignored — this is an upper bound).
+  const std::size_t per_query = data_.dim() * 2 + k * sizeof(KernelHit);
+  return capacity / per_query;
+}
+
+void DrimAnnEngine::validate_staging(std::size_t k) const {
+  const std::size_t need = ((data_.dim() * 2 + 7) & ~std::size_t{7}) + k * sizeof(KernelHit);
+  if (staging_base_ + need > opts_.pim.mram_bytes) {
+    throw std::invalid_argument(
+        "MRAM staging region cannot hold even one query at this k; reduce "
+        "dataset, k, or add DPUs");
+  }
 }
 
 void DrimAnnEngine::ensure_scheduler_params(std::size_t k) {
@@ -240,169 +275,298 @@ double DrimAnnEngine::locate_on_pim(
   return batch.total_seconds();
 }
 
+std::uint32_t DrimAnnEngine::enqueue_query(SearchBatchState& state,
+                                           std::span<const float> query, std::size_t k,
+                                           std::size_t nprobe) {
+  const std::uint32_t handle = static_cast<std::uint32_t>(state.quantized.size());
+  state.quantized.push_back(PimIndexData::quantize_query(query));
+  state.probes.emplace_back();
+  if (!opts_.cl_on_pim) state.probes.back() = index_.locate_clusters(query, nprobe);
+  state.query_k.push_back(static_cast<std::uint32_t>(k));
+  state.query_nprobe.push_back(static_cast<std::uint32_t>(nprobe));
+  state.accum.emplace_back(k);
+  state.deferred_per_query.push_back(0);
+  return handle;
+}
+
+void DrimAnnEngine::enqueue_queries(SearchBatchState& state, const FloatMatrix& queries,
+                                    std::size_t k, std::size_t nprobe) {
+  const std::size_t base = state.quantized.size();
+  const std::size_t nq = queries.count();
+  state.quantized.resize(base + nq);
+  state.probes.resize(base + nq);
+  state.query_k.resize(base + nq, static_cast<std::uint32_t>(k));
+  state.query_nprobe.resize(base + nq, static_cast<std::uint32_t>(nprobe));
+  state.accum.reserve(base + nq);
+  for (std::size_t q = 0; q < nq; ++q) state.accum.emplace_back(k);
+  state.deferred_per_query.resize(base + nq, 0);
+
+  // Quantized query payloads (independent per query).
+  parallel_for(0, nq, [&](std::size_t q) {
+    state.quantized[base + q] = PimIndexData::quantize_query(queries.row(q));
+  });
+  // CL: on the host by default (overlapped with PIM per batch); cl_on_pim
+  // fills probes lazily inside each step instead.
+  if (!opts_.cl_on_pim) {
+    parallel_for(0, nq, [&](std::size_t q) {
+      state.probes[base + q] = index_.locate_clusters(queries.row(q), nprobe);
+    });
+  }
+}
+
+BatchStepStats DrimAnnEngine::search_batch(SearchBatchState& state,
+                                           std::size_t max_queries, bool flush,
+                                           DrimSearchStats* stats) {
+  const std::size_t dim = data_.dim();
+  const std::size_t num_dpus = pim_->num_dpus();
+
+  DrimSearchStats local;
+  DrimSearchStats& st = stats != nullptr ? *stats : local;
+  if (st.per_dpu_seconds.size() != num_dpus) st.per_dpu_seconds.assign(num_dpus, 0.0);
+  st.index_load_seconds = index_load_seconds_;
+
+  const std::size_t begin = state.next_query;
+  const std::size_t end = max_queries == 0
+                              ? state.quantized.size()
+                              : std::min(state.quantized.size(), begin + max_queries);
+  state.next_query = end;
+
+  BatchStepStats step;
+  step.fresh_queries = end - begin;
+  st.queries += end - begin;
+  if (end == begin && state.carried.empty()) return step;  // nothing to run
+
+  // Kernel depth for this step: the widest k among the fresh queries and the
+  // carried tasks' queries. Per-query heaps still truncate to their own k.
+  std::size_t k = 0;
+  for (std::size_t q = begin; q < end; ++q) {
+    k = std::max<std::size_t>(k, state.query_k[q]);
+  }
+  for (const Task& t : state.carried) {
+    k = std::max<std::size_t>(k, state.query_k[t.query]);
+  }
+  // Price the Eq. 15 TS term for this step's actual search depth.
+  ensure_scheduler_params(k);
+
+  // CL-on-PIM: a dedicated barrier launch precedes the search launch (it
+  // cannot overlap — the search needs its output). The launch keeps the
+  // chunk's widest nprobe; narrower queries truncate their candidate list.
+  if (opts_.cl_on_pim && end > begin) {
+    std::size_t pmax = 0;
+    for (std::size_t q = begin; q < end; ++q) {
+      pmax = std::max<std::size_t>(pmax, state.query_nprobe[q]);
+    }
+    step.cl_pim_seconds = locate_on_pim(state.quantized, begin, end, pmax, state.probes, st);
+    for (std::size_t q = begin; q < end; ++q) {
+      if (state.probes[q].size() > state.query_nprobe[q]) {
+        state.probes[q].resize(state.query_nprobe[q]);
+      }
+    }
+  }
+
+  // The scheduler walks only this chunk's range of the probe table
+  // (Task.query indexes the whole state).
+  const Assignment assignment =
+      scheduler_->schedule(state.probes, begin, end, state.carried, flush);
+  state.carried = assignment.deferred;
+  std::fill(state.deferred_per_query.begin(), state.deferred_per_query.end(), 0u);
+  for (const Task& t : state.carried) ++state.deferred_per_query[t.query];
+
+  // ---- stage per-DPU inputs ----
+  std::vector<std::vector<KernelTask>> dpu_tasks(num_dpus);
+  std::vector<std::vector<std::uint32_t>> dpu_task_query(num_dpus);  // global q ids
+  std::vector<std::vector<std::uint32_t>> dpu_slot_query(num_dpus);  // slot -> global q
+  std::vector<std::size_t> dpu_output_off(num_dpus, 0);
+  std::vector<std::size_t> dpu_need(num_dpus, 0);
+
+  // Per-DPU dedup is independent (private task lists), so it fans out across
+  // host threads; nothing is pushed yet so an oversized batch can still be
+  // rejected cleanly below.
+  parallel_for(0, num_dpus, [&](std::size_t d) {
+    const auto& tasks = assignment.per_dpu[d];
+    if (tasks.empty()) return;
+    std::unordered_map<std::uint32_t, std::uint32_t> slot_of;
+    auto& slot_query = dpu_slot_query[d];
+    for (const Task& t : tasks) {
+      auto [it, inserted] =
+          slot_of.try_emplace(t.query, static_cast<std::uint32_t>(slot_query.size()));
+      if (inserted) slot_query.push_back(t.query);
+      dpu_tasks[d].push_back({it->second, shard_slot_[t.shard]});
+      dpu_task_query[d].push_back(t.query);
+    }
+    // Staging layout: [queries][outputs].
+    const std::size_t queries_bytes = slot_query.size() * dim * 2;
+    const std::size_t output_bytes = tasks.size() * k * sizeof(KernelHit);
+    dpu_output_off[d] = staging_base_ + ((queries_bytes + 7) & ~std::size_t{7});
+    dpu_need[d] = dpu_output_off[d] + output_bytes;
+  });
+
+  // Capacity check, serially and before any bytes move (throwing from inside
+  // a worker lambda mid-staging left the byte tallies half-updated). The
+  // error reports the batch size that would have fit this step's schedule.
+  for (std::size_t d = 0; d < num_dpus; ++d) {
+    if (dpu_need[d] <= opts_.pim.mram_bytes) continue;
+    const std::size_t need = dpu_need[d] - staging_base_;
+    const std::size_t capacity = opts_.pim.mram_bytes - staging_base_;
+    const std::size_t fresh = end - begin;
+    const std::size_t feasible =
+        fresh > 0 ? std::max<std::size_t>(1, fresh * capacity / need) : 0;
+    char msg[192];
+    std::snprintf(msg, sizeof(msg),
+                  "per-batch staging exceeds MRAM on DPU %zu (%zu bytes needed, "
+                  "%zu available); maximum feasible batch_size for this "
+                  "workload is about %zu",
+                  d, need, capacity, feasible);
+    throw std::runtime_error(msg);
+  }
+
+  // Query pushes fan out per DPU (private MRAM; the byte tally is atomic).
+  parallel_for(0, num_dpus, [&](std::size_t d) {
+    const auto& slot_query = dpu_slot_query[d];
+    for (std::size_t s = 0; s < slot_query.size(); ++s) {
+      const auto& qv = state.quantized[slot_query[s]];
+      pim_->push(d, staging_base_ + s * dim * 2,
+                 {reinterpret_cast<const std::uint8_t*>(qv.data()), dim * 2});
+    }
+  });
+
+  // ---- launch ----
+  SearchKernelArgs args;
+  args.dim = static_cast<std::uint32_t>(dim);
+  args.m = static_cast<std::uint32_t>(data_.m());
+  args.cb = static_cast<std::uint32_t>(data_.cb_entries());
+  args.code_size = static_cast<std::uint32_t>(data_.code_size());
+  args.wide_codes = data_.wide_codes();
+  args.k = static_cast<std::uint32_t>(k);
+  args.sq_lut_offset = sq_lut_off_;
+  args.sq_lut_max_abs = static_cast<std::uint32_t>(sq_lut_.max_abs());
+  args.codebooks_offset = codebooks_off_;
+  args.centroids_offset = centroids_off_;
+  args.queries_offset = staging_base_;
+  args.use_square_lut = opts_.use_square_lut;
+
+  BatchResult batch = pim_->run_batch(
+      [&](std::size_t d, DpuContext& ctx) {
+        if (dpu_tasks[d].empty()) return;
+        SearchKernelArgs a = args;
+        a.output_offset = dpu_output_off[d];
+        run_search_kernel(ctx, a, dpu_shard_regions_[d], dpu_tasks[d]);
+      },
+      [&]() {
+        // Collect: pull each DPU's whole output block concurrently (same
+        // bytes billed as per-task pulls), then merge into the per-query
+        // heaps serially in fixed (dpu, task) order — accum[] heaps are
+        // shared across DPUs, and a fixed merge order keeps tie-breaking
+        // bit-identical to the serial path.
+        std::vector<std::vector<KernelHit>> dpu_hits(num_dpus);
+        parallel_for(0, num_dpus, [&](std::size_t d) {
+          if (dpu_tasks[d].empty()) return;
+          dpu_hits[d].resize(dpu_tasks[d].size() * k);
+          pim_->pull(d, dpu_output_off[d],
+                     {reinterpret_cast<std::uint8_t*>(dpu_hits[d].data()),
+                      dpu_hits[d].size() * sizeof(KernelHit)});
+        });
+        for (std::size_t d = 0; d < num_dpus; ++d) {
+          for (std::size_t t = 0; t < dpu_tasks[d].size(); ++t) {
+            const std::uint32_t q = dpu_task_query[d][t];
+            for (std::size_t i = 0; i < k; ++i) {
+              const KernelHit& h = dpu_hits[d][t * k + i];
+              if (h.id == 0xFFFFFFFFu && h.dist == 0xFFFFFFFFu) break;  // pad
+              state.accum[q].push(static_cast<float>(h.dist), h.id);
+            }
+          }
+        }
+      });
+
+  // ---- accounting: host work overlaps the PIM batch; a CL-on-PIM launch
+  // serializes before it ----
+  const double host_cl = opts_.cl_on_pim ? 0.0 : model_host_cl_seconds(end - begin);
+  step.host_cl_seconds = host_cl;
+  step.pim_batch_seconds = batch.total_seconds();
+  step.transfer_in_seconds = batch.transfer_in_seconds;
+  step.transfer_out_seconds = batch.transfer_out_seconds;
+  step.dpu_seconds = batch.dpu_seconds;
+  step.step_seconds = step.cl_pim_seconds + std::max(host_cl, batch.total_seconds());
+  step.deferred = state.carried.size();
+
+  st.total_seconds += step.step_seconds;
+  st.host_cl_seconds += host_cl;
+  st.transfer_in_seconds += batch.transfer_in_seconds;
+  st.transfer_out_seconds += batch.transfer_out_seconds;
+  st.dpu_busy_seconds += batch.dpu_seconds;
+  for (std::size_t d = 0; d < num_dpus; ++d) {
+    st.per_dpu_seconds[d] += batch.per_dpu_seconds[d];
+    step.tasks += dpu_tasks[d].size();
+    for (std::size_t p = 0; p < kNumPhases; ++p) {
+      st.phase_dpu_seconds[p] += pim_->dpu(d).phase_seconds(static_cast<Phase>(p));
+    }
+  }
+  st.tasks += step.tasks;
+  st.counters.add(pim_->aggregate_counters());
+  ++st.batches;
+  st.batch_seconds.push_back(step.step_seconds);
+  return step;
+}
+
+double DrimAnnEngine::estimate_batch_seconds(std::size_t num_queries, std::size_t nprobe,
+                                             std::size_t k) const {
+  if (num_queries == 0) return 0.0;
+  const SchedulerParams p = derive_scheduler_params(
+      opts_.pim, data_.dim(), data_.m(), data_.cb_entries(), k, opts_.use_square_lut);
+  // Layout means: a (query, cluster) visit costs one task per slice group.
+  const std::size_t nlist = data_.nlist();
+  double total_slices = 0.0;
+  double total_points = 0.0;
+  for (std::uint32_t c = 0; c < nlist; ++c) {
+    const auto& groups = layout_->slice_groups(c);
+    total_slices += static_cast<double>(groups.size());
+    for (const auto& g : groups) {
+      if (!g.empty()) total_points += layout_->shard(g.front()).size();
+    }
+  }
+  const double mean_slices = nlist > 0 ? total_slices / static_cast<double>(nlist) : 0.0;
+  const double mean_points = total_slices > 0 ? total_points / total_slices : 0.0;
+  const double tasks = static_cast<double>(num_queries) *
+                       static_cast<double>(std::min<std::size_t>(nprobe, nlist)) *
+                       mean_slices;
+  const double cycles = tasks * (p.l_lut + mean_points * (p.l_calu + p.l_sortu));
+  const PimConfig& cfg = opts_.pim;
+  const double dpu_s = cycles / static_cast<double>(cfg.num_dpus) /
+                       cfg.effective_ipc() * cfg.seconds_per_cycle();
+  const double in_bytes = static_cast<double>(num_queries * data_.dim() * 2);
+  const double out_bytes = tasks * static_cast<double>(k * sizeof(KernelHit));
+  return cfg.launch_overhead_sec + dpu_s +
+         (in_bytes + out_bytes) / cfg.host_link_bytes_per_sec;
+}
+
 std::vector<std::vector<Neighbor>> DrimAnnEngine::search(const FloatMatrix& queries,
                                                          std::size_t k, std::size_t nprobe,
                                                          DrimSearchStats* stats) {
   const std::size_t nq = queries.count();
-  const std::size_t dim = data_.dim();
-  std::vector<TopK> accum(nq, TopK(k));
-
-  // Price the Eq. 15 TS term for this call's actual search depth.
-  ensure_scheduler_params(k);
 
   DrimSearchStats local;
   DrimSearchStats& st = stats != nullptr ? *stats : local;
   st = DrimSearchStats{};
-  st.queries = nq;
   st.per_dpu_seconds.assign(pim_->num_dpus(), 0.0);
   st.index_load_seconds = index_load_seconds_;
+  validate_staging(k);
 
-  // Quantized query payloads (independent per query).
-  std::vector<std::vector<std::int16_t>> quantized(nq);
-  parallel_for(0, nq, [&](std::size_t q) {
-    quantized[q] = PimIndexData::quantize_query(queries.row(q));
-  });
-
-  // ---- CL: on the host by default (overlapped with PIM per batch), or on
-  // the DPUs when cl_on_pim is set (filled lazily per chunk below) ----
-  std::vector<std::vector<std::uint32_t>> probes(nq);
-  if (!opts_.cl_on_pim) {
-    parallel_for(0, nq, [&](std::size_t q) {
-      probes[q] = index_.locate_clusters(queries.row(q), nprobe);
-    });
-  }
+  SearchBatchState state;
+  enqueue_queries(state, queries, k, nprobe);
 
   const std::size_t batch_queries = opts_.batch_size == 0 ? nq : opts_.batch_size;
-  std::vector<Task> carried;
-  std::size_t next_query = 0;
-
-  while (next_query < nq || !carried.empty()) {
-    const std::size_t begin = next_query;
-    const std::size_t end = std::min(nq, begin + batch_queries);
-    next_query = end;
-    const bool last_chunk = next_query >= nq;
-
-    // CL-on-PIM: a dedicated barrier launch precedes the search launch (it
-    // cannot overlap — the search needs its output).
-    double cl_pim_seconds = 0.0;
-    if (opts_.cl_on_pim && end > begin) {
-      cl_pim_seconds = locate_on_pim(quantized, begin, end, nprobe, probes, st);
-    }
-
-    // The scheduler walks only this chunk's range of the probe table
-    // (Task.query indexes the full query array).
-    const Assignment assignment =
-        scheduler_->schedule(probes, begin, end, carried, last_chunk);
-    carried = assignment.deferred;
-
-    // ---- stage per-DPU inputs ----
-    const std::size_t num_dpus = pim_->num_dpus();
-    std::vector<std::vector<KernelTask>> dpu_tasks(num_dpus);
-    std::vector<std::vector<std::uint32_t>> dpu_task_query(num_dpus);  // global q ids
-    std::vector<std::size_t> dpu_output_off(num_dpus, 0);
-    std::vector<std::size_t> dpu_query_slots(num_dpus, 0);
-
-    // Per-DPU staging is independent (private task lists, private MRAM), so
-    // task deduplication and query pushes fan out across host threads.
-    parallel_for(0, num_dpus, [&](std::size_t d) {
-      const auto& tasks = assignment.per_dpu[d];
-      if (tasks.empty()) return;
-      std::unordered_map<std::uint32_t, std::uint32_t> slot_of;
-      std::vector<std::uint32_t> slot_query;
-      for (const Task& t : tasks) {
-        auto [it, inserted] =
-            slot_of.try_emplace(t.query, static_cast<std::uint32_t>(slot_query.size()));
-        if (inserted) slot_query.push_back(t.query);
-        dpu_tasks[d].push_back({it->second, shard_slot_[t.shard]});
-        dpu_task_query[d].push_back(t.query);
-      }
-      dpu_query_slots[d] = slot_query.size();
-
-      // Staging layout: [queries][outputs].
-      const std::size_t queries_bytes = slot_query.size() * dim * 2;
-      const std::size_t output_bytes = tasks.size() * k * sizeof(KernelHit);
-      dpu_output_off[d] = staging_base_ + ((queries_bytes + 7) & ~std::size_t{7});
-      if (dpu_output_off[d] + output_bytes > opts_.pim.mram_bytes) {
-        throw std::runtime_error("per-batch staging exceeds MRAM; lower batch_size");
-      }
-      for (std::size_t s = 0; s < slot_query.size(); ++s) {
-        const auto& qv = quantized[slot_query[s]];
-        pim_->push(d, staging_base_ + s * dim * 2,
-                   {reinterpret_cast<const std::uint8_t*>(qv.data()), dim * 2});
-      }
-    });
-
-    // ---- launch ----
-    SearchKernelArgs args;
-    args.dim = static_cast<std::uint32_t>(dim);
-    args.m = static_cast<std::uint32_t>(data_.m());
-    args.cb = static_cast<std::uint32_t>(data_.cb_entries());
-    args.code_size = static_cast<std::uint32_t>(data_.code_size());
-    args.wide_codes = data_.wide_codes();
-    args.k = static_cast<std::uint32_t>(k);
-    args.sq_lut_offset = sq_lut_off_;
-    args.sq_lut_max_abs = static_cast<std::uint32_t>(sq_lut_.max_abs());
-    args.codebooks_offset = codebooks_off_;
-    args.centroids_offset = centroids_off_;
-    args.queries_offset = staging_base_;
-    args.use_square_lut = opts_.use_square_lut;
-
-    BatchResult batch = pim_->run_batch(
-        [&](std::size_t d, DpuContext& ctx) {
-          if (dpu_tasks[d].empty()) return;
-          SearchKernelArgs a = args;
-          a.output_offset = dpu_output_off[d];
-          run_search_kernel(ctx, a, dpu_shard_regions_[d], dpu_tasks[d]);
-        },
-        [&]() {
-          // Collect: pull each DPU's whole output block concurrently (same
-          // bytes billed as per-task pulls), then merge into the per-query
-          // heaps serially in fixed (dpu, task) order — accum[] heaps are
-          // shared across DPUs, and a fixed merge order keeps tie-breaking
-          // bit-identical to the serial path.
-          std::vector<std::vector<KernelHit>> dpu_hits(num_dpus);
-          parallel_for(0, num_dpus, [&](std::size_t d) {
-            if (dpu_tasks[d].empty()) return;
-            dpu_hits[d].resize(dpu_tasks[d].size() * k);
-            pim_->pull(d, dpu_output_off[d],
-                       {reinterpret_cast<std::uint8_t*>(dpu_hits[d].data()),
-                        dpu_hits[d].size() * sizeof(KernelHit)});
-          });
-          for (std::size_t d = 0; d < num_dpus; ++d) {
-            for (std::size_t t = 0; t < dpu_tasks[d].size(); ++t) {
-              const std::uint32_t q = dpu_task_query[d][t];
-              for (std::size_t i = 0; i < k; ++i) {
-                const KernelHit& h = dpu_hits[d][t * k + i];
-                if (h.id == 0xFFFFFFFFu && h.dist == 0xFFFFFFFFu) break;  // pad
-                accum[q].push(static_cast<float>(h.dist), h.id);
-              }
-            }
-          }
-        });
-
-    // ---- accounting: host work overlaps the PIM batch; a CL-on-PIM launch
-    // serializes before it ----
-    const double host_cl = opts_.cl_on_pim ? 0.0 : model_host_cl_seconds(end - begin);
-    st.total_seconds += cl_pim_seconds + std::max(host_cl, batch.total_seconds());
-    st.host_cl_seconds += host_cl;
-    st.transfer_in_seconds += batch.transfer_in_seconds;
-    st.transfer_out_seconds += batch.transfer_out_seconds;
-    st.dpu_busy_seconds += batch.dpu_seconds;
-    for (std::size_t d = 0; d < num_dpus; ++d) {
-      st.per_dpu_seconds[d] += batch.per_dpu_seconds[d];
-      st.tasks += dpu_tasks[d].size();
-      for (std::size_t p = 0; p < kNumPhases; ++p) {
-        st.phase_dpu_seconds[p] += pim_->dpu(d).phase_seconds(static_cast<Phase>(p));
-      }
-    }
-    st.counters.add(pim_->aggregate_counters());
-    ++st.batches;
+  while (state.next_query < nq || state.has_deferred()) {
+    // The final chunk flushes the filter so nothing is left behind.
+    const bool flush = state.next_query + batch_queries >= nq;
+    search_batch(state, batch_queries, flush, &st);
   }
 
   st.energy_joules = opts_.energy.pim_energy_joules(opts_.pim, st.total_seconds);
 
   std::vector<std::vector<Neighbor>> results(nq);
-  for (std::size_t q = 0; q < nq; ++q) results[q] = accum[q].take_sorted();
+  for (std::size_t q = 0; q < nq; ++q) {
+    results[q] = state.take_results(static_cast<std::uint32_t>(q));
+  }
   return results;
 }
 

@@ -11,9 +11,11 @@
 #include <array>
 #include <cstdint>
 #include <memory>
+#include <span>
 #include <vector>
 
 #include "core/ivf.hpp"
+#include "core/topk.hpp"
 #include "drim/kernels.hpp"
 #include "drim/layout.hpp"
 #include "drim/pim_index.hpp"
@@ -67,10 +69,61 @@ struct DrimSearchStats {
   std::size_t batches = 0;
   std::size_t tasks = 0;
   std::size_t queries = 0;
+  /// Modeled latency of each PIM batch in order (CL-on-PIM launch + the
+  /// host/PIM overlap), so benches and the serving layer can report tail
+  /// percentiles without re-deriving per-batch times from the totals.
+  std::vector<double> batch_seconds;
   DpuCounters counters;             ///< aggregate over DPUs and batches
   double energy_joules = 0.0;
 
   double qps() const { return total_seconds > 0 ? queries / total_seconds : 0.0; }
+};
+
+/// Timing/accounting of ONE search_batch() step.
+struct BatchStepStats {
+  /// Modeled critical path of this step: cl_pim + max(host CL, PIM batch).
+  double step_seconds = 0.0;
+  double host_cl_seconds = 0.0;      ///< host CL (overlapped with the PIM batch)
+  double cl_pim_seconds = 0.0;       ///< dedicated CL launch (cl_on_pim only)
+  double pim_batch_seconds = 0.0;    ///< search launch: transfers + barrier + overhead
+  double transfer_in_seconds = 0.0;  ///< search launch only (CL launch billed in cl_pim)
+  double transfer_out_seconds = 0.0;
+  double dpu_seconds = 0.0;          ///< slowest DPU of the search launch
+  std::size_t fresh_queries = 0;     ///< pending queries consumed by this step
+  std::size_t tasks = 0;             ///< tasks executed (fresh + carried)
+  std::size_t deferred = 0;          ///< tasks the filter carried to the next step
+};
+
+/// Caller-owned state of a streaming search: quantized query payloads, CL
+/// probe lists, per-query result heaps, and the scheduler's deferred-task
+/// buffer, all carried across search_batch() calls. One state = one logical
+/// query stream; handles returned by enqueue_query() index these tables and
+/// are the global ids Task.query refers to. The tables grow with the stream
+/// (a few hundred bytes per query), so very long serving runs should start a
+/// fresh state periodically once it drains.
+struct SearchBatchState {
+  std::vector<std::vector<std::int16_t>> quantized;  ///< per-query PIM payload
+  std::vector<std::vector<std::uint32_t>> probes;    ///< per-query cluster list
+  std::vector<std::uint32_t> query_k;
+  std::vector<std::uint32_t> query_nprobe;
+  std::vector<TopK> accum;                 ///< per-query result accumulation
+  std::vector<Task> carried;               ///< inter-batch filter buffer
+  std::vector<std::uint32_t> deferred_per_query;  ///< outstanding carried tasks
+  std::size_t next_query = 0;  ///< first enqueued query no step has consumed
+
+  /// Queries enqueued but not yet consumed by a step.
+  std::size_t pending() const { return quantized.size() - next_query; }
+  bool has_deferred() const { return !carried.empty(); }
+  /// Nothing left to run: no pending queries and no carried tasks.
+  bool idle() const { return pending() == 0 && carried.empty(); }
+  /// True once every task of query `handle` has executed (results final).
+  bool finished(std::uint32_t handle) const {
+    return handle < next_query && deferred_per_query[handle] == 0;
+  }
+  /// Sorted final results; consumes the heap. Call once finished().
+  std::vector<Neighbor> take_results(std::uint32_t handle) {
+    return accum[handle].take_sorted();
+  }
 };
 
 /// Derive Eq. 15 predictor coefficients (in DPU cycles) from the index
@@ -88,9 +141,46 @@ class DrimAnnEngine {
 
   /// Batch search. Results are ascending (distance, id); distances are the
   /// integer ADC values from the quantized PIM domain, widened to float.
+  /// Implemented as enqueue_queries() + a search_batch() loop over
+  /// opts().batch_size chunks.
   std::vector<std::vector<Neighbor>> search(const FloatMatrix& queries, std::size_t k,
                                             std::size_t nprobe,
                                             DrimSearchStats* stats = nullptr);
+
+  // ---- streaming step API (the serving runtime's entry point) ----
+
+  /// Admit one query into a streaming state: quantizes the payload and (in
+  /// host-CL mode) locates its clusters. Returns the query's dense handle.
+  std::uint32_t enqueue_query(SearchBatchState& state, std::span<const float> query,
+                              std::size_t k, std::size_t nprobe);
+
+  /// Bulk admit, fanning the per-query quantization and CL across host
+  /// threads. Handles are assigned in row order starting at state.pending
+  /// end; search() uses this path.
+  void enqueue_queries(SearchBatchState& state, const FloatMatrix& queries,
+                       std::size_t k, std::size_t nprobe);
+
+  /// Run ONE barrier-synchronized PIM step: consumes up to `max_queries`
+  /// pending queries (0 = all of them) plus every carried deferred task,
+  /// schedules them (Eq. 15 + filter), launches the search kernel, and
+  /// merges hits into the per-query heaps. `flush` disables the inter-batch
+  /// filter so nothing is deferred past this step. When `stats` is given the
+  /// step is also accumulated into it (totals, per-batch vector, counters).
+  BatchStepStats search_batch(SearchBatchState& state, std::size_t max_queries,
+                              bool flush, DrimSearchStats* stats = nullptr);
+
+  /// Eq. 15 open-loop estimate of one batch's modeled service time for
+  /// `num_queries` queries at (k, nprobe), assuming the scheduler spreads
+  /// tasks perfectly across DPUs. The serving layer's admission controller
+  /// seeds its queue-delay predictor with this.
+  double estimate_batch_seconds(std::size_t num_queries, std::size_t nprobe,
+                                std::size_t k) const;
+
+  /// Upper bound on how many staged queries can ever fit the per-DPU MRAM
+  /// staging region at depth k (each staged query needs its payload plus at
+  /// least one task's k-hit output block). The exact per-step footprint
+  /// depends on the schedule and is re-validated by search_batch().
+  std::size_t max_staged_queries(std::size_t k) const;
 
   const DrimEngineOptions& options() const { return opts_; }
   const PimIndexData& data() const { return data_; }
@@ -104,6 +194,10 @@ class DrimAnnEngine {
  private:
   void load_static_data();
   double model_host_cl_seconds(std::size_t num_queries) const;
+
+  /// Throw if even a single query at depth `k` cannot be staged (satellite
+  /// of the up-front batch_size validation; called at search entry).
+  void validate_staging(std::size_t k) const;
 
   /// (Re)derive the Eq. 15 predictor coefficients for search depth `k`,
   /// preserving the caller's filter/policy settings. Cached per k: search()

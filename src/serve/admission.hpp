@@ -1,0 +1,48 @@
+#pragma once
+// Admission control for the serving runtime. At each arrival the runtime
+// predicts the request's completion latency — current batch residual + the
+// backlog's worth of batches, each priced by an EWMA of observed batch times
+// seeded from the engine's Eq. 15 estimate — and the controller sheds the
+// request when the prediction blows the SLO budget. Shedding early keeps the
+// queue short, so admitted requests still finish inside the SLO and goodput
+// holds near peak instead of collapsing past saturation.
+
+#include <cstddef>
+
+namespace drim::serve {
+
+struct AdmissionParams {
+  bool enabled = true;
+  /// End-to-end latency budget. Predictions above slo_s * headroom shed.
+  double slo_s = 10e-3;
+  double headroom = 1.0;
+};
+
+class AdmissionController {
+ public:
+  explicit AdmissionController(const AdmissionParams& params) : params_(params) {}
+
+  const AdmissionParams& params() const { return params_; }
+
+  /// Decide at arrival time. Counts the outcome either way.
+  bool admit(double predicted_latency_s) {
+    const bool ok =
+        !params_.enabled || predicted_latency_s <= params_.slo_s * params_.headroom;
+    if (ok) {
+      ++admitted_;
+    } else {
+      ++shed_;
+    }
+    return ok;
+  }
+
+  std::size_t admitted() const { return admitted_; }
+  std::size_t shed() const { return shed_; }
+
+ private:
+  AdmissionParams params_;
+  std::size_t admitted_ = 0;
+  std::size_t shed_ = 0;
+};
+
+}  // namespace drim::serve

@@ -1,0 +1,22 @@
+#include "serve/batcher.hpp"
+
+#include <algorithm>
+
+namespace drim::serve {
+
+void DynamicBatcher::enqueue(const Request& request, double now_s) {
+  queue_.push_back({request, now_s});
+}
+
+std::vector<Request> DynamicBatcher::take_batch() {
+  const std::size_t n = std::min(queue_.size(), params_.max_batch);
+  std::vector<Request> batch;
+  batch.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    batch.push_back(queue_.front().request);
+    queue_.pop_front();
+  }
+  return batch;
+}
+
+}  // namespace drim::serve

@@ -1,0 +1,53 @@
+#include "serve/metrics.hpp"
+
+#include <algorithm>
+
+#include "common/stats.hpp"
+
+namespace drim::serve {
+
+ServeReport summarize(const std::vector<RequestRecord>& records, double slo_s) {
+  ServeReport rep;
+  rep.offered = records.size();
+
+  std::vector<double> latencies_ms;
+  std::vector<double> waits_ms;
+  double first_arrival = 0.0;
+  double last_done = 0.0;
+  bool any = false;
+  for (const RequestRecord& r : records) {
+    if (!any || r.request.arrival_s < first_arrival) first_arrival = r.request.arrival_s;
+    any = true;
+    if (r.shed) {
+      ++rep.shed;
+      continue;
+    }
+    ++rep.served;
+    last_done = std::max(last_done, r.done_s);
+    latencies_ms.push_back(r.latency_s * 1e3);
+    waits_ms.push_back(r.queue_wait_s * 1e3);
+    if (r.latency_s > slo_s) ++rep.slo_violations;
+  }
+  if (rep.served > 0) {
+    rep.duration_s = last_done - first_arrival;
+    rep.p50_ms = percentile(latencies_ms, 50);
+    rep.p95_ms = percentile(latencies_ms, 95);
+    rep.p99_ms = percentile(latencies_ms, 99);
+    rep.mean_ms = mean(latencies_ms);
+    rep.max_ms = *std::max_element(latencies_ms.begin(), latencies_ms.end());
+    rep.mean_queue_wait_ms = mean(waits_ms);
+    if (rep.duration_s > 0) {
+      rep.throughput_qps = static_cast<double>(rep.served) / rep.duration_s;
+      rep.goodput_qps =
+          static_cast<double>(rep.served - rep.slo_violations) / rep.duration_s;
+    }
+  }
+  if (rep.offered > 0) {
+    rep.shed_rate = static_cast<double>(rep.shed) / static_cast<double>(rep.offered);
+    rep.timeout_rate =
+        static_cast<double>(rep.slo_violations) / static_cast<double>(rep.offered);
+  }
+  return rep;
+}
+
+}  // namespace drim::serve

@@ -1,0 +1,58 @@
+#pragma once
+// Per-request latency accounting and SLO metrics for the serving runtime.
+// Every request ends as a RequestRecord (served with a latency decomposition,
+// or shed), and summarize() folds a trace's records into the serving numbers
+// the paper family cares about: tail percentiles vs offered load, goodput
+// (served inside the SLO), shed and timeout rates.
+
+#include <cstddef>
+#include <vector>
+
+#include "serve/workload.hpp"
+
+namespace drim::serve {
+
+/// Final disposition of one request.
+struct RequestRecord {
+  Request request;
+  bool shed = false;          ///< rejected at admission; latency fields unset
+  std::size_t results = 0;    ///< neighbors returned (k when served)
+  double done_s = 0.0;        ///< completion on the virtual clock
+  double latency_s = 0.0;     ///< done_s - arrival_s
+
+  // Decomposition of the served path. queue_wait is the request's own
+  // (arrival -> its batch launch); the remaining terms are its batch's
+  // modeled phase times (the whole batch completes together). A request
+  // whose tasks the filter deferred accrues the extra batches in latency_s.
+  double queue_wait_s = 0.0;
+  double host_cl_s = 0.0;   ///< host cluster locating (overlapped)
+  double schedule_s = 0.0;  ///< Eq. 15 predict + greedy assign on the host
+  double pim_s = 0.0;       ///< PIM batch: transfers + barrier + launch
+  double merge_s = 0.0;     ///< host-side per-query top-k merge
+};
+
+/// Aggregate serving report for one run.
+struct ServeReport {
+  std::size_t offered = 0;  ///< requests in the trace
+  std::size_t served = 0;
+  std::size_t shed = 0;
+  std::size_t slo_violations = 0;  ///< served but past the SLO
+
+  double duration_s = 0.0;  ///< first arrival -> last completion
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double mean_ms = 0.0;
+  double max_ms = 0.0;
+  double mean_queue_wait_ms = 0.0;
+
+  double throughput_qps = 0.0;  ///< served / duration
+  double goodput_qps = 0.0;     ///< served inside the SLO / duration
+  double shed_rate = 0.0;       ///< shed / offered
+  double timeout_rate = 0.0;    ///< slo_violations / offered
+};
+
+/// Fold a trace's records into the report; `slo_s` defines goodput/timeouts.
+ServeReport summarize(const std::vector<RequestRecord>& records, double slo_s);
+
+}  // namespace drim::serve

@@ -1,0 +1,192 @@
+#include "serve/runtime.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+#include <unordered_map>
+
+namespace drim::serve {
+
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+}  // namespace
+
+ServingRuntime::ServingRuntime(DrimAnnEngine& engine, const FloatMatrix& query_pool,
+                               const ServeParams& params)
+    : engine_(engine), pool_(query_pool), params_(params) {
+  if (params_.batcher.max_batch == 0) {
+    throw std::invalid_argument("ServeParams: batcher.max_batch must be > 0");
+  }
+  if (!(params_.ewma_alpha > 0.0) || params_.ewma_alpha > 1.0) {
+    throw std::invalid_argument("ServeParams: ewma_alpha must be in (0, 1]");
+  }
+}
+
+ServeResult ServingRuntime::run(const std::vector<Request>& trace) {
+  ServeResult result;
+  result.records.resize(trace.size());
+
+  std::uint32_t max_k = 1;
+  std::uint32_t max_nprobe = 1;
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    const Request& req = trace[i];
+    if (i > 0 && req.arrival_s < trace[i - 1].arrival_s) {
+      throw std::invalid_argument("ServingRuntime: trace must be sorted by arrival");
+    }
+    if (req.id != i) {
+      throw std::invalid_argument(
+          "ServingRuntime: request ids must be the trace positions 0..n-1");
+    }
+    if (req.query >= pool_.count()) {
+      throw std::invalid_argument("ServingRuntime: request query id out of pool");
+    }
+    if (req.k == 0 || req.nprobe == 0) {
+      throw std::invalid_argument("ServingRuntime: request k and nprobe must be > 0");
+    }
+    result.records[i].request = req;
+    max_k = std::max(max_k, req.k);
+    max_nprobe = std::max(max_nprobe, req.nprobe);
+  }
+  if (trace.empty()) {
+    result.report = summarize(result.records, params_.admission.slo_s);
+    return result;
+  }
+
+  DynamicBatcher batcher(params_.batcher);
+  AdmissionController admission(params_.admission);
+  SearchBatchState state;
+  DrimSearchStats& stats = result.engine_stats;
+
+  // Seed the batch-time predictor with the Eq. 15 open-loop estimate for a
+  // full-size batch at the trace's deepest (k, nprobe); observed steps then
+  // pull the EWMA toward the actual (skew-inflated) batch times.
+  double ewma = engine_.estimate_batch_seconds(params_.batcher.max_batch, max_nprobe,
+                                               max_k);
+
+  double now = 0.0;
+  double busy_until = 0.0;
+  std::size_t next_arrival = 0;
+  // Engine handle -> trace index, for the live (launched, maybe deferred)
+  // requests whose completion we still have to observe.
+  std::unordered_map<std::uint32_t, std::size_t> inflight;
+
+  // Admission decision at the request's own arrival instant: residual of the
+  // running step plus the backlog's worth of batches at the EWMA batch time.
+  auto process_arrival = [&](const Request& req) {
+    const double residual = std::max(0.0, busy_until - req.arrival_s);
+    const std::size_t backlog_batches =
+        (batcher.depth() + 1 + params_.batcher.max_batch - 1) /
+        params_.batcher.max_batch;
+    const double predicted =
+        residual + static_cast<double>(backlog_batches) * ewma;
+    if (admission.admit(predicted)) {
+      batcher.enqueue(req, req.arrival_s);
+    } else {
+      result.records[req.id].shed = true;
+    }
+  };
+
+  // Run one PIM step (a fresh batch or a pure deferred-task drain), advance
+  // the virtual clock across it — admitting the arrivals that land while it
+  // runs — and mark the requests it completed.
+  auto run_step = [&](std::size_t fresh_count, bool flush) {
+    if (params_.flush_every > 0 && (result.batches + 1) % params_.flush_every == 0) {
+      flush = true;  // periodic flush bounds re-deferral starvation
+    }
+    BatchStepStats step = engine_.search_batch(state, fresh_count, flush, &stats);
+    std::uint32_t step_k = 1;
+    for (const auto& [handle, idx] : inflight) {
+      step_k = std::max(step_k, result.records[idx].request.k);
+    }
+    const double schedule_s = params_.schedule_cost_per_task_s *
+                              static_cast<double>(step.tasks);
+    const double merge_s = params_.merge_cost_per_hit_s *
+                           static_cast<double>(step.tasks) *
+                           static_cast<double>(step_k);
+    // Same overlap model as the engine: the dedicated CL launch (if any) is
+    // serial, then host work (CL + schedule + merge) hides under the PIM
+    // batch — whichever is longer paces the step.
+    const double host_s = step.host_cl_seconds + schedule_s + merge_s;
+    const double wall =
+        step.cl_pim_seconds + std::max(host_s, step.pim_batch_seconds);
+    busy_until = now + wall;
+    ++result.batches;
+    ewma += params_.ewma_alpha * (wall - ewma);
+
+    // Arrivals landing while this step runs decide admission at their own
+    // instants (the queue-delay prediction sees the step's residual).
+    while (next_arrival < trace.size() &&
+           trace[next_arrival].arrival_s <= busy_until) {
+      process_arrival(trace[next_arrival]);
+      ++next_arrival;
+    }
+    now = busy_until;
+
+    // Completions: every live request whose tasks have all executed.
+    for (auto it = inflight.begin(); it != inflight.end();) {
+      if (!state.finished(it->first)) {
+        ++it;
+        continue;
+      }
+      RequestRecord& rec = result.records[it->second];
+      rec.done_s = now;
+      rec.latency_s = now - rec.request.arrival_s;
+      rec.host_cl_s = step.host_cl_seconds + step.cl_pim_seconds;
+      rec.schedule_s = schedule_s;
+      rec.pim_s = step.pim_batch_seconds;
+      rec.merge_s = merge_s;
+      rec.results = state.take_results(it->first).size();
+      it = inflight.erase(it);
+    }
+  };
+
+  while (next_arrival < trace.size() || !batcher.empty() || !inflight.empty()) {
+    const bool no_more_arrivals = next_arrival >= trace.size();
+
+    // Launch when a trigger fires — or unconditionally once the trace is
+    // exhausted, since no further arrivals can top the batch up.
+    if (batcher.ready(now) || (no_more_arrivals && !batcher.empty())) {
+      std::vector<Request> batch = batcher.take_batch();
+      for (const Request& req : batch) {
+        const std::uint32_t handle =
+            engine_.enqueue_query(state, pool_.row(req.query), req.k, req.nprobe);
+        inflight.emplace(handle, static_cast<std::size_t>(req.id));
+        RequestRecord& rec = result.records[req.id];
+        rec.queue_wait_s = now - req.arrival_s;
+      }
+      const bool flush = no_more_arrivals && batcher.empty();
+      run_step(batch.size(), flush);
+      continue;
+    }
+
+    // Idle with carried deferred tasks and nothing else to wait for: drain
+    // them with a flush step so the stragglers complete.
+    if (no_more_arrivals && batcher.empty() && state.has_deferred()) {
+      run_step(0, /*flush=*/true);
+      continue;
+    }
+
+    // Advance the virtual clock to the next event: an arrival or the
+    // batcher's deadline trigger.
+    double next_event = batcher.deadline_s();
+    if (!no_more_arrivals) {
+      next_event = std::min(next_event, trace[next_arrival].arrival_s);
+    }
+    if (next_event == kInf) break;  // only non-deferred inflight left (none)
+    now = std::max(now, next_event);
+    while (next_arrival < trace.size() && trace[next_arrival].arrival_s <= now) {
+      process_arrival(trace[next_arrival]);
+      ++next_arrival;
+    }
+  }
+
+  result.makespan_s = now;
+  result.ewma_batch_s = ewma;
+  result.report = summarize(result.records, params_.admission.slo_s);
+  return result;
+}
+
+}  // namespace drim::serve

@@ -1,0 +1,66 @@
+#include "serve/workload.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace drim::serve {
+
+namespace {
+
+/// Exponential inter-arrival draw at `rate` arrivals/sec.
+double exp_interval(Rng& rng, double rate) {
+  // 1 - u in (0, 1] so the log never sees zero.
+  return -std::log(1.0 - rng.next_double()) / rate;
+}
+
+}  // namespace
+
+std::vector<Request> generate_workload(std::size_t pool_size,
+                                       const WorkloadParams& params) {
+  if (pool_size == 0) throw std::invalid_argument("workload needs a non-empty query pool");
+  if (params.offered_qps <= 0.0) throw std::invalid_argument("offered_qps must be > 0");
+  if (params.k_choices.empty() || params.nprobe_choices.empty()) {
+    throw std::invalid_argument("k_choices / nprobe_choices must be non-empty");
+  }
+  if (params.arrivals == ArrivalProcess::kOnOff &&
+      (params.burst_on_fraction <= 0.0 || params.burst_on_fraction > 1.0 ||
+       params.burst_period_s <= 0.0)) {
+    throw std::invalid_argument("ON-OFF shape needs burst_on_fraction in (0,1] and a "
+                                "positive burst_period_s");
+  }
+
+  Rng rng(params.seed);
+  const ZipfSampler zipf(static_cast<std::uint32_t>(pool_size), params.query_skew);
+
+  std::vector<Request> trace;
+  trace.reserve(params.num_requests);
+
+  // ON-OFF arrivals are Poisson on a compressed "ON-time" clock: cumulative
+  // ON-seconds map back to wall time by re-inserting the OFF windows.
+  const double on_len = params.burst_period_s * params.burst_on_fraction;
+  const double on_rate = params.offered_qps / params.burst_on_fraction;
+  double wall_s = 0.0;
+  double on_s = 0.0;
+
+  for (std::size_t i = 0; i < params.num_requests; ++i) {
+    if (params.arrivals == ArrivalProcess::kPoisson) {
+      wall_s += exp_interval(rng, params.offered_qps);
+    } else {
+      on_s += exp_interval(rng, on_rate);
+      const double cycles = std::floor(on_s / on_len);
+      wall_s = cycles * params.burst_period_s + (on_s - cycles * on_len);
+    }
+    Request r;
+    r.id = i;
+    r.arrival_s = wall_s;
+    r.query = zipf(rng);
+    r.k = params.k_choices[rng.next_below(params.k_choices.size())];
+    r.nprobe = params.nprobe_choices[rng.next_below(params.nprobe_choices.size())];
+    trace.push_back(r);
+  }
+  return trace;
+}
+
+}  // namespace drim::serve

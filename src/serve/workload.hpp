@@ -1,0 +1,55 @@
+#pragma once
+// Open-loop workload generation for the serving runtime (src/serve). A
+// workload is a trace of timestamped requests against a fixed query pool:
+// arrivals follow a Poisson process or a bursty ON-OFF shape, query draws can
+// be Zipf-skewed (hot topics), and each request carries its own (k, nprobe).
+// Everything is seeded, so a trace is reproducible bit-for-bit — the serving
+// experiments compare configurations on identical request streams.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace drim::serve {
+
+/// One search request as the serving layer sees it.
+struct Request {
+  std::uint64_t id = 0;       ///< dense trace index
+  double arrival_s = 0.0;     ///< arrival on the virtual clock
+  std::uint32_t query = 0;    ///< row in the serving query pool
+  std::uint32_t k = 10;
+  std::uint32_t nprobe = 16;
+};
+
+/// Arrival process shapes.
+enum class ArrivalProcess : std::uint8_t {
+  kPoisson,  ///< memoryless open-loop stream at offered_qps
+  kOnOff,    ///< bursty: all arrivals land in periodic ON windows
+};
+
+struct WorkloadParams {
+  double offered_qps = 2000.0;      ///< long-run mean arrival rate
+  std::size_t num_requests = 2048;
+  ArrivalProcess arrivals = ArrivalProcess::kPoisson;
+  /// ON-OFF shape: each burst_period_s cycle starts with an ON window of
+  /// burst_on_fraction * burst_period_s; arrivals are Poisson at
+  /// offered_qps / burst_on_fraction inside ON and zero inside OFF, so the
+  /// long-run mean rate stays offered_qps.
+  double burst_period_s = 0.05;
+  double burst_on_fraction = 0.25;
+  /// Zipf exponent over the query pool (0 = uniform draws). Skewed draws
+  /// concentrate probes on hot clusters — the load-imbalance regime the
+  /// paper's layout and scheduler target.
+  double query_skew = 0.0;
+  /// Per-request knobs, drawn uniformly per request (single entry = fixed).
+  std::vector<std::uint32_t> k_choices = {10};
+  std::vector<std::uint32_t> nprobe_choices = {16};
+  std::uint64_t seed = 42;
+};
+
+/// Generate `params.num_requests` timestamped requests over a pool of
+/// `pool_size` queries. Arrival times are strictly ascending.
+std::vector<Request> generate_workload(std::size_t pool_size,
+                                       const WorkloadParams& params);
+
+}  // namespace drim::serve

@@ -1,0 +1,52 @@
+#pragma once
+// Shared fixture for the serving-layer tests: one small SIFT-like corpus and
+// trained IVF-PQ index per test binary, plus the engine options the tests
+// default to. Kept deliberately tiny — these tests exercise serving logic,
+// not recall.
+
+#include <gtest/gtest.h>
+
+#include "data/synthetic.hpp"
+#include "drim/engine.hpp"
+
+namespace drim::serve {
+
+class ServeTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SyntheticSpec spec;
+    spec.num_base = 4000;
+    spec.num_queries = 48;
+    spec.num_learn = 2000;
+    spec.num_components = 32;
+    data_ = new SyntheticData(make_sift_like(spec));
+
+    IvfPqParams p;
+    p.nlist = 32;
+    p.pq.m = 16;
+    p.pq.cb_entries = 32;
+    index_ = new IvfPqIndex();
+    index_->train(data_->learn, p);
+    index_->add(data_->base);
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    delete index_;
+  }
+
+  static DrimEngineOptions default_options(std::size_t dpus = 8) {
+    DrimEngineOptions o;
+    o.pim.num_dpus = dpus;
+    o.layout.split_threshold = 128;
+    o.heat_nprobe = 8;
+    return o;
+  }
+
+  // Inline so every test TU aliasing this fixture shares one definition.
+  // gtest pairs SetUpTestSuite/TearDownTestSuite per suite name, so each
+  // aliased suite builds and frees its own corpus in sequence.
+  static inline SyntheticData* data_ = nullptr;
+  static inline IvfPqIndex* index_ = nullptr;
+};
+
+}  // namespace drim::serve

@@ -1,0 +1,97 @@
+// Dynamic batcher trigger semantics and admission-controller accounting.
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "serve/admission.hpp"
+#include "serve/batcher.hpp"
+
+namespace drim::serve {
+namespace {
+
+Request req(std::uint64_t id) {
+  Request r;
+  r.id = id;
+  return r;
+}
+
+TEST(Batcher, SizeTriggerFires) {
+  BatcherParams p;
+  p.max_batch = 4;
+  p.max_wait_s = 1.0;  // deadline far away: only the size trigger can fire
+  DynamicBatcher b(p);
+  for (std::uint64_t i = 0; i < 3; ++i) {
+    b.enqueue(req(i), 0.0);
+    EXPECT_FALSE(b.ready(0.0));
+  }
+  b.enqueue(req(3), 0.0);
+  EXPECT_TRUE(b.ready(0.0));
+  EXPECT_EQ(b.depth(), 4u);
+}
+
+TEST(Batcher, DeadlineTriggerFires) {
+  BatcherParams p;
+  p.max_batch = 100;
+  p.max_wait_s = 2e-3;
+  DynamicBatcher b(p);
+  EXPECT_FALSE(b.ready(0.0));
+  EXPECT_EQ(b.deadline_s(), std::numeric_limits<double>::infinity());
+
+  b.enqueue(req(0), 1.0);
+  EXPECT_DOUBLE_EQ(b.deadline_s(), 1.002);
+  EXPECT_FALSE(b.ready(1.0015));
+  EXPECT_TRUE(b.ready(1.002));  // oldest request has waited max_wait_s
+
+  // The deadline tracks the oldest queued request, not the newest.
+  b.enqueue(req(1), 1.001);
+  EXPECT_DOUBLE_EQ(b.deadline_s(), 1.002);
+}
+
+TEST(Batcher, TakeBatchIsFifoAndBounded) {
+  BatcherParams p;
+  p.max_batch = 3;
+  DynamicBatcher b(p);
+  for (std::uint64_t i = 0; i < 5; ++i) b.enqueue(req(i), 0.0);
+
+  const auto first = b.take_batch();
+  ASSERT_EQ(first.size(), 3u);
+  EXPECT_EQ(first[0].id, 0u);
+  EXPECT_EQ(first[1].id, 1u);
+  EXPECT_EQ(first[2].id, 2u);
+  EXPECT_EQ(b.depth(), 2u);
+
+  const auto second = b.take_batch();
+  ASSERT_EQ(second.size(), 2u);
+  EXPECT_EQ(second[0].id, 3u);
+  EXPECT_EQ(second[1].id, 4u);
+  EXPECT_TRUE(b.empty());
+  EXPECT_TRUE(b.take_batch().empty());
+}
+
+TEST(Admission, ShedsAboveBudgetAndCounts) {
+  AdmissionParams p;
+  p.slo_s = 10e-3;
+  p.headroom = 0.5;  // budget = 5 ms
+  AdmissionController ac(p);
+
+  EXPECT_TRUE(ac.admit(4e-3));
+  EXPECT_TRUE(ac.admit(5e-3));   // exactly at budget: admitted
+  EXPECT_FALSE(ac.admit(6e-3));
+  EXPECT_FALSE(ac.admit(1.0));
+  EXPECT_EQ(ac.admitted(), 2u);
+  EXPECT_EQ(ac.shed(), 2u);
+}
+
+TEST(Admission, DisabledAdmitsEverything) {
+  AdmissionParams p;
+  p.enabled = false;
+  p.slo_s = 1e-6;
+  AdmissionController ac(p);
+  EXPECT_TRUE(ac.admit(1e9));
+  EXPECT_EQ(ac.admitted(), 1u);
+  EXPECT_EQ(ac.shed(), 0u);
+}
+
+}  // namespace
+}  // namespace drim::serve

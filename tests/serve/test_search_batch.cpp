@@ -1,0 +1,183 @@
+// Streaming step-API tests: search() must be a thin loop over search_batch()
+// (bit-identical results AND modeled times), deferred tasks must survive
+// step boundaries and drain on flush, and infeasible staging configurations
+// must be rejected up front with an actionable message.
+
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+#include <string>
+
+#include "serve_test_data.hpp"
+
+namespace drim::serve {
+namespace {
+
+using SearchBatchTest = ServeTest;
+
+TEST_F(SearchBatchTest, ManualStepLoopReproducesSearchExactly) {
+  DrimEngineOptions o = default_options();
+  o.batch_size = 16;  // several steps with filter carry-over between them
+  DrimAnnEngine engine(*index_, data_->learn, o);
+
+  DrimSearchStats closed;
+  const auto expected = engine.search(data_->queries, 10, 8, &closed);
+
+  // Re-run through the public step API with search()'s own schedule: fixed
+  // chunks, flush once the final fresh chunk is consumed.
+  const std::size_t nq = data_->queries.count();
+  SearchBatchState state;
+  engine.enqueue_queries(state, data_->queries, 10, 8);
+  DrimSearchStats streamed;
+  while (state.next_query < nq || state.has_deferred()) {
+    const bool flush = state.next_query + o.batch_size >= nq;
+    engine.search_batch(state, o.batch_size, flush, &streamed);
+  }
+
+  ASSERT_EQ(closed.batches, streamed.batches);
+  EXPECT_EQ(closed.tasks, streamed.tasks);
+  EXPECT_EQ(closed.queries, streamed.queries);
+  // Same steps in the same order: the modeled times must be bit-identical.
+  EXPECT_EQ(closed.total_seconds, streamed.total_seconds);
+  EXPECT_EQ(closed.dpu_busy_seconds, streamed.dpu_busy_seconds);
+  EXPECT_EQ(closed.transfer_in_seconds, streamed.transfer_in_seconds);
+  EXPECT_EQ(closed.transfer_out_seconds, streamed.transfer_out_seconds);
+  ASSERT_EQ(closed.batch_seconds.size(), streamed.batch_seconds.size());
+  for (std::size_t b = 0; b < closed.batch_seconds.size(); ++b) {
+    EXPECT_EQ(closed.batch_seconds[b], streamed.batch_seconds[b]);
+  }
+
+  for (std::size_t q = 0; q < nq; ++q) {
+    ASSERT_TRUE(state.finished(static_cast<std::uint32_t>(q)));
+    const auto got = state.take_results(static_cast<std::uint32_t>(q));
+    ASSERT_EQ(got.size(), expected[q].size());
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, expected[q][i].id);
+      EXPECT_EQ(got[i].dist, expected[q][i].dist);
+    }
+  }
+}
+
+TEST_F(SearchBatchTest, PerBatchLatencyVectorMatchesTotals) {
+  DrimEngineOptions o = default_options();
+  o.batch_size = 12;
+  DrimAnnEngine engine(*index_, data_->learn, o);
+  DrimSearchStats st;
+  engine.search(data_->queries, 10, 8, &st);
+  ASSERT_EQ(st.batch_seconds.size(), st.batches);
+  double sum = 0.0;
+  for (double s : st.batch_seconds) {
+    EXPECT_GT(s, 0.0);
+    sum += s;
+  }
+  EXPECT_NEAR(sum, st.total_seconds, 1e-9);
+}
+
+// Satellite: an adversarially hot shard with the filter at zero slack defers
+// tasks across step boundaries; the final flush must drain every carried
+// task so no query starves or comes back short.
+TEST_F(SearchBatchTest, FlushDrainsCarriedTasksWithoutStarvation) {
+  DrimEngineOptions o = default_options();
+  o.scheduler.enable_filter = true;
+  o.scheduler.filter_slack = 0.0;  // defer from any DPU above the mean load
+  DrimAnnEngine engine(*index_, data_->learn, o);
+
+  // Every request is the same query: all tasks pile onto the replicas of one
+  // hot probe set, the worst case for the load filter.
+  FloatMatrix hot(32, data_->queries.dim());
+  for (std::size_t q = 0; q < hot.count(); ++q) {
+    const auto src = data_->queries.row(0);
+    std::copy(src.begin(), src.end(), hot.row(q).begin());
+  }
+
+  SearchBatchState state;
+  engine.enqueue_queries(state, hot, 10, 8);
+  std::size_t total_deferred = 0;
+  while (state.pending() > 0) {
+    const auto step = engine.search_batch(state, 8, /*flush=*/false);
+    total_deferred += step.deferred;
+  }
+  EXPECT_GT(total_deferred, 0u) << "hot shard at zero slack must defer tasks";
+
+  // Unfinished queries exist exactly while tasks are carried.
+  while (state.has_deferred()) {
+    engine.search_batch(state, 0, /*flush=*/true);
+  }
+  EXPECT_FALSE(state.has_deferred());
+
+  // The same query must produce the same full-length result everywhere:
+  // nothing dropped, nothing starved across step boundaries.
+  FloatMatrix one(1, data_->queries.dim());
+  {
+    const auto src = data_->queries.row(0);
+    std::copy(src.begin(), src.end(), one.row(0).begin());
+  }
+  DrimAnnEngine reference(*index_, data_->learn, default_options());
+  const auto expected = reference.search(one, 10, 8)[0];
+  for (std::size_t q = 0; q < hot.count(); ++q) {
+    ASSERT_TRUE(state.finished(static_cast<std::uint32_t>(q)));
+    const auto got = state.take_results(static_cast<std::uint32_t>(q));
+    ASSERT_EQ(got.size(), 10u) << "query " << q << " returned short results";
+    for (std::size_t i = 0; i < got.size(); ++i) {
+      EXPECT_EQ(got[i].id, expected[i].id);
+      EXPECT_EQ(got[i].dist, expected[i].dist);
+    }
+  }
+}
+
+TEST_F(SearchBatchTest, MixedDepthQueriesReturnPerQueryK) {
+  DrimAnnEngine engine(*index_, data_->learn, default_options());
+  SearchBatchState state;
+  const auto h0 = engine.enqueue_query(state, data_->queries.row(0), 5, 8);
+  const auto h1 = engine.enqueue_query(state, data_->queries.row(1), 12, 4);
+  engine.search_batch(state, 0, /*flush=*/true);
+
+  ASSERT_TRUE(state.finished(h0));
+  ASSERT_TRUE(state.finished(h1));
+  const auto r0 = state.take_results(h0);
+  const auto r1 = state.take_results(h1);
+  ASSERT_EQ(r0.size(), 5u);
+  ASSERT_EQ(r1.size(), 12u);
+
+  // Each must match a dedicated closed-loop search at its own (k, nprobe).
+  FloatMatrix one(1, data_->queries.dim());
+  {
+    const auto src = data_->queries.row(0);
+    std::copy(src.begin(), src.end(), one.row(0).begin());
+  }
+  DrimAnnEngine ref(*index_, data_->learn, default_options());
+  const auto e0 = ref.search(one, 5, 8)[0];
+  ASSERT_EQ(e0.size(), r0.size());
+  for (std::size_t i = 0; i < r0.size(); ++i) {
+    EXPECT_EQ(r0[i].id, e0[i].id);
+    EXPECT_EQ(r0[i].dist, e0[i].dist);
+  }
+}
+
+TEST_F(SearchBatchTest, InfeasibleBatchSizeRejectedAtConstruction) {
+  DrimEngineOptions ok = default_options();
+  DrimAnnEngine probe(*index_, data_->learn, ok);
+  const std::size_t cap = probe.max_staged_queries(1);
+  ASSERT_GT(cap, 0u);
+
+  DrimEngineOptions bad = default_options();
+  bad.batch_size = cap + 1;
+  try {
+    DrimAnnEngine engine(*index_, data_->learn, bad);
+    FAIL() << "construction must reject an unstageable batch_size";
+  } catch (const std::invalid_argument& e) {
+    // The error must name the actionable fix: the max feasible batch size.
+    EXPECT_NE(std::string(e.what()).find("maximum feasible"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(SearchBatchTest, OversizedKRejectedAtSearchEntry) {
+  DrimAnnEngine engine(*index_, data_->learn, default_options());
+  // k so deep a single task's output block outgrows MRAM staging: rejected
+  // before any work starts, not mid-batch from a worker thread.
+  EXPECT_THROW(engine.search(data_->queries, 10'000'000, 8), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace drim::serve

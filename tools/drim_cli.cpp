@@ -9,10 +9,21 @@
 //               [--k 10] [--nprobe 16] [--gt gt.ivecs] [--pim] [--dpus 64]
 //               [--rerank 0]
 //   drim gt     --base base.bvecs --queries q.fvecs --out gt.ivecs [--k 100]
+//   drim serve  --index index.drim --queries q.fvecs [--qps 1000]
+//               [--requests 1024] [--max-batch 32] [--max-wait-us 0]
+//               [--slo-ms 0] [--arrivals poisson|onoff] [--skew 0]
+//               [--k 10] [--nprobe 16] [--dpus 64] [--seed 42]
+//               [--no-admission] [--flush-every 4]
 //
 // search runs the CPU baseline by default; --pim runs the simulated UPMEM
 // engine and prints its modeled timing report. --rerank R searches R
 // candidates and re-ranks them exactly (requires --base).
+//
+// serve replays an open-loop request trace (timestamped arrivals drawn from
+// the query file) through the online serving runtime — dynamic batching,
+// admission control, tail-latency accounting — on the simulated PIM engine
+// and prints the SLO report. --max-wait-us/--slo-ms default to multiples of
+// the engine's Eq. 15 batch-time estimate (printed) when left at 0.
 
 #include <cstdio>
 #include <cstdlib>
@@ -29,6 +40,7 @@
 #include "data/recall.hpp"
 #include "data/synthetic.hpp"
 #include "drim/engine.hpp"
+#include "serve/runtime.hpp"
 
 namespace {
 
@@ -60,6 +72,10 @@ class Args {
   std::size_t get_size(const std::string& key, std::size_t fallback) const {
     auto it = values_.find(key);
     return it == values_.end() ? fallback : std::strtoull(it->second.c_str(), nullptr, 10);
+  }
+  double get_double(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
   }
   bool has(const std::string& key) const { return values_.count(key) > 0; }
   std::string require(const std::string& key) const {
@@ -255,9 +271,72 @@ int cmd_search(const Args& args) {
   return 0;
 }
 
+int cmd_serve(const Args& args) {
+  const IvfPqIndex index = load_index(args.require("index"));
+  const FloatMatrix pool = load_floats(args.require("queries"));
+  const std::size_t k = args.get_size("k", 10);
+  const std::size_t nprobe = args.get_size("nprobe", 16);
+
+  DrimEngineOptions opts;
+  opts.pim.num_dpus = args.get_size("dpus", 64);
+  opts.heat_nprobe = nprobe;
+  DrimAnnEngine engine(index, pool, opts);
+
+  serve::ServeParams sp;
+  sp.batcher.max_batch = args.get_size("max-batch", 32);
+  sp.flush_every = args.get_size("flush-every", 4);
+  sp.admission.enabled = !args.has("no-admission");
+  const double est = engine.estimate_batch_seconds(sp.batcher.max_batch, nprobe, k);
+  const double wait_us = args.get_double("max-wait-us", 0.0);
+  sp.batcher.max_wait_s = wait_us > 0 ? wait_us * 1e-6 : 2.0 * est;
+  const double slo_ms = args.get_double("slo-ms", 0.0);
+  sp.admission.slo_s = slo_ms > 0 ? slo_ms * 1e-3 : 10.0 * est;
+
+  serve::WorkloadParams wp;
+  wp.offered_qps = args.get_double("qps", 1000.0);
+  wp.num_requests = args.get_size("requests", 1024);
+  wp.query_skew = args.get_double("skew", 0.0);
+  wp.k_choices = {static_cast<std::uint32_t>(k)};
+  wp.nprobe_choices = {static_cast<std::uint32_t>(nprobe)};
+  wp.seed = args.get_size("seed", 42);
+  const std::string arrivals = args.get("arrivals", "poisson");
+  if (arrivals == "onoff") {
+    wp.arrivals = serve::ArrivalProcess::kOnOff;
+  } else if (arrivals != "poisson") {
+    std::fprintf(stderr, "unknown arrival process %s (poisson|onoff)\n",
+                 arrivals.c_str());
+    return 2;
+  }
+
+  std::printf("serving %zu requests at %.0f qps (%s, skew %.2f) on %zu DPUs\n",
+              wp.num_requests, wp.offered_qps, arrivals.c_str(), wp.query_skew,
+              opts.pim.num_dpus);
+  std::printf("batcher: max %zu / %.0f us wait; SLO %.3f ms (admission %s); "
+              "est batch %.3f ms\n",
+              sp.batcher.max_batch, sp.batcher.max_wait_s * 1e6,
+              sp.admission.slo_s * 1e3, sp.admission.enabled ? "on" : "off",
+              est * 1e3);
+
+  const auto trace = serve::generate_workload(pool.count(), wp);
+  serve::ServingRuntime runtime(engine, pool, sp);
+  const serve::ServeResult res = runtime.run(trace);
+  const serve::ServeReport& r = res.report;
+
+  std::printf("served %zu / shed %zu of %zu offered in %zu batches "
+              "(makespan %.3f s)\n",
+              r.served, r.shed, r.offered, res.batches, res.makespan_s);
+  std::printf("latency ms: p50 %.3f  p95 %.3f  p99 %.3f  mean %.3f  max %.3f\n",
+              r.p50_ms, r.p95_ms, r.p99_ms, r.mean_ms, r.max_ms);
+  std::printf("queue wait: %.3f ms mean; throughput %.0f qps, goodput %.0f qps\n",
+              r.mean_queue_wait_ms, r.throughput_qps, r.goodput_qps);
+  std::printf("timeout rate %.1f%%, shed rate %.1f%%\n", 100.0 * r.timeout_rate,
+              100.0 * r.shed_rate);
+  return 0;
+}
+
 void usage() {
   std::fprintf(stderr,
-               "usage: drim <gen|build|info|gt|search> [--key value ...]\n"
+               "usage: drim <gen|build|info|gt|search|serve> [--key value ...]\n"
                "see the header of tools/drim_cli.cpp for the full reference\n");
 }
 
@@ -276,6 +355,7 @@ int main(int argc, char** argv) {
     if (cmd == "info") return cmd_info(args);
     if (cmd == "gt") return cmd_gt(args);
     if (cmd == "search") return cmd_search(args);
+    if (cmd == "serve") return cmd_serve(args);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
