@@ -1,21 +1,26 @@
 // Online serving benchmark: tail latency and goodput vs offered load.
 //
-// Builds the SIFT-like index, calibrates the engine's batch service rate from
-// one closed-loop search, then replays open-loop Poisson traces at multiples
-// of that capacity through the serving runtime (dynamic batching + admission
+// Builds the SIFT-like index, calibrates the backend's batch service rate
+// with a streaming warm-up sweep (enqueue the query pool, step it through in
+// serve-sized batches), then replays open-loop Poisson traces at multiples of
+// that capacity through the serving runtime (dynamic batching + admission
 // control). The left table (admission off) shows the classic open-loop
 // saturation curve: p99 rises sharply once offered load passes the service
 // capacity. The right table (admission on) shows load shedding holding
 // goodput near peak instead of collapsing.
 //
+// `--backend {drim,cpu}` and `--platform {sim,analytic}` pick the search
+// stack; every combination runs the same runtime and trace generator.
 // `--smoke` shrinks the corpus and trace so the run finishes in seconds and
-// self-checks invariants; ctest runs it under the `serve` label.
+// self-checks invariants; ctest runs it under the `serve` label on the cpu
+// backend and both drim platforms. Writes BENCH_serve_latency.json.
 
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "backend/backend_factory.hpp"
 #include "common/stats.hpp"
 #include "serve/runtime.hpp"
 #include "support/harness.hpp"
@@ -44,15 +49,60 @@ void print_header() {
   print_rule(92);
 }
 
+void add_report_metrics(BenchReport& report, const ServeReport& r, double offered_qps) {
+  report.add_metric("offered_qps", offered_qps);
+  report.add_metric("served", static_cast<double>(r.served));
+  report.add_metric("shed", static_cast<double>(r.shed));
+  report.add_metric("p50_ms", r.p50_ms);
+  report.add_metric("p95_ms", r.p95_ms);
+  report.add_metric("p99_ms", r.p99_ms);
+  report.add_metric("goodput_qps", r.goodput_qps);
+  report.add_metric("timeout_rate", r.timeout_rate);
+}
+
+/// Calibrate the service rate through the streaming API: enqueue the whole
+/// pool, step it through in serve-sized batches (flushing the tail), and take
+/// the mean modeled batch time. Exercises the same enqueue/step path the
+/// runtime drives, on any backend.
+double calibrate_batch_seconds(AnnBackend& backend, const FloatMatrix& pool,
+                               std::size_t k, std::size_t nprobe,
+                               std::size_t batch) {
+  backend.reset_stream();
+  std::vector<std::uint32_t> handles;
+  handles.reserve(pool.count());
+  for (std::size_t q = 0; q < pool.count(); ++q) {
+    handles.push_back(backend.enqueue(pool.row(q), k, nprobe));
+  }
+  std::size_t stepped = 0;
+  while (stepped < pool.count()) {
+    const std::size_t take = std::min(batch, pool.count() - stepped);
+    backend.step(take, /*flush=*/stepped + take == pool.count());
+    stepped += take;
+  }
+  while (backend.has_deferred()) backend.step(0, /*flush=*/true);
+  for (std::uint32_t h : handles) (void)backend.take_results(h);
+  const double mean_s = mean(backend.stats().batch_seconds);
+  backend.reset_stream();
+  return mean_s;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   bool smoke = false;
   std::size_t num_requests = 2048;
+  BackendKind backend_kind = BackendKind::kDrim;
+  PimPlatformKind platform = PimPlatformKind::kSim;
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
     if (std::strcmp(argv[i], "--requests") == 0 && i + 1 < argc) {
       num_requests = std::strtoul(argv[++i], nullptr, 10);
+    }
+    if (std::strcmp(argv[i], "--backend") == 0 && i + 1 < argc) {
+      backend_kind = parse_backend_kind(argv[++i]);
+    }
+    if (std::strcmp(argv[i], "--platform") == 0 && i + 1 < argc) {
+      platform = parse_pim_platform(argv[++i]);
     }
   }
 
@@ -69,28 +119,33 @@ int main(int argc, char** argv) {
   const std::size_t nprobe = 16;
   configure_host_threads(scale.threads);
 
-  std::printf("serve_latency — open-loop tail latency vs offered load (%s)\n",
-              smoke ? "smoke" : "full");
-  std::printf("N=%zu, pool=%zu queries, %zu DPUs, nlist=%zu, nprobe=%zu, k=%zu, "
-              "%zu requests per point\n",
-              scale.num_base, scale.num_queries, scale.num_dpus, nlist, nprobe,
-              scale.k, num_requests);
-
-  const BenchData bench = make_sift_bench(scale);
-  const IvfPqIndex index = build_index(bench, nlist);
-
   ServeParams sp;
   sp.batcher.max_batch = 32;
 
   DrimEngineOptions opts = default_engine_options(scale, nprobe);
-  opts.batch_size = sp.batcher.max_batch;  // calibration search uses serve batches
-  DrimAnnEngine engine(index, bench.data.learn, opts);
+  opts.batch_size = sp.batcher.max_batch;  // calibration uses serve batches
+  opts.platform = platform;
+  CpuBackendOptions cpu_opts;
+  cpu_opts.platform = scaled_cpu_platform(scale.num_dpus);
 
-  // Calibrate capacity from a closed-loop search at the serving batch size:
-  // the mean modeled batch time sets the service rate the sweep is scaled to.
-  DrimSearchStats cal;
-  engine.search(bench.data.queries, scale.k, nprobe, &cal);
-  const double mean_batch_s = mean(cal.batch_seconds);
+  std::printf("serve_latency — open-loop tail latency vs offered load (%s)\n",
+              smoke ? "smoke" : "full");
+
+  const BenchData bench = make_sift_bench(scale);
+  const IvfPqIndex index = build_index(bench, nlist);
+  std::unique_ptr<AnnBackend> backend =
+      make_backend(backend_kind, index, bench.data.learn, opts, cpu_opts);
+
+  std::printf("backend=%s, N=%zu, pool=%zu queries, %zu DPUs, nlist=%zu, "
+              "nprobe=%zu, k=%zu, %zu requests per point\n",
+              backend->name().c_str(), scale.num_base, scale.num_queries,
+              scale.num_dpus, nlist, nprobe, scale.k, num_requests);
+
+  // Calibrate capacity through the streaming step API at the serving batch
+  // size: the mean modeled batch time sets the service rate the sweep is
+  // scaled to.
+  const double mean_batch_s = calibrate_batch_seconds(
+      *backend, bench.data.queries, scale.k, nprobe, sp.batcher.max_batch);
   const double capacity_qps =
       static_cast<double>(sp.batcher.max_batch) / mean_batch_s;
   // The batcher may wait one batch time to fill (cheap when a batch costs
@@ -107,7 +162,20 @@ int main(int argc, char** argv) {
               mean_batch_s * 1e3, capacity_qps, sp.batcher.max_wait_s * 1e3,
               sp.admission.slo_s * 1e3);
 
-  ServingRuntime runtime(engine, bench.data.queries, sp);
+  BenchReport report("serve_latency");
+  report.set_config("mode", smoke ? std::string("smoke") : std::string("full"));
+  report.set_config("backend", backend->name());
+  report.set_config("num_base", scale.num_base);
+  report.set_config("num_dpus", scale.num_dpus);
+  report.set_config("nlist", nlist);
+  report.set_config("nprobe", nprobe);
+  report.set_config("k", scale.k);
+  report.set_config("requests_per_point", num_requests);
+  report.set_config("max_batch", sp.batcher.max_batch);
+  report.set_config("mean_batch_s", mean_batch_s);
+  report.set_config("capacity_qps", capacity_qps);
+
+  ServingRuntime runtime(*backend, bench.data.queries, sp);
 
   WorkloadParams wp;
   wp.num_requests = num_requests;
@@ -131,9 +199,13 @@ int main(int argc, char** argv) {
         generate_workload(bench.data.queries.count(), wp);
     ServeParams p = sp;
     p.admission.enabled = false;
-    ServeResult res = ServingRuntime(engine, bench.data.queries, p).run(trace);
+    ServeResult res = ServingRuntime(*backend, bench.data.queries, p).run(trace);
     print_report_row(mult, wp.offered_qps, res.report);
     no_admit.push_back({mult, res.report});
+    char label[64];
+    std::snprintf(label, sizeof(label), "no_admission x%.2f", mult);
+    report.add_row(label);
+    add_report_metrics(report, res.report, wp.offered_qps);
     ok = ok && res.report.served + res.report.shed == res.report.offered;
     ok = ok && res.report.shed == 0;  // admission off never sheds
     // Acceptance: latency is monotone in offered load (small tolerance for
@@ -152,6 +224,10 @@ int main(int argc, char** argv) {
         generate_workload(bench.data.queries.count(), wp);
     ServeResult res = runtime.run(trace);
     print_report_row(mult, wp.offered_qps, res.report);
+    char label[64];
+    std::snprintf(label, sizeof(label), "admission x%.2f", mult);
+    report.add_row(label);
+    add_report_metrics(report, res.report, wp.offered_qps);
     ok = ok && res.report.served + res.report.shed == res.report.offered;
     peak_goodput = std::max(peak_goodput, res.report.goodput_qps);
     if (mult == multipliers.back()) overload_goodput = res.report.goodput_qps;
@@ -166,6 +242,7 @@ int main(int argc, char** argv) {
   // past saturation.
   ok = ok && overload_goodput >= 0.9 * peak_goodput;
 
+  report.write();
   if (!ok) {
     std::printf("FAILED: serving invariants violated (see rows above)\n");
     return 1;

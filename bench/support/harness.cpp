@@ -1,6 +1,8 @@
 #include "support/harness.hpp"
 
+#include <chrono>
 #include <cstdlib>
+#include <fstream>
 
 #include "common/parallel.hpp"
 #include "common/timer.hpp"
@@ -130,6 +132,133 @@ DrimEngineOptions default_engine_options(const BenchScale& scale, std::size_t np
   o.layout.dup_fraction = 0.25;
   o.heat_nprobe = nprobe;
   return o;
+}
+
+BackendRun run_backend(const BenchData& bench, AnnBackend& backend, std::size_t k,
+                       std::size_t nprobe) {
+  BackendRun run;
+  WallTimer timer;
+  const auto results = backend.search(bench.data.queries, k, nprobe);
+  run.wall_seconds = timer.seconds();
+  run.recall = mean_recall_at_k(results, bench.ground_truth, k);
+  run.stats = backend.stats();
+  run.modeled_seconds = run.stats.total_seconds;
+  run.modeled_qps = run.stats.qps();
+  return run;
+}
+
+namespace {
+
+double steady_seconds() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string json_number(double v) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  // JSON has no inf/nan literals; null is the conventional stand-in.
+  std::string s(buf);
+  if (s.find("inf") != std::string::npos || s.find("nan") != std::string::npos) {
+    return "null";
+  }
+  return s;
+}
+
+std::string git_revision() {
+  std::string rev = "unknown";
+  if (FILE* pipe = ::popen("git rev-parse HEAD 2>/dev/null", "r")) {
+    char buf[128];
+    if (std::fgets(buf, sizeof(buf), pipe)) {
+      rev = buf;
+      while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r')) {
+        rev.pop_back();
+      }
+      if (rev.empty()) rev = "unknown";
+    }
+    ::pclose(pipe);
+  }
+  return rev;
+}
+
+}  // namespace
+
+BenchReport::BenchReport(std::string name)
+    : name_(std::move(name)), start_seconds_(steady_seconds()) {}
+
+void BenchReport::set_config(const std::string& key, const std::string& value) {
+  config_.emplace_back(key, "\"" + json_escape(value) + "\"");
+}
+
+void BenchReport::set_config(const std::string& key, double value) {
+  config_.emplace_back(key, json_number(value));
+}
+
+void BenchReport::set_config(const std::string& key, std::size_t value) {
+  config_.emplace_back(key, std::to_string(value));
+}
+
+void BenchReport::add_row(const std::string& label) {
+  rows_.push_back(Row{label, {}});
+}
+
+void BenchReport::add_metric(const std::string& key, double value) {
+  if (rows_.empty()) add_row("");
+  rows_.back().metrics.emplace_back(key, value);
+}
+
+std::string BenchReport::write(const std::string& dir) const {
+  const std::string path = dir + "/BENCH_" + name_ + ".json";
+  std::ofstream out(path);
+  out << "{\n";
+  out << "  \"bench\": \"" << json_escape(name_) << "\",\n";
+  out << "  \"git_rev\": \"" << json_escape(git_revision()) << "\",\n";
+  out << "  \"host_wall_seconds\": "
+      << json_number(steady_seconds() - start_seconds_) << ",\n";
+  out << "  \"config\": {";
+  for (std::size_t i = 0; i < config_.size(); ++i) {
+    if (i) out << ", ";
+    out << "\"" << json_escape(config_[i].first) << "\": " << config_[i].second;
+  }
+  out << "},\n";
+  out << "  \"rows\": [\n";
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    out << "    {\"label\": \"" << json_escape(rows_[r].label)
+        << "\", \"metrics\": {";
+    for (std::size_t i = 0; i < rows_[r].metrics.size(); ++i) {
+      if (i) out << ", ";
+      out << "\"" << json_escape(rows_[r].metrics[i].first)
+          << "\": " << json_number(rows_[r].metrics[i].second);
+    }
+    out << "}}" << (r + 1 < rows_.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n";
+  out << "}\n";
+  std::printf("[bench] wrote %s\n", path.c_str());
+  return path;
 }
 
 void print_rule(std::size_t width) {

@@ -13,8 +13,10 @@
 
 #include <cstdio>
 #include <string>
+#include <utility>
 #include <vector>
 
+#include "backend/ann_backend.hpp"
 #include "baseline/cpu_ivfpq.hpp"
 #include "common/stats.hpp"
 #include "core/flat_search.hpp"
@@ -107,6 +109,50 @@ DrimRun run_drim(const BenchData& bench, const IvfPqIndex& index,
 
 /// Default engine options for a bench scale.
 DrimEngineOptions default_engine_options(const BenchScale& scale, std::size_t nprobe);
+
+/// One evaluation of any AnnBackend (batch search() path). Modeled seconds
+/// come from the backend's own stats; wall seconds are this container's
+/// host clock around the call.
+struct BackendRun {
+  double recall = 0.0;
+  double modeled_seconds = 0.0;
+  double modeled_qps = 0.0;
+  double wall_seconds = 0.0;
+  BackendStats stats;
+};
+BackendRun run_backend(const BenchData& bench, AnnBackend& backend, std::size_t k,
+                       std::size_t nprobe);
+
+/// Machine-readable companion to the printed tables: accumulates a config
+/// map plus labeled metric rows and serializes them as BENCH_<name>.json
+/// (bench name, git revision, host wall-clock since construction, config,
+/// rows). Every figure/bench binary writes one so sweeps are scriptable
+/// without scraping stdout.
+class BenchReport {
+ public:
+  explicit BenchReport(std::string name);
+
+  void set_config(const std::string& key, const std::string& value);
+  void set_config(const std::string& key, double value);
+  void set_config(const std::string& key, std::size_t value);
+
+  /// Start a new row; subsequent add_metric calls attach to it.
+  void add_row(const std::string& label);
+  void add_metric(const std::string& key, double value);
+
+  /// Write BENCH_<name>.json into `dir`; returns the path written.
+  std::string write(const std::string& dir = ".") const;
+
+ private:
+  struct Row {
+    std::string label;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+  std::string name_;
+  double start_seconds_ = 0.0;  ///< steady-clock origin for host_wall_seconds
+  std::vector<std::pair<std::string, std::string>> config_;  ///< key -> JSON literal
+  std::vector<Row> rows_;
+};
 
 /// Formatting helpers for paper-style tables.
 void print_rule(std::size_t width = 78);

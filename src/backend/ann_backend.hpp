@@ -1,0 +1,100 @@
+#pragma once
+// The search-stack seam above the engine: one interface over every way this
+// repo can execute an ANN search — the DRIM-ANN engine on a functional or
+// analytic PIM platform (DrimBackend) and the CPU IVF-PQ baseline
+// (CpuBackend). The serving runtime, the bench harness, and the CLI depend
+// only on this interface, so a load sweep or a serve trace runs unchanged
+// over any backend, selected by --backend {drim,cpu} / --platform
+// {sim,analytic}. See DESIGN.md "Platform and backend seams".
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/topk.hpp"
+#include "data/dataset.hpp"
+
+namespace drim {
+
+/// Timing/accounting of one streaming step() call, in the engine's overlap
+/// decomposition: step_seconds = pre + max(host, exec).
+struct BackendStepStats {
+  double step_seconds = 0.0;  ///< modeled critical path of the step
+  double host_seconds = 0.0;  ///< host work overlapped with device execution
+  double pre_seconds = 0.0;   ///< serial pre-step (e.g. a CL-on-PIM launch)
+  double exec_seconds = 0.0;  ///< device batch incl. transfers and barrier
+  std::size_t fresh_queries = 0;  ///< pending queries consumed by this step
+  std::size_t tasks = 0;          ///< work units executed (backend-defined)
+  std::size_t deferred = 0;       ///< tasks carried to a later step
+};
+
+/// Cumulative backend statistics since the last reset_stream() (or since the
+/// last closed-loop search(), which resets them).
+struct BackendStats {
+  double total_seconds = 0.0;  ///< modeled time across all steps
+  double host_wall_seconds = 0.0;  ///< measured host time spent executing
+  std::size_t queries = 0;
+  std::size_t batches = 0;
+  std::size_t tasks = 0;
+  std::vector<double> batch_seconds;  ///< modeled latency per step, in order
+
+  double qps() const { return total_seconds > 0 ? queries / total_seconds : 0.0; }
+};
+
+/// An ANN search backend: closed-loop batch search plus the streaming
+/// enqueue/step/take protocol the serving runtime drives. Implementations
+/// own whatever device or model state they need; handles returned by
+/// enqueue() are monotonically increasing across the stream's lifetime and
+/// never reused, even when the backend compacts its internal tables.
+class AnnBackend {
+ public:
+  virtual ~AnnBackend() = default;
+
+  /// Stable identifier for logs and bench reports (e.g. "drim-sim", "cpu").
+  virtual std::string name() const = 0;
+
+  /// Closed-loop batch search: all queries at (k, nprobe), results ascending
+  /// (distance, id). Resets the cumulative stats to this search's.
+  virtual std::vector<std::vector<Neighbor>> search(const FloatMatrix& queries,
+                                                    std::size_t k,
+                                                    std::size_t nprobe) = 0;
+
+  // ---- streaming (the serving runtime's entry points) ----
+  /// Drop all stream state and cumulative stats.
+  virtual void reset_stream() = 0;
+  /// Admit one query; returns its completion handle.
+  virtual std::uint32_t enqueue(std::span<const float> query, std::size_t k,
+                                std::size_t nprobe) = 0;
+  /// Run one batch step over up to `max_queries` pending queries (0 = all)
+  /// plus any carried work; `flush` forbids deferring past this step.
+  virtual BackendStepStats step(std::size_t max_queries, bool flush) = 0;
+  /// Work deferred by previous steps still awaiting execution.
+  virtual bool has_deferred() const = 0;
+  /// True once `handle`'s results are final.
+  virtual bool finished(std::uint32_t handle) const = 0;
+  /// Sorted final results; consumes them. Call once finished().
+  virtual std::vector<Neighbor> take_results(std::uint32_t handle) = 0;
+  /// Queries resident in the stream state right now — bounded on long runs
+  /// by the backends' drained-state compaction (tests pin this).
+  virtual std::size_t stream_depth() const = 0;
+
+  /// Open-loop estimate of one batch's modeled service time (the admission
+  /// controller's EWMA seed).
+  virtual double estimate_batch_seconds(std::size_t num_queries, std::size_t nprobe,
+                                        std::size_t k) const = 0;
+  /// Cumulative stats since reset_stream() / the last search().
+  virtual BackendStats stats() const = 0;
+};
+
+/// Which AnnBackend implementation to instantiate.
+enum class BackendKind : std::uint8_t { kDrim, kCpu };
+
+/// "drim" / "cpu" (matches the CLI/bench --backend values).
+std::string backend_kind_name(BackendKind kind);
+
+/// Parse a --backend value; throws std::invalid_argument on anything else.
+BackendKind parse_backend_kind(const std::string& name);
+
+}  // namespace drim

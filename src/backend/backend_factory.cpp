@@ -1,0 +1,20 @@
+#include "backend/backend_factory.hpp"
+
+#include <stdexcept>
+
+namespace drim {
+
+std::unique_ptr<AnnBackend> make_backend(BackendKind kind, const IvfPqIndex& index,
+                                         const FloatMatrix& sample_queries,
+                                         const DrimEngineOptions& engine_options,
+                                         const CpuBackendOptions& cpu_options) {
+  switch (kind) {
+    case BackendKind::kDrim:
+      return std::make_unique<DrimBackend>(index, sample_queries, engine_options);
+    case BackendKind::kCpu:
+      return std::make_unique<CpuBackend>(index, cpu_options);
+  }
+  throw std::invalid_argument("unknown BackendKind");
+}
+
+}  // namespace drim

@@ -1,0 +1,20 @@
+#pragma once
+// One-stop backend construction for the CLI and benches: maps the
+// (--backend, --platform) knob pair onto a concrete AnnBackend.
+
+#include <memory>
+
+#include "backend/cpu_backend.hpp"
+#include "backend/drim_backend.hpp"
+
+namespace drim {
+
+/// Build a backend over `index`. kDrim constructs an owning DrimBackend
+/// (engine_options.platform selects sim vs analytic; sample_queries feed its
+/// heat estimation); kCpu constructs a CpuBackend with `cpu_options`.
+std::unique_ptr<AnnBackend> make_backend(BackendKind kind, const IvfPqIndex& index,
+                                         const FloatMatrix& sample_queries,
+                                         const DrimEngineOptions& engine_options,
+                                         const CpuBackendOptions& cpu_options = {});
+
+}  // namespace drim

@@ -1,0 +1,70 @@
+#pragma once
+// AnnBackend over the CPU IVF-PQ baseline. Results come from the real
+// multithreaded CpuIvfPq scan; modeled step times come from the Eq. (1)-(11)
+// performance model evaluated on a configurable comparator platform (by
+// default a 2530-DPU-equivalent slice of the paper's 32-thread Faiss-CPU
+// box), so latency sweeps over the CPU backend are simulation-host
+// independent, like the DRIM backends'. The streaming protocol is
+// stateless-per-step: every step executes all consumed queries to completion
+// (no cross-step deferral), grouped by their (k, nprobe) so mixed traces are
+// modeled per group.
+
+#include "backend/ann_backend.hpp"
+#include "baseline/cpu_ivfpq.hpp"
+#include "model/perf_model.hpp"
+
+namespace drim {
+
+struct CpuBackendOptions {
+  /// Comparator platform for modeled step times.
+  PlatformParams platform = cpu_platform();
+  bool multiplier_less = false;  ///< CPU squares natively; kept for ablations
+};
+
+class CpuBackend final : public AnnBackend {
+ public:
+  explicit CpuBackend(const IvfPqIndex& index, const CpuBackendOptions& options = {});
+
+  std::string name() const override { return "cpu"; }
+  std::vector<std::vector<Neighbor>> search(const FloatMatrix& queries, std::size_t k,
+                                            std::size_t nprobe) override;
+
+  void reset_stream() override;
+  std::uint32_t enqueue(std::span<const float> query, std::size_t k,
+                        std::size_t nprobe) override;
+  BackendStepStats step(std::size_t max_queries, bool flush) override;
+  bool has_deferred() const override { return false; }
+  bool finished(std::uint32_t handle) const override;
+  std::vector<Neighbor> take_results(std::uint32_t handle) override;
+  std::size_t stream_depth() const override { return pending_.size(); }
+
+  double estimate_batch_seconds(std::size_t num_queries, std::size_t nprobe,
+                                std::size_t k) const override;
+  BackendStats stats() const override { return stats_; }
+
+ private:
+  struct PendingQuery {
+    std::vector<float> values;
+    std::uint32_t k = 0;
+    std::uint32_t nprobe = 0;
+    std::vector<Neighbor> results;
+    bool done = false;
+    bool taken = false;
+  };
+
+  /// Eq. (1)-(11) seconds for one executed group.
+  double model_group_seconds(std::size_t num_queries, std::size_t nprobe,
+                             std::size_t k) const;
+  void maybe_compact();
+
+  const IvfPqIndex& index_;
+  CpuIvfPq searcher_;
+  CpuBackendOptions opts_;
+  std::vector<PendingQuery> pending_;  ///< stream state, indexed by handle - base
+  std::size_t next_query_ = 0;         ///< first pending query no step consumed
+  std::uint32_t handle_base_ = 0;
+  std::size_t live_handles_ = 0;
+  BackendStats stats_;
+};
+
+}  // namespace drim

@@ -1,0 +1,62 @@
+#pragma once
+// AnnBackend over DrimAnnEngine: adapts the engine's streaming step API
+// (enqueue_query / search_batch / SearchBatchState) to the backend seam and
+// keeps long-running streams bounded. SearchBatchState's tables grow a few
+// hundred bytes per enqueued query forever; the backend rebases external
+// handles onto a fresh state whenever every handed-out handle has been taken
+// back and the state is idle, so a serving run's resident stream memory
+// stays proportional to the in-flight window, not the trace length
+// (tests/serve/test_state_compaction.cpp pins this).
+
+#include <memory>
+
+#include "backend/ann_backend.hpp"
+#include "drim/engine.hpp"
+
+namespace drim {
+
+class DrimBackend final : public AnnBackend {
+ public:
+  /// Construct and own an engine for `index` with `options`.
+  DrimBackend(const IvfPqIndex& index, const FloatMatrix& sample_queries,
+              const DrimEngineOptions& options);
+  /// Borrow an existing engine (must outlive the backend).
+  explicit DrimBackend(DrimAnnEngine& engine);
+
+  std::string name() const override;
+  std::vector<std::vector<Neighbor>> search(const FloatMatrix& queries, std::size_t k,
+                                            std::size_t nprobe) override;
+
+  void reset_stream() override;
+  std::uint32_t enqueue(std::span<const float> query, std::size_t k,
+                        std::size_t nprobe) override;
+  BackendStepStats step(std::size_t max_queries, bool flush) override;
+  bool has_deferred() const override { return state_.has_deferred(); }
+  bool finished(std::uint32_t handle) const override;
+  std::vector<Neighbor> take_results(std::uint32_t handle) override;
+  std::size_t stream_depth() const override { return state_.quantized.size(); }
+
+  double estimate_batch_seconds(std::size_t num_queries, std::size_t nprobe,
+                                std::size_t k) const override;
+  BackendStats stats() const override;
+
+  DrimAnnEngine& engine() { return *engine_; }
+  const DrimAnnEngine& engine() const { return *engine_; }
+  /// The engine-level stat detail behind stats() (phase times, counters...).
+  const DrimSearchStats& engine_stats() const { return stats_; }
+
+ private:
+  /// Rebase handles and drop the state once it is drained and every result
+  /// has been taken.
+  void maybe_compact();
+
+  std::unique_ptr<DrimAnnEngine> owned_;
+  DrimAnnEngine* engine_;
+  SearchBatchState state_;
+  DrimSearchStats stats_;
+  double host_wall_seconds_ = 0.0;
+  std::uint32_t handle_base_ = 0;  ///< external handle of state_'s query 0
+  std::size_t live_handles_ = 0;   ///< enqueued but not yet taken back
+};
+
+}  // namespace drim

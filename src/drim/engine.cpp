@@ -7,6 +7,7 @@
 #include <unordered_map>
 
 #include "common/parallel.hpp"
+#include "drim/host_exact.hpp"
 
 namespace drim {
 
@@ -54,7 +55,7 @@ DrimAnnEngine::DrimAnnEngine(const IvfPqIndex& index, const FloatMatrix& sample_
   ensure_scheduler_params(10);
   scheduler_ = std::make_unique<RuntimeScheduler>(*layout_, opts_.scheduler);
 
-  pim_ = std::make_unique<PimSystem>(opts_.pim);
+  pim_ = make_pim_platform(opts_.platform, opts_.pim);
   load_static_data();
   // Bill the static upload once, here, so the first search batch's
   // transfer_in reflects only that batch's staged queries.
@@ -146,8 +147,8 @@ void DrimAnnEngine::load_static_data() {
       ShardRegion region;
       region.size = sh.size();
       region.cluster = sh.cluster;
-      region.codes_offset = pim_->dpu(d).mram().alloc(region.size * cs);
-      region.ids_offset = pim_->dpu(d).mram().alloc(region.size * sizeof(std::uint32_t));
+      region.codes_offset = pim_->alloc_on(d, region.size * cs);
+      region.ids_offset = pim_->alloc_on(d, region.size * sizeof(std::uint32_t));
       pim_->push(d, region.codes_offset,
                  codes.subspan(sh.begin * cs, static_cast<std::size_t>(region.size) * cs));
       pim_->push(d, region.ids_offset,
@@ -161,7 +162,7 @@ void DrimAnnEngine::load_static_data() {
   });
   std::size_t max_used = 0;
   for (std::size_t d = 0; d < num_dpus; ++d) {
-    max_used = std::max(max_used, pim_->dpu(d).mram().used());
+    max_used = std::max(max_used, pim_->mram_used(d));
   }
   // Staging region starts above the highest static allocation on any DPU so
   // kernel args can use one offset for all DPUs.
@@ -216,6 +217,7 @@ double DrimAnnEngine::locate_on_pim(
 
   const std::size_t active_dpus =
       std::min(num_dpus, (nlist + per_dpu - 1) / per_dpu);
+  const bool functional = pim_->functional();
   std::vector<std::vector<KernelHit>> dpu_hits(active_dpus);
   std::vector<TopK> merged(nq, TopK(keep));
   const BatchResult batch = pim_->run_batch(
@@ -233,14 +235,32 @@ double DrimAnnEngine::locate_on_pim(
         args.sq_lut_offset = sq_lut_off_;
         args.sq_lut_max_abs = static_cast<std::uint32_t>(sq_lut_.max_abs());
         args.use_square_lut = opts_.use_square_lut;
-        run_cl_kernel(ctx, args);
+        if (functional) {
+          run_cl_kernel(ctx, args);
+        } else {
+          charge_cl_kernel(ctx, args);
+        }
       },
       [&]() {
         // Pull each active DPU's whole candidate block concurrently (same
         // bytes billed as per-query pulls), then merge serially in fixed
         // (dpu, query) order so heap contents match the serial path exactly.
+        // On a non-functional platform the candidate rows are computed with
+        // the host-side exact scan first; pull() then only bills the bytes.
         parallel_for(0, active_dpus, [&](std::size_t d) {
           dpu_hits[d].resize(nq * keep);
+          if (!functional) {
+            const std::uint32_t cbegin =
+                static_cast<std::uint32_t>(std::min(d * per_dpu, nlist));
+            const std::uint32_t ccount =
+                static_cast<std::uint32_t>(std::min(per_dpu, nlist - cbegin));
+            for (std::size_t q = 0; q < nq; ++q) {
+              const std::vector<KernelHit> row = host_cl_candidates(
+                  data_, quantized[begin + q], cbegin, ccount,
+                  static_cast<std::uint32_t>(keep));
+              std::copy(row.begin(), row.end(), dpu_hits[d].begin() + q * keep);
+            }
+          }
           pim_->pull(d, output_off,
                      {reinterpret_cast<std::uint8_t*>(dpu_hits[d].data()),
                       nq * keep * sizeof(KernelHit)});
@@ -269,7 +289,7 @@ double DrimAnnEngine::locate_on_pim(
   for (std::size_t d = 0; d < num_dpus; ++d) {
     stats.per_dpu_seconds[d] += batch.per_dpu_seconds[d];
     stats.phase_dpu_seconds[static_cast<std::size_t>(Phase::CL)] +=
-        pim_->dpu(d).phase_seconds(Phase::CL);
+        pim_->dpu_phase_seconds(d, Phase::CL);
   }
   stats.counters.add(pim_->aggregate_counters());
   return batch.total_seconds();
@@ -445,23 +465,40 @@ BatchStepStats DrimAnnEngine::search_batch(SearchBatchState& state,
   args.queries_offset = staging_base_;
   args.use_square_lut = opts_.use_square_lut;
 
+  const bool functional = pim_->functional();
   BatchResult batch = pim_->run_batch(
       [&](std::size_t d, DpuContext& ctx) {
         if (dpu_tasks[d].empty()) return;
         SearchKernelArgs a = args;
         a.output_offset = dpu_output_off[d];
-        run_search_kernel(ctx, a, dpu_shard_regions_[d], dpu_tasks[d]);
+        if (functional) {
+          run_search_kernel(ctx, a, dpu_shard_regions_[d], dpu_tasks[d]);
+        } else {
+          charge_search_kernel(ctx, a, dpu_shard_regions_[d], dpu_tasks[d]);
+        }
       },
       [&]() {
         // Collect: pull each DPU's whole output block concurrently (same
         // bytes billed as per-task pulls), then merge into the per-query
         // heaps serially in fixed (dpu, task) order — accum[] heaps are
         // shared across DPUs, and a fixed merge order keeps tie-breaking
-        // bit-identical to the serial path.
+        // bit-identical to the serial path. On a non-functional platform the
+        // output rows are computed by the host-side exact scan over the same
+        // (query, shard) task list; pull() then only bills the bytes.
         std::vector<std::vector<KernelHit>> dpu_hits(num_dpus);
         parallel_for(0, num_dpus, [&](std::size_t d) {
           if (dpu_tasks[d].empty()) return;
           dpu_hits[d].resize(dpu_tasks[d].size() * k);
+          if (!functional) {
+            for (std::size_t t = 0; t < dpu_tasks[d].size(); ++t) {
+              const KernelTask& kt = dpu_tasks[d][t];
+              const Shard& sh = layout_->shard(dpu_shard_ids_[d][kt.shard_slot]);
+              const std::vector<KernelHit> row = host_search_task(
+                  data_, state.quantized[dpu_task_query[d][t]], sh,
+                  static_cast<std::uint32_t>(k));
+              std::copy(row.begin(), row.end(), dpu_hits[d].begin() + t * k);
+            }
+          }
           pim_->pull(d, dpu_output_off[d],
                      {reinterpret_cast<std::uint8_t*>(dpu_hits[d].data()),
                       dpu_hits[d].size() * sizeof(KernelHit)});
@@ -498,7 +535,7 @@ BatchStepStats DrimAnnEngine::search_batch(SearchBatchState& state,
     st.per_dpu_seconds[d] += batch.per_dpu_seconds[d];
     step.tasks += dpu_tasks[d].size();
     for (std::size_t p = 0; p < kNumPhases; ++p) {
-      st.phase_dpu_seconds[p] += pim_->dpu(d).phase_seconds(static_cast<Phase>(p));
+      st.phase_dpu_seconds[p] += pim_->dpu_phase_seconds(d, static_cast<Phase>(p));
     }
   }
   st.tasks += step.tasks;

@@ -22,7 +22,7 @@
 #include "drim/scheduler.hpp"
 #include "drim/square_lut.hpp"
 #include "pim/energy_model.hpp"
-#include "pim/pim_system.hpp"
+#include "pim/pim_platform.hpp"
 
 namespace drim {
 
@@ -50,6 +50,11 @@ struct DrimEngineOptions {
   /// plus P * num_dpus hits of host-link traffic per query — measurably worse
   /// than host CL on UPMEM-like links, which is the point of exposing it.
   bool cl_on_pim = false;
+  /// Which PimPlatform backs the engine: kSim byte-simulates every kernel
+  /// (bit-exact, slow), kAnalytic charges the same cost tables analytically
+  /// with results from a host-side exact scan (identical results, schedule-
+  /// aware approximate times, paper-scale num_dpus feasible).
+  PimPlatformKind platform = PimPlatformKind::kSim;
 };
 
 /// Timing/energy/traffic report for one search() call.
@@ -188,7 +193,7 @@ class DrimAnnEngine {
   /// (reported in every DrimSearchStats, never billed to a batch).
   double index_load_seconds() const { return index_load_seconds_; }
   const DataLayout& layout() const { return *layout_; }
-  const PimSystem& pim() const { return *pim_; }
+  const PimPlatform& platform() const { return *pim_; }
   const SquareLut& square_lut() const { return sq_lut_; }
 
  private:
@@ -218,7 +223,7 @@ class DrimAnnEngine {
   PimIndexData data_;
   SquareLut sq_lut_;
   std::unique_ptr<DataLayout> layout_;
-  std::unique_ptr<PimSystem> pim_;
+  std::unique_ptr<PimPlatform> pim_;
   std::unique_ptr<RuntimeScheduler> scheduler_;
   std::size_t sched_params_k_ = 0;     // k the Eq. 15 coefficients are derived for
   double index_load_seconds_ = 0.0;    // one-time static upload cost

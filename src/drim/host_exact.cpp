@@ -1,0 +1,115 @@
+#include "drim/host_exact.hpp"
+
+#include <algorithm>
+
+namespace drim {
+namespace {
+
+/// Bounded max-heap over (dist, idx) with the kernel's ascending total
+/// order — the WramTopK selection without the cycle charges.
+class BoundedTopK {
+ public:
+  explicit BoundedTopK(std::uint32_t k) : k_(k) { heap_.reserve(k); }
+
+  void push(std::uint32_t dist, std::uint32_t idx) {
+    if (heap_.size() >= k_) {
+      const KernelHit& worst = heap_.front();
+      if (dist > worst.dist || (dist == worst.dist && idx >= worst.id)) return;
+      std::pop_heap(heap_.begin(), heap_.end(), cmp);
+      heap_.back() = {dist, idx};
+    } else {
+      heap_.push_back({dist, idx});
+    }
+    std::push_heap(heap_.begin(), heap_.end(), cmp);
+  }
+
+  /// Ascending (dist, idx); consumes the heap.
+  std::vector<KernelHit> sorted() {
+    std::sort_heap(heap_.begin(), heap_.end(), cmp);
+    return std::move(heap_);
+  }
+
+ private:
+  static bool cmp(const KernelHit& a, const KernelHit& b) {
+    if (a.dist != b.dist) return a.dist < b.dist;
+    return a.id < b.id;
+  }
+  std::uint32_t k_;
+  std::vector<KernelHit> heap_;
+};
+
+}  // namespace
+
+std::vector<KernelHit> host_search_task(const PimIndexData& data,
+                                        std::span<const std::int16_t> query,
+                                        const Shard& shard, std::uint32_t k) {
+  const std::size_t dim = data.dim();
+  const std::size_t m = data.m();
+  const std::size_t dsub = data.dsub();
+  const std::size_t cb = data.cb_entries();
+
+  // RC + LC: the ADC table in exact uint32 arithmetic (wraparound included).
+  const auto centroid = data.centroid(shard.cluster);
+  std::vector<std::int32_t> residual(dim);
+  for (std::size_t d = 0; d < dim; ++d) {
+    residual[d] = static_cast<std::int32_t>(query[d]) - centroid[d];
+  }
+  std::vector<std::uint32_t> lut(m * cb);
+  for (std::size_t sub = 0; sub < m; ++sub) {
+    const std::int32_t* res = residual.data() + sub * dsub;
+    for (std::size_t e = 0; e < cb; ++e) {
+      const auto cw = data.codeword(sub, e);
+      std::uint32_t acc = 0;
+      for (std::size_t d = 0; d < dsub; ++d) {
+        const std::int32_t diff = res[d] - cw[d];
+        const auto a = static_cast<std::uint32_t>(diff < 0 ? -diff : diff);
+        acc += a * a;
+      }
+      lut[sub * cb + e] = acc;
+    }
+  }
+
+  // DC + TS over the shard's slice of the cluster.
+  const auto codes = data.cluster_codes(shard.cluster);
+  const auto ids = data.cluster_ids(shard.cluster);
+  const std::uint32_t size = static_cast<std::uint32_t>(shard.size());
+  const std::uint32_t kk = std::min<std::uint32_t>(k, std::max<std::uint32_t>(size, 1));
+  BoundedTopK topk(kk);
+  for (std::uint32_t i = 0; i < size; ++i) {
+    std::uint32_t dist = 0;
+    for (std::size_t sub = 0; sub < m; ++sub) {
+      dist += lut[sub * cb + data.code_at(codes, shard.begin + i, sub)];
+    }
+    topk.push(dist, i);
+  }
+
+  std::vector<KernelHit> hits = topk.sorted();
+  for (KernelHit& h : hits) h.id = ids[shard.begin + h.id];
+  hits.resize(k, KernelHit{});  // sentinel-pad short shards
+  return hits;
+}
+
+std::vector<KernelHit> host_cl_candidates(const PimIndexData& data,
+                                          std::span<const std::int16_t> query,
+                                          std::uint32_t centroid_begin,
+                                          std::uint32_t centroid_count,
+                                          std::uint32_t keep) {
+  const std::size_t dim = data.dim();
+  BoundedTopK topk(keep);
+  for (std::uint32_t c = 0; c < centroid_count; ++c) {
+    const std::uint32_t global = centroid_begin + c;
+    const auto centroid = data.centroid(global);
+    std::uint32_t dist = 0;
+    for (std::size_t d = 0; d < dim; ++d) {
+      const std::int32_t diff = static_cast<std::int32_t>(query[d]) - centroid[d];
+      const auto a = static_cast<std::uint32_t>(diff < 0 ? -diff : diff);
+      dist += a * a;
+    }
+    topk.push(dist, global);
+  }
+  std::vector<KernelHit> hits = topk.sorted();
+  hits.resize(keep, KernelHit{});
+  return hits;
+}
+
+}  // namespace drim

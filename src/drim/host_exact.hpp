@@ -1,0 +1,39 @@
+#pragma once
+// Host-side bit-exact replay of the DPU kernels' integer pipeline. The
+// analytic platform never materializes MRAM, so it cannot run the functional
+// kernels; instead the engine computes each scheduled task's results here —
+// same int16 operands, same uint32 wraparound arithmetic, same (distance,
+// local index) tie-breaking — and uses the platform only for cycle/transfer
+// billing. Results are therefore identical to the functional simulator's
+// (pinned by tests/test_platforms.cpp) while recall stays real at paper
+// scale.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "drim/kernels.hpp"
+#include "drim/layout.hpp"
+#include "drim/pim_index.hpp"
+
+namespace drim {
+
+/// Exact hits of one search task (query x shard): ascending (distance, local
+/// index) under the kernel's total order, winners' global base-point ids
+/// resolved, sentinel-padded to k entries — byte-for-byte what
+/// run_search_kernel writes for the task.
+std::vector<KernelHit> host_search_task(const PimIndexData& data,
+                                        std::span<const std::int16_t> query,
+                                        const Shard& shard, std::uint32_t k);
+
+/// Exact per-DPU CL candidates of one query over the centroid range
+/// [centroid_begin, centroid_begin + centroid_count): top-`keep` by
+/// (distance, global centroid id), sentinel-padded to keep — what
+/// run_cl_kernel writes for the query's output row.
+std::vector<KernelHit> host_cl_candidates(const PimIndexData& data,
+                                          std::span<const std::int16_t> query,
+                                          std::uint32_t centroid_begin,
+                                          std::uint32_t centroid_count,
+                                          std::uint32_t keep);
+
+}  // namespace drim

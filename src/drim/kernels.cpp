@@ -261,4 +261,136 @@ void run_search_kernel(DpuContext& ctx, const SearchKernelArgs& args,
   }
 }
 
+namespace {
+
+/// Bill the DMA of a region fetched in <= kMaxDmaBytes chunks (the analytic
+/// twin of mram_read_chunked: same transfer count and sizes).
+void charge_read_chunked(DpuContext& ctx, std::size_t bytes) {
+  std::size_t done = 0;
+  while (done < bytes) {
+    const std::size_t n = std::min(kMaxDmaBytes, bytes - done);
+    ctx.charge_mram_read(n);
+    done += n;
+  }
+}
+
+/// Amortized TS heap-maintenance cycles for `points` pushes into a k-deep
+/// heap: the Eq. 15 l_sortu shape (threshold compare always; 0.25 * log2(k)
+/// of the sift's compare + two WRAM accesses on the amortized accept path).
+std::uint64_t amortized_topk_cycles(const DpuInstructionCosts& c, std::uint64_t points,
+                                    std::uint32_t k) {
+  double log2k = 1.0;
+  for (std::uint32_t v = k; v > 1; v >>= 1) log2k += 1.0;
+  const double sift = 0.25 * log2k * (static_cast<double>(c.cmp) + 2.0 * c.wram_access);
+  return points * c.cmp +
+         static_cast<std::uint64_t>(static_cast<double>(points) * sift + 0.5);
+}
+
+}  // namespace
+
+void charge_search_kernel(DpuContext& ctx, const SearchKernelArgs& args,
+                          std::span<const ShardRegion> shards,
+                          std::span<const KernelTask> tasks) {
+  const std::size_t dim = args.dim;
+  const std::size_t m = args.m;
+  const std::size_t cb = args.cb;
+  const std::size_t dsub = dim / m;
+  const DpuInstructionCosts& c = ctx.config().costs;
+
+  // Same WRAM working-set accounting as run_search_kernel.
+  const std::size_t sq_lut_bytes =
+      args.use_square_lut ? (args.sq_lut_max_abs + 1) * sizeof(std::uint32_t) : 0;
+  const std::size_t wram_bytes =
+      dim * 2 + dim * 2 + dim * 4 + m * cb * 4 +
+      std::min(cb * dsub * 2, kMaxDmaBytes * 2) + kMaxDmaBytes + sq_lut_bytes +
+      args.k * sizeof(KernelHit);
+  check_wram_budget(ctx.config(), wram_bytes);
+
+  ctx.set_phase(Phase::AUX);
+  ctx.charge_cycles(tasks.size() * 4);  // task decode / loop control
+  ctx.charge_mram_read(tasks.size() * sizeof(KernelTask));
+
+  for (const KernelTask& task : tasks) {
+    const ShardRegion& shard = shards[task.shard_slot];
+    const std::uint64_t points = shard.size;
+
+    // RC: query + centroid reads, residual arithmetic.
+    ctx.set_phase(Phase::RC);
+    ctx.charge_mram_read(dim * 2);
+    ctx.charge_mram_read(dim * 2);
+    ctx.charge_adds(dim);
+    ctx.charge_wram(dim * 3);
+
+    // LC: per subquantizer, one chunked codebook-slice fetch plus the
+    // per-entry square/accumulate/store stream (all squares assumed to hit
+    // the table — see the header note).
+    ctx.set_phase(Phase::LC);
+    for (std::size_t sub = 0; sub < m; ++sub) {
+      charge_read_chunked(ctx, cb * dsub * 2);
+      if (args.use_square_lut) {
+        ctx.charge_sq_lut_lookups(cb * dsub);
+      } else {
+        ctx.charge_muls(cb * dsub);
+      }
+      ctx.charge_adds(cb * 2 * dsub);
+      ctx.charge_wram(cb);
+    }
+
+    // DC: stream whole codes per block, ADC-sum each point.
+    ctx.set_phase(Phase::DC);
+    const std::size_t codes_bytes = static_cast<std::size_t>(points) * args.code_size;
+    const std::size_t codes_per_block = kMaxDmaBytes / args.code_size;
+    std::size_t streamed = 0;
+    while (streamed < codes_bytes) {
+      const std::size_t block_bytes =
+          std::min(codes_per_block * args.code_size, codes_bytes - streamed);
+      ctx.charge_mram_read(block_bytes);
+      streamed += block_bytes;
+    }
+    ctx.charge_lut_lookups(points * m);
+    ctx.charge_adds(points * (m - 1));
+
+    // TS: amortized heap maintenance at this task's effective depth.
+    ctx.set_phase(Phase::TS);
+    const std::uint32_t kk =
+        std::min<std::uint32_t>(args.k, std::max<std::uint32_t>(shard.size, 1));
+    ctx.charge_cycles(amortized_topk_cycles(c, points, kk));
+
+    // AUX: resolve winners' ids (one 4-byte read each), write the padded row.
+    ctx.set_phase(Phase::AUX);
+    const std::uint64_t hits = std::min<std::uint64_t>(args.k, points);
+    for (std::uint64_t h = 0; h < hits; ++h) {
+      ctx.charge_mram_read(sizeof(std::uint32_t));
+    }
+    ctx.charge_mram_write(args.k * sizeof(KernelHit));
+  }
+}
+
+void charge_cl_kernel(DpuContext& ctx, const ClKernelArgs& args) {
+  const std::size_t dim = args.dim;
+  if (args.num_queries == 0 || args.centroid_count == 0) return;
+  const DpuInstructionCosts& c = ctx.config().costs;
+
+  const std::size_t wram =
+      dim * 2 + dim * 2 + args.nprobe * sizeof(KernelHit) +
+      (args.use_square_lut ? (args.sq_lut_max_abs + 1) * sizeof(std::uint32_t) : 0);
+  check_wram_budget(ctx.config(), wram);
+
+  ctx.set_phase(Phase::CL);
+  const std::uint64_t nq = args.num_queries;
+  const std::uint64_t cnt = args.centroid_count;
+  for (std::uint64_t q = 0; q < nq; ++q) {
+    ctx.charge_mram_read(dim * 2);
+    for (std::uint64_t i = 0; i < cnt; ++i) ctx.charge_mram_read(dim * 2);
+    if (args.use_square_lut) {
+      ctx.charge_sq_lut_lookups(cnt * dim);
+    } else {
+      ctx.charge_muls(cnt * dim);
+    }
+    ctx.charge_adds(cnt * 2 * dim);
+    ctx.charge_cycles(amortized_topk_cycles(c, cnt, args.nprobe));
+    ctx.charge_mram_write(args.nprobe * sizeof(KernelHit));
+  }
+}
+
 }  // namespace drim

@@ -98,4 +98,27 @@ struct ClKernelArgs {
 /// query. Output rows are sentinel-padded like the search kernel's.
 void run_cl_kernel(DpuContext& ctx, const ClKernelArgs& args);
 
+// ---- analytic twins (AnalyticPimPlatform launches) ----
+// Charge exactly the schedule/layout-determined costs of the functional
+// kernels — same WRAM budget check, same DMA transfer sizes and chunking,
+// same instruction tallies — without reading a byte of MRAM. Two terms are
+// data-dependent in the functional kernel and are approximated here:
+//   - LC squaring assumes every |residual - codeword| difference is covered
+//     by the broadcast square table (the table is sized to cover the full
+//     operand range, so functional runs miss rarely if ever);
+//   - TS heap maintenance uses the Eq. 15 amortized shape (one threshold
+//     compare per point plus 0.25 * log2(k) sift compares/WRAM swaps),
+//     instead of replaying the data-dependent accept sequence.
+// DMA cycles and MRAM byte counters are exact; instruction cycles agree with
+// the functional kernel within a few percent (pinned by the cross-platform
+// test's tolerance).
+
+/// Analytic twin of run_search_kernel.
+void charge_search_kernel(DpuContext& ctx, const SearchKernelArgs& args,
+                          std::span<const ShardRegion> shards,
+                          std::span<const KernelTask> tasks);
+
+/// Analytic twin of run_cl_kernel.
+void charge_cl_kernel(DpuContext& ctx, const ClKernelArgs& args);
+
 }  // namespace drim

@@ -91,6 +91,21 @@ class DpuContext {
   /// DMA WRAM buffer -> MRAM.
   void mram_write(std::size_t mram_offset, std::span<const std::uint8_t> src);
 
+  /// Bill one MRAM->WRAM DMA transfer without moving bytes — the analytic
+  /// kernels' path. Charges the same affine cost (fixed cycles + per-byte
+  /// cycles) and byte counters as mram_read of the same size.
+  void charge_mram_read(std::size_t bytes) {
+    PhaseCounters& c = cur();
+    c.dma_cycles += dma_cost(bytes);
+    c.mram_bytes_read += bytes;
+  }
+  /// WRAM->MRAM billing twin of charge_mram_read.
+  void charge_mram_write(std::size_t bytes) {
+    PhaseCounters& c = cur();
+    c.dma_cycles += dma_cost(bytes);
+    c.mram_bytes_written += bytes;
+  }
+
   /// Typed convenience readers.
   template <typename T>
   void mram_read_t(std::size_t mram_offset, std::span<T> dst) {

@@ -7,29 +7,15 @@
 
 namespace drim {
 
-PimSystem::PimSystem(const PimConfig& config) : config_(config) {
-  if (config_.num_dpus == 0) throw std::runtime_error("PimSystem needs >= 1 DPU");
+DpuArrayPlatform::DpuArrayPlatform(const PimConfig& config) : config_(config) {
+  if (config_.num_dpus == 0) throw std::runtime_error("PimPlatform needs >= 1 DPU");
   dpus_.reserve(config_.num_dpus);
   for (std::size_t i = 0; i < config_.num_dpus; ++i) {
     dpus_.push_back(std::make_unique<Dpu>(config_));
   }
 }
 
-void PimSystem::push(std::size_t dpu_id, std::size_t offset,
-                     std::span<const std::uint8_t> data) {
-  dpus_.at(dpu_id)->mram().write(offset, data);
-  pending_in_bytes_.fetch_add(data.size(), std::memory_order_relaxed);
-}
-
-void PimSystem::broadcast(std::size_t offset, std::span<const std::uint8_t> data) {
-  // Each DPU's Mram is private, so the per-DPU copies are independent.
-  parallel_for(0, dpus_.size(),
-               [&](std::size_t d) { dpus_[d]->mram().write(offset, data); });
-  // Transmitted once (rank-level broadcast).
-  pending_in_bytes_.fetch_add(data.size(), std::memory_order_relaxed);
-}
-
-std::size_t PimSystem::alloc_symmetric(std::size_t bytes) {
+std::size_t DpuArrayPlatform::alloc_symmetric(std::size_t bytes) {
   std::size_t offset = dpus_[0]->mram().alloc(bytes);
   for (std::size_t i = 1; i < dpus_.size(); ++i) {
     const std::size_t o = dpus_[i]->mram().alloc(bytes);
@@ -38,17 +24,20 @@ std::size_t PimSystem::alloc_symmetric(std::size_t bytes) {
   return offset;
 }
 
-void PimSystem::pull(std::size_t dpu_id, std::size_t offset, std::span<std::uint8_t> out) {
-  dpus_.at(dpu_id)->mram().read(offset, out);
-  if (collecting_) pending_out_bytes_.fetch_add(out.size(), std::memory_order_relaxed);
+std::size_t DpuArrayPlatform::alloc_on(std::size_t dpu_id, std::size_t bytes) {
+  return dpus_.at(dpu_id)->mram().alloc(bytes);
 }
 
-double PimSystem::drain_pending_transfer() {
+std::size_t DpuArrayPlatform::mram_used(std::size_t dpu_id) const {
+  return dpus_.at(dpu_id)->mram().used();
+}
+
+double DpuArrayPlatform::drain_pending_transfer() {
   const std::uint64_t bytes = pending_in_bytes_.exchange(0, std::memory_order_relaxed);
   return static_cast<double>(bytes) / config_.host_link_bytes_per_sec;
 }
 
-BatchResult PimSystem::run_batch(
+BatchResult DpuArrayPlatform::run_batch(
     const std::function<void(std::size_t, DpuContext&)>& kernel,
     const std::function<void()>& collect) {
   BatchResult result;
@@ -84,10 +73,34 @@ BatchResult PimSystem::run_batch(
   return result;
 }
 
-DpuCounters PimSystem::aggregate_counters() const {
+DpuCounters DpuArrayPlatform::aggregate_counters() const {
   DpuCounters total;
   for (const auto& dpu : dpus_) total.add(dpu->counters());
   return total;
+}
+
+double DpuArrayPlatform::dpu_phase_seconds(std::size_t dpu_id, Phase p) const {
+  return dpus_.at(dpu_id)->phase_seconds(p);
+}
+
+void SimPimPlatform::push(std::size_t dpu_id, std::size_t offset,
+                          std::span<const std::uint8_t> data) {
+  dpus_.at(dpu_id)->mram().write(offset, data);
+  pending_in_bytes_.fetch_add(data.size(), std::memory_order_relaxed);
+}
+
+void SimPimPlatform::broadcast(std::size_t offset, std::span<const std::uint8_t> data) {
+  // Each DPU's Mram is private, so the per-DPU copies are independent.
+  parallel_for(0, dpus_.size(),
+               [&](std::size_t d) { dpus_[d]->mram().write(offset, data); });
+  // Transmitted once (rank-level broadcast).
+  pending_in_bytes_.fetch_add(data.size(), std::memory_order_relaxed);
+}
+
+void SimPimPlatform::pull(std::size_t dpu_id, std::size_t offset,
+                          std::span<std::uint8_t> out) {
+  dpus_.at(dpu_id)->mram().read(offset, out);
+  if (collecting_) pending_out_bytes_.fetch_add(out.size(), std::memory_order_relaxed);
 }
 
 }  // namespace drim

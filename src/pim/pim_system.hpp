@@ -1,6 +1,7 @@
 #pragma once
-// The whole PIM platform: an array of DPUs plus the host link. Models the
-// UPMEM execution contract the paper's load-balancing work targets:
+// The functional PIM platform: an array of simulated DPUs plus the host
+// link. Models the UPMEM execution contract the paper's load-balancing work
+// targets:
 //   - the host launches a kernel on ALL DPUs and must wait for every one of
 //     them (batch latency = slowest DPU),
 //   - host<->DPU transfers share one ~19.2 GB/s channel (0.75% of aggregate
@@ -13,6 +14,10 @@
 // timings, and MRAM contents are bit-identical to a single-threaded run:
 // transfer billing sums exact integer byte counts (atomics), and every other
 // mutation is DPU-private. See DESIGN.md "Host threading model".
+//
+// DpuArrayPlatform is the shared chassis (DPU array, byte tallies, batch
+// loop); SimPimPlatform materializes transfers into simulated MRAM, while
+// AnalyticPimPlatform (pim/analytic_platform.hpp) only bills them.
 
 #include <atomic>
 #include <cstdint>
@@ -21,73 +26,39 @@
 #include <vector>
 
 #include "pim/dpu.hpp"
+#include "pim/pim_platform.hpp"
 
 namespace drim {
 
-/// Timing of one barrier-synchronized batch launch.
-struct BatchResult {
-  std::vector<double> per_dpu_seconds;  ///< modeled execution time per DPU
-  double dpu_seconds = 0.0;          ///< max over DPUs (the barrier)
-  double transfer_in_seconds = 0.0;  ///< host -> DPUs before launch
-  double transfer_out_seconds = 0.0; ///< DPUs -> host after completion
-  double launch_overhead_seconds = 0.0;
-
-  double total_seconds() const {
-    return transfer_in_seconds + dpu_seconds + transfer_out_seconds +
-           launch_overhead_seconds;
-  }
-};
-
-/// A PIM platform instance.
-class PimSystem {
+/// Common PimPlatform machinery for platforms backed by an array of
+/// simulated Dpu objects: allocation, counter aggregation, pending-transfer
+/// tallies, and the parallel barrier-synchronized batch loop. Subclasses
+/// decide whether push/broadcast/pull move real bytes.
+class DpuArrayPlatform : public PimPlatform {
  public:
-  explicit PimSystem(const PimConfig& config);
-  PimSystem(const PimSystem&) = delete;
-  PimSystem& operator=(const PimSystem&) = delete;
+  explicit DpuArrayPlatform(const PimConfig& config);
+  DpuArrayPlatform(const DpuArrayPlatform&) = delete;
+  DpuArrayPlatform& operator=(const DpuArrayPlatform&) = delete;
 
-  const PimConfig& config() const { return config_; }
-  std::size_t num_dpus() const { return dpus_.size(); }
+  const PimConfig& config() const override { return config_; }
+  std::size_t num_dpus() const override { return dpus_.size(); }
+
+  /// Direct DPU access for tests and platform-aware tools (not part of the
+  /// abstract interface — the engine never uses it).
   Dpu& dpu(std::size_t i) { return *dpus_[i]; }
   const Dpu& dpu(std::size_t i) const { return *dpus_[i]; }
 
-  // ---- host -> DPU data movement (accumulates into the next batch's
-  //      transfer_in time) ----
-  /// Copy bytes into one DPU's MRAM at `offset`. Thread-safe for distinct
-  /// DPUs (each Mram is private; the byte tally is atomic), so per-DPU
-  /// staging loops may call it from parallel_for.
-  void push(std::size_t dpu_id, std::size_t offset, std::span<const std::uint8_t> data);
-  /// Copy the same bytes into every DPU at per-DPU offset `offset`
-  /// (hardware broadcast: transmitted once over the channel). The per-DPU
-  /// copies fan out across host threads internally.
-  void broadcast(std::size_t offset, std::span<const std::uint8_t> data);
-  /// Allocate `bytes` at the same offset on every DPU; returns the offset.
-  /// All DPUs stay allocation-synchronized (the usual UPMEM symmetric-heap
-  /// pattern).
-  std::size_t alloc_symmetric(std::size_t bytes);
+  std::size_t alloc_symmetric(std::size_t bytes) override;
+  std::size_t alloc_on(std::size_t dpu_id, std::size_t bytes) override;
+  std::size_t mram_used(std::size_t dpu_id) const override;
 
-  // ---- DPU -> host ----
-  /// Thread-safe for distinct DPUs, like push().
-  void pull(std::size_t dpu_id, std::size_t offset, std::span<std::uint8_t> out);
-
-  /// Bill all bytes pushed/broadcast since the last batch (or drain) NOW,
-  /// outside any batch: returns the seconds they take on the host link and
-  /// clears the pending tally. Used for one-time index loading so the first
-  /// search batch is not charged for the static upload.
-  double drain_pending_transfer();
-
-  /// Run `kernel(dpu_id, ctx)` on every DPU, modeling a barrier-synchronized
-  /// launch. Counters are reset before the run; transfer bytes accumulated
-  /// via push/broadcast since the previous batch are billed as transfer_in,
-  /// and bytes pulled during `collect` (invoked after the barrier) as
-  /// transfer_out. Kernels execute concurrently across host threads; the
-  /// kernel callable must not mutate state shared between DPUs.
+  double drain_pending_transfer() override;
   BatchResult run_batch(const std::function<void(std::size_t, DpuContext&)>& kernel,
-                        const std::function<void()>& collect = nullptr);
+                        const std::function<void()>& collect = nullptr) override;
+  DpuCounters aggregate_counters() const override;
+  double dpu_phase_seconds(std::size_t dpu_id, Phase p) const override;
 
-  /// Aggregate counters over all DPUs (for energy / bandwidth reports).
-  DpuCounters aggregate_counters() const;
-
- private:
+ protected:
   PimConfig config_;
   std::vector<std::unique_ptr<Dpu>> dpus_;
   // Exact integer byte tallies; atomic so parallel staging / collection
@@ -97,5 +68,28 @@ class PimSystem {
   std::atomic<std::uint64_t> pending_out_bytes_{0};  // DPU->host during collect
   bool collecting_ = false;
 };
+
+/// The functional simulator platform: push/broadcast/pull move real bytes
+/// through each DPU's simulated MRAM, so kernels compute bit-exact results.
+class SimPimPlatform final : public DpuArrayPlatform {
+ public:
+  explicit SimPimPlatform(const PimConfig& config) : DpuArrayPlatform(config) {}
+
+  std::string name() const override { return "sim"; }
+  bool functional() const override { return true; }
+
+  /// Thread-safe for distinct DPUs (each Mram is private; the byte tally is
+  /// atomic), so per-DPU staging loops may call it from parallel_for.
+  void push(std::size_t dpu_id, std::size_t offset,
+            std::span<const std::uint8_t> data) override;
+  /// Per-DPU copies fan out across host threads; transmitted once (rank-
+  /// level broadcast) on the link.
+  void broadcast(std::size_t offset, std::span<const std::uint8_t> data) override;
+  void pull(std::size_t dpu_id, std::size_t offset, std::span<std::uint8_t> out) override;
+};
+
+/// Historical name of the functional platform; tests and tools that poke at
+/// simulated MRAM directly keep using it.
+using PimSystem = SimPimPlatform;
 
 }  // namespace drim

@@ -6,23 +6,38 @@
 #include <stdexcept>
 #include <unordered_map>
 
+#include "backend/drim_backend.hpp"
+
 namespace drim::serve {
 
 namespace {
 
 constexpr double kInf = std::numeric_limits<double>::infinity();
 
+void validate_params(const ServeParams& params) {
+  if (params.batcher.max_batch == 0) {
+    throw std::invalid_argument("ServeParams: batcher.max_batch must be > 0");
+  }
+  if (!(params.ewma_alpha > 0.0) || params.ewma_alpha > 1.0) {
+    throw std::invalid_argument("ServeParams: ewma_alpha must be in (0, 1]");
+  }
+}
+
 }  // namespace
+
+ServingRuntime::ServingRuntime(AnnBackend& backend, const FloatMatrix& query_pool,
+                               const ServeParams& params)
+    : backend_(backend), pool_(query_pool), params_(params) {
+  validate_params(params_);
+}
 
 ServingRuntime::ServingRuntime(DrimAnnEngine& engine, const FloatMatrix& query_pool,
                                const ServeParams& params)
-    : engine_(engine), pool_(query_pool), params_(params) {
-  if (params_.batcher.max_batch == 0) {
-    throw std::invalid_argument("ServeParams: batcher.max_batch must be > 0");
-  }
-  if (!(params_.ewma_alpha > 0.0) || params_.ewma_alpha > 1.0) {
-    throw std::invalid_argument("ServeParams: ewma_alpha must be in (0, 1]");
-  }
+    : owned_backend_(std::make_unique<DrimBackend>(engine)),
+      backend_(*owned_backend_),
+      pool_(query_pool),
+      params_(params) {
+  validate_params(params_);
 }
 
 ServeResult ServingRuntime::run(const std::vector<Request>& trace) {
@@ -57,19 +72,18 @@ ServeResult ServingRuntime::run(const std::vector<Request>& trace) {
 
   DynamicBatcher batcher(params_.batcher);
   AdmissionController admission(params_.admission);
-  SearchBatchState state;
-  DrimSearchStats& stats = result.engine_stats;
+  backend_.reset_stream();
 
   // Seed the batch-time predictor with the Eq. 15 open-loop estimate for a
   // full-size batch at the trace's deepest (k, nprobe); observed steps then
   // pull the EWMA toward the actual (skew-inflated) batch times.
-  double ewma = engine_.estimate_batch_seconds(params_.batcher.max_batch, max_nprobe,
-                                               max_k);
+  double ewma = backend_.estimate_batch_seconds(params_.batcher.max_batch, max_nprobe,
+                                                max_k);
 
   double now = 0.0;
   double busy_until = 0.0;
   std::size_t next_arrival = 0;
-  // Engine handle -> trace index, for the live (launched, maybe deferred)
+  // Backend handle -> trace index, for the live (launched, maybe deferred)
   // requests whose completion we still have to observe.
   std::unordered_map<std::uint32_t, std::size_t> inflight;
 
@@ -89,14 +103,14 @@ ServeResult ServingRuntime::run(const std::vector<Request>& trace) {
     }
   };
 
-  // Run one PIM step (a fresh batch or a pure deferred-task drain), advance
-  // the virtual clock across it — admitting the arrivals that land while it
-  // runs — and mark the requests it completed.
+  // Run one backend step (a fresh batch or a pure deferred-task drain),
+  // advance the virtual clock across it — admitting the arrivals that land
+  // while it runs — and mark the requests it completed.
   auto run_step = [&](std::size_t fresh_count, bool flush) {
     if (params_.flush_every > 0 && (result.batches + 1) % params_.flush_every == 0) {
       flush = true;  // periodic flush bounds re-deferral starvation
     }
-    BatchStepStats step = engine_.search_batch(state, fresh_count, flush, &stats);
+    const BackendStepStats step = backend_.step(fresh_count, flush);
     std::uint32_t step_k = 1;
     for (const auto& [handle, idx] : inflight) {
       step_k = std::max(step_k, result.records[idx].request.k);
@@ -106,12 +120,12 @@ ServeResult ServingRuntime::run(const std::vector<Request>& trace) {
     const double merge_s = params_.merge_cost_per_hit_s *
                            static_cast<double>(step.tasks) *
                            static_cast<double>(step_k);
-    // Same overlap model as the engine: the dedicated CL launch (if any) is
-    // serial, then host work (CL + schedule + merge) hides under the PIM
-    // batch — whichever is longer paces the step.
-    const double host_s = step.host_cl_seconds + schedule_s + merge_s;
+    // Same overlap model as the engine: the dedicated pre-step launch (CL on
+    // PIM, if any) is serial, then host work (CL + schedule + merge) hides
+    // under the batch execution — whichever is longer paces the step.
+    const double host_s = step.host_seconds + schedule_s + merge_s;
     const double wall =
-        step.cl_pim_seconds + std::max(host_s, step.pim_batch_seconds);
+        step.pre_seconds + std::max(host_s, step.exec_seconds);
     busy_until = now + wall;
     ++result.batches;
     ewma += params_.ewma_alpha * (wall - ewma);
@@ -127,18 +141,18 @@ ServeResult ServingRuntime::run(const std::vector<Request>& trace) {
 
     // Completions: every live request whose tasks have all executed.
     for (auto it = inflight.begin(); it != inflight.end();) {
-      if (!state.finished(it->first)) {
+      if (!backend_.finished(it->first)) {
         ++it;
         continue;
       }
       RequestRecord& rec = result.records[it->second];
       rec.done_s = now;
       rec.latency_s = now - rec.request.arrival_s;
-      rec.host_cl_s = step.host_cl_seconds + step.cl_pim_seconds;
+      rec.host_cl_s = step.host_seconds + step.pre_seconds;
       rec.schedule_s = schedule_s;
-      rec.pim_s = step.pim_batch_seconds;
+      rec.pim_s = step.exec_seconds;
       rec.merge_s = merge_s;
-      rec.results = state.take_results(it->first).size();
+      rec.results = backend_.take_results(it->first).size();
       it = inflight.erase(it);
     }
   };
@@ -152,7 +166,7 @@ ServeResult ServingRuntime::run(const std::vector<Request>& trace) {
       std::vector<Request> batch = batcher.take_batch();
       for (const Request& req : batch) {
         const std::uint32_t handle =
-            engine_.enqueue_query(state, pool_.row(req.query), req.k, req.nprobe);
+            backend_.enqueue(pool_.row(req.query), req.k, req.nprobe);
         inflight.emplace(handle, static_cast<std::size_t>(req.id));
         RequestRecord& rec = result.records[req.id];
         rec.queue_wait_s = now - req.arrival_s;
@@ -164,7 +178,7 @@ ServeResult ServingRuntime::run(const std::vector<Request>& trace) {
 
     // Idle with carried deferred tasks and nothing else to wait for: drain
     // them with a flush step so the stragglers complete.
-    if (no_more_arrivals && batcher.empty() && state.has_deferred()) {
+    if (no_more_arrivals && batcher.empty() && backend_.has_deferred()) {
       run_step(0, /*flush=*/true);
       continue;
     }
@@ -185,6 +199,7 @@ ServeResult ServingRuntime::run(const std::vector<Request>& trace) {
 
   result.makespan_s = now;
   result.ewma_batch_s = ewma;
+  result.engine_stats = backend_.stats();
   result.report = summarize(result.records, params_.admission.slo_s);
   return result;
 }

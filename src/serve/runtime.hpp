@@ -1,17 +1,19 @@
 #pragma once
 // The online serving runtime: an open-loop discrete-event simulation that
-// drives DrimAnnEngine's streaming step API (enqueue_query / search_batch)
-// from a timestamped request trace on a virtual clock. Requests arrive, pass
+// drives an AnnBackend's streaming step API (enqueue / step) from a
+// timestamped request trace on a virtual clock. Requests arrive, pass
 // admission control (predicted queue delay vs the SLO budget), wait in the
 // dynamic batcher until a size or deadline trigger fires, execute as one
-// barrier-synchronized PIM step, and complete — possibly a step late when the
-// inter-batch filter deferred some of their tasks. Each request leaves a
+// barrier-synchronized backend step, and complete — possibly a step late when
+// the inter-batch filter deferred some of their tasks. Each request leaves a
 // RequestRecord with its full latency decomposition; run() returns them plus
-// the aggregate ServeReport and the engine's accumulated search stats.
+// the aggregate ServeReport and the backend's accumulated search stats.
 
 #include <cstddef>
+#include <memory>
 #include <vector>
 
+#include "backend/ann_backend.hpp"
 #include "drim/engine.hpp"
 #include "serve/admission.hpp"
 #include "serve/batcher.hpp"
@@ -31,10 +33,10 @@ struct ServeParams {
   /// EWMA weight of the newest observed batch time in the admission
   /// controller's queue-delay predictor (seeded from Eq. 15).
   double ewma_alpha = 0.25;
-  /// Run every Nth PIM step with the inter-batch filter disabled (0 = never).
-  /// The filter can re-defer a hot shard's tasks round after round, so
-  /// without a periodic flush a request can starve until the trace drains;
-  /// this bounds any request's deferral to < flush_every extra steps.
+  /// Run every Nth backend step with the inter-batch filter disabled
+  /// (0 = never). The filter can re-defer a hot shard's tasks round after
+  /// round, so without a periodic flush a request can starve until the trace
+  /// drains; this bounds any request's deferral to < flush_every extra steps.
   std::size_t flush_every = 4;
 };
 
@@ -42,28 +44,34 @@ struct ServeParams {
 struct ServeResult {
   std::vector<RequestRecord> records;  ///< one per request, trace order
   ServeReport report;
-  DrimSearchStats engine_stats;  ///< accumulated over every PIM step
-  std::size_t batches = 0;       ///< PIM steps launched (incl. drain steps)
-  double makespan_s = 0.0;       ///< virtual time of the last completion
-  double ewma_batch_s = 0.0;     ///< final batch-time estimate
+  BackendStats engine_stats;  ///< backend stats accumulated over every step
+  std::size_t batches = 0;    ///< backend steps launched (incl. drain steps)
+  double makespan_s = 0.0;    ///< virtual time of the last completion
+  double ewma_batch_s = 0.0;  ///< final batch-time estimate
 };
 
-/// Binds an engine to a query pool (Request.query indexes its rows) and
-/// replays traces against it. The engine and pool must outlive the runtime.
+/// Binds a backend to a query pool (Request.query indexes its rows) and
+/// replays traces against it. The backend and pool must outlive the runtime.
 class ServingRuntime {
  public:
+  ServingRuntime(AnnBackend& backend, const FloatMatrix& query_pool,
+                 const ServeParams& params);
+  /// Convenience: serve an existing DrimAnnEngine directly. Wraps it in an
+  /// internally owned DrimBackend; the engine must outlive the runtime.
   ServingRuntime(DrimAnnEngine& engine, const FloatMatrix& query_pool,
                  const ServeParams& params);
 
   /// Replay one trace (must be sorted by arrival time, as generate_workload
   /// produces). Each call is an independent simulation: fresh virtual clock,
-  /// fresh batcher/admission state, fresh engine stream state.
+  /// fresh batcher/admission state, fresh backend stream state.
   ServeResult run(const std::vector<Request>& trace);
 
   const ServeParams& params() const { return params_; }
+  AnnBackend& backend() { return backend_; }
 
  private:
-  DrimAnnEngine& engine_;
+  std::unique_ptr<AnnBackend> owned_backend_;  ///< compat-ctor wrapper only
+  AnnBackend& backend_;
   const FloatMatrix& pool_;
   ServeParams params_;
 };

@@ -35,12 +35,34 @@ if(NOT CMAKE_MATCH_1 OR CMAKE_MATCH_1 LESS 0.4)
   message(FATAL_ERROR "CPU recall too low or missing: ${STEP_OUTPUT}")
 endif()
 
-# Simulated-PIM search with re-ranking.
+# Simulated-PIM search with re-ranking (legacy --pim alias for --backend drim).
 run_step(${DRIM_BIN} search --index test.idx --queries q.fvecs --base base.bvecs
          --k 10 --nprobe 8 --gt gt.ivecs --pim --dpus 8 --rerank 50)
 string(REGEX MATCH "recall@10 = ([0-9.]+)" _ "${STEP_OUTPUT}")
 if(NOT CMAKE_MATCH_1 OR CMAKE_MATCH_1 LESS 0.5)
   message(FATAL_ERROR "PIM+rerank recall too low or missing: ${STEP_OUTPUT}")
+endif()
+set(pim_recall ${CMAKE_MATCH_1})
+
+# Analytic platform must report the same recall as the simulator.
+run_step(${DRIM_BIN} search --index test.idx --queries q.fvecs --base base.bvecs
+         --k 10 --nprobe 8 --gt gt.ivecs --backend drim --platform analytic
+         --dpus 8 --rerank 50)
+string(REGEX MATCH "recall@10 = ([0-9.]+)" _ "${STEP_OUTPUT}")
+if(NOT CMAKE_MATCH_1 STREQUAL pim_recall)
+  message(FATAL_ERROR "analytic recall ${CMAKE_MATCH_1} != sim recall ${pim_recall}")
+endif()
+
+# Serve smoke on both backends.
+run_step(${DRIM_BIN} serve --index test.idx --queries q.fvecs --qps 500
+         --requests 64 --dpus 8 --platform analytic)
+if(NOT STEP_OUTPUT MATCHES "backend drim-analytic")
+  message(FATAL_ERROR "serve did not report the analytic backend: ${STEP_OUTPUT}")
+endif()
+run_step(${DRIM_BIN} serve --index test.idx --queries q.fvecs --qps 500
+         --requests 64 --backend cpu)
+if(NOT STEP_OUTPUT MATCHES "backend cpu")
+  message(FATAL_ERROR "serve did not report the cpu backend: ${STEP_OUTPUT}")
 endif()
 
 message(STATUS "cli smoke ok")

@@ -1,0 +1,104 @@
+// estimate_batch_seconds() accuracy: the Eq. 15 open-loop estimate assumes a
+// perfectly balanced schedule with no staging conflicts, while measured batch
+// times include layout skew, the inter-batch filter, and transfer chunking.
+// The serving layer's admission controller only needs the estimate to land
+// in the right order of magnitude before the EWMA takes over, so the test
+// pins a ratio band rather than a tight error — across nprobe/k/batch-size
+// and on both platforms.
+
+#include <gtest/gtest.h>
+
+#include "common/stats.hpp"
+#include "data/synthetic.hpp"
+#include "drim/engine.hpp"
+
+namespace drim {
+namespace {
+
+class EstimateBatchTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SyntheticSpec spec;
+    spec.num_base = 6000;
+    spec.num_queries = 64;  // divisible by every swept batch size
+    spec.num_learn = 2500;
+    spec.num_components = 48;
+    data_ = new SyntheticData(make_sift_like(spec));
+
+    IvfPqParams p;
+    p.nlist = 48;
+    p.pq.m = 16;
+    p.pq.cb_entries = 32;
+    index_ = new IvfPqIndex();
+    index_->train(data_->learn, p);
+    index_->add(data_->base);
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    delete index_;
+  }
+
+  static inline SyntheticData* data_ = nullptr;
+  static inline IvfPqIndex* index_ = nullptr;
+};
+
+struct Sweep {
+  std::size_t nprobe;
+  std::size_t k;
+  std::size_t batch;
+};
+
+TEST_F(EstimateBatchTest, EstimateWithinBandOfMeasuredOnBothPlatforms) {
+  const Sweep sweeps[] = {{4, 10, 16}, {8, 10, 32}, {8, 20, 16}, {16, 10, 64}};
+  const PimPlatformKind platforms[] = {PimPlatformKind::kSim,
+                                       PimPlatformKind::kAnalytic};
+  for (PimPlatformKind platform : platforms) {
+    for (const Sweep& s : sweeps) {
+      SCOPED_TRACE(std::string(pim_platform_name(platform)) +
+                   " nprobe=" + std::to_string(s.nprobe) +
+                   " k=" + std::to_string(s.k) +
+                   " batch=" + std::to_string(s.batch));
+      DrimEngineOptions o;
+      o.pim.num_dpus = 16;
+      o.layout.split_threshold = 128;
+      o.heat_nprobe = s.nprobe;
+      o.batch_size = s.batch;
+      o.platform = platform;
+      DrimAnnEngine engine(*index_, data_->learn, o);
+
+      DrimSearchStats stats;
+      engine.search(data_->queries, s.k, s.nprobe, &stats);
+      ASSERT_EQ(stats.batch_seconds.size(),
+                data_->queries.count() / s.batch);  // nq divisible by batch
+      const double measured = mean(stats.batch_seconds);
+      ASSERT_GT(measured, 0.0);
+
+      const double est = engine.estimate_batch_seconds(s.batch, s.nprobe, s.k);
+      ASSERT_GT(est, 0.0);
+      const double ratio = est / measured;
+      // Band: the estimate ignores skew (under-predicts on imbalanced
+      // layouts) and staging effects, but must stay within 4x either way
+      // for the admission seed to be useful.
+      EXPECT_GT(ratio, 0.25);
+      EXPECT_LT(ratio, 4.0);
+    }
+  }
+}
+
+TEST_F(EstimateBatchTest, EstimateScalesWithBatchAndNprobe) {
+  DrimEngineOptions o;
+  o.pim.num_dpus = 16;
+  o.layout.split_threshold = 128;
+  o.heat_nprobe = 8;
+  DrimAnnEngine engine(*index_, data_->learn, o);
+  // More queries or more probes mean more tasks; the open-loop estimate must
+  // be monotone in both.
+  EXPECT_GT(engine.estimate_batch_seconds(64, 8, 10),
+            engine.estimate_batch_seconds(16, 8, 10));
+  EXPECT_GT(engine.estimate_batch_seconds(32, 16, 10),
+            engine.estimate_batch_seconds(32, 4, 10));
+  EXPECT_EQ(engine.estimate_batch_seconds(0, 8, 10), 0.0);
+}
+
+}  // namespace
+}  // namespace drim

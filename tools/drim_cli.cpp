@@ -6,24 +6,30 @@
 //               [--nlist 128] [--m 32] [--cb 256] [--variant pq|opq|dpq]
 //   drim info   --index index.drim
 //   drim search --index index.drim --queries q.fvecs [--base base.bvecs]
-//               [--k 10] [--nprobe 16] [--gt gt.ivecs] [--pim] [--dpus 64]
+//               [--k 10] [--nprobe 16] [--gt gt.ivecs]
+//               [--backend cpu|drim] [--platform sim|analytic] [--dpus 64]
 //               [--rerank 0]
 //   drim gt     --base base.bvecs --queries q.fvecs --out gt.ivecs [--k 100]
 //   drim serve  --index index.drim --queries q.fvecs [--qps 1000]
 //               [--requests 1024] [--max-batch 32] [--max-wait-us 0]
 //               [--slo-ms 0] [--arrivals poisson|onoff] [--skew 0]
 //               [--k 10] [--nprobe 16] [--dpus 64] [--seed 42]
+//               [--backend cpu|drim] [--platform sim|analytic]
 //               [--no-admission] [--flush-every 4]
 //
-// search runs the CPU baseline by default; --pim runs the simulated UPMEM
-// engine and prints its modeled timing report. --rerank R searches R
-// candidates and re-ranks them exactly (requires --base).
+// search runs the CPU baseline by default; --backend drim (or the legacy
+// --pim alias) runs the DRIM engine and prints its modeled timing report.
+// --platform picks the PIM platform under the drim backend: `sim` is the
+// byte-level functional simulator, `analytic` charges the same cost tables
+// without simulating MRAM (fast at paper-scale DPU counts; identical
+// neighbors via the host-exact replay). --rerank R searches R candidates and
+// re-ranks them exactly (requires --base).
 //
 // serve replays an open-loop request trace (timestamped arrivals drawn from
 // the query file) through the online serving runtime — dynamic batching,
-// admission control, tail-latency accounting — on the simulated PIM engine
-// and prints the SLO report. --max-wait-us/--slo-ms default to multiples of
-// the engine's Eq. 15 batch-time estimate (printed) when left at 0.
+// admission control, tail-latency accounting — on any backend (default
+// drim). --max-wait-us/--slo-ms default to multiples of the backend's
+// Eq. 15 batch-time estimate (printed) when left at 0.
 
 #include <cstdio>
 #include <cstdlib>
@@ -31,6 +37,7 @@
 #include <map>
 #include <string>
 
+#include "backend/backend_factory.hpp"
 #include "baseline/cpu_ivfpq.hpp"
 #include "common/io.hpp"
 #include "common/timer.hpp"
@@ -222,6 +229,22 @@ std::vector<std::vector<Neighbor>> load_gt(const std::string& path) {
   return gt;
 }
 
+/// Backend selection shared by search and serve: --backend {drim,cpu} with
+/// the legacy --pim boolean as an alias for --backend drim; --platform
+/// {sim,analytic} picks the PIM platform under the drim backend.
+std::unique_ptr<AnnBackend> backend_from_args(const Args& args, const IvfPqIndex& index,
+                                              const FloatMatrix& sample_queries,
+                                              std::size_t nprobe,
+                                              const std::string& default_backend) {
+  const BackendKind kind = parse_backend_kind(
+      args.get("backend", args.has("pim") ? "drim" : default_backend));
+  DrimEngineOptions opts;
+  opts.pim.num_dpus = args.get_size("dpus", 64);
+  opts.heat_nprobe = nprobe;
+  opts.platform = parse_pim_platform(args.get("platform", "sim"));
+  return make_backend(kind, index, sample_queries, opts, CpuBackendOptions{});
+}
+
 int cmd_search(const Args& args) {
   const IvfPqIndex index = load_index(args.require("index"));
   const FloatMatrix queries = load_floats(args.require("queries"));
@@ -230,25 +253,18 @@ int cmd_search(const Args& args) {
   const std::size_t rerank = args.get_size("rerank", 0);
   const std::size_t fetch_k = rerank > 0 ? rerank : k;
 
-  std::vector<std::vector<Neighbor>> results;
-  if (args.has("pim")) {
-    DrimEngineOptions opts;
-    opts.pim.num_dpus = args.get_size("dpus", 64);
-    opts.heat_nprobe = nprobe;
-    DrimAnnEngine engine(index, queries, opts);
-    DrimSearchStats stats;
-    results = engine.search(queries, fetch_k, nprobe, &stats);
-    std::printf("simulated UPMEM (%zu DPUs): modeled %.3f ms/batch, %.0f QPS, "
-                "%zu tasks, %.2f J\n",
-                opts.pim.num_dpus, stats.total_seconds * 1e3, stats.qps(), stats.tasks,
-                stats.energy_joules);
-  } else {
-    CpuIvfPq cpu(index);
-    CpuSearchStats stats;
-    WallTimer timer;
-    results = cpu.search_batch(queries, fetch_k, nprobe, &stats);
-    std::printf("CPU baseline: %.3f ms wall, %.0f QPS measured\n",
-                stats.wall_seconds * 1e3, stats.qps());
+  std::unique_ptr<AnnBackend> backend =
+      backend_from_args(args, index, queries, nprobe, "cpu");
+  std::vector<std::vector<Neighbor>> results =
+      backend->search(queries, fetch_k, nprobe);
+  const BackendStats stats = backend->stats();
+  std::printf("backend %s: modeled %.3f ms, %.0f QPS, %zu tasks in %zu batches "
+              "(host wall %.3f ms)\n",
+              backend->name().c_str(), stats.total_seconds * 1e3, stats.qps(),
+              stats.tasks, stats.batches, stats.host_wall_seconds * 1e3);
+  if (const auto* drim_backend = dynamic_cast<const DrimBackend*>(backend.get())) {
+    std::printf("  energy: %.2f J modeled\n",
+                drim_backend->engine_stats().energy_joules);
   }
 
   if (rerank > 0) {
@@ -277,16 +293,14 @@ int cmd_serve(const Args& args) {
   const std::size_t k = args.get_size("k", 10);
   const std::size_t nprobe = args.get_size("nprobe", 16);
 
-  DrimEngineOptions opts;
-  opts.pim.num_dpus = args.get_size("dpus", 64);
-  opts.heat_nprobe = nprobe;
-  DrimAnnEngine engine(index, pool, opts);
+  std::unique_ptr<AnnBackend> backend =
+      backend_from_args(args, index, pool, nprobe, "drim");
 
   serve::ServeParams sp;
   sp.batcher.max_batch = args.get_size("max-batch", 32);
   sp.flush_every = args.get_size("flush-every", 4);
   sp.admission.enabled = !args.has("no-admission");
-  const double est = engine.estimate_batch_seconds(sp.batcher.max_batch, nprobe, k);
+  const double est = backend->estimate_batch_seconds(sp.batcher.max_batch, nprobe, k);
   const double wait_us = args.get_double("max-wait-us", 0.0);
   sp.batcher.max_wait_s = wait_us > 0 ? wait_us * 1e-6 : 2.0 * est;
   const double slo_ms = args.get_double("slo-ms", 0.0);
@@ -308,9 +322,9 @@ int cmd_serve(const Args& args) {
     return 2;
   }
 
-  std::printf("serving %zu requests at %.0f qps (%s, skew %.2f) on %zu DPUs\n",
+  std::printf("serving %zu requests at %.0f qps (%s, skew %.2f) on backend %s\n",
               wp.num_requests, wp.offered_qps, arrivals.c_str(), wp.query_skew,
-              opts.pim.num_dpus);
+              backend->name().c_str());
   std::printf("batcher: max %zu / %.0f us wait; SLO %.3f ms (admission %s); "
               "est batch %.3f ms\n",
               sp.batcher.max_batch, sp.batcher.max_wait_s * 1e6,
@@ -318,7 +332,7 @@ int cmd_serve(const Args& args) {
               est * 1e3);
 
   const auto trace = serve::generate_workload(pool.count(), wp);
-  serve::ServingRuntime runtime(engine, pool, sp);
+  serve::ServingRuntime runtime(*backend, pool, sp);
   const serve::ServeResult res = runtime.run(trace);
   const serve::ServeReport& r = res.report;
 
