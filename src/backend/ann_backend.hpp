@@ -15,6 +15,7 @@
 
 #include "core/topk.hpp"
 #include "data/dataset.hpp"
+#include "obs/trace.hpp"
 
 namespace drim {
 
@@ -72,6 +73,14 @@ class AnnBackend {
   virtual BackendStepStats step(std::size_t max_queries, bool flush) = 0;
   /// Work deferred by previous steps still awaiting execution.
   virtual bool has_deferred() const = 0;
+  /// Deferred work units still carried by the stream state (the serving
+  /// admission predictor folds these into its backlog estimate — a backend
+  /// with no deferral returns 0, the default).
+  virtual std::size_t deferred_count() const { return 0; }
+  /// Attach (or detach, with nullptr) a trace recorder: subsequent steps lay
+  /// their device/host spans at the recorder's `now` cursor. Not owned; the
+  /// default ignores it for backends with nothing to trace.
+  virtual void set_trace(obs::TraceRecorder* trace) { (void)trace; }
   /// True once `handle`'s results are final.
   virtual bool finished(std::uint32_t handle) const = 0;
   /// Sorted final results; consumes them. Call once finished().

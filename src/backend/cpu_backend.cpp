@@ -112,10 +112,19 @@ BackendStepStats CpuBackend::step(std::size_t max_queries, bool flush) {
       pending_[members[i]].results = std::move(results[i]);
       pending_[members[i]].done = true;
     }
-    out.exec_seconds += model_group_seconds(members.size(), kp.second, kp.first);
+    const double group_s = model_group_seconds(members.size(), kp.second, kp.first);
+    if (trace_ != nullptr) {
+      trace_->span(trace_->lane("cpu/exec"), "scan", "cpu",
+                   trace_->now() + out.exec_seconds, group_s,
+                   {{"queries", static_cast<double>(members.size())},
+                    {"k", static_cast<double>(kp.first)},
+                    {"nprobe", static_cast<double>(kp.second)}});
+    }
+    out.exec_seconds += group_s;
     out.tasks += members.size() * std::min<std::size_t>(kp.second, index_.nlist());
   }
   out.step_seconds = out.exec_seconds;
+  if (trace_ != nullptr) trace_->advance(out.step_seconds);
 
   stats_.total_seconds += out.step_seconds;
   stats_.host_wall_seconds += now_seconds() - t0;

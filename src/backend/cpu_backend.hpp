@@ -34,6 +34,7 @@ class CpuBackend final : public AnnBackend {
                         std::size_t nprobe) override;
   BackendStepStats step(std::size_t max_queries, bool flush) override;
   bool has_deferred() const override { return false; }
+  void set_trace(obs::TraceRecorder* trace) override { trace_ = trace; }
   bool finished(std::uint32_t handle) const override;
   std::vector<Neighbor> take_results(std::uint32_t handle) override;
   std::size_t stream_depth() const override { return pending_.size(); }
@@ -60,6 +61,7 @@ class CpuBackend final : public AnnBackend {
   const IvfPqIndex& index_;
   CpuIvfPq searcher_;
   CpuBackendOptions opts_;
+  obs::TraceRecorder* trace_ = nullptr;  // not owned; may be null
   std::vector<PendingQuery> pending_;  ///< stream state, indexed by handle - base
   std::size_t next_query_ = 0;         ///< first pending query no step consumed
   std::uint32_t handle_base_ = 0;

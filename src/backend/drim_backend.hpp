@@ -32,6 +32,8 @@ class DrimBackend final : public AnnBackend {
                         std::size_t nprobe) override;
   BackendStepStats step(std::size_t max_queries, bool flush) override;
   bool has_deferred() const override { return state_.has_deferred(); }
+  std::size_t deferred_count() const override { return state_.carried.size(); }
+  void set_trace(obs::TraceRecorder* trace) override { engine_->set_trace(trace); }
   bool finished(std::uint32_t handle) const override;
   std::vector<Neighbor> take_results(std::uint32_t handle) override;
   std::size_t stream_depth() const override { return state_.quantized.size(); }

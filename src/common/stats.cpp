@@ -1,8 +1,8 @@
 #include "common/stats.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
+#include <stdexcept>
 
 namespace drim {
 
@@ -17,7 +17,11 @@ double geomean(const std::vector<double>& v) {
   if (v.empty()) return 0.0;
   double s = 0.0;
   for (double x : v) {
-    assert(x > 0.0);
+    // An explicit throw, not an assert: release builds compile asserts out
+    // and log(x <= 0) would silently turn the whole result into NaN/-inf.
+    if (!(x > 0.0)) {
+      throw std::invalid_argument("geomean: inputs must be > 0");
+    }
     s += std::log(x);
   }
   return std::exp(s / static_cast<double>(v.size()));
@@ -33,6 +37,7 @@ double stddev(const std::vector<double>& v) {
 
 double percentile(std::vector<double> v, double p) {
   if (v.empty()) return 0.0;
+  p = std::clamp(p, 0.0, 100.0);
   std::sort(v.begin(), v.end());
   const double rank = (p / 100.0) * static_cast<double>(v.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(rank);
@@ -68,7 +73,10 @@ double max_min_ratio(const std::vector<double>& v) {
 
 std::vector<std::size_t> histogram(const std::vector<double>& v, double lo, double hi,
                                    std::size_t bins) {
-  assert(bins > 0 && hi > lo);
+  // Explicit guards (not asserts): with NDEBUG a zero bin count or an empty
+  // range would divide by zero and feed NaN/inf through the cast below.
+  if (bins == 0) throw std::invalid_argument("histogram: bins must be > 0");
+  if (!(hi > lo)) throw std::invalid_argument("histogram: need hi > lo");
   std::vector<std::size_t> h(bins, 0);
   const double w = (hi - lo) / static_cast<double>(bins);
   for (double x : v) {

@@ -10,14 +10,15 @@ namespace drim {
 /// Arithmetic mean; returns 0 for an empty input.
 double mean(const std::vector<double>& v);
 
-/// Geometric mean; all inputs must be > 0. Returns 0 for an empty input.
+/// Geometric mean; returns 0 for an empty input. Throws
+/// std::invalid_argument on any input <= 0 (checked in all build modes).
 double geomean(const std::vector<double>& v);
 
 /// Population standard deviation.
 double stddev(const std::vector<double>& v);
 
-/// p-th percentile (0 <= p <= 100) with linear interpolation; input need not
-/// be sorted. Returns 0 for an empty input.
+/// p-th percentile with linear interpolation; input need not be sorted.
+/// p is clamped into [0, 100]; returns 0 for an empty input.
 double percentile(std::vector<double> v, double p);
 
 /// Tail percentiles of a latency sample, the summary the serving layer and
@@ -42,7 +43,9 @@ double imbalance_factor(const std::vector<double>& v);
 double max_min_ratio(const std::vector<double>& v);
 
 /// Simple fixed-width histogram over [lo, hi) with `bins` buckets; values
-/// outside the range are clamped into the edge buckets.
+/// outside the range are clamped into the edge buckets. Throws
+/// std::invalid_argument when bins == 0 or hi <= lo (checked in all build
+/// modes).
 std::vector<std::size_t> histogram(const std::vector<double>& v, double lo, double hi,
                                    std::size_t bins);
 

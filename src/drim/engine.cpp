@@ -185,6 +185,59 @@ double DrimAnnEngine::model_host_cl_seconds(std::size_t num_queries) const {
   return std::max(flops / opts_.host.flops_per_sec, bytes / opts_.host.bytes_per_sec);
 }
 
+void DrimAnnEngine::trace_launch(double start_s, const BatchResult& batch,
+                                 const char* kind,
+                                 const std::vector<std::size_t>& tasks_per_dpu) {
+  if (trace_ == nullptr) return;
+  obs::TraceRecorder& tr = *trace_;
+  const std::uint32_t xfer_lane = tr.lane("host/transfer");
+  const std::uint32_t launch_lane = tr.lane("host/launch");
+
+  double t = start_s;
+  if (batch.transfer_in_seconds > 0.0) {
+    tr.span(xfer_lane, "transfer-in", kind, t, batch.transfer_in_seconds);
+  }
+  t += batch.transfer_in_seconds;
+  const double overhead = batch.total_seconds() - batch.transfer_in_seconds -
+                          batch.transfer_out_seconds - batch.dpu_seconds;
+  if (overhead > 0.0) tr.span(launch_lane, "launch", kind, t, overhead);
+  const double kern0 = t + std::max(overhead, 0.0);
+
+  char lane_name[32];
+  for (std::size_t d = 0; d < batch.per_dpu_seconds.size(); ++d) {
+    const double busy = batch.per_dpu_seconds[d];
+    if (busy <= 0.0) continue;
+    std::snprintf(lane_name, sizeof(lane_name), "dpu %zu", d);
+    const std::uint32_t lane = tr.lane(lane_name);
+    const double tasks =
+        d < tasks_per_dpu.size() ? static_cast<double>(tasks_per_dpu[d]) : 0.0;
+    tr.span(lane, kind, kind, kern0, busy, {{"tasks", tasks}});
+    // Phase sub-spans, laid sequentially and scaled so they tile the DPU's
+    // busy window exactly (each phase's max(compute, dma) overlaps the
+    // others', so raw per-phase times over-cover the window; the raw value
+    // rides along in the args).
+    double phase_sum = 0.0;
+    for (std::size_t p = 0; p < kNumPhases; ++p) {
+      phase_sum += pim_->dpu_phase_seconds(d, static_cast<Phase>(p));
+    }
+    if (phase_sum <= 0.0) continue;
+    const double scale = busy / phase_sum;
+    double pt = kern0;
+    for (std::size_t p = 0; p < kNumPhases; ++p) {
+      const double raw = pim_->dpu_phase_seconds(d, static_cast<Phase>(p));
+      if (raw <= 0.0) continue;
+      tr.span(lane, std::string(phase_name(static_cast<Phase>(p))), "phase", pt,
+              raw * scale, {{"dpu_seconds", raw}});
+      pt += raw * scale;
+    }
+  }
+
+  if (batch.transfer_out_seconds > 0.0) {
+    tr.span(xfer_lane, "transfer-out", kind, kern0 + batch.dpu_seconds,
+            batch.transfer_out_seconds);
+  }
+}
+
 double DrimAnnEngine::locate_on_pim(
     const std::vector<std::vector<std::int16_t>>& quantized, std::size_t begin,
     std::size_t end, std::size_t nprobe,
@@ -292,6 +345,11 @@ double DrimAnnEngine::locate_on_pim(
         pim_->dpu_phase_seconds(d, Phase::CL);
   }
   stats.counters.add(pim_->aggregate_counters());
+  if (trace_ != nullptr) {
+    trace_launch(trace_->now(), batch, "cl-pim",
+                 std::vector<std::size_t>(active_dpus, nq));
+    trace_->advance(batch.total_seconds());
+  }
   return batch.total_seconds();
 }
 
@@ -542,6 +600,20 @@ BatchStepStats DrimAnnEngine::search_batch(SearchBatchState& state,
   st.counters.add(pim_->aggregate_counters());
   ++st.batches;
   st.batch_seconds.push_back(step.step_seconds);
+
+  if (trace_ != nullptr) {
+    // locate_on_pim already advanced the cursor past the CL launch, so the
+    // search launch and the overlapped host CL both start at now().
+    const double exec0 = trace_->now();
+    if (host_cl > 0.0) {
+      trace_->span(trace_->lane("host/cl"), "host-cl", "host", exec0, host_cl,
+                   {{"queries", static_cast<double>(end - begin)}});
+    }
+    std::vector<std::size_t> tasks_per_dpu(num_dpus);
+    for (std::size_t d = 0; d < num_dpus; ++d) tasks_per_dpu[d] = dpu_tasks[d].size();
+    trace_launch(exec0, batch, "search", tasks_per_dpu);
+    trace_->set_now(exec0 + std::max(host_cl, batch.total_seconds()));
+  }
   return step;
 }
 

@@ -21,6 +21,7 @@
 #include "drim/pim_index.hpp"
 #include "drim/scheduler.hpp"
 #include "drim/square_lut.hpp"
+#include "obs/trace.hpp"
 #include "pim/energy_model.hpp"
 #include "pim/pim_platform.hpp"
 
@@ -187,6 +188,15 @@ class DrimAnnEngine {
   /// depends on the schedule and is re-validated by search_batch().
   std::size_t max_staged_queries(std::size_t k) const;
 
+  /// Attach (or detach, with nullptr) a trace recorder. Every subsequent
+  /// search_batch() lays its launches on the recorder's virtual clock: a
+  /// CL-on-PIM launch first, then transfer-in / launch overhead / per-DPU
+  /// phase spans / transfer-out, with the overlapped host CL span alongside;
+  /// the cursor advances by each step's modeled seconds. The recorder must
+  /// outlive the engine or be detached first; the engine never owns it.
+  void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
+  obs::TraceRecorder* trace() const { return trace_; }
+
   const DrimEngineOptions& options() const { return opts_; }
   const PimIndexData& data() const { return data_; }
   /// Seconds the one-time static index upload takes on the host link
@@ -210,6 +220,14 @@ class DrimAnnEngine {
   /// wrong depth.
   void ensure_scheduler_params(std::size_t k);
 
+  /// Lay one kernel launch on the trace: transfer-in, launch overhead, one
+  /// lane per busy DPU with its phase spans (scaled to the DPU's busy time,
+  /// raw per-phase seconds in the args), transfer-out. Reads the platform's
+  /// per-DPU phase counters, so call it right after run_batch() returns and
+  /// before the next launch resets them. No-op when no trace is attached.
+  void trace_launch(double start_s, const BatchResult& batch, const char* kind,
+                    const std::vector<std::size_t>& tasks_per_dpu);
+
   /// CL-on-PIM path: locate clusters for queries [begin, end) with a
   /// dedicated kernel launch; fills probes[] and accumulates stats. Returns
   /// the batch's modeled seconds.
@@ -225,6 +243,7 @@ class DrimAnnEngine {
   std::unique_ptr<DataLayout> layout_;
   std::unique_ptr<PimPlatform> pim_;
   std::unique_ptr<RuntimeScheduler> scheduler_;
+  obs::TraceRecorder* trace_ = nullptr;  // not owned; may be null
   std::size_t sched_params_k_ = 0;     // k the Eq. 15 coefficients are derived for
   double index_load_seconds_ = 0.0;    // one-time static upload cost
 

@@ -17,26 +17,50 @@ void mram_read_chunked(DpuContext& ctx, std::size_t offset, std::span<std::uint8
   }
 }
 
-// Squaring cost policy: a difference covered by the broadcast square table
-// costs a WRAM LUT lookup; anything else falls back to a software multiply
-// (the paper's miss path — "other parts are constructed and cached on-chip
-// online" — modeled conservatively at full multiply cost). The arithmetic
-// itself is done natively; only the charges follow the policy, and they are
-// accumulated in bulk per LUT entry to keep the simulation fast.
+// ---- shared instruction-charging policy ----
+// The functional kernels and their analytic twins bill instruction cycles
+// through the SAME deterministic helpers below, so per-phase cycle counters
+// are exactly equal between SimPimPlatform and AnalyticPimPlatform (pinned
+// by tests/test_platforms.cpp). The policy is schedule/layout-determined:
+//   - squaring bills one square-LUT lookup per dimension when the square
+//     table is enabled (the broadcast table is sized to cover the full
+//     operand range, so this is the real cost), or a 32-cycle multiply per
+//     dimension with the table off (the Fig. 10a ablation);
+//   - TS heap maintenance bills the Eq. 15 amortized l_sortu shape instead
+//     of the data-dependent accept sequence.
+// The arithmetic itself stays exact and data-dependent; only the charges
+// follow the policy.
+
+/// Squaring cost for `total` (residual - codeword) differences.
+void charge_square_stream(DpuContext& ctx, bool use_lut, std::uint64_t total) {
+  if (use_lut) {
+    ctx.charge_sq_lut_lookups(total);
+  } else {
+    ctx.charge_muls(total);
+  }
+}
+
+/// Amortized TS heap-maintenance cycles for `points` pushes into a k-deep
+/// heap: the Eq. 15 l_sortu shape (threshold compare always; 0.25 * log2(k)
+/// of the sift's compare + two WRAM accesses on the amortized accept path).
+std::uint64_t amortized_topk_cycles(const DpuInstructionCosts& c, std::uint64_t points,
+                                    std::uint32_t k) {
+  double log2k = 1.0;
+  for (std::uint32_t v = k; v > 1; v >>= 1) log2k += 1.0;
+  const double sift = 0.25 * log2k * (static_cast<double>(c.cmp) + 2.0 * c.wram_access);
+  return points * c.cmp +
+         static_cast<std::uint64_t>(static_cast<double>(points) * sift + 0.5);
+}
 
 /// Fixed-capacity WRAM top-k (binary max-heap on distance, ties by id).
+/// Maintenance cycles are billed in bulk via amortized_topk_cycles, not per
+/// push, so the charge stream is identical to the analytic twin's.
 class WramTopK {
  public:
   explicit WramTopK(std::uint32_t k) : k_(k) { heap_.reserve(k); }
 
-  void push(DpuContext& ctx, std::uint32_t dist, std::uint32_t local_idx) {
-    ctx.charge_cmps(1);  // threshold test
+  void push(std::uint32_t dist, std::uint32_t local_idx) {
     if (heap_.size() >= k_ && !less(dist, local_idx, heap_.front())) return;
-    // log2(k) sift cost: compare + WRAM swap per level.
-    std::uint32_t levels = 1;
-    for (std::size_t s = heap_.size(); s > 1; s >>= 1) ++levels;
-    ctx.charge_cmps(levels);
-    ctx.charge_wram(levels * 2);
     if (heap_.size() < k_) {
       heap_.push_back({dist, local_idx});
       std::push_heap(heap_.begin(), heap_.end(), heap_cmp);
@@ -68,17 +92,6 @@ class WramTopK {
                                  // are resolved at task end
 };
 
-void charge_square(DpuContext& ctx, bool use_lut, std::uint32_t max_abs,
-                   std::uint64_t in_range, std::uint64_t total) {
-  if (use_lut) {
-    ctx.charge_sq_lut_lookups(in_range);
-    ctx.charge_muls(total - in_range);
-  } else {
-    ctx.charge_muls(total);
-  }
-  (void)max_abs;
-}
-
 }  // namespace
 
 void run_cl_kernel(DpuContext& ctx, const ClKernelArgs& args) {
@@ -93,6 +106,7 @@ void run_cl_kernel(DpuContext& ctx, const ClKernelArgs& args) {
   check_wram_budget(ctx.config(), wram);
 
   ctx.set_phase(Phase::CL);
+  const std::uint64_t cnt = args.centroid_count;
   for (std::uint32_t q = 0; q < args.num_queries; ++q) {
     ctx.mram_read_t<std::int16_t>(args.queries_offset + q * dim * 2,
                                   std::span<std::int16_t>(query));
@@ -102,18 +116,18 @@ void run_cl_kernel(DpuContext& ctx, const ClKernelArgs& args) {
       ctx.mram_read_t<std::int16_t>(args.centroids_offset + global * dim * 2,
                                     std::span<std::int16_t>(centroid));
       std::uint32_t dist = 0;
-      std::uint64_t in_range = 0;
       for (std::size_t d = 0; d < dim; ++d) {
         const std::int32_t diff = static_cast<std::int32_t>(query[d]) - centroid[d];
         const auto a = static_cast<std::uint32_t>(diff < 0 ? -diff : diff);
         dist += a * a;
-        in_range += (args.use_square_lut && a <= args.sq_lut_max_abs) ? 1 : 0;
       }
-      // Per dim: subtract + square + accumulate (the Eq. 1 "3D - 1" shape).
-      charge_square(ctx, args.use_square_lut, args.sq_lut_max_abs, in_range, dim);
-      ctx.charge_adds(2 * dim);
-      topk.push(ctx, dist, global);
+      topk.push(dist, global);
     }
+    // Per dim of each centroid: subtract + square + accumulate (the Eq. 1
+    // "3D - 1" shape), then the amortized top-nprobe maintenance.
+    charge_square_stream(ctx, args.use_square_lut, cnt * dim);
+    ctx.charge_adds(cnt * 2 * dim);
+    ctx.charge_cycles(amortized_topk_cycles(ctx.config().costs, cnt, args.nprobe));
     std::vector<KernelHit> hits = topk.sorted();
     hits.resize(args.nprobe, KernelHit{});
     ctx.mram_write(args.output_offset + q * args.nprobe * sizeof(KernelHit),
@@ -149,13 +163,7 @@ void run_search_kernel(DpuContext& ctx, const SearchKernelArgs& args,
   // Task list itself is fetched from MRAM by the real kernel; charge its DMA.
   ctx.set_phase(Phase::AUX);
   ctx.charge_cycles(tasks.size() * 4);  // task decode / loop control
-  {
-    PhaseCounters& aux = ctx.counters().at(Phase::AUX);
-    aux.dma_cycles += ctx.config().dma_fixed_cycles +
-                      static_cast<double>(tasks.size() * sizeof(KernelTask)) *
-                          ctx.config().dma_cycles_per_byte;
-    aux.mram_bytes_read += tasks.size() * sizeof(KernelTask);
-  }
+  ctx.charge_mram_read(tasks.size() * sizeof(KernelTask));
 
   for (std::size_t t = 0; t < tasks.size(); ++t) {
     const KernelTask& task = tasks[t];
@@ -181,7 +189,6 @@ void run_search_kernel(DpuContext& ctx, const SearchKernelArgs& args,
           {reinterpret_cast<std::uint8_t*>(cb_slice.data()), cb * dsub * 2});
       const std::int32_t* res = residual.data() + sub * dsub;
       std::uint32_t* lrow = lut.data() + sub * cb;
-      std::uint64_t lut_hits = 0;
       for (std::size_t e = 0; e < cb; ++e) {
         const std::int16_t* cw = cb_slice.data() + e * dsub;
         std::uint32_t acc = 0;
@@ -189,16 +196,14 @@ void run_search_kernel(DpuContext& ctx, const SearchKernelArgs& args,
           const std::int32_t diff = res[d] - cw[d];
           const auto a = static_cast<std::uint32_t>(diff < 0 ? -diff : diff);
           acc += a * a;
-          lut_hits += (args.use_square_lut && a <= args.sq_lut_max_abs) ? 1 : 0;
         }
         lrow[e] = acc;
       }
       // Cost per dimension of each entry: one subtract, one square (square-
-      // table lookup when covered, multiply otherwise), one accumulate — the
+      // table lookup, or multiply in the ablation), one accumulate — the
       // paper's "M x 3 - 1 per subvector" accounting — plus one WRAM store
       // per finished entry.
-      ctx.charge_sq_lut_lookups(lut_hits);
-      ctx.charge_muls(cb * dsub - lut_hits);
+      charge_square_stream(ctx, args.use_square_lut, cb * dsub);
       ctx.charge_adds(cb * 2 * dsub);
       ctx.charge_wram(cb);
     }
@@ -219,7 +224,6 @@ void run_search_kernel(DpuContext& ctx, const SearchKernelArgs& args,
       const std::size_t points_in_block = block_bytes / args.code_size;
 
       for (std::size_t i = 0; i < points_in_block; ++i, ++point) {
-        ctx.set_phase(Phase::DC);
         const std::uint8_t* code = code_block.data() + i * args.code_size;
         std::uint32_t dist = 0;
         for (std::size_t sub = 0; sub < m; ++sub) {
@@ -233,15 +237,18 @@ void run_search_kernel(DpuContext& ctx, const SearchKernelArgs& args,
           }
           dist += lut[sub * cb + entry];
         }
-        // Per point: m LUT loads (address calc + load) + (m-1) adds.
-        ctx.charge_lut_lookups(m);
-        ctx.charge_adds(m - 1);
-
-        ctx.set_phase(Phase::TS);
-        topk.push(ctx, dist, point);
+        topk.push(dist, point);
       }
+      // Per point: m LUT loads (address calc + load) + (m-1) adds.
+      ctx.charge_lut_lookups(points_in_block * m);
+      ctx.charge_adds(points_in_block * (m - 1));
       streamed += block_bytes;
     }
+    // TS: amortized heap maintenance at this task's effective depth.
+    ctx.set_phase(Phase::TS);
+    ctx.charge_cycles(amortized_topk_cycles(ctx.config().costs, point,
+                                            std::min<std::uint32_t>(
+                                                args.k, std::max<std::uint32_t>(shard.size, 1))));
 
     // Resolve winners' base-point ids from the shard's id table, then write
     // the task result row to MRAM.
@@ -272,18 +279,6 @@ void charge_read_chunked(DpuContext& ctx, std::size_t bytes) {
     ctx.charge_mram_read(n);
     done += n;
   }
-}
-
-/// Amortized TS heap-maintenance cycles for `points` pushes into a k-deep
-/// heap: the Eq. 15 l_sortu shape (threshold compare always; 0.25 * log2(k)
-/// of the sift's compare + two WRAM accesses on the amortized accept path).
-std::uint64_t amortized_topk_cycles(const DpuInstructionCosts& c, std::uint64_t points,
-                                    std::uint32_t k) {
-  double log2k = 1.0;
-  for (std::uint32_t v = k; v > 1; v >>= 1) log2k += 1.0;
-  const double sift = 0.25 * log2k * (static_cast<double>(c.cmp) + 2.0 * c.wram_access);
-  return points * c.cmp +
-         static_cast<std::uint64_t>(static_cast<double>(points) * sift + 0.5);
 }
 
 }  // namespace
@@ -322,16 +317,12 @@ void charge_search_kernel(DpuContext& ctx, const SearchKernelArgs& args,
     ctx.charge_wram(dim * 3);
 
     // LC: per subquantizer, one chunked codebook-slice fetch plus the
-    // per-entry square/accumulate/store stream (all squares assumed to hit
-    // the table — see the header note).
+    // per-entry square/accumulate/store stream (same shared policy helpers
+    // as run_search_kernel — see the header note).
     ctx.set_phase(Phase::LC);
     for (std::size_t sub = 0; sub < m; ++sub) {
       charge_read_chunked(ctx, cb * dsub * 2);
-      if (args.use_square_lut) {
-        ctx.charge_sq_lut_lookups(cb * dsub);
-      } else {
-        ctx.charge_muls(cb * dsub);
-      }
+      charge_square_stream(ctx, args.use_square_lut, cb * dsub);
       ctx.charge_adds(cb * 2 * dsub);
       ctx.charge_wram(cb);
     }
@@ -382,11 +373,7 @@ void charge_cl_kernel(DpuContext& ctx, const ClKernelArgs& args) {
   for (std::uint64_t q = 0; q < nq; ++q) {
     ctx.charge_mram_read(dim * 2);
     for (std::uint64_t i = 0; i < cnt; ++i) ctx.charge_mram_read(dim * 2);
-    if (args.use_square_lut) {
-      ctx.charge_sq_lut_lookups(cnt * dim);
-    } else {
-      ctx.charge_muls(cnt * dim);
-    }
+    charge_square_stream(ctx, args.use_square_lut, cnt * dim);
     ctx.charge_adds(cnt * 2 * dim);
     ctx.charge_cycles(amortized_topk_cycles(c, cnt, args.nprobe));
     ctx.charge_mram_write(args.nprobe * sizeof(KernelHit));

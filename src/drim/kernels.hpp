@@ -101,17 +101,19 @@ void run_cl_kernel(DpuContext& ctx, const ClKernelArgs& args);
 // ---- analytic twins (AnalyticPimPlatform launches) ----
 // Charge exactly the schedule/layout-determined costs of the functional
 // kernels — same WRAM budget check, same DMA transfer sizes and chunking,
-// same instruction tallies — without reading a byte of MRAM. Two terms are
-// data-dependent in the functional kernel and are approximated here:
-//   - LC squaring assumes every |residual - codeword| difference is covered
-//     by the broadcast square table (the table is sized to cover the full
-//     operand range, so functional runs miss rarely if ever);
-//   - TS heap maintenance uses the Eq. 15 amortized shape (one threshold
+// same instruction tallies — without reading a byte of MRAM. Both sides
+// bill instructions through the same deterministic policy helpers:
+//   - LC squaring bills one square-LUT lookup per dimension (the broadcast
+//     table is sized to cover the full operand range), or one multiply per
+//     dimension in the Fig. 10a ablation with the table off;
+//   - TS heap maintenance bills the Eq. 15 amortized shape (one threshold
 //     compare per point plus 0.25 * log2(k) sift compares/WRAM swaps),
-//     instead of replaying the data-dependent accept sequence.
-// DMA cycles and MRAM byte counters are exact; instruction cycles agree with
-// the functional kernel within a few percent (pinned by the cross-platform
-// test's tolerance).
+//     not the data-dependent accept sequence.
+// As a result every per-phase counter — instruction cycles, DMA cycles,
+// MRAM bytes, multiply count — is EXACTLY equal between the functional and
+// analytic platforms for the same schedule, which is what lets the tracing
+// layer (src/obs) treat either platform's counters as ground truth. Pinned
+// by tests/test_platforms.cpp.
 
 /// Analytic twin of run_search_kernel.
 void charge_search_kernel(DpuContext& ctx, const SearchKernelArgs& args,

@@ -1,6 +1,11 @@
 #include "serve/metrics.hpp"
 
 #include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <ostream>
+#include <stdexcept>
 
 #include "common/stats.hpp"
 
@@ -48,6 +53,58 @@ ServeReport summarize(const std::vector<RequestRecord>& records, double slo_s) {
         static_cast<double>(rep.slo_violations) / static_cast<double>(rep.offered);
   }
   return rep;
+}
+
+namespace {
+
+std::string fmt_double(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+void write_snapshots_csv(const std::vector<MetricsSnapshot>& snaps,
+                         std::ostream& out) {
+  out << "t_s,queue_depth,inflight,deferred_tasks,ewma_batch_s,admitted,shed,"
+         "shed_rate,batches\n";
+  for (const MetricsSnapshot& s : snaps) {
+    out << fmt_double(s.t_s) << ',' << s.queue_depth << ',' << s.inflight << ','
+        << s.deferred_tasks << ',' << fmt_double(s.ewma_batch_s) << ','
+        << s.admitted << ',' << s.shed << ',' << fmt_double(s.shed_rate) << ','
+        << s.batches << '\n';
+  }
+}
+
+void write_snapshots_json(const std::vector<MetricsSnapshot>& snaps,
+                          std::ostream& out) {
+  out << "[";
+  for (std::size_t i = 0; i < snaps.size(); ++i) {
+    const MetricsSnapshot& s = snaps[i];
+    out << (i ? ",\n" : "\n");
+    out << "{\"t_s\":" << fmt_double(s.t_s) << ",\"queue_depth\":" << s.queue_depth
+        << ",\"inflight\":" << s.inflight
+        << ",\"deferred_tasks\":" << s.deferred_tasks
+        << ",\"ewma_batch_s\":" << fmt_double(s.ewma_batch_s)
+        << ",\"admitted\":" << s.admitted << ",\"shed\":" << s.shed
+        << ",\"shed_rate\":" << fmt_double(s.shed_rate)
+        << ",\"batches\":" << s.batches << '}';
+  }
+  out << "\n]\n";
+}
+
+void write_snapshots_file(const std::vector<MetricsSnapshot>& snaps,
+                          const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("metrics: cannot open " + path);
+  const bool csv = path.size() >= 4 && path.compare(path.size() - 4, 4, ".csv") == 0;
+  if (csv) {
+    write_snapshots_csv(snaps, out);
+  } else {
+    write_snapshots_json(snaps, out);
+  }
 }
 
 }  // namespace drim::serve

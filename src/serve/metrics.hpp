@@ -6,6 +6,8 @@
 // (served inside the SLO), shed and timeout rates.
 
 #include <cstddef>
+#include <iosfwd>
+#include <string>
 #include <vector>
 
 #include "serve/workload.hpp"
@@ -54,5 +56,29 @@ struct ServeReport {
 
 /// Fold a trace's records into the report; `slo_s` defines goodput/timeouts.
 ServeReport summarize(const std::vector<RequestRecord>& records, double slo_s);
+
+/// One periodic sample of the runtime's live state, taken on the virtual
+/// clock every ServeParams::snapshot_period_s (sampled at event boundaries —
+/// the clock only moves at arrivals, deadlines, and step completions).
+struct MetricsSnapshot {
+  double t_s = 0.0;                ///< virtual time of the sample
+  std::size_t queue_depth = 0;     ///< requests waiting in the batcher
+  std::size_t inflight = 0;        ///< launched, completion not yet observed
+  std::size_t deferred_tasks = 0;  ///< backend's carried deferred work units
+  double ewma_batch_s = 0.0;       ///< admission predictor's batch time
+  std::size_t admitted = 0;        ///< cumulative admitted requests
+  std::size_t shed = 0;            ///< cumulative shed requests
+  double shed_rate = 0.0;          ///< shed / (admitted + shed) so far
+  std::size_t batches = 0;         ///< cumulative backend steps
+};
+
+/// Write snapshots as CSV (header + one row per sample).
+void write_snapshots_csv(const std::vector<MetricsSnapshot>& snaps, std::ostream& out);
+/// Write snapshots as a JSON array of objects (same fields as the CSV).
+void write_snapshots_json(const std::vector<MetricsSnapshot>& snaps, std::ostream& out);
+/// File variants; throw std::runtime_error if the file can't be opened. The
+/// format follows the extension: ".csv" writes CSV, anything else JSON.
+void write_snapshots_file(const std::vector<MetricsSnapshot>& snaps,
+                          const std::string& path);
 
 }  // namespace drim::serve

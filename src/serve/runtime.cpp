@@ -87,19 +87,83 @@ ServeResult ServingRuntime::run(const std::vector<Request>& trace) {
   // requests whose completion we still have to observe.
   std::unordered_map<std::uint32_t, std::size_t> inflight;
 
+  // Observed tasks-per-fresh-query ratio (EWMA), used to convert the
+  // backend's deferred-task backlog into query-equivalents for admission.
+  // Seeded at the trace's deepest nprobe: every fresh query spawns at least
+  // nprobe tasks, so the seed under-counts and only tightens as steps land.
+  double tasks_per_query = static_cast<double>(max_nprobe);
+
+  const bool tracing = trace_ != nullptr;
+  std::uint32_t req_lane = 0, batch_lane = 0, sched_lane = 0, merge_lane = 0;
+  if (tracing) {
+    req_lane = trace_->lane("serve/requests");
+    batch_lane = trace_->lane("serve/batch");
+    sched_lane = trace_->lane("host/schedule");
+    merge_lane = trace_->lane("host/merge");
+    trace_->set_now(0.0);
+  }
+
+  double next_snapshot = 0.0;
+  auto maybe_snapshot = [&](bool force = false) {
+    if (params_.snapshot_period_s <= 0.0) return;
+    if (!force && now < next_snapshot) return;
+    MetricsSnapshot s;
+    s.t_s = now;
+    s.queue_depth = batcher.depth();
+    s.inflight = inflight.size();
+    s.deferred_tasks = backend_.deferred_count();
+    s.ewma_batch_s = ewma;
+    s.admitted = admission.admitted();
+    s.shed = admission.shed();
+    const std::size_t seen = s.admitted + s.shed;
+    s.shed_rate = seen > 0 ? static_cast<double>(s.shed) / static_cast<double>(seen)
+                           : 0.0;
+    s.batches = result.batches;
+    result.snapshots.push_back(s);
+    if (tracing) {
+      trace_->counter("serve/queue", now,
+                      {{"depth", static_cast<double>(s.queue_depth)},
+                       {"inflight", static_cast<double>(s.inflight)},
+                       {"deferred_tasks", static_cast<double>(s.deferred_tasks)}});
+      trace_->counter("serve/ewma_batch_ms", now, {{"ewma", ewma * 1e3}});
+      trace_->counter("serve/shed_rate", now, {{"rate", s.shed_rate}});
+    }
+    next_snapshot = now + params_.snapshot_period_s;
+  };
+
   // Admission decision at the request's own arrival instant: residual of the
   // running step plus the backlog's worth of batches at the EWMA batch time.
+  // The backlog counts the queued requests AND the backend's carried
+  // deferred tasks (as query-equivalents at the observed tasks-per-query
+  // ratio) — without the deferred term, hot-shard skew makes predictions
+  // systematically optimistic and the SLO shed threshold fires too late.
   auto process_arrival = [&](const Request& req) {
     const double residual = std::max(0.0, busy_until - req.arrival_s);
+    const std::size_t deferred_tasks = backend_.deferred_count();
+    const std::size_t deferred_queries =
+        deferred_tasks == 0
+            ? 0
+            : static_cast<std::size_t>(
+                  std::ceil(static_cast<double>(deferred_tasks) / tasks_per_query));
+    const std::size_t backlog = batcher.depth() + 1 + deferred_queries;
     const std::size_t backlog_batches =
-        (batcher.depth() + 1 + params_.batcher.max_batch - 1) /
-        params_.batcher.max_batch;
+        (backlog + params_.batcher.max_batch - 1) / params_.batcher.max_batch;
     const double predicted =
         residual + static_cast<double>(backlog_batches) * ewma;
     if (admission.admit(predicted)) {
       batcher.enqueue(req, req.arrival_s);
+      if (tracing) {
+        trace_->instant(req_lane, "arrive", "serve", req.arrival_s,
+                        {{"id", static_cast<double>(req.id)},
+                         {"predicted_ms", predicted * 1e3}});
+      }
     } else {
       result.records[req.id].shed = true;
+      if (tracing) {
+        trace_->instant(req_lane, "shed", "serve", req.arrival_s,
+                        {{"id", static_cast<double>(req.id)},
+                         {"predicted_ms", predicted * 1e3}});
+      }
     }
   };
 
@@ -110,16 +174,28 @@ ServeResult ServingRuntime::run(const std::vector<Request>& trace) {
     if (params_.flush_every > 0 && (result.batches + 1) % params_.flush_every == 0) {
       flush = true;  // periodic flush bounds re-deferral starvation
     }
+    if (tracing) trace_->set_now(now);  // backend spans start at step launch
     const BackendStepStats step = backend_.step(fresh_count, flush);
-    std::uint32_t step_k = 1;
+
+    // Bill the host merge by the k of the requests this step actually
+    // completed: only completed requests return hit lists to merge. (Billing
+    // the max k over ALL inflight let a single deep-k straggler — deferred
+    // across steps — inflate merge time for every subsequent mixed-k batch.)
+    std::uint64_t completed_k_sum = 0;
+    std::size_t completed = 0;
     for (const auto& [handle, idx] : inflight) {
-      step_k = std::max(step_k, result.records[idx].request.k);
+      if (!backend_.finished(handle)) continue;
+      completed_k_sum += result.records[idx].request.k;
+      ++completed;
     }
+    const double mean_completed_k =
+        completed > 0 ? static_cast<double>(completed_k_sum) /
+                            static_cast<double>(completed)
+                      : 0.0;
     const double schedule_s = params_.schedule_cost_per_task_s *
                               static_cast<double>(step.tasks);
     const double merge_s = params_.merge_cost_per_hit_s *
-                           static_cast<double>(step.tasks) *
-                           static_cast<double>(step_k);
+                           static_cast<double>(step.tasks) * mean_completed_k;
     // Same overlap model as the engine: the dedicated pre-step launch (CL on
     // PIM, if any) is serial, then host work (CL + schedule + merge) hides
     // under the batch execution — whichever is longer paces the step.
@@ -129,6 +205,29 @@ ServeResult ServingRuntime::run(const std::vector<Request>& trace) {
     busy_until = now + wall;
     ++result.batches;
     ewma += params_.ewma_alpha * (wall - ewma);
+    if (step.fresh_queries > 0) {
+      const double observed = static_cast<double>(step.tasks) /
+                              static_cast<double>(step.fresh_queries);
+      tasks_per_query += params_.ewma_alpha * (observed - tasks_per_query);
+      if (tasks_per_query < 1.0) tasks_per_query = 1.0;
+    }
+
+    if (tracing) {
+      trace_->span(batch_lane, "step", "serve", now, wall,
+                   {{"fresh", static_cast<double>(step.fresh_queries)},
+                    {"tasks", static_cast<double>(step.tasks)},
+                    {"deferred", static_cast<double>(step.deferred)},
+                    {"completed", static_cast<double>(completed)}});
+      if (schedule_s > 0.0) {
+        trace_->span(sched_lane, "schedule", "host", now + step.pre_seconds,
+                     schedule_s, {{"tasks", static_cast<double>(step.tasks)}});
+      }
+      if (merge_s > 0.0) {
+        trace_->span(merge_lane, "merge", "host", busy_until - merge_s, merge_s,
+                     {{"mean_k", mean_completed_k}});
+      }
+      trace_->set_now(busy_until);
+    }
 
     // Arrivals landing while this step runs decide admission at their own
     // instants (the queue-delay prediction sees the step's residual).
@@ -158,6 +257,7 @@ ServeResult ServingRuntime::run(const std::vector<Request>& trace) {
   };
 
   while (next_arrival < trace.size() || !batcher.empty() || !inflight.empty()) {
+    maybe_snapshot();
     const bool no_more_arrivals = next_arrival >= trace.size();
 
     // Launch when a trigger fires — or unconditionally once the trace is
@@ -197,6 +297,7 @@ ServeResult ServingRuntime::run(const std::vector<Request>& trace) {
     }
   }
 
+  maybe_snapshot(/*force=*/true);  // final state at the makespan
   result.makespan_s = now;
   result.ewma_batch_s = ewma;
   result.engine_stats = backend_.stats();

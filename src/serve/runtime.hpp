@@ -38,6 +38,10 @@ struct ServeParams {
   /// round, so without a periodic flush a request can starve until the trace
   /// drains; this bounds any request's deferral to < flush_every extra steps.
   std::size_t flush_every = 4;
+  /// Sample a MetricsSnapshot (queue depth, EWMA, shed rate, ...) into
+  /// ServeResult::snapshots every this many virtual seconds (0 = off).
+  /// Samples land on event boundaries, so the spacing is >= the period.
+  double snapshot_period_s = 0.0;
 };
 
 /// Everything run() produces.
@@ -48,6 +52,8 @@ struct ServeResult {
   std::size_t batches = 0;    ///< backend steps launched (incl. drain steps)
   double makespan_s = 0.0;    ///< virtual time of the last completion
   double ewma_batch_s = 0.0;  ///< final batch-time estimate
+  /// Periodic state samples (empty unless snapshot_period_s > 0).
+  std::vector<MetricsSnapshot> snapshots;
 };
 
 /// Binds a backend to a query pool (Request.query indexes its rows) and
@@ -69,11 +75,21 @@ class ServingRuntime {
   const ServeParams& params() const { return params_; }
   AnnBackend& backend() { return backend_; }
 
+  /// Attach (or detach, with nullptr) a trace recorder: run() emits serve-
+  /// layer events (arrival/shed instants, per-step batch + schedule + merge
+  /// spans, queue counters) and forwards the recorder to the backend so its
+  /// device spans interleave on the same virtual clock. Not owned.
+  void set_trace(obs::TraceRecorder* trace) {
+    trace_ = trace;
+    backend_.set_trace(trace);
+  }
+
  private:
   std::unique_ptr<AnnBackend> owned_backend_;  ///< compat-ctor wrapper only
   AnnBackend& backend_;
   const FloatMatrix& pool_;
   ServeParams params_;
+  obs::TraceRecorder* trace_ = nullptr;  ///< not owned; may be null
 };
 
 }  // namespace drim::serve

@@ -65,4 +65,68 @@ if(NOT STEP_OUTPUT MATCHES "backend cpu")
   message(FATAL_ERROR "serve did not report the cpu backend: ${STEP_OUTPUT}")
 endif()
 
+# --trace must emit a Chrome-trace JSON that actually parses and carries the
+# documented schema (displayTimeUnit, traceEvents with ph/pid/tid/ts).
+# string(JSON) needs CMake >= 3.19; older CMakes still check the file exists
+# and is non-trivial.
+function(check_chrome_trace path)
+  if(NOT EXISTS ${WORK_DIR}/${path})
+    message(FATAL_ERROR "--trace did not write ${path}")
+  endif()
+  file(READ ${WORK_DIR}/${path} trace_json)
+  if(CMAKE_VERSION VERSION_GREATER_EQUAL 3.19)
+    string(JSON unit ERROR_VARIABLE json_err GET "${trace_json}" displayTimeUnit)
+    if(json_err)
+      message(FATAL_ERROR "${path} is not valid JSON: ${json_err}")
+    endif()
+    if(NOT unit STREQUAL "ms")
+      message(FATAL_ERROR "${path} displayTimeUnit is '${unit}', want 'ms'")
+    endif()
+    string(JSON n_events ERROR_VARIABLE json_err LENGTH "${trace_json}" traceEvents)
+    if(json_err OR n_events LESS 2)
+      message(FATAL_ERROR "${path} traceEvents missing or empty: ${json_err}")
+    endif()
+    # Every event carries the Chrome-trace required keys; spot-check the
+    # first (a metadata record, no timestamp) and last (a timed event).
+    math(EXPR last "${n_events} - 1")
+    foreach(idx 0 ${last})
+      string(JSON ph ERROR_VARIABLE json_err GET "${trace_json}" traceEvents ${idx} ph)
+      if(json_err)
+        message(FATAL_ERROR "${path} event ${idx} missing 'ph': ${json_err}")
+      endif()
+      set(keys pid tid)
+      if(NOT ph STREQUAL "M")
+        list(APPEND keys ts)
+      endif()
+      foreach(key ${keys})
+        string(JSON v ERROR_VARIABLE json_err GET "${trace_json}" traceEvents ${idx} ${key})
+        if(json_err)
+          message(FATAL_ERROR "${path} event ${idx} missing '${key}': ${json_err}")
+        endif()
+      endforeach()
+    endforeach()
+  elseif(NOT trace_json MATCHES "traceEvents")
+    message(FATAL_ERROR "${path} does not look like a Chrome trace")
+  endif()
+endfunction()
+
+run_step(${DRIM_BIN} search --index test.idx --queries q.fvecs
+         --k 10 --nprobe 8 --backend drim --dpus 8 --trace search_trace.json)
+if(NOT STEP_OUTPUT MATCHES "wrote [0-9]+ trace events")
+  message(FATAL_ERROR "search --trace did not report events: ${STEP_OUTPUT}")
+endif()
+check_chrome_trace(search_trace.json)
+
+run_step(${DRIM_BIN} serve --index test.idx --queries q.fvecs --qps 500
+         --requests 64 --dpus 8 --platform analytic
+         --trace serve_trace.json --metrics serve_metrics.csv)
+check_chrome_trace(serve_trace.json)
+if(NOT EXISTS ${WORK_DIR}/serve_metrics.csv)
+  message(FATAL_ERROR "--metrics did not write serve_metrics.csv")
+endif()
+file(READ ${WORK_DIR}/serve_metrics.csv metrics_csv)
+if(NOT metrics_csv MATCHES "t_s,queue_depth,inflight,deferred_tasks")
+  message(FATAL_ERROR "metrics CSV missing header: ${metrics_csv}")
+endif()
+
 message(STATUS "cli smoke ok")

@@ -153,16 +153,53 @@ TEST(Kernel, SquareLutEliminatesLcMultiplies) {
   EXPECT_EQ(world.dpu->counters().at(Phase::LC).mul_count, 16u);
 }
 
-TEST(Kernel, OutOfRangeOperandFallsBackToMultiply) {
+TEST(Kernel, ChargingIsDataIndependent) {
+  // The squaring charge policy is determined by the args, not the operand
+  // values: shrinking the table does not change any counter (the broadcast
+  // table is sized to cover the full operand range in real runs, and keeping
+  // the charge stream deterministic is what makes sim == analytic exact).
   TinyWorld world;
-  world.args.sq_lut_max_abs = 2;  // tiny table: most diffs miss
+  world.run();
+  const DpuCounters full = world.dpu->counters();
+
+  world.args.sq_lut_max_abs = 2;  // tiny table; arithmetic still exact
   const auto hits = world.run();
-  EXPECT_GT(world.dpu->counters().at(Phase::LC).mul_count, 0u);
-  // Distances stay exact regardless of the charging path.
+  const DpuCounters& tiny = world.dpu->counters();
+  EXPECT_EQ(tiny.at(Phase::LC).mul_count, 0u);
+  EXPECT_EQ(tiny.at(Phase::LC).instr_cycles, full.at(Phase::LC).instr_cycles);
+  EXPECT_EQ(tiny.at(Phase::TS).instr_cycles, full.at(Phase::TS).instr_cycles);
+
+  // Distances stay exact regardless of the charging policy.
   std::vector<std::uint32_t> dists;
   for (std::size_t i = 0; i < 3; ++i) dists.push_back(world.reference_distance(i));
   std::sort(dists.begin(), dists.end());
   EXPECT_EQ(hits[0].dist, dists[0]);
+}
+
+TEST(Kernel, AnalyticTwinChargesExactlyEqualCounters) {
+  // charge_search_kernel must reproduce run_search_kernel's per-phase
+  // counters bit-for-bit: instruction cycles, DMA cycles, MRAM bytes, muls.
+  for (const bool use_lut : {true, false}) {
+    TinyWorld world;
+    world.args.use_square_lut = use_lut;
+    world.run();  // functional counters in world.dpu
+
+    Dpu twin(world.cfg);
+    DpuContext ctx = twin.context();
+    const KernelTask task{0, 0};
+    charge_search_kernel(ctx, world.args, world.shards, {&task, 1});
+
+    const DpuCounters& a = world.dpu->counters();
+    const DpuCounters& b = twin.counters();
+    for (std::size_t p = 0; p < kNumPhases; ++p) {
+      const auto ph = static_cast<Phase>(p);
+      EXPECT_EQ(a.at(ph).instr_cycles, b.at(ph).instr_cycles) << phase_name(ph);
+      EXPECT_EQ(a.at(ph).mul_count, b.at(ph).mul_count) << phase_name(ph);
+      EXPECT_EQ(a.at(ph).mram_bytes_read, b.at(ph).mram_bytes_read) << phase_name(ph);
+      EXPECT_EQ(a.at(ph).mram_bytes_written, b.at(ph).mram_bytes_written) << phase_name(ph);
+      EXPECT_DOUBLE_EQ(a.at(ph).dma_cycles, b.at(ph).dma_cycles) << phase_name(ph);
+    }
+  }
 }
 
 TEST(Kernel, MultiplyPathCostsMoreCycles) {

@@ -1,0 +1,367 @@
+// TraceRecorder unit tests plus a structural check of the Chrome-trace JSON
+// exporter: a minimal recursive-descent JSON parser (no dependency, strict
+// enough for the subset the exporter emits) parses the whole output and the
+// tests assert the schema contract --- displayTimeUnit, the traceEvents
+// array, per-lane metadata, and the X / i / C event shapes the CLI smoke
+// test also validates end to end.
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/flat_search.hpp"
+#include "data/synthetic.hpp"
+#include "drim/engine.hpp"
+#include "obs/trace.hpp"
+
+namespace drim {
+namespace {
+
+// ---- minimal JSON model + parser (test-only) ----
+
+struct JsonValue;
+using JsonArray = std::vector<JsonValue>;
+using JsonObject = std::map<std::string, JsonValue>;
+
+struct JsonValue {
+  std::variant<std::nullptr_t, bool, double, std::string, JsonArray, JsonObject> v;
+
+  bool is_object() const { return std::holds_alternative<JsonObject>(v); }
+  bool is_array() const { return std::holds_alternative<JsonArray>(v); }
+  bool is_number() const { return std::holds_alternative<double>(v); }
+  bool is_string() const { return std::holds_alternative<std::string>(v); }
+  const JsonObject& obj() const { return std::get<JsonObject>(v); }
+  const JsonArray& arr() const { return std::get<JsonArray>(v); }
+  double num() const { return std::get<double>(v); }
+  const std::string& str() const { return std::get<std::string>(v); }
+  bool has(const std::string& key) const {
+    return is_object() && obj().count(key) > 0;
+  }
+  const JsonValue& at(const std::string& key) const { return obj().at(key); }
+};
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : s_(text) {}
+
+  JsonValue parse() {
+    JsonValue v = value();
+    skip_ws();
+    if (pos_ != s_.size()) fail("trailing characters");
+    return v;
+  }
+
+ private:
+  [[noreturn]] void fail(const std::string& what) {
+    throw std::runtime_error("json parse error at " + std::to_string(pos_) +
+                             ": " + what);
+  }
+  void skip_ws() {
+    while (pos_ < s_.size() && std::isspace(static_cast<unsigned char>(s_[pos_]))) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    if (pos_ >= s_.size()) fail("unexpected end");
+    return s_[pos_];
+  }
+  void expect(char c) {
+    if (peek() != c) fail(std::string("expected '") + c + "'");
+    ++pos_;
+  }
+
+  JsonValue value() {
+    skip_ws();
+    switch (peek()) {
+      case '{': return object();
+      case '[': return array();
+      case '"': return JsonValue{string()};
+      case 't': literal("true"); return JsonValue{true};
+      case 'f': literal("false"); return JsonValue{false};
+      case 'n': literal("null"); return JsonValue{nullptr};
+      default: return JsonValue{number()};
+    }
+  }
+
+  void literal(const char* lit) {
+    for (const char* p = lit; *p; ++p) expect(*p);
+  }
+
+  JsonValue object() {
+    expect('{');
+    JsonObject out;
+    skip_ws();
+    if (peek() == '}') { ++pos_; return JsonValue{out}; }
+    while (true) {
+      skip_ws();
+      std::string key = string();
+      skip_ws();
+      expect(':');
+      out[key] = value();
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      expect('}');
+      return JsonValue{out};
+    }
+  }
+
+  JsonValue array() {
+    expect('[');
+    JsonArray out;
+    skip_ws();
+    if (peek() == ']') { ++pos_; return JsonValue{out}; }
+    while (true) {
+      out.push_back(value());
+      skip_ws();
+      if (peek() == ',') { ++pos_; continue; }
+      expect(']');
+      return JsonValue{out};
+    }
+  }
+
+  std::string string() {
+    expect('"');
+    std::string out;
+    while (true) {
+      if (pos_ >= s_.size()) fail("unterminated string");
+      char c = s_[pos_++];
+      if (c == '"') return out;
+      if (c != '\\') {
+        if (static_cast<unsigned char>(c) < 0x20) fail("raw control char");
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= s_.size()) fail("unterminated escape");
+      char e = s_[pos_++];
+      switch (e) {
+        case '"': out.push_back('"'); break;
+        case '\\': out.push_back('\\'); break;
+        case '/': out.push_back('/'); break;
+        case 'b': out.push_back('\b'); break;
+        case 'f': out.push_back('\f'); break;
+        case 'n': out.push_back('\n'); break;
+        case 'r': out.push_back('\r'); break;
+        case 't': out.push_back('\t'); break;
+        case 'u': {
+          if (pos_ + 4 > s_.size()) fail("short \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            char h = s_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else fail("bad \\u digit");
+          }
+          // The exporter only emits \u00XX for control chars; keep it simple.
+          out.push_back(static_cast<char>(code & 0xff));
+          break;
+        }
+        default: fail("bad escape");
+      }
+    }
+  }
+
+  double number() {
+    const std::size_t start = pos_;
+    if (peek() == '-') ++pos_;
+    while (pos_ < s_.size() &&
+           (std::isdigit(static_cast<unsigned char>(s_[pos_])) || s_[pos_] == '.' ||
+            s_[pos_] == 'e' || s_[pos_] == 'E' || s_[pos_] == '+' || s_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) fail("expected number");
+    return std::stod(s_.substr(start, pos_ - start));
+  }
+
+  const std::string& s_;
+  std::size_t pos_ = 0;
+};
+
+JsonValue export_and_parse(const obs::TraceRecorder& tr) {
+  std::ostringstream out;
+  tr.write_chrome_trace(out);
+  return JsonParser(out.str()).parse();
+}
+
+// ---- recorder semantics ----
+
+TEST(TraceRecorder, CursorSetAdvanceNow) {
+  obs::TraceRecorder tr;
+  EXPECT_DOUBLE_EQ(tr.now(), 0.0);
+  tr.set_now(1.5);
+  tr.advance(0.25);
+  EXPECT_DOUBLE_EQ(tr.now(), 1.75);
+}
+
+TEST(TraceRecorder, LanesAreGetOrCreateInRegistrationOrder) {
+  obs::TraceRecorder tr;
+  const std::uint32_t a = tr.lane("host/transfer");
+  const std::uint32_t b = tr.lane("dpu 0");
+  EXPECT_EQ(a, 0u);
+  EXPECT_EQ(b, 1u);
+  EXPECT_EQ(tr.lane("host/transfer"), a);  // second lookup: same lane
+  EXPECT_EQ(tr.num_lanes(), 2u);
+}
+
+TEST(TraceRecorder, EmptyRecorderExportsValidEnvelope) {
+  obs::TraceRecorder tr;
+  EXPECT_TRUE(tr.empty());
+  const JsonValue doc = export_and_parse(tr);
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.at("displayTimeUnit").str(), "ms");
+  ASSERT_TRUE(doc.at("traceEvents").is_array());
+  // Even with no events the process_name metadata record is present.
+  ASSERT_FALSE(doc.at("traceEvents").arr().empty());
+  EXPECT_EQ(doc.at("traceEvents").arr()[0].at("ph").str(), "M");
+}
+
+// ---- exported event schema ----
+
+TEST(TraceRecorder, ExportsSpanInstantAndCounterEvents) {
+  obs::TraceRecorder tr;
+  const std::uint32_t lane = tr.lane("serve/batch");
+  tr.span(lane, "step", "serve", 0.001, 0.0005, {{"tasks", 12.0}});
+  tr.instant(lane, "shed", "serve", 0.0015, {{"id", 3.0}});
+  tr.counter("serve/queue", 0.002, {{"depth", 4.0}});
+  EXPECT_EQ(tr.num_events(), 3u);
+
+  const JsonValue doc = export_and_parse(tr);
+  const JsonArray& ev = doc.at("traceEvents").arr();
+
+  const JsonValue* span = nullptr;
+  const JsonValue* instant = nullptr;
+  const JsonValue* counter = nullptr;
+  for (const JsonValue& e : ev) {
+    const std::string ph = e.at("ph").str();
+    if (ph == "X") span = &e;
+    if (ph == "i") instant = &e;
+    if (ph == "C") counter = &e;
+  }
+  ASSERT_NE(span, nullptr);
+  ASSERT_NE(instant, nullptr);
+  ASSERT_NE(counter, nullptr);
+
+  // Span: microsecond timestamps, duration, lane tid, args carried through.
+  EXPECT_EQ(span->at("name").str(), "step");
+  EXPECT_EQ(span->at("cat").str(), "serve");
+  EXPECT_DOUBLE_EQ(span->at("ts").num(), 1000.0);
+  EXPECT_DOUBLE_EQ(span->at("dur").num(), 500.0);
+  EXPECT_DOUBLE_EQ(span->at("tid").num(), 0.0);
+  EXPECT_DOUBLE_EQ(span->at("args").at("tasks").num(), 12.0);
+
+  // Instant: thread-scoped, no duration.
+  EXPECT_EQ(instant->at("s").str(), "t");
+  EXPECT_FALSE(instant->has("dur"));
+  EXPECT_DOUBLE_EQ(instant->at("ts").num(), 1500.0);
+
+  // Counter: series live in args.
+  EXPECT_EQ(counter->at("name").str(), "serve/queue");
+  EXPECT_DOUBLE_EQ(counter->at("args").at("depth").num(), 4.0);
+}
+
+TEST(TraceRecorder, MetadataNamesEveryLaneWithSortIndex) {
+  obs::TraceRecorder tr;
+  tr.lane("host/transfer");
+  tr.lane("dpu 0");
+  tr.span(0, "x", "c", 0.0, 1.0);
+
+  const JsonValue doc = export_and_parse(tr);
+  std::map<double, std::string> names;      // tid -> thread_name
+  std::map<double, double> sort_indices;    // tid -> thread_sort_index
+  for (const JsonValue& e : doc.at("traceEvents").arr()) {
+    if (e.at("ph").str() != "M") continue;
+    if (e.at("name").str() == "thread_name") {
+      names[e.at("tid").num()] = e.at("args").at("name").str();
+    }
+    if (e.at("name").str() == "thread_sort_index") {
+      sort_indices[e.at("tid").num()] = e.at("args").at("sort_index").num();
+    }
+  }
+  ASSERT_EQ(names.size(), 2u);
+  EXPECT_EQ(names[0.0], "host/transfer");
+  EXPECT_EQ(names[1.0], "dpu 0");
+  EXPECT_DOUBLE_EQ(sort_indices[0.0], 0.0);
+  EXPECT_DOUBLE_EQ(sort_indices[1.0], 1.0);
+}
+
+TEST(TraceRecorder, EscapesNamesAndRejectsNonFiniteNumbers) {
+  obs::TraceRecorder tr;
+  const std::uint32_t lane = tr.lane("weird \"lane\"\n\tname");
+  tr.span(lane, "quote\"back\\slash", "c\nat", 0.0, 1.0,
+          {{"nan", std::nan("")}, {"inf", INFINITY}});
+
+  const JsonValue doc = export_and_parse(tr);  // must still parse cleanly
+  const JsonValue* span = nullptr;
+  for (const JsonValue& e : doc.at("traceEvents").arr()) {
+    if (e.at("ph").str() == "X") span = &e;
+  }
+  ASSERT_NE(span, nullptr);
+  EXPECT_EQ(span->at("name").str(), "quote\"back\\slash");
+  EXPECT_EQ(span->at("cat").str(), "c\nat");
+  // Non-finite arg values are clamped to 0 so the JSON stays standard.
+  EXPECT_DOUBLE_EQ(span->at("args").at("nan").num(), 0.0);
+  EXPECT_DOUBLE_EQ(span->at("args").at("inf").num(), 0.0);
+}
+
+TEST(TraceRecorder, FileExportThrowsOnUnwritablePath) {
+  obs::TraceRecorder tr;
+  EXPECT_THROW(tr.write_chrome_trace_file("/nonexistent-dir/trace.json"),
+               std::runtime_error);
+}
+
+// ---- engine integration: a traced search emits the documented lanes ----
+
+TEST(TraceIntegration, EngineSearchEmitsHostAndDpuLanes) {
+  SyntheticSpec spec;
+  spec.num_base = 2000;
+  spec.num_queries = 12;
+  spec.num_learn = 1200;
+  spec.num_components = 24;
+  SyntheticData data = make_sift_like(spec);
+
+  IvfPqParams p;
+  p.nlist = 16;
+  p.pq.m = 8;
+  p.pq.cb_entries = 16;
+  IvfPqIndex index;
+  index.train(data.learn, p);
+  index.add(data.base);
+
+  DrimEngineOptions o;
+  o.pim.num_dpus = 4;
+  o.heat_nprobe = 4;
+  DrimAnnEngine engine(index, data.learn, o);
+
+  obs::TraceRecorder tr;
+  engine.set_trace(&tr);
+  engine.search(data.queries, 5, 4);
+  ASSERT_FALSE(tr.empty());
+  // The cursor advanced across the batch and the export parses.
+  EXPECT_GT(tr.now(), 0.0);
+  const JsonValue doc = export_and_parse(tr);
+
+  bool saw_dpu_span = false;
+  bool saw_phase_span = false;
+  bool saw_transfer = false;
+  for (const JsonValue& e : doc.at("traceEvents").arr()) {
+    if (e.at("ph").str() != "X") continue;
+    if (e.at("cat").str() == "phase") saw_phase_span = true;
+    if (e.at("name").str() == "search") saw_dpu_span = true;
+    if (e.at("name").str() == "transfer-in") saw_transfer = true;
+  }
+  EXPECT_TRUE(saw_dpu_span);
+  EXPECT_TRUE(saw_phase_span);
+  EXPECT_TRUE(saw_transfer);
+}
+
+}  // namespace
+}  // namespace drim

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <stdexcept>
 
 #include "common/stats.hpp"
 
@@ -26,6 +27,14 @@ TEST(Stats, GeomeanMatchesPaperStyleSpeedups) {
   EXPECT_NEAR(geomean({2.35, 3.65}), std::sqrt(2.35 * 3.65), 1e-12);
 }
 
+TEST(Stats, GeomeanRejectsNonPositiveInputsInEveryBuildMode) {
+  // These used to be asserts, which NDEBUG compiles out — a release build
+  // silently returned NaN (log of a negative) or 0 (exp of -inf). The
+  // explicit guard must fire regardless of build mode.
+  EXPECT_THROW(geomean({1.0, 0.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(geomean({-1.0}), std::invalid_argument);
+}
+
 TEST(Stats, StddevOfConstantIsZero) {
   EXPECT_DOUBLE_EQ(stddev({5.0, 5.0, 5.0}), 0.0);
 }
@@ -44,6 +53,33 @@ TEST(Stats, PercentileInterpolates) {
 
 TEST(Stats, PercentileUnsortedInput) {
   EXPECT_DOUBLE_EQ(percentile({5, 1, 3, 2, 4}, 50), 3.0);
+}
+
+TEST(Stats, PercentileSingleElementIsThatElement) {
+  for (double p : {0.0, 37.5, 50.0, 100.0}) {
+    EXPECT_DOUBLE_EQ(percentile({42.0}, p), 42.0);
+  }
+}
+
+TEST(Stats, PercentileClampsOutOfRangeP) {
+  std::vector<double> v{1, 2, 3};
+  EXPECT_DOUBLE_EQ(percentile(v, -10), 1.0);   // clamped to p=0
+  EXPECT_DOUBLE_EQ(percentile(v, 250), 3.0);   // clamped to p=100
+}
+
+TEST(Stats, PercentileWithDuplicates) {
+  std::vector<double> v{1, 2, 2, 2, 3};
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 50), 2.0);
+  EXPECT_DOUBLE_EQ(percentile(v, 75), 2.0);
+  // Interpolation between the last duplicate and the max: rank 3.6.
+  EXPECT_DOUBLE_EQ(percentile(v, 90), 2.6);
+}
+
+TEST(Stats, PercentileInterpolationIsExactAtFractionalRanks) {
+  std::vector<double> v{0, 10};
+  EXPECT_DOUBLE_EQ(percentile(v, 25), 2.5);
+  EXPECT_DOUBLE_EQ(percentile(v, 75), 7.5);
 }
 
 TEST(Stats, ImbalanceFactorUniformIsOne) {
@@ -68,6 +104,14 @@ TEST(Stats, HistogramCountsAndClamps) {
   EXPECT_EQ(h[0], 2u);  // 0.5 and clamped -1.0
   EXPECT_EQ(h[1], 1u);
   EXPECT_EQ(h[2], 2u);  // 2.5 and clamped 10.0
+}
+
+TEST(Stats, HistogramRejectsDegenerateShapesInEveryBuildMode) {
+  // Formerly asserts: under NDEBUG a zero bin count or empty range divided
+  // by zero (bin width 0) and the NaN-to-integer cast was UB.
+  EXPECT_THROW(histogram({1.0}, 0.0, 1.0, 0), std::invalid_argument);
+  EXPECT_THROW(histogram({1.0}, 1.0, 1.0, 4), std::invalid_argument);
+  EXPECT_THROW(histogram({1.0}, 2.0, 1.0, 4), std::invalid_argument);
 }
 
 }  // namespace

@@ -8,7 +8,7 @@
 //   drim search --index index.drim --queries q.fvecs [--base base.bvecs]
 //               [--k 10] [--nprobe 16] [--gt gt.ivecs]
 //               [--backend cpu|drim] [--platform sim|analytic] [--dpus 64]
-//               [--rerank 0]
+//               [--rerank 0] [--trace out.json]
 //   drim gt     --base base.bvecs --queries q.fvecs --out gt.ivecs [--k 100]
 //   drim serve  --index index.drim --queries q.fvecs [--qps 1000]
 //               [--requests 1024] [--max-batch 32] [--max-wait-us 0]
@@ -16,6 +16,8 @@
 //               [--k 10] [--nprobe 16] [--dpus 64] [--seed 42]
 //               [--backend cpu|drim] [--platform sim|analytic]
 //               [--no-admission] [--flush-every 4]
+//               [--trace out.json] [--metrics out.csv|out.json]
+//               [--snapshot-ms 0]
 //
 // search runs the CPU baseline by default; --backend drim (or the legacy
 // --pim alias) runs the DRIM engine and prints its modeled timing report.
@@ -30,6 +32,12 @@
 // admission control, tail-latency accounting — on any backend (default
 // drim). --max-wait-us/--slo-ms default to multiples of the backend's
 // Eq. 15 batch-time estimate (printed) when left at 0.
+//
+// --trace writes a Chrome-trace / Perfetto JSON timeline of the run (device
+// phase spans, host phases, serve-layer events); open it at
+// ui.perfetto.dev. --metrics (serve only) writes periodic runtime snapshots
+// (queue depth, EWMA batch time, shed rate) as CSV or JSON, sampled every
+// --snapshot-ms of virtual time.
 
 #include <cstdio>
 #include <cstdlib>
@@ -47,6 +55,7 @@
 #include "data/recall.hpp"
 #include "data/synthetic.hpp"
 #include "drim/engine.hpp"
+#include "obs/trace.hpp"
 #include "serve/runtime.hpp"
 
 namespace {
@@ -255,8 +264,16 @@ int cmd_search(const Args& args) {
 
   std::unique_ptr<AnnBackend> backend =
       backend_from_args(args, index, queries, nprobe, "cpu");
+  obs::TraceRecorder recorder;
+  if (args.has("trace")) backend->set_trace(&recorder);
   std::vector<std::vector<Neighbor>> results =
       backend->search(queries, fetch_k, nprobe);
+  if (args.has("trace")) {
+    recorder.write_chrome_trace_file(args.get("trace"));
+    std::printf("wrote %zu trace events (%zu lanes) to %s\n",
+                recorder.num_events(), recorder.num_lanes(),
+                args.get("trace").c_str());
+  }
   const BackendStats stats = backend->stats();
   std::printf("backend %s: modeled %.3f ms, %.0f QPS, %zu tasks in %zu batches "
               "(host wall %.3f ms)\n",
@@ -300,6 +317,10 @@ int cmd_serve(const Args& args) {
   sp.batcher.max_batch = args.get_size("max-batch", 32);
   sp.flush_every = args.get_size("flush-every", 4);
   sp.admission.enabled = !args.has("no-admission");
+  sp.snapshot_period_s = args.get_double("snapshot-ms", 0.0) * 1e-3;
+  if (sp.snapshot_period_s <= 0.0 && (args.has("metrics") || args.has("trace"))) {
+    sp.snapshot_period_s = 1e-3;  // something to plot when output is requested
+  }
   const double est = backend->estimate_batch_seconds(sp.batcher.max_batch, nprobe, k);
   const double wait_us = args.get_double("max-wait-us", 0.0);
   sp.batcher.max_wait_s = wait_us > 0 ? wait_us * 1e-6 : 2.0 * est;
@@ -333,8 +354,21 @@ int cmd_serve(const Args& args) {
 
   const auto trace = serve::generate_workload(pool.count(), wp);
   serve::ServingRuntime runtime(*backend, pool, sp);
+  obs::TraceRecorder recorder;
+  if (args.has("trace")) runtime.set_trace(&recorder);
   const serve::ServeResult res = runtime.run(trace);
   const serve::ServeReport& r = res.report;
+  if (args.has("trace")) {
+    recorder.write_chrome_trace_file(args.get("trace"));
+    std::printf("wrote %zu trace events (%zu lanes) to %s\n",
+                recorder.num_events(), recorder.num_lanes(),
+                args.get("trace").c_str());
+  }
+  if (args.has("metrics")) {
+    serve::write_snapshots_file(res.snapshots, args.get("metrics"));
+    std::printf("wrote %zu metrics snapshots to %s\n", res.snapshots.size(),
+                args.get("metrics").c_str());
+  }
 
   std::printf("served %zu / shed %zu of %zu offered in %zu batches "
               "(makespan %.3f s)\n",
