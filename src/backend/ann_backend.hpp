@@ -29,6 +29,14 @@ struct BackendStepStats {
   std::size_t fresh_queries = 0;  ///< pending queries consumed by this step
   std::size_t tasks = 0;          ///< work units executed (backend-defined)
   std::size_t deferred = 0;       ///< tasks carried to a later step
+  /// Absolute placement of the step on the backend's modeled timeline: the
+  /// effective submit time and the completion time. With a pipelined backend
+  /// (pipeline_depth() >= 2) `complete - submit` can be less than the step's
+  /// stage sum because consecutive steps overlap; step_seconds is the
+  /// timeline delta the step contributed. Backends without a timeline report
+  /// submit = previous complete and complete = submit + step_seconds.
+  double submit_seconds = 0.0;
+  double complete_seconds = 0.0;
 };
 
 /// Cumulative backend statistics since the last reset_stream() (or since the
@@ -71,6 +79,16 @@ class AnnBackend {
   /// Run one batch step over up to `max_queries` pending queries (0 = all)
   /// plus any carried work; `flush` forbids deferring past this step.
   virtual BackendStepStats step(std::size_t max_queries, bool flush) = 0;
+  /// In-flight steps the backend can overlap on its modeled timeline: 1 for
+  /// strictly serial backends (the default), >= 2 when the device pipeline
+  /// double-buffers transfers against compute. The serving runtime keeps up
+  /// to this many steps in flight.
+  virtual std::size_t pipeline_depth() const { return 1; }
+  /// Tell the backend when (on the caller's clock) the next step() is being
+  /// submitted, so a pipelined backend can anchor the step's timeline floor
+  /// to real arrival/launch times instead of packing steps back-to-back.
+  /// No-op for serial backends.
+  virtual void set_step_start(double submit_seconds) { (void)submit_seconds; }
   /// Work deferred by previous steps still awaiting execution.
   virtual bool has_deferred() const = 0;
   /// Deferred work units still carried by the stream state (the serving

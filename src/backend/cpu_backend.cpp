@@ -126,6 +126,9 @@ BackendStepStats CpuBackend::step(std::size_t max_queries, bool flush) {
   out.step_seconds = out.exec_seconds;
   if (trace_ != nullptr) trace_->advance(out.step_seconds);
 
+  // Serial timeline: steps pack back-to-back on the cumulative model clock.
+  out.submit_seconds = stats_.total_seconds;
+  out.complete_seconds = stats_.total_seconds + out.step_seconds;
   stats_.total_seconds += out.step_seconds;
   stats_.host_wall_seconds += now_seconds() - t0;
   stats_.queries += out.fresh_queries;

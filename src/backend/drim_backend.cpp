@@ -69,6 +69,8 @@ BackendStepStats DrimBackend::step(std::size_t max_queries, bool flush) {
   out.fresh_queries = s.fresh_queries;
   out.tasks = s.tasks;
   out.deferred = s.deferred;
+  out.submit_seconds = s.submit_seconds;
+  out.complete_seconds = s.complete_seconds;
   return out;
 }
 

@@ -31,6 +31,10 @@ class DrimBackend final : public AnnBackend {
   std::uint32_t enqueue(std::span<const float> query, std::size_t k,
                         std::size_t nprobe) override;
   BackendStepStats step(std::size_t max_queries, bool flush) override;
+  std::size_t pipeline_depth() const override { return engine_->pipeline_depth(); }
+  void set_step_start(double submit_seconds) override {
+    state_.submit_hint_seconds = submit_seconds;
+  }
   bool has_deferred() const override { return state_.has_deferred(); }
   std::size_t deferred_count() const override { return state_.carried.size(); }
   void set_trace(obs::TraceRecorder* trace) override { engine_->set_trace(trace); }

@@ -1,15 +1,26 @@
 #include "drim/engine.hpp"
 
 #include <algorithm>
+#include <atomic>
 #include <cassert>
 #include <cstdio>
 #include <stdexcept>
-#include <unordered_map>
 
 #include "common/parallel.hpp"
 #include "drim/host_exact.hpp"
 
 namespace drim {
+
+namespace {
+// Reusable query-id-stamped flat maps for the per-DPU staging dedup: an
+// array indexed by global query id whose entry is valid only when its stamp
+// matches the current (step, dpu) epoch, so threads never clear it between
+// steps and never hash. Epochs are drawn from one global counter, making
+// every (step, dpu) pair's stamp unique across all engines and streams.
+std::atomic<std::uint64_t> g_dedup_epoch{1};
+thread_local std::vector<std::uint64_t> tl_dedup_stamp;
+thread_local std::vector<std::uint32_t> tl_dedup_slot;
+}  // namespace
 
 SchedulerParams derive_scheduler_params(const PimConfig& cfg, std::size_t dim,
                                         std::size_t m, std::size_t cb, std::size_t k,
@@ -80,7 +91,9 @@ DrimAnnEngine::DrimAnnEngine(const IvfPqIndex& index, const FloatMatrix& sample_
 
 std::size_t DrimAnnEngine::max_staged_queries(std::size_t k) const {
   if (staging_base_ >= opts_.pim.mram_bytes) return 0;
-  const std::size_t capacity = opts_.pim.mram_bytes - staging_base_;
+  // One batch must fit a single staging slot (at depth >= 2 the region is
+  // split into pipeline_depth ping/pong slots so in-flight batches coexist).
+  const std::size_t capacity = staging_stride_;
   // Per staged query: its int16 payload plus at least one task's k-hit
   // output block (alignment padding ignored — this is an upper bound).
   const std::size_t per_query = data_.dim() * 2 + k * sizeof(KernelHit);
@@ -89,10 +102,10 @@ std::size_t DrimAnnEngine::max_staged_queries(std::size_t k) const {
 
 void DrimAnnEngine::validate_staging(std::size_t k) const {
   const std::size_t need = ((data_.dim() * 2 + 7) & ~std::size_t{7}) + k * sizeof(KernelHit);
-  if (staging_base_ + need > opts_.pim.mram_bytes) {
+  if (need > staging_stride_) {
     throw std::invalid_argument(
         "MRAM staging region cannot hold even one query at this k; reduce "
-        "dataset, k, or add DPUs");
+        "dataset, k, pipeline_depth, or add DPUs");
   }
 }
 
@@ -172,6 +185,19 @@ void DrimAnnEngine::load_static_data() {
   if (staging_base_ >= opts_.pim.mram_bytes) {
     throw std::runtime_error("MRAM exhausted by static data; reduce dataset or add DPUs");
   }
+
+  // Slot geometry of the pipelined executor. Depth 1 keeps the serial
+  // path's exact capacity arithmetic (one unaligned full-region slot);
+  // deeper pipelines split the region into equal 8-byte-aligned slots.
+  const std::size_t staging_total = opts_.pim.mram_bytes - staging_base_;
+  const std::size_t depth = pipeline_depth();
+  staging_stride_ =
+      depth <= 1 ? staging_total : (staging_total / depth) & ~std::size_t{7};
+  if (staging_stride_ == 0) {
+    throw std::runtime_error(
+        "MRAM staging region too small for pipeline_depth slots; reduce "
+        "pipeline_depth, dataset, or add DPUs");
+  }
 }
 
 double DrimAnnEngine::model_host_cl_seconds(std::size_t num_queries) const {
@@ -185,23 +211,39 @@ double DrimAnnEngine::model_host_cl_seconds(std::size_t num_queries) const {
   return std::max(flops / opts_.host.flops_per_sec, bytes / opts_.host.bytes_per_sec);
 }
 
+DrimAnnEngine::LaunchLayout DrimAnnEngine::serial_launch_layout(
+    double start_s, const BatchResult& batch) {
+  LaunchLayout layout;
+  layout.in_start = start_s;
+  layout.launch_start = start_s + batch.transfer_in_seconds;
+  layout.launch_seconds = batch.total_seconds() - batch.transfer_in_seconds -
+                          batch.transfer_out_seconds - batch.dpu_seconds;
+  layout.kern_start = layout.launch_start + std::max(layout.launch_seconds, 0.0);
+  layout.out_start = layout.kern_start + batch.dpu_seconds;
+  return layout;
+}
+
 void DrimAnnEngine::trace_launch(double start_s, const BatchResult& batch,
                                  const char* kind,
                                  const std::vector<std::size_t>& tasks_per_dpu) {
+  trace_launch_spans(serial_launch_layout(start_s, batch), batch, kind, tasks_per_dpu);
+}
+
+void DrimAnnEngine::trace_launch_spans(const LaunchLayout& layout,
+                                       const BatchResult& batch, const char* kind,
+                                       const std::vector<std::size_t>& tasks_per_dpu) {
   if (trace_ == nullptr) return;
   obs::TraceRecorder& tr = *trace_;
   const std::uint32_t xfer_lane = tr.lane("host/transfer");
   const std::uint32_t launch_lane = tr.lane("host/launch");
 
-  double t = start_s;
   if (batch.transfer_in_seconds > 0.0) {
-    tr.span(xfer_lane, "transfer-in", kind, t, batch.transfer_in_seconds);
+    tr.span(xfer_lane, "transfer-in", kind, layout.in_start, batch.transfer_in_seconds);
   }
-  t += batch.transfer_in_seconds;
-  const double overhead = batch.total_seconds() - batch.transfer_in_seconds -
-                          batch.transfer_out_seconds - batch.dpu_seconds;
-  if (overhead > 0.0) tr.span(launch_lane, "launch", kind, t, overhead);
-  const double kern0 = t + std::max(overhead, 0.0);
+  if (layout.launch_seconds > 0.0) {
+    tr.span(launch_lane, "launch", kind, layout.launch_start, layout.launch_seconds);
+  }
+  const double kern0 = layout.kern_start;
 
   char lane_name[32];
   for (std::size_t d = 0; d < batch.per_dpu_seconds.size(); ++d) {
@@ -233,7 +275,7 @@ void DrimAnnEngine::trace_launch(double start_s, const BatchResult& batch,
   }
 
   if (batch.transfer_out_seconds > 0.0) {
-    tr.span(xfer_lane, "transfer-out", kind, kern0 + batch.dpu_seconds,
+    tr.span(xfer_lane, "transfer-out", kind, layout.out_start,
             batch.transfer_out_seconds);
   }
 }
@@ -241,7 +283,8 @@ void DrimAnnEngine::trace_launch(double start_s, const BatchResult& batch,
 double DrimAnnEngine::locate_on_pim(
     const std::vector<std::vector<std::int16_t>>& quantized, std::size_t begin,
     std::size_t end, std::size_t nprobe,
-    std::vector<std::vector<std::uint32_t>>& probes, DrimSearchStats& stats) {
+    std::vector<std::vector<std::uint32_t>>& probes, DrimSearchStats& stats,
+    std::size_t slot_base, ClLaunchTrace* deferred_trace) {
   const std::size_t dim = data_.dim();
   const std::size_t num_dpus = pim_->num_dpus();
   const std::size_t nq = end - begin;
@@ -249,12 +292,12 @@ double DrimAnnEngine::locate_on_pim(
   const std::size_t per_dpu = (nlist + num_dpus - 1) / num_dpus;
   const std::size_t keep = std::min(nprobe, nlist);
 
-  // Stage the chunk's queries on every DPU (broadcast region of the staging
-  // area), outputs right after.
+  // Stage the chunk's queries on every DPU (broadcast region of this step's
+  // staging slot), outputs right after.
   const std::size_t queries_bytes = nq * dim * 2;
-  const std::size_t output_off = staging_base_ + ((queries_bytes + 7) & ~std::size_t{7});
+  const std::size_t output_off = slot_base + ((queries_bytes + 7) & ~std::size_t{7});
   const std::size_t output_bytes = nq * keep * sizeof(KernelHit);
-  if (output_off + output_bytes > opts_.pim.mram_bytes) {
+  if (output_off + output_bytes > slot_base + staging_stride_) {
     throw std::runtime_error("CL staging exceeds MRAM; lower batch_size");
   }
   // Assemble the chunk's queries into one contiguous block and broadcast it
@@ -265,8 +308,8 @@ double DrimAnnEngine::locate_on_pim(
     std::copy(quantized[begin + q].begin(), quantized[begin + q].end(),
               staged.begin() + q * dim);
   });
-  pim_->broadcast(staging_base_, {reinterpret_cast<const std::uint8_t*>(staged.data()),
-                                  staged.size() * 2});
+  pim_->broadcast(slot_base, {reinterpret_cast<const std::uint8_t*>(staged.data()),
+                              staged.size() * 2});
 
   const std::size_t active_dpus =
       std::min(num_dpus, (nlist + per_dpu - 1) / per_dpu);
@@ -282,7 +325,7 @@ double DrimAnnEngine::locate_on_pim(
         args.centroid_count = static_cast<std::uint32_t>(
             std::min(per_dpu, nlist - args.centroid_begin));
         args.centroids_offset = centroids_off_;
-        args.queries_offset = staging_base_;
+        args.queries_offset = slot_base;
         args.num_queries = static_cast<std::uint32_t>(nq);
         args.output_offset = output_off;
         args.sq_lut_offset = sq_lut_off_;
@@ -308,25 +351,28 @@ double DrimAnnEngine::locate_on_pim(
             const std::uint32_t ccount =
                 static_cast<std::uint32_t>(std::min(per_dpu, nlist - cbegin));
             for (std::size_t q = 0; q < nq; ++q) {
-              const std::vector<KernelHit> row = host_cl_candidates(
+              host_cl_candidates_into(
                   data_, quantized[begin + q], cbegin, ccount,
-                  static_cast<std::uint32_t>(keep));
-              std::copy(row.begin(), row.end(), dpu_hits[d].begin() + q * keep);
+                  static_cast<std::uint32_t>(keep),
+                  std::span<KernelHit>(dpu_hits[d].data() + q * keep, keep));
             }
           }
           pim_->pull(d, output_off,
                      {reinterpret_cast<std::uint8_t*>(dpu_hits[d].data()),
                       nq * keep * sizeof(KernelHit)});
         });
-        for (std::size_t d = 0; d < active_dpus; ++d) {
-          for (std::size_t q = 0; q < nq; ++q) {
+        // Merge in parallel across queries; each query replays its fixed
+        // d-then-i visit order, so heap contents (and tie-breaking) match
+        // the serial path exactly.
+        parallel_for(0, nq, [&](std::size_t q) {
+          for (std::size_t d = 0; d < active_dpus; ++d) {
             for (std::size_t i = 0; i < keep; ++i) {
               const KernelHit& h = dpu_hits[d][q * keep + i];
               if (h.id == 0xFFFFFFFFu && h.dist == 0xFFFFFFFFu) break;
               merged[q].push(static_cast<float>(h.dist), h.id);
             }
           }
-        }
+        });
       });
 
   for (std::size_t q = 0; q < nq; ++q) {
@@ -345,7 +391,14 @@ double DrimAnnEngine::locate_on_pim(
         pim_->dpu_phase_seconds(d, Phase::CL);
   }
   stats.counters.add(pim_->aggregate_counters());
-  if (trace_ != nullptr) {
+  if (deferred_trace != nullptr) {
+    // The pipelined caller places this launch on the timeline itself, once
+    // begin_batch() has computed where the pre-launch lands.
+    deferred_trace->batch = batch;
+    deferred_trace->active_dpus = active_dpus;
+    deferred_trace->num_queries = nq;
+    deferred_trace->valid = true;
+  } else if (trace_ != nullptr) {
     trace_launch(trace_->now(), batch, "cl-pim",
                  std::vector<std::size_t>(active_dpus, nq));
     trace_->advance(batch.total_seconds());
@@ -414,6 +467,15 @@ BatchStepStats DrimAnnEngine::search_batch(SearchBatchState& state,
   st.queries += end - begin;
   if (end == begin && state.carried.empty()) return step;  // nothing to run
 
+  // Pipelined executor setup: each step stages into its round-robin MRAM
+  // slot; at depth >= 2 the step's stages are placed on the state's virtual
+  // timeline so they overlap neighboring in-flight steps.
+  const std::size_t depth = pipeline_depth();
+  const std::size_t slot_base = staging_slot_base(state.step_index);
+  if (depth >= 2 && (!state.pipeline || state.pipeline->depth() != depth)) {
+    state.pipeline = std::make_unique<PipelineTimeline>(depth);
+  }
+
   // Kernel depth for this step: the widest k among the fresh queries and the
   // carried tasks' queries. Per-query heaps still truncate to their own k.
   std::size_t k = 0;
@@ -429,16 +491,31 @@ BatchStepStats DrimAnnEngine::search_batch(SearchBatchState& state,
   // CL-on-PIM: a dedicated barrier launch precedes the search launch (it
   // cannot overlap — the search needs its output). The launch keeps the
   // chunk's widest nprobe; narrower queries truncate their candidate list.
+  ClLaunchTrace cl_trace;
   if (opts_.cl_on_pim && end > begin) {
     std::size_t pmax = 0;
     for (std::size_t q = begin; q < end; ++q) {
       pmax = std::max<std::size_t>(pmax, state.query_nprobe[q]);
     }
-    step.cl_pim_seconds = locate_on_pim(state.quantized, begin, end, pmax, state.probes, st);
+    step.cl_pim_seconds =
+        locate_on_pim(state.quantized, begin, end, pmax, state.probes, st, slot_base,
+                      depth >= 2 ? &cl_trace : nullptr);
     for (std::size_t q = begin; q < end; ++q) {
       if (state.probes[q].size() > state.query_nprobe[q]) {
         state.probes[q].resize(state.query_nprobe[q]);
       }
+    }
+  }
+
+  // Open this step on the timeline (reserving the CL pre-launch on the link
+  // and DPU array) and trace the CL launch at its scheduled start — the
+  // phase counters it reads are reset by the search run_batch below.
+  if (depth >= 2) {
+    const double pre_start =
+        state.pipeline->begin_batch(state.submit_hint_seconds, step.cl_pim_seconds);
+    if (trace_ != nullptr && cl_trace.valid) {
+      trace_launch(pre_start, cl_trace.batch, "cl-pim",
+                   std::vector<std::size_t>(cl_trace.active_dpus, cl_trace.num_queries));
     }
   }
 
@@ -459,23 +536,34 @@ BatchStepStats DrimAnnEngine::search_batch(SearchBatchState& state,
 
   // Per-DPU dedup is independent (private task lists), so it fans out across
   // host threads; nothing is pushed yet so an oversized batch can still be
-  // rejected cleanly below.
+  // rejected cleanly below. Dedup uses the reusable stamped flat maps: a
+  // fresh stamp per (step, dpu) makes stale entries invisible without
+  // clearing, and first-occurrence slot order matches the old hashed path.
+  const std::uint64_t epoch_base =
+      g_dedup_epoch.fetch_add(num_dpus, std::memory_order_relaxed);
+  const std::size_t id_space = state.quantized.size();
   parallel_for(0, num_dpus, [&](std::size_t d) {
     const auto& tasks = assignment.per_dpu[d];
     if (tasks.empty()) return;
-    std::unordered_map<std::uint32_t, std::uint32_t> slot_of;
+    if (tl_dedup_stamp.size() < id_space) {
+      tl_dedup_stamp.resize(id_space, 0);
+      tl_dedup_slot.resize(id_space, 0);
+    }
+    const std::uint64_t stamp = epoch_base + d;
     auto& slot_query = dpu_slot_query[d];
     for (const Task& t : tasks) {
-      auto [it, inserted] =
-          slot_of.try_emplace(t.query, static_cast<std::uint32_t>(slot_query.size()));
-      if (inserted) slot_query.push_back(t.query);
-      dpu_tasks[d].push_back({it->second, shard_slot_[t.shard]});
+      if (tl_dedup_stamp[t.query] != stamp) {
+        tl_dedup_stamp[t.query] = stamp;
+        tl_dedup_slot[t.query] = static_cast<std::uint32_t>(slot_query.size());
+        slot_query.push_back(t.query);
+      }
+      dpu_tasks[d].push_back({tl_dedup_slot[t.query], shard_slot_[t.shard]});
       dpu_task_query[d].push_back(t.query);
     }
-    // Staging layout: [queries][outputs].
+    // Staging layout: [queries][outputs], within this step's slot.
     const std::size_t queries_bytes = slot_query.size() * dim * 2;
     const std::size_t output_bytes = tasks.size() * k * sizeof(KernelHit);
-    dpu_output_off[d] = staging_base_ + ((queries_bytes + 7) & ~std::size_t{7});
+    dpu_output_off[d] = slot_base + ((queries_bytes + 7) & ~std::size_t{7});
     dpu_need[d] = dpu_output_off[d] + output_bytes;
   });
 
@@ -483,9 +571,9 @@ BatchStepStats DrimAnnEngine::search_batch(SearchBatchState& state,
   // a worker lambda mid-staging left the byte tallies half-updated). The
   // error reports the batch size that would have fit this step's schedule.
   for (std::size_t d = 0; d < num_dpus; ++d) {
-    if (dpu_need[d] <= opts_.pim.mram_bytes) continue;
-    const std::size_t need = dpu_need[d] - staging_base_;
-    const std::size_t capacity = opts_.pim.mram_bytes - staging_base_;
+    if (dpu_need[d] <= slot_base + staging_stride_) continue;
+    const std::size_t need = dpu_need[d] - slot_base;
+    const std::size_t capacity = staging_stride_;
     const std::size_t fresh = end - begin;
     const std::size_t feasible =
         fresh > 0 ? std::max<std::size_t>(1, fresh * capacity / need) : 0;
@@ -503,7 +591,7 @@ BatchStepStats DrimAnnEngine::search_batch(SearchBatchState& state,
     const auto& slot_query = dpu_slot_query[d];
     for (std::size_t s = 0; s < slot_query.size(); ++s) {
       const auto& qv = state.quantized[slot_query[s]];
-      pim_->push(d, staging_base_ + s * dim * 2,
+      pim_->push(d, slot_base + s * dim * 2,
                  {reinterpret_cast<const std::uint8_t*>(qv.data()), dim * 2});
     }
   });
@@ -520,7 +608,7 @@ BatchStepStats DrimAnnEngine::search_batch(SearchBatchState& state,
   args.sq_lut_max_abs = static_cast<std::uint32_t>(sq_lut_.max_abs());
   args.codebooks_offset = codebooks_off_;
   args.centroids_offset = centroids_off_;
-  args.queries_offset = staging_base_;
+  args.queries_offset = slot_base;
   args.use_square_lut = opts_.use_square_lut;
 
   const bool functional = pim_->functional();
@@ -551,38 +639,86 @@ BatchStepStats DrimAnnEngine::search_batch(SearchBatchState& state,
             for (std::size_t t = 0; t < dpu_tasks[d].size(); ++t) {
               const KernelTask& kt = dpu_tasks[d][t];
               const Shard& sh = layout_->shard(dpu_shard_ids_[d][kt.shard_slot]);
-              const std::vector<KernelHit> row = host_search_task(
+              host_search_task_into(
                   data_, state.quantized[dpu_task_query[d][t]], sh,
-                  static_cast<std::uint32_t>(k));
-              std::copy(row.begin(), row.end(), dpu_hits[d].begin() + t * k);
+                  static_cast<std::uint32_t>(k),
+                  std::span<KernelHit>(dpu_hits[d].data() + t * k, k));
             }
           }
           pim_->pull(d, dpu_output_off[d],
                      {reinterpret_cast<std::uint8_t*>(dpu_hits[d].data()),
                       dpu_hits[d].size() * sizeof(KernelHit)});
         });
+        // Merge into the shared per-query heaps in parallel across queries:
+        // first index every (dpu, task) visit per query in the fixed global
+        // (dpu, task) order, then each host thread replays only its own
+        // queries' visits in that order — the same heap pushes in the same
+        // sequence as the serial merge, so tie-breaking is bit-identical,
+        // and no heap is touched by two threads.
+        const std::size_t id_space = state.accum.size();
+        std::vector<std::uint32_t> visit_off(id_space + 1, 0);
         for (std::size_t d = 0; d < num_dpus; ++d) {
-          for (std::size_t t = 0; t < dpu_tasks[d].size(); ++t) {
-            const std::uint32_t q = dpu_task_query[d][t];
+          for (const std::uint32_t q : dpu_task_query[d]) ++visit_off[q + 1];
+        }
+        for (std::size_t q = 0; q < id_space; ++q) visit_off[q + 1] += visit_off[q];
+        struct Visit {
+          std::uint32_t dpu;
+          std::uint32_t task;
+        };
+        std::vector<Visit> visits(visit_off[id_space]);
+        std::vector<std::uint32_t> cursor(visit_off.begin(), visit_off.end() - 1);
+        for (std::size_t d = 0; d < num_dpus; ++d) {
+          for (std::size_t t = 0; t < dpu_task_query[d].size(); ++t) {
+            visits[cursor[dpu_task_query[d][t]]++] = {static_cast<std::uint32_t>(d),
+                                                      static_cast<std::uint32_t>(t)};
+          }
+        }
+        parallel_for(0, id_space, [&](std::size_t q) {
+          for (std::uint32_t v = visit_off[q]; v < visit_off[q + 1]; ++v) {
+            const Visit vis = visits[v];
             for (std::size_t i = 0; i < k; ++i) {
-              const KernelHit& h = dpu_hits[d][t * k + i];
+              const KernelHit& h = dpu_hits[vis.dpu][vis.task * k + i];
               if (h.id == 0xFFFFFFFFu && h.dist == 0xFFFFFFFFu) break;  // pad
               state.accum[q].push(static_cast<float>(h.dist), h.id);
             }
           }
-        }
+        });
       });
 
-  // ---- accounting: host work overlaps the PIM batch; a CL-on-PIM launch
-  // serializes before it ----
+  // ---- accounting. Depth 1 (serial): host work overlaps the PIM batch and
+  // a CL-on-PIM launch serializes before it, each step paying its full
+  // critical path back-to-back. Depth >= 2: the timeline places this step's
+  // stages around the other in-flight steps; step_seconds becomes the
+  // timeline delta it contributed, so the deltas still sum to the makespan.
   const double host_cl = opts_.cl_on_pim ? 0.0 : model_host_cl_seconds(end - begin);
   step.host_cl_seconds = host_cl;
   step.pim_batch_seconds = batch.total_seconds();
   step.transfer_in_seconds = batch.transfer_in_seconds;
   step.transfer_out_seconds = batch.transfer_out_seconds;
   step.dpu_seconds = batch.dpu_seconds;
-  step.step_seconds = step.cl_pim_seconds + std::max(host_cl, batch.total_seconds());
   step.deferred = state.carried.size();
+
+  PipelineSchedule sched;
+  if (depth == 1) {
+    step.step_seconds = step.cl_pim_seconds + std::max(host_cl, batch.total_seconds());
+    const double base = std::max(state.last_complete_seconds, state.submit_hint_seconds);
+    step.submit_seconds = base;
+    step.complete_seconds = base + step.step_seconds;
+  } else {
+    PipelineStageTimes stages;
+    stages.transfer_in_seconds = batch.transfer_in_seconds;
+    stages.launch_overhead_seconds = batch.launch_overhead_seconds;
+    stages.compute_seconds = batch.dpu_seconds;
+    stages.transfer_out_seconds = batch.transfer_out_seconds;
+    stages.host_seconds = host_cl;
+    sched = state.pipeline->finish_batch(stages);
+    const double base = std::max(state.last_complete_seconds, sched.submit_seconds);
+    step.submit_seconds = base;
+    step.complete_seconds = sched.done_seconds;
+    step.step_seconds = sched.done_seconds - base;
+  }
+  state.last_complete_seconds = step.complete_seconds;
+  ++state.step_index;
 
   st.total_seconds += step.step_seconds;
   st.host_cl_seconds += host_cl;
@@ -602,17 +738,34 @@ BatchStepStats DrimAnnEngine::search_batch(SearchBatchState& state,
   st.batch_seconds.push_back(step.step_seconds);
 
   if (trace_ != nullptr) {
-    // locate_on_pim already advanced the cursor past the CL launch, so the
-    // search launch and the overlapped host CL both start at now().
-    const double exec0 = trace_->now();
-    if (host_cl > 0.0) {
-      trace_->span(trace_->lane("host/cl"), "host-cl", "host", exec0, host_cl,
-                   {{"queries", static_cast<double>(end - begin)}});
-    }
     std::vector<std::size_t> tasks_per_dpu(num_dpus);
     for (std::size_t d = 0; d < num_dpus; ++d) tasks_per_dpu[d] = dpu_tasks[d].size();
-    trace_launch(exec0, batch, "search", tasks_per_dpu);
-    trace_->set_now(exec0 + std::max(host_cl, batch.total_seconds()));
+    if (depth == 1) {
+      // locate_on_pim already advanced the cursor past the CL launch, so the
+      // search launch and the overlapped host CL both start at now().
+      const double exec0 = trace_->now();
+      if (host_cl > 0.0) {
+        trace_->span(trace_->lane("host/cl"), "host-cl", "host", exec0, host_cl,
+                     {{"queries", static_cast<double>(end - begin)}});
+      }
+      trace_launch(exec0, batch, "search", tasks_per_dpu);
+      trace_->set_now(exec0 + std::max(host_cl, batch.total_seconds()));
+    } else {
+      // Pipelined: every span sits at its scheduled absolute time, so
+      // overlapping steps render as overlapping host-link/dpu spans.
+      if (host_cl > 0.0) {
+        trace_->span(trace_->lane("host/cl"), "host-cl", "host", sched.host_start,
+                     host_cl, {{"queries", static_cast<double>(end - begin)}});
+      }
+      LaunchLayout layout;
+      layout.in_start = sched.in_start;
+      layout.launch_start = sched.compute_start;
+      layout.launch_seconds = batch.launch_overhead_seconds;
+      layout.kern_start = sched.compute_start + batch.launch_overhead_seconds;
+      layout.out_start = sched.out_start;
+      trace_launch_spans(layout, batch, "search", tasks_per_dpu);
+      trace_->set_now(state.last_complete_seconds);
+    }
   }
   return step;
 }
@@ -644,8 +797,13 @@ double DrimAnnEngine::estimate_batch_seconds(std::size_t num_queries, std::size_
                        cfg.effective_ipc() * cfg.seconds_per_cycle();
   const double in_bytes = static_cast<double>(num_queries * data_.dim() * 2);
   const double out_bytes = tasks * static_cast<double>(k * sizeof(KernelHit));
-  return cfg.launch_overhead_sec + dpu_s +
-         (in_bytes + out_bytes) / cfg.host_link_bytes_per_sec;
+  const double xfer_s = (in_bytes + out_bytes) / cfg.host_link_bytes_per_sec;
+  if (pipeline_depth() <= 1) return cfg.launch_overhead_sec + dpu_s + xfer_s;
+  // Steady state of a depth >= 2 pipeline: consecutive batches overlap their
+  // stages, so each step is paced by the bottleneck resource — the DPU array
+  // (barrier overhead + slowest DPU) or the shared half-duplex host link —
+  // not by the sum of stages (updated Eq. 15).
+  return std::max(cfg.launch_overhead_sec + dpu_s, xfer_s);
 }
 
 std::vector<std::vector<Neighbor>> DrimAnnEngine::search(const FloatMatrix& queries,

@@ -24,6 +24,7 @@
 #include "obs/trace.hpp"
 #include "pim/energy_model.hpp"
 #include "pim/pim_platform.hpp"
+#include "pim/pipeline.hpp"
 
 namespace drim {
 
@@ -56,6 +57,16 @@ struct DrimEngineOptions {
   /// with results from a host-side exact scan (identical results, schedule-
   /// aware approximate times, paper-scale num_dpus feasible).
   PimPlatformKind platform = PimPlatformKind::kSim;
+  /// In-flight batch depth of the pipelined executor (DESIGN.md §12): the
+  /// MRAM staging region is split into this many ping/pong slots and
+  /// consecutive steps overlap on the virtual timeline (batch i's DPU
+  /// compute overlaps batch i-1's result pull and batch i+1's query push).
+  /// 1 = the serial path (each step pays transfer_in + max(dpu) +
+  /// transfer_out end-to-end); 2 = double buffering (default). Results are
+  /// bit-identical at every depth — only modeled timestamps change. Not to
+  /// be confused with PimConfig::pipeline_depth, the DPU's *instruction*
+  /// pipeline depth.
+  std::size_t pipeline_depth = 2;
 };
 
 /// Timing/energy/traffic report for one search() call.
@@ -98,6 +109,15 @@ struct BatchStepStats {
   std::size_t fresh_queries = 0;     ///< pending queries consumed by this step
   std::size_t tasks = 0;             ///< tasks executed (fresh + carried)
   std::size_t deferred = 0;          ///< tasks the filter carried to the next step
+  /// Absolute placement of this step on the state's virtual timeline: the
+  /// effective submit time (max of the caller's submit hint and, at depth 1,
+  /// the previous completion) and this step's completion. At pipeline depth
+  /// >= 2 `complete - submit` can be much less than the step's own stage sum
+  /// because stages overlap earlier in-flight batches; step_seconds is the
+  /// timeline delta `complete - max(previous complete, submit)`, so summing
+  /// step_seconds over a closed-loop run still yields the makespan.
+  double submit_seconds = 0.0;
+  double complete_seconds = 0.0;
 };
 
 /// Caller-owned state of a streaming search: quantized query payloads, CL
@@ -116,6 +136,17 @@ struct SearchBatchState {
   std::vector<Task> carried;               ///< inter-batch filter buffer
   std::vector<std::uint32_t> deferred_per_query;  ///< outstanding carried tasks
   std::size_t next_query = 0;  ///< first enqueued query no step has consumed
+
+  // ---- pipelined execution (pipeline_depth >= 2; DESIGN.md §12) ----
+  /// Virtual timeline the steps of this stream are scheduled on; created
+  /// lazily by search_batch(). Null at depth 1 (serial accounting).
+  std::unique_ptr<PipelineTimeline> pipeline;
+  /// Serve-layer submit time of the next step on the timeline's clock (the
+  /// serving runtime sets this before each step; closed-loop search leaves
+  /// it 0 so steps pack back-to-back).
+  double submit_hint_seconds = 0.0;
+  double last_complete_seconds = 0.0;  ///< completion time of the latest step
+  std::size_t step_index = 0;  ///< steps run (MRAM slot = step_index % depth)
 
   /// Queries enqueued but not yet consumed by a step.
   std::size_t pending() const { return quantized.size() - next_query; }
@@ -198,6 +229,10 @@ class DrimAnnEngine {
   obs::TraceRecorder* trace() const { return trace_; }
 
   const DrimEngineOptions& options() const { return opts_; }
+  /// Sanitized in-flight depth of the pipelined executor (0 is clamped to 1).
+  std::size_t pipeline_depth() const {
+    return opts_.pipeline_depth == 0 ? 1 : opts_.pipeline_depth;
+  }
   const PimIndexData& data() const { return data_; }
   /// Seconds the one-time static index upload takes on the host link
   /// (reported in every DrimSearchStats, never billed to a batch).
@@ -220,21 +255,58 @@ class DrimAnnEngine {
   /// wrong depth.
   void ensure_scheduler_params(std::size_t k);
 
+  /// Absolute stage starts of one launch's trace spans. The serial path
+  /// derives them by summing stage durations from start_s; the pipelined
+  /// path takes them straight from the PipelineSchedule, so overlapping
+  /// launches render truthfully on the shared host-link/dpu lanes.
+  struct LaunchLayout {
+    double in_start = 0.0;
+    double launch_start = 0.0;
+    double launch_seconds = 0.0;
+    double kern_start = 0.0;
+    double out_start = 0.0;
+  };
+  static LaunchLayout serial_launch_layout(double start_s, const BatchResult& batch);
+
   /// Lay one kernel launch on the trace: transfer-in, launch overhead, one
   /// lane per busy DPU with its phase spans (scaled to the DPU's busy time,
   /// raw per-phase seconds in the args), transfer-out. Reads the platform's
   /// per-DPU phase counters, so call it right after run_batch() returns and
   /// before the next launch resets them. No-op when no trace is attached.
+  void trace_launch_spans(const LaunchLayout& layout, const BatchResult& batch,
+                          const char* kind,
+                          const std::vector<std::size_t>& tasks_per_dpu);
+  /// Serial-layout convenience wrapper around trace_launch_spans().
   void trace_launch(double start_s, const BatchResult& batch, const char* kind,
                     const std::vector<std::size_t>& tasks_per_dpu);
 
+  /// A CL-on-PIM launch whose tracing was deferred by the pipelined path:
+  /// its timeline placement is only known once the step's begin_batch() has
+  /// run, which needs the launch's modeled seconds first.
+  struct ClLaunchTrace {
+    BatchResult batch;
+    std::size_t active_dpus = 0;
+    std::size_t num_queries = 0;
+    bool valid = false;
+  };
+
   /// CL-on-PIM path: locate clusters for queries [begin, end) with a
-  /// dedicated kernel launch; fills probes[] and accumulates stats. Returns
-  /// the batch's modeled seconds.
+  /// dedicated kernel launch staged in the MRAM slot at `slot_base`; fills
+  /// probes[] and accumulates stats. Returns the batch's modeled seconds.
+  /// When `deferred_trace` is non-null the launch is not traced here; its
+  /// trace inputs are captured for the caller to place on the timeline.
   double locate_on_pim(const std::vector<std::vector<std::int16_t>>& quantized,
                        std::size_t begin, std::size_t end, std::size_t nprobe,
                        std::vector<std::vector<std::uint32_t>>& probes,
-                       DrimSearchStats& stats);
+                       DrimSearchStats& stats, std::size_t slot_base,
+                       ClLaunchTrace* deferred_trace);
+
+  /// Base MRAM offset of the staging slot step `step_index` uses (slots are
+  /// assigned round-robin; one slot of staging_stride_ bytes per in-flight
+  /// batch, a single full-region slot at depth 1).
+  std::size_t staging_slot_base(std::size_t step_index) const {
+    return staging_base_ + (step_index % pipeline_depth()) * staging_stride_;
+  }
 
   const IvfPqIndex& index_;
   DrimEngineOptions opts_;
@@ -252,6 +324,10 @@ class DrimAnnEngine {
   std::size_t codebooks_off_ = 0;
   std::size_t centroids_off_ = 0;
   std::size_t staging_base_ = 0;  // identical on every DPU
+  // Bytes of one staging slot: the whole region above staging_base_ at depth
+  // 1 (the serial path's exact capacity math), the region split depth ways
+  // and 8-byte aligned at depth >= 2 (ping/pong slots).
+  std::size_t staging_stride_ = 0;
   // Per DPU: shard slots in kernel order; slot i of dpu d describes shard
   // dpu_shard_ids_[d][i].
   std::vector<std::vector<ShardRegion>> dpu_shard_regions_;

@@ -6,10 +6,15 @@ namespace drim {
 namespace {
 
 /// Bounded max-heap over (dist, idx) with the kernel's ascending total
-/// order — the WramTopK selection without the cycle charges.
+/// order — the WramTopK selection without the cycle charges. Backed by a
+/// per-thread scratch buffer so the collect hot loop (one instance per
+/// scheduled task) never allocates.
 class BoundedTopK {
  public:
-  explicit BoundedTopK(std::uint32_t k) : k_(k) { heap_.reserve(k); }
+  explicit BoundedTopK(std::uint32_t k) : k_(k), heap_(scratch()) {
+    heap_.clear();
+    if (heap_.capacity() < k) heap_.reserve(k);
+  }
 
   void push(std::uint32_t dist, std::uint32_t idx) {
     if (heap_.size() >= k_) {
@@ -23,26 +28,33 @@ class BoundedTopK {
     std::push_heap(heap_.begin(), heap_.end(), cmp);
   }
 
-  /// Ascending (dist, idx); consumes the heap.
-  std::vector<KernelHit> sorted() {
+  /// Ascending (dist, idx) into `out`, sentinel-padding the tail; consumes
+  /// the heap. `out` may be any size — extra entries become sentinels.
+  void sorted_into(std::span<KernelHit> out) {
     std::sort_heap(heap_.begin(), heap_.end(), cmp);
-    return std::move(heap_);
+    const std::size_t n = std::min(heap_.size(), out.size());
+    std::copy(heap_.begin(), heap_.begin() + static_cast<std::ptrdiff_t>(n), out.begin());
+    std::fill(out.begin() + static_cast<std::ptrdiff_t>(n), out.end(), KernelHit{});
   }
 
  private:
+  static std::vector<KernelHit>& scratch() {
+    thread_local std::vector<KernelHit> buf;
+    return buf;
+  }
   static bool cmp(const KernelHit& a, const KernelHit& b) {
     if (a.dist != b.dist) return a.dist < b.dist;
     return a.id < b.id;
   }
   std::uint32_t k_;
-  std::vector<KernelHit> heap_;
+  std::vector<KernelHit>& heap_;
 };
 
 }  // namespace
 
-std::vector<KernelHit> host_search_task(const PimIndexData& data,
-                                        std::span<const std::int16_t> query,
-                                        const Shard& shard, std::uint32_t k) {
+void host_search_task_into(const PimIndexData& data,
+                           std::span<const std::int16_t> query, const Shard& shard,
+                           std::uint32_t k, std::span<KernelHit> out) {
   const std::size_t dim = data.dim();
   const std::size_t m = data.m();
   const std::size_t dsub = data.dsub();
@@ -83,17 +95,26 @@ std::vector<KernelHit> host_search_task(const PimIndexData& data,
     topk.push(dist, i);
   }
 
-  std::vector<KernelHit> hits = topk.sorted();
-  for (KernelHit& h : hits) h.id = ids[shard.begin + h.id];
-  hits.resize(k, KernelHit{});  // sentinel-pad short shards
+  topk.sorted_into(out);  // sentinel-pads short shards
+  for (KernelHit& h : out) {
+    if (h.id == 0xFFFFFFFFu && h.dist == 0xFFFFFFFFu) break;
+    h.id = ids[shard.begin + h.id];
+  }
+}
+
+std::vector<KernelHit> host_search_task(const PimIndexData& data,
+                                        std::span<const std::int16_t> query,
+                                        const Shard& shard, std::uint32_t k) {
+  std::vector<KernelHit> hits(k);
+  host_search_task_into(data, query, shard, k, hits);
   return hits;
 }
 
-std::vector<KernelHit> host_cl_candidates(const PimIndexData& data,
-                                          std::span<const std::int16_t> query,
-                                          std::uint32_t centroid_begin,
-                                          std::uint32_t centroid_count,
-                                          std::uint32_t keep) {
+void host_cl_candidates_into(const PimIndexData& data,
+                             std::span<const std::int16_t> query,
+                             std::uint32_t centroid_begin,
+                             std::uint32_t centroid_count, std::uint32_t keep,
+                             std::span<KernelHit> out) {
   const std::size_t dim = data.dim();
   BoundedTopK topk(keep);
   for (std::uint32_t c = 0; c < centroid_count; ++c) {
@@ -107,8 +128,16 @@ std::vector<KernelHit> host_cl_candidates(const PimIndexData& data,
     }
     topk.push(dist, global);
   }
-  std::vector<KernelHit> hits = topk.sorted();
-  hits.resize(keep, KernelHit{});
+  topk.sorted_into(out);
+}
+
+std::vector<KernelHit> host_cl_candidates(const PimIndexData& data,
+                                          std::span<const std::int16_t> query,
+                                          std::uint32_t centroid_begin,
+                                          std::uint32_t centroid_count,
+                                          std::uint32_t keep) {
+  std::vector<KernelHit> hits(keep);
+  host_cl_candidates_into(data, query, centroid_begin, centroid_count, keep, hits);
   return hits;
 }
 

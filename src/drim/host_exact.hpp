@@ -21,7 +21,14 @@ namespace drim {
 /// Exact hits of one search task (query x shard): ascending (distance, local
 /// index) under the kernel's total order, winners' global base-point ids
 /// resolved, sentinel-padded to k entries — byte-for-byte what
-/// run_search_kernel writes for the task.
+/// run_search_kernel writes for the task. Writes straight into the caller's
+/// k-entry output row (the engine's collect path hands each task its slice
+/// of the pulled block, so the hot loop allocates nothing per task).
+void host_search_task_into(const PimIndexData& data,
+                           std::span<const std::int16_t> query, const Shard& shard,
+                           std::uint32_t k, std::span<KernelHit> out);
+
+/// Allocating convenience wrapper around host_search_task_into().
 std::vector<KernelHit> host_search_task(const PimIndexData& data,
                                         std::span<const std::int16_t> query,
                                         const Shard& shard, std::uint32_t k);
@@ -29,7 +36,15 @@ std::vector<KernelHit> host_search_task(const PimIndexData& data,
 /// Exact per-DPU CL candidates of one query over the centroid range
 /// [centroid_begin, centroid_begin + centroid_count): top-`keep` by
 /// (distance, global centroid id), sentinel-padded to keep — what
-/// run_cl_kernel writes for the query's output row.
+/// run_cl_kernel writes for the query's output row. Writes into the caller's
+/// keep-entry output row.
+void host_cl_candidates_into(const PimIndexData& data,
+                             std::span<const std::int16_t> query,
+                             std::uint32_t centroid_begin,
+                             std::uint32_t centroid_count, std::uint32_t keep,
+                             std::span<KernelHit> out);
+
+/// Allocating convenience wrapper around host_cl_candidates_into().
 std::vector<KernelHit> host_cl_candidates(const PimIndexData& data,
                                           std::span<const std::int16_t> query,
                                           std::uint32_t centroid_begin,

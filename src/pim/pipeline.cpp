@@ -1,0 +1,111 @@
+#include "pim/pipeline.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace drim {
+
+PipelineTimeline::PipelineTimeline(std::size_t depth)
+    : depth_(depth == 0 ? 1 : depth), slot_free_(depth_, 0.0) {}
+
+void PipelineTimeline::reset() {
+  next_index_ = 0;
+  std::fill(slot_free_.begin(), slot_free_.end(), 0.0);
+  link_.clear();
+  dpu_free_ = 0.0;
+  host_free_ = 0.0;
+  last_done_ = 0.0;
+  link_busy_ = 0.0;
+  dpu_busy_ = 0.0;
+  open_ = false;
+}
+
+double PipelineTimeline::reserve_link(double earliest, double duration) {
+  if (duration <= 0.0) return earliest;
+  double t = earliest;
+  std::size_t pos = 0;
+  for (; pos < link_.size(); ++pos) {
+    const auto& [s, e] = link_[pos];
+    if (t + duration <= s) break;  // fits in the gap before this interval
+    t = std::max(t, e);
+  }
+  link_.insert(link_.begin() + static_cast<std::ptrdiff_t>(pos), {t, t + duration});
+  return t;
+}
+
+void PipelineTimeline::prune_link() {
+  // Every future reservation starts at or after its batch floor, and the
+  // next batch's floor is at least its slot's free time. Slots are assigned
+  // round-robin and out_ends are monotone, so min(slot_free_) lower-bounds
+  // every future `earliest`: intervals ending at or before it can never
+  // matter again.
+  const double low = *std::min_element(slot_free_.begin(), slot_free_.end());
+  auto it = link_.begin();
+  while (it != link_.end() && it->second <= low) ++it;
+  link_.erase(link_.begin(), it);
+}
+
+double PipelineTimeline::begin_batch(double submit_seconds, double pre_seconds) {
+  if (open_) throw std::logic_error("PipelineTimeline: begin_batch while a batch is open");
+  open_ = true;
+  slot_ = next_index_ % depth_;
+  submit_ = submit_seconds;
+  // The batch cannot start until its staging slot's previous occupant has
+  // pulled its results out.
+  const double floor = std::max(submit_seconds, slot_free_[slot_]);
+  if (pre_seconds > 0.0) {
+    // A CL-on-PIM pre-launch is itself a full transfer+launch+pull on the
+    // shared link and the exclusive DPU array; model it as one opaque
+    // reservation on both.
+    pre_start_ = reserve_link(std::max(floor, dpu_free_), pre_seconds);
+    pre_end_ = pre_start_ + pre_seconds;
+    dpu_free_ = pre_end_;
+    link_busy_ += pre_seconds;
+    dpu_busy_ += pre_seconds;
+  } else {
+    pre_start_ = floor;
+    pre_end_ = floor;
+  }
+  return pre_start_;
+}
+
+PipelineSchedule PipelineTimeline::finish_batch(const PipelineStageTimes& st) {
+  if (!open_) throw std::logic_error("PipelineTimeline: finish_batch without begin_batch");
+  open_ = false;
+
+  PipelineSchedule s;
+  s.submit_seconds = submit_;
+  s.pre_start = pre_start_;
+  s.pre_end = pre_end_;
+
+  // Query push: earliest link gap after the batch floor / pre-launch.
+  s.in_start = reserve_link(pre_end_, st.transfer_in_seconds);
+  s.in_end = s.in_start + st.transfer_in_seconds;
+
+  // Barrier launch: waits for the staged queries and for the array to free.
+  const double exec = st.launch_overhead_seconds + st.compute_seconds;
+  s.compute_start = std::max(s.in_end, dpu_free_);
+  s.compute_end = s.compute_start + exec;
+  dpu_free_ = s.compute_end;
+  dpu_busy_ += exec;
+
+  // Result pull: earliest link gap after the kernels finish.
+  s.out_start = reserve_link(s.compute_end, st.transfer_out_seconds);
+  s.out_end = s.out_start + st.transfer_out_seconds;
+  link_busy_ += st.transfer_in_seconds + st.transfer_out_seconds;
+
+  // Host-side CL/merge overlaps the device stages but host threads are one
+  // serial resource across batches.
+  s.host_start = std::max(pre_end_, host_free_);
+  s.host_end = s.host_start + st.host_seconds;
+  host_free_ = std::max(host_free_, s.host_end);
+
+  s.done_seconds = std::max({s.out_end, s.host_end, last_done_});
+  last_done_ = s.done_seconds;
+  slot_free_[slot_] = s.out_end;
+  ++next_index_;
+  prune_link();
+  return s;
+}
+
+}  // namespace drim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <deque>
 #include <limits>
 #include <stdexcept>
 #include <unordered_map>
@@ -70,6 +71,15 @@ ServeResult ServingRuntime::run(const std::vector<Request>& trace) {
     return result;
   }
 
+  if (backend_.pipeline_depth() >= 2) {
+    return run_pipelined(trace, std::move(result), max_k, max_nprobe);
+  }
+  return run_serial(trace, std::move(result), max_k, max_nprobe);
+}
+
+ServeResult ServingRuntime::run_serial(const std::vector<Request>& trace,
+                                       ServeResult result, std::uint32_t max_k,
+                                       std::uint32_t max_nprobe) {
   DynamicBatcher batcher(params_.batcher);
   AdmissionController admission(params_.admission);
   backend_.reset_stream();
@@ -298,6 +308,243 @@ ServeResult ServingRuntime::run(const std::vector<Request>& trace) {
   }
 
   maybe_snapshot(/*force=*/true);  // final state at the makespan
+  result.makespan_s = now;
+  result.ewma_batch_s = ewma;
+  result.engine_stats = backend_.stats();
+  result.report = summarize(result.records, params_.admission.slo_s);
+  return result;
+}
+
+ServeResult ServingRuntime::run_pipelined(const std::vector<Request>& trace,
+                                          ServeResult result, std::uint32_t max_k,
+                                          std::uint32_t max_nprobe) {
+  const std::size_t depth = backend_.pipeline_depth();
+  DynamicBatcher batcher(params_.batcher);
+  AdmissionController admission(params_.admission);
+  backend_.reset_stream();
+
+  // Seed the predictor with the pipelined Eq. 15 estimate (steady-state step
+  // pace: the bottleneck stage, not the stage sum).
+  double ewma = backend_.estimate_batch_seconds(params_.batcher.max_batch, max_nprobe,
+                                                max_k);
+
+  double now = 0.0;
+  // Completion time of the newest launched step (monotone: the backend's
+  // timeline never completes a later batch before an earlier one).
+  double last_complete = 0.0;
+  // Modeled completion times of launched steps still in the future; its size
+  // (after dropping elapsed entries) is the in-flight count that gates
+  // launches at `depth`.
+  std::deque<double> inflight_steps;
+  std::size_t next_arrival = 0;
+  std::unordered_map<std::uint32_t, std::size_t> inflight;
+  double tasks_per_query = static_cast<double>(max_nprobe);
+
+  const bool tracing = trace_ != nullptr;
+  std::uint32_t req_lane = 0, batch_lane = 0, sched_lane = 0, merge_lane = 0;
+  if (tracing) {
+    req_lane = trace_->lane("serve/requests");
+    batch_lane = trace_->lane("serve/batch");
+    sched_lane = trace_->lane("host/schedule");
+    merge_lane = trace_->lane("host/merge");
+    trace_->set_now(0.0);
+  }
+
+  double next_snapshot = 0.0;
+  auto maybe_snapshot = [&](bool force = false) {
+    if (params_.snapshot_period_s <= 0.0) return;
+    if (!force && now < next_snapshot) return;
+    MetricsSnapshot s;
+    s.t_s = now;
+    s.queue_depth = batcher.depth();
+    s.inflight = inflight.size();
+    s.deferred_tasks = backend_.deferred_count();
+    s.ewma_batch_s = ewma;
+    s.admitted = admission.admitted();
+    s.shed = admission.shed();
+    const std::size_t seen = s.admitted + s.shed;
+    s.shed_rate = seen > 0 ? static_cast<double>(s.shed) / static_cast<double>(seen)
+                           : 0.0;
+    s.batches = result.batches;
+    result.snapshots.push_back(s);
+    if (tracing) {
+      trace_->counter("serve/queue", now,
+                      {{"depth", static_cast<double>(s.queue_depth)},
+                       {"inflight", static_cast<double>(s.inflight)},
+                       {"deferred_tasks", static_cast<double>(s.deferred_tasks)}});
+      trace_->counter("serve/ewma_batch_ms", now, {{"ewma", ewma * 1e3}});
+      trace_->counter("serve/shed_rate", now, {{"rate", s.shed_rate}});
+    }
+    next_snapshot = now + params_.snapshot_period_s;
+  };
+
+  // Admission at the request's arrival instant. The residual term is the
+  // wait until the *newest* in-flight step completes — with the pipe full,
+  // a new request's batch cannot complete before everything already in it.
+  auto process_arrival = [&](const Request& req) {
+    const double residual = std::max(0.0, last_complete - req.arrival_s);
+    const std::size_t deferred_tasks = backend_.deferred_count();
+    const std::size_t deferred_queries =
+        deferred_tasks == 0
+            ? 0
+            : static_cast<std::size_t>(
+                  std::ceil(static_cast<double>(deferred_tasks) / tasks_per_query));
+    const std::size_t backlog = batcher.depth() + 1 + deferred_queries;
+    const std::size_t backlog_batches =
+        (backlog + params_.batcher.max_batch - 1) / params_.batcher.max_batch;
+    const double predicted =
+        residual + static_cast<double>(backlog_batches) * ewma;
+    if (admission.admit(predicted)) {
+      batcher.enqueue(req, req.arrival_s);
+      if (tracing) {
+        trace_->instant(req_lane, "arrive", "serve", req.arrival_s,
+                        {{"id", static_cast<double>(req.id)},
+                         {"predicted_ms", predicted * 1e3}});
+      }
+    } else {
+      result.records[req.id].shed = true;
+      if (tracing) {
+        trace_->instant(req_lane, "shed", "serve", req.arrival_s,
+                        {{"id", static_cast<double>(req.id)},
+                         {"predicted_ms", predicted * 1e3}});
+      }
+    }
+  };
+
+  // Launch one backend step at `now`. Execution is synchronous (results and
+  // completion sets are final when step() returns) but the modeled
+  // completion lands in the future on the backend's pipelined timeline; the
+  // serve-layer host costs (schedule + merge, plus the overlapped host CL)
+  // extend it, since host work is serial across steps.
+  auto launch_step = [&](std::size_t fresh_count, bool flush) {
+    if (params_.flush_every > 0 && (result.batches + 1) % params_.flush_every == 0) {
+      flush = true;  // periodic flush bounds re-deferral starvation
+    }
+    if (tracing) trace_->set_now(now);
+    backend_.set_step_start(now);
+    const BackendStepStats step = backend_.step(fresh_count, flush);
+
+    std::uint64_t completed_k_sum = 0;
+    std::size_t completed = 0;
+    for (const auto& [handle, idx] : inflight) {
+      if (!backend_.finished(handle)) continue;
+      completed_k_sum += result.records[idx].request.k;
+      ++completed;
+    }
+    const double mean_completed_k =
+        completed > 0 ? static_cast<double>(completed_k_sum) /
+                            static_cast<double>(completed)
+                      : 0.0;
+    const double schedule_s = params_.schedule_cost_per_task_s *
+                              static_cast<double>(step.tasks);
+    const double merge_s = params_.merge_cost_per_hit_s *
+                           static_cast<double>(step.tasks) * mean_completed_k;
+    double complete = std::max(
+        step.complete_seconds,
+        now + step.pre_seconds + step.host_seconds + schedule_s + merge_s);
+    complete = std::max(complete, last_complete);
+    // Steady-state step interval: what this step added to the timeline.
+    const double interval = complete - std::max(last_complete, now);
+    last_complete = complete;
+    inflight_steps.push_back(complete);
+    ++result.batches;
+    ewma += params_.ewma_alpha * (interval - ewma);
+    if (step.fresh_queries > 0) {
+      const double observed = static_cast<double>(step.tasks) /
+                              static_cast<double>(step.fresh_queries);
+      tasks_per_query += params_.ewma_alpha * (observed - tasks_per_query);
+      if (tasks_per_query < 1.0) tasks_per_query = 1.0;
+    }
+
+    if (tracing) {
+      trace_->span(batch_lane, "step", "serve", now, complete - now,
+                   {{"fresh", static_cast<double>(step.fresh_queries)},
+                    {"tasks", static_cast<double>(step.tasks)},
+                    {"deferred", static_cast<double>(step.deferred)},
+                    {"completed", static_cast<double>(completed)},
+                    {"inflight_steps", static_cast<double>(inflight_steps.size())}});
+      if (schedule_s > 0.0) {
+        trace_->span(sched_lane, "schedule", "host", now + step.pre_seconds,
+                     schedule_s, {{"tasks", static_cast<double>(step.tasks)}});
+      }
+      if (merge_s > 0.0) {
+        trace_->span(merge_lane, "merge", "host", complete - merge_s, merge_s,
+                     {{"mean_k", mean_completed_k}});
+      }
+    }
+
+    // Completions: stamped with this step's modeled completion (the results
+    // themselves are final now — only the timestamps are in the future).
+    for (auto it = inflight.begin(); it != inflight.end();) {
+      if (!backend_.finished(it->first)) {
+        ++it;
+        continue;
+      }
+      RequestRecord& rec = result.records[it->second];
+      rec.done_s = complete;
+      rec.latency_s = complete - rec.request.arrival_s;
+      rec.host_cl_s = step.host_seconds + step.pre_seconds;
+      rec.schedule_s = schedule_s;
+      rec.pim_s = step.exec_seconds;
+      rec.merge_s = merge_s;
+      rec.results = backend_.take_results(it->first).size();
+      it = inflight.erase(it);
+    }
+  };
+
+  while (next_arrival < trace.size() || !batcher.empty() || !inflight.empty()) {
+    maybe_snapshot();
+    // Retire steps whose modeled completion has passed; what remains is the
+    // in-flight window.
+    while (!inflight_steps.empty() && inflight_steps.front() <= now) {
+      inflight_steps.pop_front();
+    }
+    const bool no_more_arrivals = next_arrival >= trace.size();
+    const bool can_launch = inflight_steps.size() < depth;
+
+    if (can_launch &&
+        (batcher.ready(now) || (no_more_arrivals && !batcher.empty()))) {
+      std::vector<Request> batch = batcher.take_batch();
+      for (const Request& req : batch) {
+        const std::uint32_t handle =
+            backend_.enqueue(pool_.row(req.query), req.k, req.nprobe);
+        inflight.emplace(handle, static_cast<std::size_t>(req.id));
+        result.records[req.id].queue_wait_s = now - req.arrival_s;
+      }
+      const bool flush = no_more_arrivals && batcher.empty();
+      launch_step(batch.size(), flush);
+      continue;
+    }
+
+    // Idle with carried deferred tasks, room in the pipe, and nothing else
+    // to wait for: drain them with a flush step.
+    if (can_launch && no_more_arrivals && batcher.empty() &&
+        backend_.has_deferred()) {
+      launch_step(0, /*flush=*/true);
+      continue;
+    }
+
+    // Advance to the next event: an arrival, the batcher's deadline (only
+    // actionable while a pipeline slot is free — with the pipe full, an
+    // already-expired deadline would pin the clock), or the oldest in-flight
+    // step's completion (which frees a slot).
+    double next_event = can_launch ? batcher.deadline_s() : kInf;
+    if (!no_more_arrivals) {
+      next_event = std::min(next_event, trace[next_arrival].arrival_s);
+    }
+    if (!inflight_steps.empty()) {
+      next_event = std::min(next_event, inflight_steps.front());
+    }
+    if (next_event == kInf) break;
+    now = std::max(now, next_event);
+    while (next_arrival < trace.size() && trace[next_arrival].arrival_s <= now) {
+      process_arrival(trace[next_arrival]);
+      ++next_arrival;
+    }
+  }
+
+  now = std::max(now, last_complete);  // drain the pipe's tail
+  maybe_snapshot(/*force=*/true);
   result.makespan_s = now;
   result.ewma_batch_s = ewma;
   result.engine_stats = backend_.stats();

@@ -85,6 +85,16 @@ class ServingRuntime {
   }
 
  private:
+  /// The serial event loop (backend pipeline_depth() == 1): one step in
+  /// flight at a time, the clock jumping across each step's critical path.
+  ServeResult run_serial(const std::vector<Request>& trace, ServeResult result,
+                         std::uint32_t max_k, std::uint32_t max_nprobe);
+  /// The pipelined event loop (depth >= 2): keeps up to `depth` steps in
+  /// flight, launching while earlier steps' modeled completions are still in
+  /// the future, so transfer stages overlap compute across steps.
+  ServeResult run_pipelined(const std::vector<Request>& trace, ServeResult result,
+                            std::uint32_t max_k, std::uint32_t max_nprobe);
+
   std::unique_ptr<AnnBackend> owned_backend_;  ///< compat-ctor wrapper only
   AnnBackend& backend_;
   const FloatMatrix& pool_;

@@ -8,14 +8,15 @@
 //   drim search --index index.drim --queries q.fvecs [--base base.bvecs]
 //               [--k 10] [--nprobe 16] [--gt gt.ivecs]
 //               [--backend cpu|drim] [--platform sim|analytic] [--dpus 64]
-//               [--rerank 0] [--trace out.json]
+//               [--pipeline-depth 2] [--batch-size 0] [--rerank 0]
+//               [--trace out.json]
 //   drim gt     --base base.bvecs --queries q.fvecs --out gt.ivecs [--k 100]
 //   drim serve  --index index.drim --queries q.fvecs [--qps 1000]
 //               [--requests 1024] [--max-batch 32] [--max-wait-us 0]
 //               [--slo-ms 0] [--arrivals poisson|onoff] [--skew 0]
 //               [--k 10] [--nprobe 16] [--dpus 64] [--seed 42]
 //               [--backend cpu|drim] [--platform sim|analytic]
-//               [--no-admission] [--flush-every 4]
+//               [--pipeline-depth 2] [--no-admission] [--flush-every 4]
 //               [--trace out.json] [--metrics out.csv|out.json]
 //               [--snapshot-ms 0]
 //
@@ -25,7 +26,9 @@
 // byte-level functional simulator, `analytic` charges the same cost tables
 // without simulating MRAM (fast at paper-scale DPU counts; identical
 // neighbors via the host-exact replay). --rerank R searches R candidates and
-// re-ranks them exactly (requires --base).
+// re-ranks them exactly (requires --base). --pipeline-depth D keeps up to D
+// batches in flight so host-link transfers overlap DPU compute (1 = serial;
+// results are bit-identical at every depth, only the modeled timeline moves).
 //
 // serve replays an open-loop request trace (timestamped arrivals drawn from
 // the query file) through the online serving runtime — dynamic batching,
@@ -251,7 +254,11 @@ std::unique_ptr<AnnBackend> backend_from_args(const Args& args, const IvfPqIndex
   opts.pim.num_dpus = args.get_size("dpus", 64);
   opts.heat_nprobe = nprobe;
   opts.platform = parse_pim_platform(args.get("platform", "sim"));
-  return make_backend(kind, index, sample_queries, opts, CpuBackendOptions{});
+  opts.pipeline_depth = args.get_size("pipeline-depth", opts.pipeline_depth);
+  opts.batch_size = args.get_size("batch-size", opts.batch_size);
+  CpuBackendOptions cpu_opts;
+  cpu_opts.pipeline_depth = opts.pipeline_depth;
+  return make_backend(kind, index, sample_queries, opts, cpu_opts);
 }
 
 int cmd_search(const Args& args) {
