@@ -20,12 +20,12 @@ std::vector<std::vector<Neighbor>> CpuIvfPq::search_batch(const FloatMatrix& que
 
   const IvfPqIndex& index = index_;
   const ProductQuantizer& pq = index.pq();
-  const std::size_t cs = index.code_size();
 
   WallTimer wall;
   parallel_for(0, nq, [&](std::size_t q) {
     std::vector<float> residual(index.dim());
     std::vector<float> lut(pq.m() * pq.cb_entries());
+    std::vector<float> dists;
     TopK topk(k);
     std::size_t scanned = 0;
     WallTimer t;
@@ -53,9 +53,10 @@ std::vector<std::vector<Neighbor>> CpuIvfPq::search_batch(const FloatMatrix& que
       pq.compute_adc_lut(residual, lut);
       charge(lc_ns);
 
+      dists.resize(list.size());
+      pq.adc_scan(lut, list.codes.data(), list.size(), dists.data());
       for (std::size_t i = 0; i < list.size(); ++i) {
-        const float d = pq.adc_distance(lut, list.code(i, cs));
-        topk.push(d, list.ids[i]);
+        topk.push(dists[i], list.ids[i]);
       }
       charge(scan_ns);
       scanned += list.size();

@@ -1,6 +1,9 @@
 #include "core/distances.hpp"
 
+#include <atomic>
 #include <cassert>
+#include <cstdlib>
+#include <cstring>
 
 namespace drim {
 
@@ -39,6 +42,173 @@ float dot(std::span<const float> a, std::span<const float> b) {
   float acc = 0.0f;
   for (std::size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
   return acc;
+}
+
+namespace {
+
+inline std::uint32_t code_value(const std::uint8_t* point, std::size_t sub,
+                                bool wide) {
+  if (wide) {
+    std::uint16_t v = 0;
+    std::memcpy(&v, point + sub * 2, 2);
+    return v;
+  }
+  return point[sub];
+}
+
+// ---- Scalar reference kernels -------------------------------------------
+// The adc_* kernels accumulate each output strictly sequentially — the same
+// rounding as the seed loops in pq.cpp / host_exact.cpp. The l2_sq_* kernels
+// use the canonical 8-lane blocked order the AVX2 side mirrors:
+// 8 lane accumulators over i%8, reduced pairwise exactly like
+// vextractf128/movehl/shufps would, then a sequential tail.
+
+void scalar_adc_lut_row(const float* sv, const float* codebook,
+                        std::size_t dsub, std::size_t cb, float* row) {
+  for (std::size_t e = 0; e < cb; ++e) {
+    const float* cw = codebook + e * dsub;
+    float acc = 0.0f;
+    for (std::size_t d = 0; d < dsub; ++d) {
+      const float diff = sv[d] - cw[d];
+      acc += diff * diff;
+    }
+    row[e] = acc;
+  }
+}
+
+void scalar_adc_scan_f32(const float* lut, std::size_t cb, std::size_t m,
+                         const std::uint8_t* codes, std::size_t stride,
+                         bool wide, std::size_t n, float* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t* point = codes + i * stride;
+    float acc = 0.0f;
+    for (std::size_t sub = 0; sub < m; ++sub) {
+      acc += lut[sub * cb + code_value(point, sub, wide)];
+    }
+    out[i] = acc;
+  }
+}
+
+void scalar_adc_scan_u32(const std::uint32_t* lut, std::size_t cb, std::size_t m,
+                         const std::uint8_t* codes, std::size_t stride,
+                         bool wide, std::size_t n, std::uint32_t* out) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t* point = codes + i * stride;
+    std::uint32_t acc = 0;
+    for (std::size_t sub = 0; sub < m; ++sub) {
+      acc += lut[sub * cb + code_value(point, sub, wide)];
+    }
+    out[i] = acc;
+  }
+}
+
+// Pairwise reduction of 8 lane accumulators in the exact AVX2 order:
+// vextractf128+addps -> (a0+a4 .. a3+a7); movehl+addps -> two pairs;
+// shufps+addss -> total.
+inline float reduce8(const float* a) {
+  const float r0 = a[0] + a[4];
+  const float r1 = a[1] + a[5];
+  const float r2 = a[2] + a[6];
+  const float r3 = a[3] + a[7];
+  const float s0 = r0 + r2;
+  const float s1 = r1 + r3;
+  return s0 + s1;
+}
+
+float scalar_l2_sq_f32(const float* a, const float* b, std::size_t n) {
+  float lanes[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    for (std::size_t l = 0; l < 8; ++l) {
+      const float d = a[i + l] - b[i + l];
+      lanes[l] += d * d;
+    }
+  }
+  float acc = reduce8(lanes);
+  for (; i < n; ++i) {
+    const float d = a[i] - b[i];
+    acc += d * d;
+  }
+  return acc;
+}
+
+float scalar_l2_sq_u8(const float* a, const std::uint8_t* b, std::size_t n) {
+  float lanes[8] = {0, 0, 0, 0, 0, 0, 0, 0};
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    for (std::size_t l = 0; l < 8; ++l) {
+      const float d = a[i + l] - static_cast<float>(b[i + l]);
+      lanes[l] += d * d;
+    }
+  }
+  float acc = reduce8(lanes);
+  for (; i < n; ++i) {
+    const float d = a[i] - static_cast<float>(b[i]);
+    acc += d * d;
+  }
+  return acc;
+}
+
+constexpr DistanceKernels kScalarKernels = {
+    "scalar",         scalar_adc_lut_row, scalar_adc_scan_f32,
+    scalar_adc_scan_u32, scalar_l2_sq_f32, scalar_l2_sq_u8,
+};
+
+// ---- Dispatch ------------------------------------------------------------
+
+bool cpu_has_avx2() {
+#if defined(__x86_64__) || defined(__i386__)
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+std::atomic<const DistanceKernels*>& active_table() {
+  struct Init {
+    const DistanceKernels* table;
+    Init() {
+      table = &kScalarKernels;
+      const DistanceKernels* avx2 = avx2_kernels();
+      const char* env = std::getenv("DRIM_SIMD");
+      const bool force_scalar = env != nullptr && std::strcmp(env, "scalar") == 0;
+      if (avx2 != nullptr && !force_scalar) table = avx2;
+    }
+  };
+  static Init init;
+  static std::atomic<const DistanceKernels*> active{init.table};
+  return active;
+}
+
+}  // namespace
+
+// Defined in distances_avx2.cpp; returns nullptr when the TU was compiled
+// without AVX2 support (non-x86 target or unsupported flag).
+const DistanceKernels* detail_avx2_kernels_impl();
+
+const DistanceKernels& scalar_kernels() { return kScalarKernels; }
+
+const DistanceKernels* avx2_kernels() {
+  static const DistanceKernels* table =
+      cpu_has_avx2() ? detail_avx2_kernels_impl() : nullptr;
+  return table;
+}
+
+bool avx2_available() { return avx2_kernels() != nullptr; }
+
+const DistanceKernels& kernels() {
+  return *active_table().load(std::memory_order_relaxed);
+}
+
+SimdLevel simd_level() {
+  return &kernels() == &kScalarKernels ? SimdLevel::kScalar : SimdLevel::kAvx2;
+}
+
+SimdLevel set_simd_level(SimdLevel level) {
+  const DistanceKernels* table = &kScalarKernels;
+  if (level == SimdLevel::kAvx2 && avx2_available()) table = avx2_kernels();
+  active_table().store(table, std::memory_order_relaxed);
+  return simd_level();
 }
 
 }  // namespace drim

@@ -1,0 +1,250 @@
+// AVX2 implementations of the DistanceKernels table. Compiled with -mavx2
+// and -ffp-contract=off (see src/CMakeLists.txt); only ever executed after a
+// runtime __builtin_cpu_supports("avx2") check in distances.cpp.
+//
+// Bit-equality with the scalar reference is a hard contract here
+// (tests/simd_equality_test.cpp):
+//  - adc_lut_row / adc_scan_* vectorize ACROSS entries/points: lane j owns
+//    output j and accumulates over d/sub in the same sequential order as the
+//    scalar loop, so each lane's float rounding is identical.
+//  - l2_sq_* vectorize WITHIN a vector using 8 lane accumulators; the
+//    horizontal reduction (vextractf128+addps, movehl+addps, shufps+addss)
+//    is mirrored step for step by the scalar reference's reduce8.
+
+#include "core/distances.hpp"
+
+#if defined(DRIM_AVX2_BUILD) && defined(__AVX2__)
+
+#include <immintrin.h>
+
+#include <cstring>
+
+namespace drim {
+namespace {
+
+inline std::uint32_t code_value(const std::uint8_t* point, std::size_t sub,
+                                bool wide) {
+  if (wide) {
+    std::uint16_t v = 0;
+    std::memcpy(&v, point + sub * 2, 2);
+    return v;
+  }
+  return point[sub];
+}
+
+/// 8x8 float transpose: rows r0..r7 in, columns c0..c7 out. Standard
+/// unpack/shuffle/permute2f128 ladder — no gathers (VPGATHER is microcoded
+/// and slow on many parts; contiguous loads + shuffles beat it handily).
+inline void transpose8x8(__m256 r0, __m256 r1, __m256 r2, __m256 r3, __m256 r4,
+                         __m256 r5, __m256 r6, __m256 r7, __m256* c) {
+  const __m256 t0 = _mm256_unpacklo_ps(r0, r1);
+  const __m256 t1 = _mm256_unpackhi_ps(r0, r1);
+  const __m256 t2 = _mm256_unpacklo_ps(r2, r3);
+  const __m256 t3 = _mm256_unpackhi_ps(r2, r3);
+  const __m256 t4 = _mm256_unpacklo_ps(r4, r5);
+  const __m256 t5 = _mm256_unpackhi_ps(r4, r5);
+  const __m256 t6 = _mm256_unpacklo_ps(r6, r7);
+  const __m256 t7 = _mm256_unpackhi_ps(r6, r7);
+  const __m256 u0 = _mm256_shuffle_ps(t0, t2, 0x44);
+  const __m256 u1 = _mm256_shuffle_ps(t0, t2, 0xEE);
+  const __m256 u2 = _mm256_shuffle_ps(t1, t3, 0x44);
+  const __m256 u3 = _mm256_shuffle_ps(t1, t3, 0xEE);
+  const __m256 u4 = _mm256_shuffle_ps(t4, t6, 0x44);
+  const __m256 u5 = _mm256_shuffle_ps(t4, t6, 0xEE);
+  const __m256 u6 = _mm256_shuffle_ps(t5, t7, 0x44);
+  const __m256 u7 = _mm256_shuffle_ps(t5, t7, 0xEE);
+  c[0] = _mm256_permute2f128_ps(u0, u4, 0x20);
+  c[1] = _mm256_permute2f128_ps(u1, u5, 0x20);
+  c[2] = _mm256_permute2f128_ps(u2, u6, 0x20);
+  c[3] = _mm256_permute2f128_ps(u3, u7, 0x20);
+  c[4] = _mm256_permute2f128_ps(u0, u4, 0x31);
+  c[5] = _mm256_permute2f128_ps(u1, u5, 0x31);
+  c[6] = _mm256_permute2f128_ps(u2, u6, 0x31);
+  c[7] = _mm256_permute2f128_ps(u3, u7, 0x31);
+}
+
+void avx2_adc_lut_row(const float* sv, const float* codebook, std::size_t dsub,
+                      std::size_t cb, float* row) {
+  std::size_t e = 0;
+  if (dsub == 8) {
+    // Paper-config fast path (dim 128 / m 16): each codeword is exactly one
+    // 8-float row, so 8 contiguous loads + a transpose put component d of
+    // entries e..e+7 into one vector. Lane j accumulates entry e+j over
+    // d = 0..7 in the same order as the scalar loop — bit-identical.
+    __m256 svd[8];
+    for (std::size_t d = 0; d < 8; ++d) svd[d] = _mm256_set1_ps(sv[d]);
+    for (; e + 8 <= cb; e += 8) {
+      const float* base = codebook + e * 8;
+      __m256 c[8];
+      transpose8x8(_mm256_loadu_ps(base + 0), _mm256_loadu_ps(base + 8),
+                   _mm256_loadu_ps(base + 16), _mm256_loadu_ps(base + 24),
+                   _mm256_loadu_ps(base + 32), _mm256_loadu_ps(base + 40),
+                   _mm256_loadu_ps(base + 48), _mm256_loadu_ps(base + 56), c);
+      __m256 acc = _mm256_setzero_ps();
+      for (std::size_t d = 0; d < 8; ++d) {
+        const __m256 diff = _mm256_sub_ps(svd[d], c[d]);
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(diff, diff));
+      }
+      _mm256_storeu_ps(row + e, acc);
+    }
+  } else {
+    // General shape: lane j of the gather reads entry (e+j)'s component d
+    // (codewords are row-major [cb x dsub], entries `dsub` floats apart).
+    const auto stride = static_cast<int>(dsub);
+    const __m256i entry_off = _mm256_mullo_epi32(
+        _mm256_setr_epi32(0, 1, 2, 3, 4, 5, 6, 7), _mm256_set1_epi32(stride));
+    for (; e + 8 <= cb; e += 8) {
+      const float* base = codebook + e * dsub;
+      __m256 acc = _mm256_setzero_ps();
+      for (std::size_t d = 0; d < dsub; ++d) {
+        const __m256 cw = _mm256_i32gather_ps(base + d, entry_off, 4);
+        const __m256 diff = _mm256_sub_ps(_mm256_set1_ps(sv[d]), cw);
+        acc = _mm256_add_ps(acc, _mm256_mul_ps(diff, diff));
+      }
+      _mm256_storeu_ps(row + e, acc);
+    }
+  }
+  for (; e < cb; ++e) {
+    const float* cw = codebook + e * dsub;
+    float acc = 0.0f;
+    for (std::size_t d = 0; d < dsub; ++d) {
+      const float diff = sv[d] - cw[d];
+      acc += diff * diff;
+    }
+    row[e] = acc;
+  }
+}
+
+// The ADC scan is LUT-lookup bound: m data-dependent loads per point, each
+// accumulated sequentially (the bit-equality contract). A VPGATHER version
+// measured ~3x SLOWER than the plain loop here (microcoded gathers + scalar
+// index assembly), so the "avx2" scan is the scalar algorithm with four
+// independent accumulator chains interleaved — same per-point rounding
+// order, but the OoO core overlaps four L1 LUT-load chains instead of one.
+
+void avx2_adc_scan_f32(const float* lut, std::size_t cb, std::size_t m,
+                       const std::uint8_t* codes, std::size_t stride, bool wide,
+                       std::size_t n, float* out) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const std::uint8_t* p0 = codes + (i + 0) * stride;
+    const std::uint8_t* p1 = codes + (i + 1) * stride;
+    const std::uint8_t* p2 = codes + (i + 2) * stride;
+    const std::uint8_t* p3 = codes + (i + 3) * stride;
+    float a0 = 0.0f, a1 = 0.0f, a2 = 0.0f, a3 = 0.0f;
+    for (std::size_t sub = 0; sub < m; ++sub) {
+      const float* lrow = lut + sub * cb;
+      a0 += lrow[code_value(p0, sub, wide)];
+      a1 += lrow[code_value(p1, sub, wide)];
+      a2 += lrow[code_value(p2, sub, wide)];
+      a3 += lrow[code_value(p3, sub, wide)];
+    }
+    out[i + 0] = a0;
+    out[i + 1] = a1;
+    out[i + 2] = a2;
+    out[i + 3] = a3;
+  }
+  for (; i < n; ++i) {
+    const std::uint8_t* point = codes + i * stride;
+    float acc = 0.0f;
+    for (std::size_t sub = 0; sub < m; ++sub) {
+      acc += lut[sub * cb + code_value(point, sub, wide)];
+    }
+    out[i] = acc;
+  }
+}
+
+void avx2_adc_scan_u32(const std::uint32_t* lut, std::size_t cb, std::size_t m,
+                       const std::uint8_t* codes, std::size_t stride, bool wide,
+                       std::size_t n, std::uint32_t* out) {
+  std::size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const std::uint8_t* p0 = codes + (i + 0) * stride;
+    const std::uint8_t* p1 = codes + (i + 1) * stride;
+    const std::uint8_t* p2 = codes + (i + 2) * stride;
+    const std::uint8_t* p3 = codes + (i + 3) * stride;
+    std::uint32_t a0 = 0, a1 = 0, a2 = 0, a3 = 0;
+    for (std::size_t sub = 0; sub < m; ++sub) {
+      const std::uint32_t* lrow = lut + sub * cb;
+      a0 += lrow[code_value(p0, sub, wide)];
+      a1 += lrow[code_value(p1, sub, wide)];
+      a2 += lrow[code_value(p2, sub, wide)];
+      a3 += lrow[code_value(p3, sub, wide)];
+    }
+    out[i + 0] = a0;
+    out[i + 1] = a1;
+    out[i + 2] = a2;
+    out[i + 3] = a3;
+  }
+  for (; i < n; ++i) {
+    const std::uint8_t* point = codes + i * stride;
+    std::uint32_t acc = 0;
+    for (std::size_t sub = 0; sub < m; ++sub) {
+      acc += lut[sub * cb + code_value(point, sub, wide)];
+    }
+    out[i] = acc;
+  }
+}
+
+// Horizontal sum matching scalar reduce8: (a0+a4, a1+a5, a2+a6, a3+a7) ->
+// (r0+r2, r1+r3) -> s0+s1.
+inline float reduce8_avx(__m256 v) {
+  const __m128 lo = _mm256_castps256_ps128(v);
+  const __m128 hi = _mm256_extractf128_ps(v, 1);
+  const __m128 r = _mm_add_ps(lo, hi);              // r0 r1 r2 r3
+  const __m128 s = _mm_add_ps(r, _mm_movehl_ps(r, r));  // s0 s1 . .
+  const __m128 t = _mm_add_ss(s, _mm_shuffle_ps(s, s, 0x1));
+  return _mm_cvtss_f32(t);
+}
+
+float avx2_l2_sq_f32(const float* a, const float* b, std::size_t n) {
+  __m256 acc = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m256 diff = _mm256_sub_ps(_mm256_loadu_ps(a + i), _mm256_loadu_ps(b + i));
+    acc = _mm256_add_ps(acc, _mm256_mul_ps(diff, diff));
+  }
+  float total = reduce8_avx(acc);
+  for (; i < n; ++i) {
+    const float d = a[i] - b[i];
+    total += d * d;
+  }
+  return total;
+}
+
+float avx2_l2_sq_u8(const float* a, const std::uint8_t* b, std::size_t n) {
+  __m256 acc = _mm256_setzero_ps();
+  std::size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    const __m128i bytes =
+        _mm_loadl_epi64(reinterpret_cast<const __m128i*>(b + i));
+    const __m256 bf = _mm256_cvtepi32_ps(_mm256_cvtepu8_epi32(bytes));
+    const __m256 diff = _mm256_sub_ps(_mm256_loadu_ps(a + i), bf);
+    acc = _mm256_add_ps(acc, _mm256_mul_ps(diff, diff));
+  }
+  float total = reduce8_avx(acc);
+  for (; i < n; ++i) {
+    const float d = a[i] - static_cast<float>(b[i]);
+    total += d * d;
+  }
+  return total;
+}
+
+constexpr DistanceKernels kAvx2Kernels = {
+    "avx2",           avx2_adc_lut_row, avx2_adc_scan_f32,
+    avx2_adc_scan_u32, avx2_l2_sq_f32,   avx2_l2_sq_u8,
+};
+
+}  // namespace
+
+const DistanceKernels* detail_avx2_kernels_impl() { return &kAvx2Kernels; }
+
+}  // namespace drim
+
+#else  // !DRIM_AVX2_BUILD
+
+namespace drim {
+const DistanceKernels* detail_avx2_kernels_impl() { return nullptr; }
+}  // namespace drim
+
+#endif

@@ -8,8 +8,10 @@ namespace drim {
 std::vector<Neighbor> flat_search(const ByteDataset& base, std::span<const float> query,
                                   std::size_t k) {
   TopK topk(k);
+  const DistanceKernels& kern = kernels();
+  const std::size_t dim = base.dim();
   for (std::size_t i = 0; i < base.count(); ++i) {
-    const float d = l2_sq_u8(query, base.row(i));
+    const float d = kern.l2_sq_u8(query.data(), base.row(i).data(), dim);
     topk.push(d, static_cast<std::uint32_t>(i));
   }
   return topk.take_sorted();

@@ -154,10 +154,10 @@ void IvfPqIndex::query_residual(std::span<const float> query, std::uint32_t clus
 std::vector<Neighbor> IvfPqIndex::search(std::span<const float> query, std::size_t k,
                                          std::size_t nprobe) const {
   assert(trained_);
-  const std::size_t cs = code_size();
   TopK topk(k);
   std::vector<float> residual(dim());
   std::vector<float> lut(pq_.m() * pq_.cb_entries());
+  std::vector<float> dists;
 
   // CL phase.
   const std::vector<std::uint32_t> probes = locate_clusters(query, nprobe);
@@ -168,9 +168,10 @@ std::vector<Neighbor> IvfPqIndex::search(std::span<const float> query, std::size
     query_residual(query, c, residual);
     pq_.compute_adc_lut(residual, lut);
     // DC + TS phases.
+    dists.resize(list.size());
+    pq_.adc_scan(lut, list.codes.data(), list.size(), dists.data());
     for (std::size_t i = 0; i < list.size(); ++i) {
-      const float d = pq_.adc_distance(lut, list.code(i, cs));
-      topk.push(d, list.ids[i]);
+      topk.push(dists[i], list.ids[i]);
     }
   }
   return topk.take_sorted();

@@ -90,13 +90,21 @@ void ProductQuantizer::compute_adc_lut(std::span<const float> query,
                                        std::span<float> lut) const {
   assert(query.size() == dim_ && lut.size() >= m_ * cb_);
   const std::size_t dsub = this->dsub();
+  const DistanceKernels& kern = kernels();
   for (std::size_t sub = 0; sub < m_; ++sub) {
-    const std::span<const float> sv = query.subspan(sub * dsub, dsub);
-    float* row = lut.data() + sub * cb_;
-    for (std::size_t e = 0; e < cb_; ++e) {
-      row[e] = l2_sq(sv, codeword(sub, e));
-    }
+    // Codebooks are row-major [cb x dsub], so one kernel call fills the row;
+    // per-entry accumulation order matches the old per-codeword l2_sq loop.
+    kern.adc_lut_row(query.data() + sub * dsub, codebooks_[sub].data(), dsub,
+                     cb_, lut.data() + sub * cb_);
   }
+}
+
+void ProductQuantizer::adc_scan(std::span<const float> lut,
+                                const std::uint8_t* codes, std::size_t n,
+                                float* out) const {
+  assert(lut.size() >= m_ * cb_);
+  kernels().adc_scan_f32(lut.data(), cb_, m_, codes, code_size(), wide_codes(),
+                         n, out);
 }
 
 float ProductQuantizer::adc_distance(std::span<const float> lut,

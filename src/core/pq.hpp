@@ -61,6 +61,13 @@ class ProductQuantizer {
   /// ADC distance of an encoded point given a precomputed LUT.
   float adc_distance(std::span<const float> lut, std::span<const std::uint8_t> code) const;
 
+  /// ADC distances of `n` consecutively packed codes (the inverted-list
+  /// layout): out[i] = adc_distance(lut, code i). Routes through the
+  /// SIMD-dispatched kernel table; bit-identical to calling adc_distance in
+  /// a loop.
+  void adc_scan(std::span<const float> lut, const std::uint8_t* codes,
+                std::size_t n, float* out) const;
+
   /// Symmetric distance (SDC) between two codes; provided for completeness
   /// (the paper adopts ADC because it is more accurate at equal cost).
   float sdc_distance(std::span<const std::uint8_t> a, std::span<const std::uint8_t> b) const;

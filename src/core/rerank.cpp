@@ -9,8 +9,10 @@ std::vector<Neighbor> rerank_exact(const ByteDataset& base, std::span<const floa
                                    const std::vector<Neighbor>& candidates,
                                    std::size_t k) {
   TopK topk(k);
+  const DistanceKernels& kern = kernels();
+  const std::size_t dim = base.dim();
   for (const Neighbor& c : candidates) {
-    topk.push(l2_sq_u8(query, base.row(c.id)), c.id);
+    topk.push(kern.l2_sq_u8(query.data(), base.row(c.id).data(), dim), c.id);
   }
   return topk.take_sorted();
 }

@@ -20,6 +20,24 @@ namespace {
 std::atomic<std::uint64_t> g_dedup_epoch{1};
 thread_local std::vector<std::uint64_t> tl_dedup_stamp;
 thread_local std::vector<std::uint32_t> tl_dedup_slot;
+
+// Size the stamped maps for this step's id space. Under the persistent
+// executor these thread_locals outlive any one engine, so grossly oversized
+// maps from a past engine's larger batches are shrunk instead of pinned for
+// the rest of the process. Dropping old entries is safe: validity is carried
+// by the global epoch stamp, never by leftover buffer contents.
+void dedup_reserve(std::size_t id_space) {
+  if (tl_dedup_stamp.size() > std::max<std::size_t>(4096, id_space * 4)) {
+    tl_dedup_stamp.assign(id_space, 0);
+    tl_dedup_slot.assign(id_space, 0);
+    tl_dedup_stamp.shrink_to_fit();
+    tl_dedup_slot.shrink_to_fit();
+  }
+  if (tl_dedup_stamp.size() < id_space) {
+    tl_dedup_stamp.resize(id_space, 0);
+    tl_dedup_slot.resize(id_space, 0);
+  }
+}
 }  // namespace
 
 SchedulerParams derive_scheduler_params(const PimConfig& cfg, std::size_t dim,
@@ -545,10 +563,7 @@ BatchStepStats DrimAnnEngine::search_batch(SearchBatchState& state,
   parallel_for(0, num_dpus, [&](std::size_t d) {
     const auto& tasks = assignment.per_dpu[d];
     if (tasks.empty()) return;
-    if (tl_dedup_stamp.size() < id_space) {
-      tl_dedup_stamp.resize(id_space, 0);
-      tl_dedup_slot.resize(id_space, 0);
-    }
+    dedup_reserve(id_space);
     const std::uint64_t stamp = epoch_base + d;
     auto& slot_query = dpu_slot_query[d];
     for (const Task& t : tasks) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "core/distances.hpp"
+
 namespace drim {
 namespace {
 
@@ -9,45 +11,78 @@ namespace {
 /// order — the WramTopK selection without the cycle charges. Backed by a
 /// per-thread scratch buffer so the collect hot loop (one instance per
 /// scheduled task) never allocates.
+///
+/// The scratch is process-lifetime under the persistent executor: the same
+/// worker threads now serve every backend in turn, so the buffer guards
+/// against cross-backend staleness — an in-use flag (a nested instance on
+/// one thread falls back to owned storage instead of aliasing the scratch)
+/// and a capacity clamp (one backend's large k must not pin memory for the
+/// rest of the process).
 class BoundedTopK {
  public:
-  explicit BoundedTopK(std::uint32_t k) : k_(k), heap_(scratch()) {
-    heap_.clear();
-    if (heap_.capacity() < k) heap_.reserve(k);
+  explicit BoundedTopK(std::uint32_t k) : k_(k) {
+    Scratch& s = scratch();
+    if (!s.in_use) {
+      s.in_use = true;
+      owner_ = &s;
+      heap_ = &s.buf;
+    } else {
+      heap_ = &own_;
+    }
+    heap_->clear();
+    const std::size_t cap_limit = std::max<std::size_t>(64, std::size_t{k} * 8);
+    if (heap_->capacity() > cap_limit) {
+      heap_->shrink_to_fit();
+    }
+    if (heap_->capacity() < k) heap_->reserve(k);
   }
 
+  ~BoundedTopK() {
+    if (owner_ != nullptr) owner_->in_use = false;
+  }
+  BoundedTopK(const BoundedTopK&) = delete;
+  BoundedTopK& operator=(const BoundedTopK&) = delete;
+
   void push(std::uint32_t dist, std::uint32_t idx) {
-    if (heap_.size() >= k_) {
-      const KernelHit& worst = heap_.front();
+    std::vector<KernelHit>& heap = *heap_;
+    if (heap.size() >= k_) {
+      const KernelHit& worst = heap.front();
       if (dist > worst.dist || (dist == worst.dist && idx >= worst.id)) return;
-      std::pop_heap(heap_.begin(), heap_.end(), cmp);
-      heap_.back() = {dist, idx};
+      std::pop_heap(heap.begin(), heap.end(), cmp);
+      heap.back() = {dist, idx};
     } else {
-      heap_.push_back({dist, idx});
+      heap.push_back({dist, idx});
     }
-    std::push_heap(heap_.begin(), heap_.end(), cmp);
+    std::push_heap(heap.begin(), heap.end(), cmp);
   }
 
   /// Ascending (dist, idx) into `out`, sentinel-padding the tail; consumes
   /// the heap. `out` may be any size — extra entries become sentinels.
   void sorted_into(std::span<KernelHit> out) {
-    std::sort_heap(heap_.begin(), heap_.end(), cmp);
-    const std::size_t n = std::min(heap_.size(), out.size());
-    std::copy(heap_.begin(), heap_.begin() + static_cast<std::ptrdiff_t>(n), out.begin());
+    std::vector<KernelHit>& heap = *heap_;
+    std::sort_heap(heap.begin(), heap.end(), cmp);
+    const std::size_t n = std::min(heap.size(), out.size());
+    std::copy(heap.begin(), heap.begin() + static_cast<std::ptrdiff_t>(n), out.begin());
     std::fill(out.begin() + static_cast<std::ptrdiff_t>(n), out.end(), KernelHit{});
   }
 
  private:
-  static std::vector<KernelHit>& scratch() {
-    thread_local std::vector<KernelHit> buf;
-    return buf;
+  struct Scratch {
+    std::vector<KernelHit> buf;
+    bool in_use = false;
+  };
+  static Scratch& scratch() {
+    thread_local Scratch s;
+    return s;
   }
   static bool cmp(const KernelHit& a, const KernelHit& b) {
     if (a.dist != b.dist) return a.dist < b.dist;
     return a.id < b.id;
   }
   std::uint32_t k_;
-  std::vector<KernelHit>& heap_;
+  Scratch* owner_ = nullptr;
+  std::vector<KernelHit>* heap_ = nullptr;
+  std::vector<KernelHit> own_;
 };
 
 }  // namespace
@@ -87,12 +122,13 @@ void host_search_task_into(const PimIndexData& data,
   const std::uint32_t size = static_cast<std::uint32_t>(shard.size());
   const std::uint32_t kk = std::min<std::uint32_t>(k, std::max<std::uint32_t>(size, 1));
   BoundedTopK topk(kk);
+  std::vector<std::uint32_t> dists(size);
+  kernels().adc_scan_u32(lut.data(), cb, m,
+                         codes.data() + shard.begin * data.code_size(),
+                         data.code_size(), data.wide_codes(), size,
+                         dists.data());
   for (std::uint32_t i = 0; i < size; ++i) {
-    std::uint32_t dist = 0;
-    for (std::size_t sub = 0; sub < m; ++sub) {
-      dist += lut[sub * cb + data.code_at(codes, shard.begin + i, sub)];
-    }
-    topk.push(dist, i);
+    topk.push(dists[i], i);
   }
 
   topk.sorted_into(out);  // sentinel-pads short shards

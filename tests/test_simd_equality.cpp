@@ -1,0 +1,210 @@
+// Bit-equality contract of the SIMD kernel seam (core/distances.hpp): every
+// DistanceKernels entry must produce EXACTLY the same bits from the scalar
+// reference and the AVX2 implementation, on random inputs and on the
+// adversarial shapes where equality usually dies — tail-remainder sizes
+// (n % 8 != 0), denormal operands, and wide (uint16) PQ codes. The scalar
+// adc_* entries are additionally pinned to the seed per-point loops so the
+// seam cannot drift from pq::adc_distance / compute_adc_lut semantics.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <random>
+#include <vector>
+
+#include "core/distances.hpp"
+
+namespace drim {
+namespace {
+
+std::vector<float> random_floats(std::mt19937& rng, std::size_t n,
+                                 float lo = -10.0f, float hi = 10.0f) {
+  std::uniform_real_distribution<float> dist(lo, hi);
+  std::vector<float> v(n);
+  for (float& x : v) x = dist(rng);
+  return v;
+}
+
+bool same_bits(float a, float b) {
+  std::uint32_t ua = 0, ub = 0;
+  std::memcpy(&ua, &a, 4);
+  std::memcpy(&ub, &b, 4);
+  return ua == ub;
+}
+
+#define REQUIRE_AVX2()                                              \
+  if (avx2_kernels() == nullptr) {                                  \
+    GTEST_SKIP() << "AVX2 kernels unavailable on this build/CPU";   \
+  }
+
+TEST(SimdEquality, AdcLutRowMatchesBitExact) {
+  REQUIRE_AVX2();
+  const DistanceKernels& sc = scalar_kernels();
+  const DistanceKernels& vx = *avx2_kernels();
+  std::mt19937 rng(7);
+  for (const std::size_t dsub : {1u, 3u, 6u, 8u, 16u}) {
+    for (const std::size_t cb : {1u, 7u, 8u, 16u, 100u, 256u}) {
+      const auto sv = random_floats(rng, dsub);
+      const auto codebook = random_floats(rng, cb * dsub);
+      std::vector<float> row_sc(cb), row_vx(cb);
+      sc.adc_lut_row(sv.data(), codebook.data(), dsub, cb, row_sc.data());
+      vx.adc_lut_row(sv.data(), codebook.data(), dsub, cb, row_vx.data());
+      for (std::size_t e = 0; e < cb; ++e) {
+        ASSERT_TRUE(same_bits(row_sc[e], row_vx[e]))
+            << "dsub=" << dsub << " cb=" << cb << " e=" << e;
+      }
+    }
+  }
+}
+
+TEST(SimdEquality, AdcLutRowMatchesSeedScalarLoop) {
+  // The scalar kernel must round exactly like the seed per-codeword l2_sq.
+  const DistanceKernels& sc = scalar_kernels();
+  std::mt19937 rng(11);
+  const std::size_t dsub = 6, cb = 64;
+  const auto sv = random_floats(rng, dsub);
+  const auto codebook = random_floats(rng, cb * dsub);
+  std::vector<float> row(cb);
+  sc.adc_lut_row(sv.data(), codebook.data(), dsub, cb, row.data());
+  for (std::size_t e = 0; e < cb; ++e) {
+    const float ref = l2_sq({sv.data(), dsub}, {codebook.data() + e * dsub, dsub});
+    ASSERT_TRUE(same_bits(row[e], ref)) << "e=" << e;
+  }
+}
+
+TEST(SimdEquality, AdcScanF32MatchesBitExact) {
+  REQUIRE_AVX2();
+  const DistanceKernels& sc = scalar_kernels();
+  const DistanceKernels& vx = *avx2_kernels();
+  std::mt19937 rng(13);
+  for (const bool wide : {false, true}) {
+    const std::size_t cb = wide ? 512 : 256;
+    for (const std::size_t m : {1u, 8u, 16u}) {
+      const std::size_t stride = m * (wide ? 2 : 1);
+      const auto lut = random_floats(rng, m * cb, 0.0f, 100.0f);
+      for (const std::size_t n : {1u, 7u, 8u, 9u, 64u, 100u}) {
+        std::vector<std::uint8_t> codes(n * stride);
+        if (wide) {
+          std::uniform_int_distribution<std::uint32_t> cd(0, cb - 1);
+          for (std::size_t i = 0; i < n * m; ++i) {
+            const auto v = static_cast<std::uint16_t>(cd(rng));
+            std::memcpy(codes.data() + i * 2, &v, 2);
+          }
+        } else {
+          std::uniform_int_distribution<std::uint32_t> cd(0, 255);
+          for (auto& c : codes) c = static_cast<std::uint8_t>(cd(rng));
+        }
+        std::vector<float> out_sc(n), out_vx(n);
+        sc.adc_scan_f32(lut.data(), cb, m, codes.data(), stride, wide, n,
+                        out_sc.data());
+        vx.adc_scan_f32(lut.data(), cb, m, codes.data(), stride, wide, n,
+                        out_vx.data());
+        for (std::size_t i = 0; i < n; ++i) {
+          ASSERT_TRUE(same_bits(out_sc[i], out_vx[i]))
+              << "wide=" << wide << " m=" << m << " n=" << n << " i=" << i;
+        }
+      }
+    }
+  }
+}
+
+TEST(SimdEquality, AdcScanU32MatchesExactIncludingWraparound) {
+  REQUIRE_AVX2();
+  const DistanceKernels& sc = scalar_kernels();
+  const DistanceKernels& vx = *avx2_kernels();
+  std::mt19937 rng(17);
+  const std::size_t m = 16, cb = 256, stride = m;
+  // Values big enough that sums wrap uint32 — wraparound must agree too.
+  std::vector<std::uint32_t> lut(m * cb);
+  std::uniform_int_distribution<std::uint32_t> ld(0, 0x7FFFFFFFu);
+  for (auto& v : lut) v = ld(rng);
+  for (const std::size_t n : {1u, 7u, 8u, 9u, 200u}) {
+    std::vector<std::uint8_t> codes(n * stride);
+    std::uniform_int_distribution<std::uint32_t> cd(0, 255);
+    for (auto& c : codes) c = static_cast<std::uint8_t>(cd(rng));
+    std::vector<std::uint32_t> out_sc(n), out_vx(n);
+    sc.adc_scan_u32(lut.data(), cb, m, codes.data(), stride, false, n,
+                    out_sc.data());
+    vx.adc_scan_u32(lut.data(), cb, m, codes.data(), stride, false, n,
+                    out_vx.data());
+    for (std::size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(out_sc[i], out_vx[i]) << "n=" << n << " i=" << i;
+    }
+  }
+}
+
+TEST(SimdEquality, L2KernelsMatchOnRandomAndTailSizes) {
+  REQUIRE_AVX2();
+  const DistanceKernels& sc = scalar_kernels();
+  const DistanceKernels& vx = *avx2_kernels();
+  std::mt19937 rng(19);
+  for (const std::size_t n : {0u, 1u, 7u, 8u, 9u, 31u, 96u, 100u, 128u}) {
+    const auto a = random_floats(rng, n);
+    const auto b = random_floats(rng, n);
+    ASSERT_TRUE(same_bits(sc.l2_sq_f32(a.data(), b.data(), n),
+                          vx.l2_sq_f32(a.data(), b.data(), n)))
+        << "f32 n=" << n;
+    std::vector<std::uint8_t> u(n);
+    std::uniform_int_distribution<std::uint32_t> ud(0, 255);
+    for (auto& x : u) x = static_cast<std::uint8_t>(ud(rng));
+    ASSERT_TRUE(same_bits(sc.l2_sq_u8(a.data(), u.data(), n),
+                          vx.l2_sq_u8(a.data(), u.data(), n)))
+        << "u8 n=" << n;
+  }
+}
+
+TEST(SimdEquality, L2KernelsMatchOnDenormals) {
+  REQUIRE_AVX2();
+  const DistanceKernels& sc = scalar_kernels();
+  const DistanceKernels& vx = *avx2_kernels();
+  const std::size_t n = 37;  // tail remainder on purpose
+  std::vector<float> a(n), b(n);
+  const float dmin = std::numeric_limits<float>::denorm_min();
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = dmin * static_cast<float>(i * 3 + 1);
+    b[i] = dmin * static_cast<float>((n - i) * 5);
+  }
+  ASSERT_TRUE(same_bits(sc.l2_sq_f32(a.data(), b.data(), n),
+                        vx.l2_sq_f32(a.data(), b.data(), n)));
+  // A mix of denormal and normal magnitudes (catches flush-to-zero builds).
+  for (std::size_t i = 0; i < n; i += 2) a[i] = 1.0f + a[i];
+  ASSERT_TRUE(same_bits(sc.l2_sq_f32(a.data(), b.data(), n),
+                        vx.l2_sq_f32(a.data(), b.data(), n)));
+}
+
+TEST(SimdEquality, LutRowHandlesDenormalOperands) {
+  REQUIRE_AVX2();
+  const DistanceKernels& sc = scalar_kernels();
+  const DistanceKernels& vx = *avx2_kernels();
+  const std::size_t dsub = 5, cb = 13;  // both tail-remainder shapes
+  const float dmin = std::numeric_limits<float>::denorm_min();
+  std::vector<float> sv(dsub), codebook(cb * dsub);
+  for (std::size_t d = 0; d < dsub; ++d) sv[d] = dmin * static_cast<float>(d + 1);
+  for (std::size_t i = 0; i < codebook.size(); ++i) {
+    codebook[i] = dmin * static_cast<float>(7 * i % 23);
+  }
+  std::vector<float> row_sc(cb), row_vx(cb);
+  sc.adc_lut_row(sv.data(), codebook.data(), dsub, cb, row_sc.data());
+  vx.adc_lut_row(sv.data(), codebook.data(), dsub, cb, row_vx.data());
+  for (std::size_t e = 0; e < cb; ++e) {
+    ASSERT_TRUE(same_bits(row_sc[e], row_vx[e])) << "e=" << e;
+  }
+}
+
+TEST(SimdEquality, SetSimdLevelSwitchesTables) {
+  const SimdLevel initial = simd_level();
+  EXPECT_EQ(set_simd_level(SimdLevel::kScalar), SimdLevel::kScalar);
+  EXPECT_STREQ(kernels().name, "scalar");
+  if (avx2_available()) {
+    EXPECT_EQ(set_simd_level(SimdLevel::kAvx2), SimdLevel::kAvx2);
+    EXPECT_STREQ(kernels().name, "avx2");
+  } else {
+    EXPECT_EQ(set_simd_level(SimdLevel::kAvx2), SimdLevel::kScalar);
+  }
+  set_simd_level(initial);
+}
+
+}  // namespace
+}  // namespace drim
