@@ -17,6 +17,10 @@
 // pipeline legitimately flattens the latency/load curve near capacity). A
 // separate depth-sweep section always compares the depth-1 and depth-2
 // backend totals on a transfer-heavy streaming run and records the speedup.
+// `--shards N` (with `--shard-replication F`) serves from an N-shard cluster
+// tier (drim backend only): the whole sweep runs unchanged behind the
+// ShardRouter, so saturation and admission behavior are directly comparable
+// against the single-node run.
 // `--smoke` shrinks the corpus and trace so the run finishes in seconds and
 // self-checks invariants; ctest runs it under the `serve` label on the cpu
 // backend and both drim platforms. Writes BENCH_serve_latency.json.
@@ -27,6 +31,7 @@
 #include <vector>
 
 #include "backend/backend_factory.hpp"
+#include "cluster/cluster_backend.hpp"
 #include "common/stats.hpp"
 #include "serve/runtime.hpp"
 #include "support/harness.hpp"
@@ -123,6 +128,8 @@ int main(int argc, char** argv) {
   bool smoke = false;
   std::size_t num_requests = 2048;
   std::size_t pipeline_depth = 1;
+  std::size_t num_shards = 1;
+  double shard_replication = 0.10;
   BackendKind backend_kind = BackendKind::kDrim;
   PimPlatformKind platform = PimPlatformKind::kSim;
   for (int i = 1; i < argc; ++i) {
@@ -138,6 +145,12 @@ int main(int argc, char** argv) {
     }
     if (std::strcmp(argv[i], "--platform") == 0 && i + 1 < argc) {
       platform = parse_pim_platform(argv[++i]);
+    }
+    if (std::strcmp(argv[i], "--shards") == 0 && i + 1 < argc) {
+      num_shards = std::strtoul(argv[++i], nullptr, 10);
+    }
+    if (std::strcmp(argv[i], "--shard-replication") == 0 && i + 1 < argc) {
+      shard_replication = std::strtod(argv[++i], nullptr);
     }
   }
 
@@ -170,8 +183,18 @@ int main(int argc, char** argv) {
 
   const BenchData bench = make_sift_bench(scale);
   const IvfPqIndex index = build_index(bench, nlist);
-  std::unique_ptr<AnnBackend> backend =
-      make_backend(backend_kind, index, bench.data.learn, opts, cpu_opts);
+  std::unique_ptr<AnnBackend> backend;
+  if (num_shards > 1) {
+    // Cluster tier: the sweep runs unchanged over the router (routed steps
+    // are cross-shard barriers, so the pipelined depth applies per shard).
+    cluster::ClusterOptions copts;
+    copts.num_shards = num_shards;
+    copts.replication_fraction = shard_replication;
+    backend = cluster::make_cluster_backend(backend_kind, index, bench.data.learn,
+                                            opts, copts, cpu_opts);
+  } else {
+    backend = make_backend(backend_kind, index, bench.data.learn, opts, cpu_opts);
+  }
 
   std::printf("backend=%s, N=%zu, pool=%zu queries, %zu DPUs, nlist=%zu, "
               "nprobe=%zu, k=%zu, %zu requests per point\n",

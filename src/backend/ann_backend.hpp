@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
@@ -52,6 +53,18 @@ struct BackendStats {
   double qps() const { return total_seconds > 0 ? queries / total_seconds : 0.0; }
 };
 
+/// Health/load snapshot of one shard of a multi-shard cluster backend
+/// (src/cluster). Unsharded backends report an empty vector.
+struct ShardHealth {
+  std::uint32_t shard = 0;            ///< shard id
+  bool draining = false;              ///< no longer accepting new dispatches
+  std::size_t queue_tasks = 0;        ///< deferred tasks still queued on it
+  std::size_t dispatched_queries = 0; ///< queries routed to it (cumulative)
+  std::size_t dispatched_tasks = 0;   ///< cluster visits routed to it
+  std::size_t fallback_tasks = 0;     ///< host-exact fallbacks it caused
+  double busy_seconds = 0.0;          ///< modeled execution time accumulated
+};
+
 /// An ANN search backend: closed-loop batch search plus the streaming
 /// enqueue/step/take protocol the serving runtime drives. Implementations
 /// own whatever device or model state they need; handles returned by
@@ -76,6 +89,24 @@ class AnnBackend {
   /// Admit one query; returns its completion handle.
   virtual std::uint32_t enqueue(std::span<const float> query, std::size_t k,
                                 std::size_t nprobe) = 0;
+  /// True when the backend can accept caller-routed probe lists (the cluster
+  /// router's per-shard dispatch path). Default: no.
+  virtual bool supports_routed_enqueue() const { return false; }
+  /// Admit one query with a caller-supplied probe list; the backend must not
+  /// re-bill cluster location for it (the router bills CL once up front).
+  virtual std::uint32_t enqueue_routed(std::span<const float> query, std::size_t k,
+                                       std::span<const std::uint32_t> probes) {
+    (void)query; (void)k; (void)probes;
+    throw std::logic_error(name() + " backend does not support routed enqueue");
+  }
+  /// Modeled host cluster-location cost for n queries (what the router bills
+  /// at the front-end instead of per shard). 0 for backends with no model.
+  virtual double locate_cost_seconds(std::size_t num_queries) const {
+    (void)num_queries;
+    return 0.0;
+  }
+  /// Per-shard health of a cluster backend; empty for unsharded backends.
+  virtual std::vector<ShardHealth> shard_health() const { return {}; }
   /// Run one batch step over up to `max_queries` pending queries (0 = all)
   /// plus any carried work; `flush` forbids deferring past this step.
   virtual BackendStepStats step(std::size_t max_queries, bool flush) = 0;

@@ -57,6 +57,14 @@ std::uint32_t DrimBackend::enqueue(std::span<const float> query, std::size_t k,
   return handle_base_ + internal;
 }
 
+std::uint32_t DrimBackend::enqueue_routed(std::span<const float> query, std::size_t k,
+                                          std::span<const std::uint32_t> probes) {
+  maybe_compact();
+  const std::uint32_t internal = engine_->enqueue_query_routed(state_, query, k, probes);
+  ++live_handles_;
+  return handle_base_ + internal;
+}
+
 BackendStepStats DrimBackend::step(std::size_t max_queries, bool flush) {
   const double t0 = now_seconds();
   const BatchStepStats s = engine_->search_batch(state_, max_queries, flush, &stats_);

@@ -30,6 +30,12 @@ class DrimBackend final : public AnnBackend {
   void reset_stream() override;
   std::uint32_t enqueue(std::span<const float> query, std::size_t k,
                         std::size_t nprobe) override;
+  bool supports_routed_enqueue() const override { return true; }
+  std::uint32_t enqueue_routed(std::span<const float> query, std::size_t k,
+                               std::span<const std::uint32_t> probes) override;
+  double locate_cost_seconds(std::size_t num_queries) const override {
+    return engine_->host_cl_cost_seconds(num_queries);
+  }
   BackendStepStats step(std::size_t max_queries, bool flush) override;
   std::size_t pipeline_depth() const override { return engine_->pipeline_depth(); }
   void set_step_start(double submit_seconds) override {

@@ -1,0 +1,76 @@
+#pragma once
+// Inter-shard index partitioning for the multi-shard cluster tier
+// (DESIGN.md §13). This is the paper's Section IV-C heat-balancing greedy
+// allocation lifted one level up: instead of placing cluster slices on DPUs
+// inside one array, the plan places whole clusters on shard nodes (each a
+// full PimPlatform behind an AnnBackend), replicating the hottest
+// `replication_fraction` of clusters across several shards so the router can
+// send a hot cluster's traffic to whichever owner is least loaded.
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace drim::cluster {
+
+/// Planning knobs (the inter-shard analogue of drim::LayoutParams).
+struct ShardPlanParams {
+  std::size_t num_shards = 1;
+  /// Fraction of the hottest clusters replicated onto extra shards (the
+  /// paper's dup_fraction at the inter-shard level).
+  double replication_fraction = 0.10;
+  /// Extra owners for each replicated cluster (clamped to num_shards - 1).
+  std::size_t replica_copies = 1;
+  /// Relative cost of one LUT build vs scanning one point, matching
+  /// LayoutParams::lut_cost_points — a cluster visit costs lut + size.
+  double lut_cost_points = 64.0;
+};
+
+/// The computed cluster -> shards assignment. Deterministic: ties in the
+/// greedy placement break toward the lowest shard id, and the unit order is
+/// a strict total order, so the plan is identical across runs and platforms.
+class ShardPlan {
+ public:
+  /// Plan ownership of `cluster_sizes.size()` clusters across
+  /// `params.num_shards` shards, balancing `heat[c] * (lut + size[c])`
+  /// expected load. Throws std::invalid_argument on infeasible parameters;
+  /// the num_shards > nlist error names the max feasible shard count.
+  ShardPlan(const std::vector<std::size_t>& cluster_sizes,
+            const std::vector<double>& cluster_heat, const ShardPlanParams& params);
+
+  std::size_t num_shards() const { return params_.num_shards; }
+  std::size_t nlist() const { return owners_.size(); }
+  const ShardPlanParams& params() const { return params_; }
+
+  /// Owning shards of one cluster, ascending; size 1 unless replicated.
+  const std::vector<std::uint32_t>& owners(std::uint32_t cluster) const {
+    return owners_[cluster];
+  }
+  /// Clusters owned by one shard, ascending cluster id.
+  const std::vector<std::uint32_t>& shard_clusters(std::uint32_t shard) const {
+    return shard_clusters_[shard];
+  }
+  /// nlist-sized 0/1 mask of one shard's clusters, in the form
+  /// LayoutParams::owned_clusters consumes.
+  std::vector<std::uint8_t> owned_mask(std::uint32_t shard) const;
+  bool replicated(std::uint32_t cluster) const { return owners_[cluster].size() > 1; }
+
+  /// Expected per-visit cost of a cluster (the dispatch policy's load unit).
+  double cluster_cost(std::uint32_t cluster) const {
+    return params_.lut_cost_points + static_cast<double>(sizes_[cluster]);
+  }
+  /// Mean per-visit cost over one shard's clusters (converts a shard's
+  /// queued task count into comparable load units).
+  double mean_cluster_cost(std::uint32_t shard) const;
+  /// Heat-weighted load the planner assigned each shard (what it balanced).
+  const std::vector<double>& planned_load() const { return planned_load_; }
+
+ private:
+  ShardPlanParams params_;
+  std::vector<std::size_t> sizes_;
+  std::vector<std::vector<std::uint32_t>> owners_;         // cluster -> shards
+  std::vector<std::vector<std::uint32_t>> shard_clusters_; // shard -> clusters
+  std::vector<double> planned_load_;
+};
+
+}  // namespace drim::cluster

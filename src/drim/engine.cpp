@@ -433,6 +433,28 @@ std::uint32_t DrimAnnEngine::enqueue_query(SearchBatchState& state,
   if (!opts_.cl_on_pim) state.probes.back() = index_.locate_clusters(query, nprobe);
   state.query_k.push_back(static_cast<std::uint32_t>(k));
   state.query_nprobe.push_back(static_cast<std::uint32_t>(nprobe));
+  state.cl_external.push_back(0);
+  state.accum.emplace_back(k);
+  state.deferred_per_query.push_back(0);
+  return handle;
+}
+
+std::uint32_t DrimAnnEngine::enqueue_query_routed(SearchBatchState& state,
+                                                  std::span<const float> query,
+                                                  std::size_t k,
+                                                  std::span<const std::uint32_t> probes) {
+  if (opts_.cl_on_pim) {
+    throw std::invalid_argument(
+        "enqueue_query_routed: caller-supplied probe lists are incompatible "
+        "with cl_on_pim (the PIM CL launch would recompute them)");
+  }
+  const std::uint32_t handle = static_cast<std::uint32_t>(state.quantized.size());
+  state.quantized.push_back(PimIndexData::quantize_query(query));
+  state.probes.emplace_back(probes.begin(), probes.end());
+  state.query_k.push_back(static_cast<std::uint32_t>(k));
+  state.query_nprobe.push_back(
+      static_cast<std::uint32_t>(std::max<std::size_t>(probes.size(), 1)));
+  state.cl_external.push_back(1);
   state.accum.emplace_back(k);
   state.deferred_per_query.push_back(0);
   return handle;
@@ -446,6 +468,7 @@ void DrimAnnEngine::enqueue_queries(SearchBatchState& state, const FloatMatrix& 
   state.probes.resize(base + nq);
   state.query_k.resize(base + nq, static_cast<std::uint32_t>(k));
   state.query_nprobe.resize(base + nq, static_cast<std::uint32_t>(nprobe));
+  state.cl_external.resize(base + nq, 0);
   state.accum.reserve(base + nq);
   for (std::size_t q = 0; q < nq; ++q) state.accum.emplace_back(k);
   state.deferred_per_query.resize(base + nq, 0);
@@ -705,7 +728,14 @@ BatchStepStats DrimAnnEngine::search_batch(SearchBatchState& state,
   // critical path back-to-back. Depth >= 2: the timeline places this step's
   // stages around the other in-flight steps; step_seconds becomes the
   // timeline delta it contributed, so the deltas still sum to the makespan.
-  const double host_cl = opts_.cl_on_pim ? 0.0 : model_host_cl_seconds(end - begin);
+  // Routed queries (cl_external) were located by the caller — the cluster
+  // router bills their CL once at the front-end, so the shard step must not
+  // bill it again.
+  std::size_t cl_queries = 0;
+  for (std::size_t q = begin; q < end; ++q) {
+    if (q >= state.cl_external.size() || state.cl_external[q] == 0) ++cl_queries;
+  }
+  const double host_cl = opts_.cl_on_pim ? 0.0 : model_host_cl_seconds(cl_queries);
   step.host_cl_seconds = host_cl;
   step.pim_batch_seconds = batch.total_seconds();
   step.transfer_in_seconds = batch.transfer_in_seconds;
@@ -761,7 +791,7 @@ BatchStepStats DrimAnnEngine::search_batch(SearchBatchState& state,
       const double exec0 = trace_->now();
       if (host_cl > 0.0) {
         trace_->span(trace_->lane("host/cl"), "host-cl", "host", exec0, host_cl,
-                     {{"queries", static_cast<double>(end - begin)}});
+                     {{"queries", static_cast<double>(cl_queries)}});
       }
       trace_launch(exec0, batch, "search", tasks_per_dpu);
       trace_->set_now(exec0 + std::max(host_cl, batch.total_seconds()));
@@ -770,7 +800,7 @@ BatchStepStats DrimAnnEngine::search_batch(SearchBatchState& state,
       // overlapping steps render as overlapping host-link/dpu spans.
       if (host_cl > 0.0) {
         trace_->span(trace_->lane("host/cl"), "host-cl", "host", sched.host_start,
-                     host_cl, {{"queries", static_cast<double>(end - begin)}});
+                     host_cl, {{"queries", static_cast<double>(cl_queries)}});
       }
       LaunchLayout layout;
       layout.in_start = sched.in_start;

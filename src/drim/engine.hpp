@@ -132,6 +132,9 @@ struct SearchBatchState {
   std::vector<std::vector<std::uint32_t>> probes;    ///< per-query cluster list
   std::vector<std::uint32_t> query_k;
   std::vector<std::uint32_t> query_nprobe;
+  /// Nonzero for queries whose cluster location was done by the caller
+  /// (enqueue_query_routed): the step skips billing host CL for them.
+  std::vector<std::uint8_t> cl_external;
   std::vector<TopK> accum;                 ///< per-query result accumulation
   std::vector<Task> carried;               ///< inter-batch filter buffer
   std::vector<std::uint32_t> deferred_per_query;  ///< outstanding carried tasks
@@ -196,6 +199,23 @@ class DrimAnnEngine {
   /// end; search() uses this path.
   void enqueue_queries(SearchBatchState& state, const FloatMatrix& queries,
                        std::size_t k, std::size_t nprobe);
+
+  /// Admit one query with a caller-supplied probe list (the cluster-tier
+  /// router locates clusters once and hands each shard only the clusters it
+  /// owns). Host CL is NOT billed for routed queries — the router accounts
+  /// for it via host_cl_cost_seconds(). Incompatible with cl_on_pim (the
+  /// probe list would be recomputed on the PIM side); throws
+  /// std::invalid_argument in that mode.
+  std::uint32_t enqueue_query_routed(SearchBatchState& state,
+                                     std::span<const float> query, std::size_t k,
+                                     std::span<const std::uint32_t> probes);
+
+  /// Modeled host cluster-location cost for `num_queries` queries (the same
+  /// Eq. 1 centroid-scan model search_batch bills per step). Public so the
+  /// cluster router can bill CL once at the front-end.
+  double host_cl_cost_seconds(std::size_t num_queries) const {
+    return model_host_cl_seconds(num_queries);
+  }
 
   /// Run ONE barrier-synchronized PIM step: consumes up to `max_queries`
   /// pending queries (0 = all of them) plus every carried deferred task,

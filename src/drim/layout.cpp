@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <numeric>
+#include <stdexcept>
 
 namespace drim {
 
@@ -26,6 +27,15 @@ DataLayout::DataLayout(const PimIndexData& data, std::size_t num_dpus,
   assert(num_dpus > 0);
   assert(cluster_heat.size() == data.nlist());
   const std::size_t nlist = data.nlist();
+  if (!params.owned_clusters.empty() && params.owned_clusters.size() != nlist) {
+    throw std::invalid_argument(
+        "LayoutParams::owned_clusters must be empty or have one entry per "
+        "cluster (nlist = " + std::to_string(nlist) + ", mask has " +
+        std::to_string(params.owned_clusters.size()) + ")");
+  }
+  auto owned = [&](std::uint32_t c) {
+    return params.owned_clusters.empty() || params.owned_clusters[c] != 0;
+  };
   cluster_slices_.resize(nlist);
 
   struct PendingShard {
@@ -43,19 +53,23 @@ DataLayout::DataLayout(const PimIndexData& data, std::size_t num_dpus,
     return cluster_heat[c] *
            (params.lut_cost_points + static_cast<double>(data.cluster_size(c)));
   };
-  std::vector<std::uint32_t> by_heat(nlist);
-  std::iota(by_heat.begin(), by_heat.end(), 0);
+  std::vector<std::uint32_t> by_heat;
+  by_heat.reserve(nlist);
+  for (std::uint32_t c = 0; c < nlist; ++c) {
+    if (owned(c)) by_heat.push_back(c);
+  }
   std::sort(by_heat.begin(), by_heat.end(), [&](std::uint32_t a, std::uint32_t b) {
     return expected_load(a) > expected_load(b);
   });
   const std::size_t num_hot = params.enable_duplicate
-      ? static_cast<std::size_t>(static_cast<double>(nlist) * params.dup_fraction)
+      ? static_cast<std::size_t>(static_cast<double>(by_heat.size()) * params.dup_fraction)
       : 0;
   std::vector<std::uint8_t> is_hot(nlist, 0);
   for (std::size_t i = 0; i < num_hot; ++i) is_hot[by_heat[i]] = 1;
 
   // ---- Data Partition + Data Duplication: enumerate shards ----
   for (std::uint32_t c = 0; c < nlist; ++c) {
+    if (!owned(c)) continue;  // unowned clusters keep empty slice_groups
     const auto size = static_cast<std::uint32_t>(data.cluster_size(c));
     const std::uint32_t threshold =
         params.enable_split ? static_cast<std::uint32_t>(params.split_threshold)

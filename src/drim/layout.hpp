@@ -42,6 +42,12 @@ struct LayoutParams {
   /// Relative cost of building one LUT vs scanning one point, used when
   /// balancing heat (a shard costs lut_cost + size per expected visit).
   double lut_cost_points = 64.0;
+  /// Cluster-ownership mask for multi-shard serving (src/cluster): when
+  /// non-empty (size must equal nlist), only clusters with a nonzero entry
+  /// are enumerated and placed; the rest get empty slice_groups. An empty
+  /// mask means "own everything" and reproduces the single-node layout
+  /// bit-for-bit.
+  std::vector<std::uint8_t> owned_clusters;
 };
 
 /// Per-cluster access-frequency estimate from a sample query set

@@ -52,10 +52,11 @@ void write_args(std::ostream& out, const std::vector<TraceArg>& args) {
 }  // namespace
 
 std::uint32_t TraceRecorder::lane(const std::string& name) {
+  const std::string full = lane_prefix_.empty() ? name : lane_prefix_ + name;
   for (std::size_t i = 0; i < lane_names_.size(); ++i) {
-    if (lane_names_[i] == name) return static_cast<std::uint32_t>(i);
+    if (lane_names_[i] == full) return static_cast<std::uint32_t>(i);
   }
-  lane_names_.push_back(name);
+  lane_names_.push_back(full);
   return static_cast<std::uint32_t>(lane_names_.size() - 1);
 }
 

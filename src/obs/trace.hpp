@@ -40,6 +40,13 @@ class TraceRecorder {
   /// host lanes registered first stay above the per-DPU lanes.
   std::uint32_t lane(const std::string& name);
 
+  /// Prefix prepended to every lane() lookup while set (e.g. "shard0/"):
+  /// the cluster router brackets each shard's step with its prefix so one
+  /// recorder renders per-shard lane groups without the producers knowing
+  /// they are sharded. Empty (the default) leaves lane names untouched.
+  void set_lane_prefix(std::string prefix) { lane_prefix_ = std::move(prefix); }
+  const std::string& lane_prefix() const { return lane_prefix_; }
+
   // ---- events (times in absolute virtual seconds) ----
   void span(std::uint32_t lane, std::string name, std::string cat,
             double start_s, double duration_s, std::vector<TraceArg> args = {});
@@ -73,6 +80,7 @@ class TraceRecorder {
   std::vector<std::string> lane_names_;
   std::vector<Event> events_;
   double now_s_ = 0.0;
+  std::string lane_prefix_;
 };
 
 }  // namespace drim::obs

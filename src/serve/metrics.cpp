@@ -68,13 +68,29 @@ std::string fmt_double(double v) {
 
 void write_snapshots_csv(const std::vector<MetricsSnapshot>& snaps,
                          std::ostream& out) {
+  // Per-shard columns ride at the end so existing consumers of the base
+  // prefix keep parsing; shard = -1 marks the single row of an unsharded
+  // backend. Sharded samples repeat the base columns once per shard.
   out << "t_s,queue_depth,inflight,deferred_tasks,ewma_batch_s,admitted,shed,"
-         "shed_rate,batches\n";
+         "shed_rate,batches,shard,shard_draining,shard_queue_tasks,"
+         "shard_queries,shard_tasks,shard_fallbacks,shard_busy_s\n";
   for (const MetricsSnapshot& s : snaps) {
-    out << fmt_double(s.t_s) << ',' << s.queue_depth << ',' << s.inflight << ','
-        << s.deferred_tasks << ',' << fmt_double(s.ewma_batch_s) << ','
-        << s.admitted << ',' << s.shed << ',' << fmt_double(s.shed_rate) << ','
-        << s.batches << '\n';
+    const std::size_t rows = s.shards.empty() ? 1 : s.shards.size();
+    for (std::size_t i = 0; i < rows; ++i) {
+      out << fmt_double(s.t_s) << ',' << s.queue_depth << ',' << s.inflight << ','
+          << s.deferred_tasks << ',' << fmt_double(s.ewma_batch_s) << ','
+          << s.admitted << ',' << s.shed << ',' << fmt_double(s.shed_rate) << ','
+          << s.batches;
+      if (s.shards.empty()) {
+        out << ",-1,0,0,0,0,0,0\n";
+      } else {
+        const ShardHealth& h = s.shards[i];
+        out << ',' << h.shard << ',' << (h.draining ? 1 : 0) << ','
+            << h.queue_tasks << ',' << h.dispatched_queries << ','
+            << h.dispatched_tasks << ',' << h.fallback_tasks << ','
+            << fmt_double(h.busy_seconds) << '\n';
+      }
+    }
   }
 }
 
@@ -90,7 +106,22 @@ void write_snapshots_json(const std::vector<MetricsSnapshot>& snaps,
         << ",\"ewma_batch_s\":" << fmt_double(s.ewma_batch_s)
         << ",\"admitted\":" << s.admitted << ",\"shed\":" << s.shed
         << ",\"shed_rate\":" << fmt_double(s.shed_rate)
-        << ",\"batches\":" << s.batches << '}';
+        << ",\"batches\":" << s.batches;
+    if (!s.shards.empty()) {
+      out << ",\"shards\":[";
+      for (std::size_t j = 0; j < s.shards.size(); ++j) {
+        const ShardHealth& h = s.shards[j];
+        out << (j ? "," : "") << "{\"shard\":" << h.shard
+            << ",\"draining\":" << (h.draining ? "true" : "false")
+            << ",\"queue_tasks\":" << h.queue_tasks
+            << ",\"queries\":" << h.dispatched_queries
+            << ",\"tasks\":" << h.dispatched_tasks
+            << ",\"fallbacks\":" << h.fallback_tasks
+            << ",\"busy_s\":" << fmt_double(h.busy_seconds) << '}';
+      }
+      out << ']';
+    }
+    out << '}';
   }
   out << "\n]\n";
 }

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "backend/ann_backend.hpp"
 #include "serve/workload.hpp"
 
 namespace drim::serve {
@@ -70,6 +71,11 @@ struct MetricsSnapshot {
   std::size_t shed = 0;            ///< cumulative shed requests
   double shed_rate = 0.0;          ///< shed / (admitted + shed) so far
   std::size_t batches = 0;         ///< cumulative backend steps
+  /// Per-shard health when the backend is a cluster tier (src/cluster);
+  /// empty for unsharded backends. The CSV writer emits one row per
+  /// (sample, shard) with the base columns repeated; JSON nests a "shards"
+  /// array per sample.
+  std::vector<ShardHealth> shards;
 };
 
 /// Write snapshots as CSV (header + one row per sample).

@@ -129,6 +129,7 @@ ServeResult ServingRuntime::run_serial(const std::vector<Request>& trace,
     s.shed_rate = seen > 0 ? static_cast<double>(s.shed) / static_cast<double>(seen)
                            : 0.0;
     s.batches = result.batches;
+    s.shards = backend_.shard_health();  // empty unless a cluster backend
     result.snapshots.push_back(s);
     if (tracing) {
       trace_->counter("serve/queue", now,
@@ -137,6 +138,16 @@ ServeResult ServingRuntime::run_serial(const std::vector<Request>& trace,
                        {"deferred_tasks", static_cast<double>(s.deferred_tasks)}});
       trace_->counter("serve/ewma_batch_ms", now, {{"ewma", ewma * 1e3}});
       trace_->counter("serve/shed_rate", now, {{"rate", s.shed_rate}});
+      if (!s.shards.empty()) {
+        std::vector<obs::TraceArg> queue_series, busy_series;
+        for (const ShardHealth& h : s.shards) {
+          const std::string key = "shard" + std::to_string(h.shard);
+          queue_series.emplace_back(key, static_cast<double>(h.queue_tasks));
+          busy_series.emplace_back(key, h.busy_seconds * 1e3);
+        }
+        trace_->counter("serve/shard_queue", now, std::move(queue_series));
+        trace_->counter("serve/shard_busy_ms", now, std::move(busy_series));
+      }
     }
     next_snapshot = now + params_.snapshot_period_s;
   };
@@ -366,6 +377,7 @@ ServeResult ServingRuntime::run_pipelined(const std::vector<Request>& trace,
     s.shed_rate = seen > 0 ? static_cast<double>(s.shed) / static_cast<double>(seen)
                            : 0.0;
     s.batches = result.batches;
+    s.shards = backend_.shard_health();  // empty unless a cluster backend
     result.snapshots.push_back(s);
     if (tracing) {
       trace_->counter("serve/queue", now,
@@ -374,6 +386,16 @@ ServeResult ServingRuntime::run_pipelined(const std::vector<Request>& trace,
                        {"deferred_tasks", static_cast<double>(s.deferred_tasks)}});
       trace_->counter("serve/ewma_batch_ms", now, {{"ewma", ewma * 1e3}});
       trace_->counter("serve/shed_rate", now, {{"rate", s.shed_rate}});
+      if (!s.shards.empty()) {
+        std::vector<obs::TraceArg> queue_series, busy_series;
+        for (const ShardHealth& h : s.shards) {
+          const std::string key = "shard" + std::to_string(h.shard);
+          queue_series.emplace_back(key, static_cast<double>(h.queue_tasks));
+          busy_series.emplace_back(key, h.busy_seconds * 1e3);
+        }
+        trace_->counter("serve/shard_queue", now, std::move(queue_series));
+        trace_->counter("serve/shard_busy_ms", now, std::move(busy_series));
+      }
     }
     next_snapshot = now + params_.snapshot_period_s;
   };

@@ -1,0 +1,213 @@
+// Degradation tests for the cluster tier's drain path: a draining shard
+// accepts no new dispatches but finishes carried work, clusters with no live
+// owner degrade to the host-side exact fallback with answers unchanged, the
+// drain is visible in shard health and serving metrics, and no query is ever
+// dropped.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+
+#include "backend/drim_backend.hpp"
+#include "cluster/cluster_backend.hpp"
+#include "data/synthetic.hpp"
+#include "drim/engine.hpp"
+#include "serve/runtime.hpp"
+
+namespace drim::cluster {
+namespace {
+
+class ClusterDrainTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SyntheticSpec spec;
+    spec.num_base = 6000;
+    spec.num_queries = 48;
+    spec.num_learn = 2500;
+    spec.num_components = 48;
+    data_ = new SyntheticData(make_sift_like(spec));
+
+    IvfPqParams p;
+    p.nlist = 48;
+    p.pq.m = 16;
+    p.pq.cb_entries = 32;
+    index_ = new IvfPqIndex();
+    index_->train(data_->learn, p);
+    index_->add(data_->base);
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    delete index_;
+  }
+
+  static DrimEngineOptions options() {
+    DrimEngineOptions o;
+    o.pim.num_dpus = 8;  // per shard
+    o.layout.split_threshold = 128;
+    o.heat_nprobe = 8;
+    o.batch_size = 16;
+    o.platform = PimPlatformKind::kSim;
+    return o;
+  }
+
+  /// A 2-shard cluster backend, returned as the concrete type so tests can
+  /// reach the drain control plane.
+  static std::unique_ptr<ClusterBackend> make_two_shards(double replication,
+                                                         std::size_t copies = 1) {
+    ClusterOptions copts;
+    copts.num_shards = 2;
+    copts.replication_fraction = replication;
+    copts.replica_copies = copies;
+    auto backend = make_cluster_backend(BackendKind::kDrim, *index_, data_->learn,
+                                        options(), copts);
+    auto* cb = dynamic_cast<ClusterBackend*>(backend.release());
+    return std::unique_ptr<ClusterBackend>(cb);
+  }
+
+  static void expect_identical(const std::vector<std::vector<Neighbor>>& a,
+                               const std::vector<std::vector<Neighbor>>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t q = 0; q < a.size(); ++q) {
+      ASSERT_EQ(a[q].size(), b[q].size()) << "query " << q;
+      for (std::size_t i = 0; i < a[q].size(); ++i) {
+        EXPECT_EQ(a[q][i].id, b[q][i].id) << "query " << q << " rank " << i;
+        EXPECT_EQ(a[q][i].dist, b[q][i].dist) << "query " << q << " rank " << i;
+      }
+    }
+  }
+
+  static inline SyntheticData* data_ = nullptr;
+  static inline IvfPqIndex* index_ = nullptr;
+};
+
+TEST_F(ClusterDrainTest, DrainMidStreamDropsNothingAndKeepsAnswers) {
+  DrimBackend plain(*index_, data_->learn, options());
+  const auto baseline = plain.search(data_->queries, 10, 8);
+
+  const auto cluster = make_two_shards(/*replication=*/0.25);
+  cluster->reset_stream();
+  std::vector<std::uint32_t> handles;
+  for (std::size_t q = 0; q < data_->queries.count(); ++q) {
+    handles.push_back(cluster->enqueue(data_->queries.row(q), 10, 8));
+  }
+
+  // First half of the stream dispatches normally; then shard 1 drains
+  // mid-stream, and the rest must route around it (surviving owners for
+  // replicated clusters, the host-exact fallback for shard 1's exclusive
+  // ones). Drained shards still step so carried work completes.
+  const std::size_t half = handles.size() / 2;
+  cluster->step(half, /*flush=*/false);
+  cluster->set_shard_drained(1, true);
+  cluster->step(0, /*flush=*/false);
+  while (cluster->has_deferred()) cluster->step(0, /*flush=*/true);
+
+  // Zero dropped queries: every handle finishes with a full result list...
+  std::vector<std::vector<Neighbor>> results;
+  for (std::uint32_t h : handles) {
+    ASSERT_TRUE(cluster->finished(h));
+    results.push_back(cluster->take_results(h));
+    EXPECT_EQ(results.back().size(), 10u);
+  }
+  // ...and the answers match the undrained single-backend run exactly — the
+  // fallback runs the same ADC arithmetic as the shard kernels.
+  expect_identical(results, baseline);
+
+  // The degradation is visible: shard 1 reports draining, and with only 25%
+  // of clusters replicated its exclusive clusters went through the fallback.
+  const std::vector<ShardHealth> health = cluster->shard_health();
+  ASSERT_EQ(health.size(), 2u);
+  EXPECT_FALSE(health[0].draining);
+  EXPECT_TRUE(health[1].draining);
+  EXPECT_GT(health[1].fallback_tasks, 0u);
+  EXPECT_GT(health[0].dispatched_queries, 0u);
+}
+
+TEST_F(ClusterDrainTest, FullyReplicatedIndexSurvivesDrainWithoutFallback) {
+  DrimBackend plain(*index_, data_->learn, options());
+  const auto baseline = plain.search(data_->queries, 10, 8);
+
+  // replication 1.0 with one extra copy on 2 shards: every cluster owned by
+  // both, so draining one shard leaves a live owner for everything.
+  const auto cluster = make_two_shards(/*replication=*/1.0);
+  cluster->set_shard_drained(0, true);
+  expect_identical(cluster->search(data_->queries, 10, 8), baseline);
+
+  const std::vector<ShardHealth> health = cluster->shard_health();
+  ASSERT_EQ(health.size(), 2u);
+  EXPECT_TRUE(health[0].draining);
+  EXPECT_EQ(health[0].dispatched_queries, 0u);  // drained: no new dispatches
+  EXPECT_EQ(health[0].fallback_tasks, 0u);      // replica took the traffic
+  EXPECT_EQ(health[1].fallback_tasks, 0u);
+  EXPECT_GT(health[1].dispatched_queries, 0u);
+}
+
+TEST_F(ClusterDrainTest, DrainFlagsSurviveResetAndUndrainRestoresDispatch) {
+  const auto cluster = make_two_shards(/*replication=*/0.25);
+  cluster->set_shard_drained(1, true);
+
+  // Drain flags model node state: they survive the stream reset search()
+  // performs, so this whole search routes around shard 1.
+  cluster->search(data_->queries, 10, 8);
+  auto health = cluster->shard_health();
+  EXPECT_TRUE(cluster->shard_drained(1));
+  EXPECT_TRUE(health[1].draining);
+  EXPECT_EQ(health[1].dispatched_queries, 0u);
+
+  // Undrain: the next search dispatches to both shards again, no fallbacks.
+  cluster->set_shard_drained(1, false);
+  cluster->search(data_->queries, 10, 8);
+  health = cluster->shard_health();
+  EXPECT_FALSE(health[1].draining);
+  EXPECT_GT(health[1].dispatched_queries, 0u);
+  EXPECT_EQ(health[0].fallback_tasks, 0u);
+  EXPECT_EQ(health[1].fallback_tasks, 0u);
+}
+
+TEST_F(ClusterDrainTest, DrainRejectsOutOfRangeShard) {
+  const auto cluster = make_two_shards(/*replication=*/0.25);
+  EXPECT_THROW(cluster->set_shard_drained(2, true), std::invalid_argument);
+}
+
+TEST_F(ClusterDrainTest, ServingRuntimeSnapshotsExposeDrainedShardHealth) {
+  const auto cluster = make_two_shards(/*replication=*/0.25);
+  cluster->set_shard_drained(1, true);
+
+  serve::ServeParams sp;
+  sp.admission.enabled = false;  // nothing shed: every request must complete
+  sp.snapshot_period_s = 1e-4;
+  serve::ServingRuntime runtime(*cluster, data_->queries, sp);
+
+  serve::WorkloadParams wp;
+  wp.num_requests = 96;
+  wp.offered_qps = 5000.0;
+  wp.k_choices = {10};
+  wp.nprobe_choices = {8};
+  const auto trace = serve::generate_workload(data_->queries.count(), wp);
+  const serve::ServeResult result = runtime.run(trace);
+
+  // Zero dropped queries end to end: everything offered was served with a
+  // full result list, drained shard notwithstanding.
+  EXPECT_EQ(result.report.offered, trace.size());
+  EXPECT_EQ(result.report.served, trace.size());
+  EXPECT_EQ(result.report.shed, 0u);
+  for (const serve::RequestRecord& r : result.records) {
+    EXPECT_FALSE(r.shed);
+    EXPECT_EQ(r.results, 10u);
+  }
+
+  // Snapshots carry the per-shard rows, with the drain visible on shard 1.
+  ASSERT_FALSE(result.snapshots.empty());
+  for (const serve::MetricsSnapshot& snap : result.snapshots) {
+    ASSERT_EQ(snap.shards.size(), 2u);
+    EXPECT_EQ(snap.shards[0].shard, 0u);
+    EXPECT_FALSE(snap.shards[0].draining);
+    EXPECT_TRUE(snap.shards[1].draining);
+  }
+  const serve::MetricsSnapshot& last = result.snapshots.back();
+  EXPECT_GT(last.shards[0].dispatched_queries, 0u);
+  EXPECT_GT(last.shards[1].fallback_tasks, 0u);
+}
+
+}  // namespace
+}  // namespace drim::cluster

@@ -1,0 +1,256 @@
+// Router correctness tests for the multi-shard cluster tier: the 1-shard
+// cluster backend is a strict passthrough (bit-identical results AND modeled
+// times to the plain backend on both platforms), multi-shard routing moves
+// work without changing answers, hedged replica traffic dedups away, the
+// merge is deterministic across host thread counts, and the factory rejects
+// infeasible configurations with errors naming the constraint.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+
+#include "backend/drim_backend.hpp"
+#include "cluster/cluster_backend.hpp"
+#include "common/parallel.hpp"
+#include "data/synthetic.hpp"
+#include "drim/engine.hpp"
+
+namespace drim::cluster {
+namespace {
+
+class ClusterRouterTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    SyntheticSpec spec;
+    spec.num_base = 6000;
+    spec.num_queries = 48;
+    spec.num_learn = 2500;
+    spec.num_components = 48;
+    data_ = new SyntheticData(make_sift_like(spec));
+
+    IvfPqParams p;
+    p.nlist = 48;
+    p.pq.m = 16;
+    p.pq.cb_entries = 32;
+    index_ = new IvfPqIndex();
+    index_->train(data_->learn, p);
+    index_->add(data_->base);
+  }
+  static void TearDownTestSuite() {
+    delete data_;
+    delete index_;
+  }
+
+  static DrimEngineOptions options(PimPlatformKind platform) {
+    DrimEngineOptions o;
+    o.pim.num_dpus = 8;  // per shard
+    o.layout.split_threshold = 128;
+    o.heat_nprobe = 8;
+    o.batch_size = 16;
+    o.platform = platform;
+    return o;
+  }
+
+  static std::unique_ptr<AnnBackend> make_cluster(PimPlatformKind platform,
+                                                  ClusterOptions copts) {
+    return make_cluster_backend(BackendKind::kDrim, *index_, data_->learn,
+                                options(platform), copts);
+  }
+
+  static void expect_identical(const std::vector<std::vector<Neighbor>>& a,
+                               const std::vector<std::vector<Neighbor>>& b) {
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t q = 0; q < a.size(); ++q) {
+      ASSERT_EQ(a[q].size(), b[q].size()) << "query " << q;
+      for (std::size_t i = 0; i < a[q].size(); ++i) {
+        EXPECT_EQ(a[q][i].id, b[q][i].id) << "query " << q << " rank " << i;
+        EXPECT_EQ(a[q][i].dist, b[q][i].dist) << "query " << q << " rank " << i;
+      }
+    }
+  }
+
+  static inline SyntheticData* data_ = nullptr;
+  static inline IvfPqIndex* index_ = nullptr;
+};
+
+TEST_F(ClusterRouterTest, SingleShardIsBitIdenticalPassthroughOnBothPlatforms) {
+  for (PimPlatformKind platform :
+       {PimPlatformKind::kSim, PimPlatformKind::kAnalytic}) {
+    SCOPED_TRACE(pim_platform_name(platform));
+    DrimBackend plain(*index_, data_->learn, options(platform));
+    ClusterOptions copts;
+    copts.num_shards = 1;
+    const auto cluster = make_cluster(platform, copts);
+
+    expect_identical(cluster->search(data_->queries, 10, 8),
+                     plain.search(data_->queries, 10, 8));
+
+    // Not just the answers: every modeled time matches, step for step.
+    const BackendStats cs = cluster->stats();
+    const BackendStats ps = plain.stats();
+    EXPECT_EQ(cs.total_seconds, ps.total_seconds);
+    ASSERT_EQ(cs.batch_seconds.size(), ps.batch_seconds.size());
+    for (std::size_t b = 0; b < cs.batch_seconds.size(); ++b) {
+      EXPECT_EQ(cs.batch_seconds[b], ps.batch_seconds[b]) << "batch " << b;
+    }
+    EXPECT_EQ(cluster->pipeline_depth(), plain.pipeline_depth());
+    EXPECT_TRUE(cluster->shard_health().empty());
+  }
+}
+
+TEST_F(ClusterRouterTest, MultiShardResultsIdenticalOnBothPlatforms) {
+  for (PimPlatformKind platform :
+       {PimPlatformKind::kSim, PimPlatformKind::kAnalytic}) {
+    SCOPED_TRACE(pim_platform_name(platform));
+    DrimBackend plain(*index_, data_->learn, options(platform));
+    const auto baseline = plain.search(data_->queries, 10, 8);
+    for (std::size_t S : {std::size_t{2}, std::size_t{3}}) {
+      SCOPED_TRACE("shards=" + std::to_string(S));
+      ClusterOptions copts;
+      copts.num_shards = S;
+      copts.replication_fraction = 0.25;
+      const auto cluster = make_cluster(platform, copts);
+      // Sharding moves work across nodes, never changes answers.
+      expect_identical(cluster->search(data_->queries, 10, 8), baseline);
+    }
+  }
+}
+
+TEST_F(ClusterRouterTest, HedgedReplicaTrafficDedupsToIdenticalResults) {
+  DrimBackend plain(*index_, data_->learn, options(PimPlatformKind::kSim));
+  ClusterOptions copts;
+  copts.num_shards = 3;
+  copts.replication_fraction = 0.5;  // plenty of replicated clusters
+  copts.replica_copies = 2;
+  copts.hedge_replicas = true;
+  const auto cluster = make_cluster(PimPlatformKind::kSim, copts);
+
+  // Sanity: the plan actually replicated something, so hedging produces
+  // genuine duplicate hits for the merge to collapse.
+  auto* cb = dynamic_cast<ClusterBackend*>(cluster.get());
+  ASSERT_NE(cb, nullptr);
+  bool any_replicated = false;
+  for (std::uint32_t c = 0; c < cb->plan().nlist(); ++c) {
+    any_replicated = any_replicated || cb->plan().replicated(c);
+  }
+  ASSERT_TRUE(any_replicated);
+
+  expect_identical(cluster->search(data_->queries, 10, 8),
+                   plain.search(data_->queries, 10, 8));
+}
+
+TEST_F(ClusterRouterTest, MergeIsDeterministicAcrossThreadCounts) {
+  ClusterOptions copts;
+  copts.num_shards = 3;
+  copts.replication_fraction = 0.25;
+  const int restore = num_threads();
+
+  set_num_threads(1);
+  const auto serial =
+      make_cluster(PimPlatformKind::kSim, copts)->search(data_->queries, 10, 8);
+  set_num_threads(4);
+  const auto threaded =
+      make_cluster(PimPlatformKind::kSim, copts)->search(data_->queries, 10, 8);
+  set_num_threads(restore);
+
+  expect_identical(serial, threaded);
+}
+
+TEST_F(ClusterRouterTest, StreamingStepApiMatchesSearch) {
+  ClusterOptions copts;
+  copts.num_shards = 2;
+  copts.replication_fraction = 0.25;
+  const auto cluster = make_cluster(PimPlatformKind::kSim, copts);
+  const auto batch = cluster->search(data_->queries, 10, 8);
+
+  cluster->reset_stream();
+  std::vector<std::uint32_t> handles;
+  for (std::size_t q = 0; q < data_->queries.count(); ++q) {
+    handles.push_back(cluster->enqueue(data_->queries.row(q), 10, 8));
+  }
+  std::size_t stepped = 0;
+  while (stepped < handles.size()) {
+    cluster->step(7, /*flush=*/false);  // ragged steps vs search()'s chunks
+    stepped += 7;
+  }
+  while (cluster->has_deferred()) cluster->step(0, /*flush=*/true);
+  std::vector<std::vector<Neighbor>> streamed;
+  for (std::uint32_t h : handles) {
+    EXPECT_TRUE(cluster->finished(h));
+    streamed.push_back(cluster->take_results(h));
+  }
+  expect_identical(streamed, batch);
+}
+
+TEST_F(ClusterRouterTest, ShardHealthIsPopulatedAfterSearch) {
+  ClusterOptions copts;
+  copts.num_shards = 2;
+  copts.replication_fraction = 0.25;
+  const auto cluster = make_cluster(PimPlatformKind::kSim, copts);
+  cluster->search(data_->queries, 10, 8);
+
+  const std::vector<ShardHealth> health = cluster->shard_health();
+  ASSERT_EQ(health.size(), 2u);
+  std::size_t total_tasks = 0;
+  for (std::uint32_t s = 0; s < health.size(); ++s) {
+    EXPECT_EQ(health[s].shard, s);
+    EXPECT_FALSE(health[s].draining);
+    EXPECT_GT(health[s].dispatched_queries, 0u) << "shard " << s;
+    EXPECT_GT(health[s].busy_seconds, 0.0) << "shard " << s;
+    EXPECT_EQ(health[s].fallback_tasks, 0u) << "shard " << s;
+    total_tasks += health[s].dispatched_tasks;
+  }
+  // Every probed cluster was dispatched somewhere.
+  EXPECT_GE(total_tasks, data_->queries.count() * 8);
+}
+
+TEST_F(ClusterRouterTest, FactoryRejectsCpuBackendWithMultipleShards) {
+  ClusterOptions copts;
+  copts.num_shards = 2;
+  try {
+    make_cluster_backend(BackendKind::kCpu, *index_, data_->learn,
+                         options(PimPlatformKind::kSim), copts);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("cpu baseline"), std::string::npos)
+        << e.what();
+  }
+}
+
+TEST_F(ClusterRouterTest, FactoryRejectsClOnPimWithMultipleShards) {
+  DrimEngineOptions o = options(PimPlatformKind::kSim);
+  o.cl_on_pim = true;
+  ClusterOptions copts;
+  copts.num_shards = 2;
+  EXPECT_THROW(
+      make_cluster_backend(BackendKind::kDrim, *index_, data_->learn, o, copts),
+      std::invalid_argument);
+}
+
+TEST_F(ClusterRouterTest, FactoryErrorNamesMaxFeasibleShardCount) {
+  ClusterOptions copts;
+  copts.num_shards = 49;  // nlist is 48
+  try {
+    make_cluster(PimPlatformKind::kSim, copts);
+    FAIL() << "expected std::invalid_argument";
+  } catch (const std::invalid_argument& e) {
+    EXPECT_NE(std::string(e.what()).find("maximum feasible shard count"),
+              std::string::npos)
+        << e.what();
+    EXPECT_NE(std::string(e.what()).find("48"), std::string::npos) << e.what();
+  }
+}
+
+TEST_F(ClusterRouterTest, DrainingTheOnlyShardOfAPassthroughThrows) {
+  ClusterOptions copts;
+  copts.num_shards = 1;
+  const auto cluster = make_cluster(PimPlatformKind::kSim, copts);
+  auto* cb = dynamic_cast<ClusterBackend*>(cluster.get());
+  ASSERT_NE(cb, nullptr);
+  EXPECT_THROW(cb->set_shard_drained(0, true), std::logic_error);
+}
+
+}  // namespace
+}  // namespace drim::cluster

@@ -9,6 +9,7 @@
 //               [--k 10] [--nprobe 16] [--gt gt.ivecs]
 //               [--backend cpu|drim] [--platform sim|analytic] [--dpus 64]
 //               [--pipeline-depth 2] [--batch-size 0] [--rerank 0]
+//               [--shards 1] [--shard-replication 0.1]
 //               [--trace out.json]
 //   drim gt     --base base.bvecs --queries q.fvecs --out gt.ivecs [--k 100]
 //   drim serve  --index index.drim --queries q.fvecs [--qps 1000]
@@ -17,8 +18,15 @@
 //               [--k 10] [--nprobe 16] [--dpus 64] [--seed 42]
 //               [--backend cpu|drim] [--platform sim|analytic]
 //               [--pipeline-depth 2] [--no-admission] [--flush-every 4]
+//               [--shards 1] [--shard-replication 0.1]
 //               [--trace out.json] [--metrics out.csv|out.json]
 //               [--snapshot-ms 0]
+//
+// --shards N serves the index from an N-shard cluster tier (drim backend
+// only): clusters are partitioned across N PIM nodes by the heat-balancing
+// planner, the hottest --shard-replication fraction is replicated, and a
+// front-end router dispatches each query to the owners of its probed
+// clusters, merging partial top-k lists. serve prints per-shard health.
 //
 // search runs the CPU baseline by default; --backend drim (or the legacy
 // --pim alias) runs the DRIM engine and prints its modeled timing report.
@@ -50,6 +58,7 @@
 
 #include "backend/backend_factory.hpp"
 #include "baseline/cpu_ivfpq.hpp"
+#include "cluster/cluster_backend.hpp"
 #include "common/io.hpp"
 #include "common/timer.hpp"
 #include "core/flat_search.hpp"
@@ -258,7 +267,30 @@ std::unique_ptr<AnnBackend> backend_from_args(const Args& args, const IvfPqIndex
   opts.batch_size = args.get_size("batch-size", opts.batch_size);
   CpuBackendOptions cpu_opts;
   cpu_opts.pipeline_depth = opts.pipeline_depth;
+  const std::size_t shards = args.get_size("shards", 1);
+  if (shards > 1 || args.has("shard-replication")) {
+    cluster::ClusterOptions copts;
+    copts.num_shards = shards;
+    copts.replication_fraction =
+        args.get_double("shard-replication", copts.replication_fraction);
+    return cluster::make_cluster_backend(kind, index, sample_queries, opts, copts,
+                                         cpu_opts);
+  }
   return make_backend(kind, index, sample_queries, opts, cpu_opts);
+}
+
+/// Print the cluster tier's per-shard health table (serve, sharded runs).
+void print_shard_health(const AnnBackend& backend) {
+  const std::vector<ShardHealth> health = backend.shard_health();
+  if (health.empty()) return;
+  std::printf("shard health:\n");
+  for (const ShardHealth& h : health) {
+    std::printf("  shard %u%s: %zu queries, %zu tasks, %zu queued, "
+                "%zu fallbacks, busy %.3f ms\n",
+                h.shard, h.draining ? " (draining)" : "", h.dispatched_queries,
+                h.dispatched_tasks, h.queue_tasks, h.fallback_tasks,
+                h.busy_seconds * 1e3);
+  }
 }
 
 int cmd_search(const Args& args) {
@@ -290,6 +322,7 @@ int cmd_search(const Args& args) {
     std::printf("  energy: %.2f J modeled\n",
                 drim_backend->engine_stats().energy_joules);
   }
+  print_shard_health(*backend);
 
   if (rerank > 0) {
     const ByteDataset base = load_base(args.require("base"));
@@ -386,6 +419,7 @@ int cmd_serve(const Args& args) {
               r.mean_queue_wait_ms, r.throughput_qps, r.goodput_qps);
   std::printf("timeout rate %.1f%%, shed rate %.1f%%\n", 100.0 * r.timeout_rate,
               100.0 * r.shed_rate);
+  print_shard_health(*backend);
   return 0;
 }
 
