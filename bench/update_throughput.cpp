@@ -1,0 +1,222 @@
+// Update-throughput benchmark for the mutable-index serving path (DESIGN.md
+// §14): goodput and tail latency under a mixed search + insert/delete stream.
+//
+// Builds the SIFT-like index, fixes an offered search load comfortably below
+// the backend's service capacity, then replays the same Poisson search trace
+// with interleaved update streams at increasing rates (0 = read-only
+// baseline, then 1% / 2% / 5% / 10% updates per search). Each run applies
+// its ops to an IndexWriter on the virtual clock and publishes a snapshot
+// onto the engine every few batches — the serving loop never pauses; the
+// modeled install cost (the writer's delta bytes on the host link, not the
+// simulator's physical reload) extends the timeline and shows up as the
+// goodput gap vs the read-only row.
+//
+// `--smoke` shrinks corpus and trace so the run finishes in seconds and
+// self-checks the acceptance floor: goodput at a 1% update rate stays within
+// 15% of the read-only baseline, every request is served, every op applied.
+// Writes BENCH_update_throughput.json either way.
+
+#include <cstdio>
+#include <cstring>
+#include <vector>
+
+#include "core/mutable_index.hpp"
+#include "serve/runtime.hpp"
+#include "serve/update_workload.hpp"
+#include "support/harness.hpp"
+
+using namespace drim;
+using namespace drim::bench;
+using namespace drim::serve;
+
+namespace {
+
+struct UpdateRun {
+  ServeReport report;
+  std::size_t batches = 0;
+  double makespan_s = 0.0;
+  std::size_t applied = 0;
+  std::size_t publishes = 0;
+  double publish_ms = 0.0;
+  std::uint64_t version = 0;
+  std::size_t live = 0;
+  std::size_t nlist = 0;
+};
+
+/// Replay `searches` with an update stream at `rate` updates per search
+/// (rate 0 = read-only baseline: no stream attached at all, pinning the
+/// empty-trace no-op contract into the measurement itself).
+UpdateRun run_at_rate(const BenchData& bench, const IvfPqIndex& index,
+                      const DrimEngineOptions& options,
+                      const std::vector<Request>& searches, double rate,
+                      std::size_t split_threshold) {
+  DrimAnnEngine engine(index, bench.data.learn, options);
+
+  ServeParams sp;
+  sp.batcher.max_batch = options.batch_size;
+  const double est = engine.estimate_batch_seconds(options.batch_size, 16, 10);
+  sp.batcher.max_wait_s = 4.0 * est;
+  sp.admission.enabled = false;   // sub-saturation load: serve everything
+  sp.admission.slo_s = 50.0 * est;  // generous: goodput measures throughput
+  ServingRuntime runtime(engine, bench.data.queries, sp);
+
+  WriterParams wp;
+  wp.split_threshold = split_threshold;
+  IndexWriter writer(index, wp);
+  UpdateWorkloadParams up;
+  up.update_rate = rate;
+  up.insert_fraction = 0.5;
+  up.delete_skew = 0.8;
+  // Learn vectors as insert payloads: same distribution as the base corpus
+  // without duplicating resident ids.
+  const UpdateTrace trace = rate > 0.0
+      ? generate_update_trace(searches, bench.data.learn, index.ntotal(), up)
+      : UpdateTrace{};
+  UpdateStream updates;
+  updates.trace = &trace;
+  updates.writer = &writer;
+  updates.publish_every_batches = 4;
+  if (rate > 0.0) runtime.set_update_stream(&updates);
+
+  const ServeResult res = runtime.run(searches);
+  UpdateRun out;
+  out.report = res.report;
+  out.batches = res.batches;
+  out.makespan_s = res.makespan_s;
+  out.applied = updates.applied;
+  out.publishes = updates.publishes;
+  out.publish_ms = 1e3 * updates.publish_seconds;
+  out.version = engine.snapshot().version;
+  out.live = writer.live_count();
+  out.nlist = writer.nlist();
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) smoke = true;
+  }
+
+  BenchScale scale;
+  if (smoke) {
+    scale.num_base = 20'000;
+    scale.num_queries = 64;
+    scale.num_learn = 4'000;
+    scale.num_components = 32;
+    scale.num_dpus = 16;
+  }
+  const std::size_t threads = configure_host_threads(scale.threads);
+  const BenchData bench = make_sift_bench(scale);
+  const std::size_t nlist = smoke ? 64 : 256;
+  const IvfPqIndex index =
+      build_index(bench, nlist, smoke ? 16 : 32, smoke ? 32 : 256);
+  DrimEngineOptions options = default_engine_options(scale, 16);
+  options.batch_size = smoke ? 16 : 32;
+  // Split when a cluster outgrows 4x its average build size.
+  const std::size_t split_threshold = 4 * index.ntotal() / nlist;
+
+  // A fixed sub-saturation search trace shared by every rate, so the goodput
+  // delta isolates the update overhead.
+  DrimAnnEngine probe(index, bench.data.learn, options);
+  const double capacity_qps =
+      options.batch_size / probe.estimate_batch_seconds(options.batch_size, 16, 10);
+  WorkloadParams wp;
+  wp.offered_qps = 0.6 * capacity_qps;
+  wp.num_requests = smoke ? 384 : 4096;
+  wp.k_choices = {10};
+  wp.nprobe_choices = {16};
+  wp.query_skew = 0.8;
+  const auto searches = generate_workload(bench.data.queries.count(), wp);
+
+  print_title("update throughput: mixed search + insert/delete serving (" +
+              std::string(smoke ? "smoke" : "full") + ")");
+  std::printf("corpus %zu, nlist %zu, %zu dpus, offered %.0f qps, %zu requests, "
+              "%zu threads\n\n",
+              index.ntotal(), nlist, scale.num_dpus, wp.offered_qps,
+              wp.num_requests, threads);
+  std::printf("%7s | %6s %6s | %8s %8s | %9s | %5s %8s | %7s %5s\n", "rate",
+              "served", "ops", "p50 ms", "p99 ms", "goodput", "pubs", "pub ms",
+              "live", "nlist");
+  print_rule(92);
+
+  BenchReport report("update_throughput");
+  report.set_config("mode", smoke ? std::string("smoke") : std::string("full"));
+  report.set_config("num_base", index.ntotal());
+  report.set_config("nlist", nlist);
+  report.set_config("num_dpus", scale.num_dpus);
+  report.set_config("offered_qps", wp.offered_qps);
+  report.set_config("requests", wp.num_requests);
+  report.set_config("split_threshold", split_threshold);
+
+  const std::vector<double> rates =
+      smoke ? std::vector<double>{0.0, 0.01, 0.05}
+            : std::vector<double>{0.0, 0.01, 0.02, 0.05, 0.10};
+  std::vector<UpdateRun> runs;
+  for (const double rate : rates) {
+    runs.push_back(
+        run_at_rate(bench, index, options, searches, rate, split_threshold));
+    const UpdateRun& r = runs.back();
+    std::printf("%6.1f%% | %6zu %6zu | %8.3f %8.3f | %9.0f | %5zu %8.3f | %7zu %5zu\n",
+                100.0 * rate, r.report.served, r.applied, r.report.p50_ms,
+                r.report.p99_ms, r.report.goodput_qps, r.publishes, r.publish_ms,
+                r.live, r.nlist);
+    char label[32];
+    std::snprintf(label, sizeof label, "rate_%.2f", rate);
+    report.add_row(label);
+    report.add_metric("update_rate", rate);
+    report.add_metric("served", static_cast<double>(r.report.served));
+    report.add_metric("ops_applied", static_cast<double>(r.applied));
+    report.add_metric("p50_ms", r.report.p50_ms);
+    report.add_metric("p99_ms", r.report.p99_ms);
+    report.add_metric("goodput_qps", r.report.goodput_qps);
+    report.add_metric("publishes", static_cast<double>(r.publishes));
+    report.add_metric("publish_ms", r.publish_ms);
+    report.add_metric("snapshot_version", static_cast<double>(r.version));
+    report.add_metric("live_count", static_cast<double>(r.live));
+    report.add_metric("nlist_final", static_cast<double>(r.nlist));
+  }
+  print_rule(92);
+  const double baseline = runs.front().report.goodput_qps;
+  const double at_1pct = runs[1].report.goodput_qps;
+  std::printf("goodput at 1%% updates: %.1f%% of read-only baseline\n",
+              100.0 * at_1pct / baseline);
+  report.add_row("summary");
+  report.add_metric("goodput_ratio_1pct", at_1pct / baseline);
+  std::printf("\nwrote %s\n", report.write().c_str());
+
+  // Self-checks (the smoke's exit code is the assertion; they hold for full
+  // runs too and cost nothing).
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    if (runs[i].report.served != searches.size()) {
+      std::fprintf(stderr, "FAIL: rate %.2f served %zu of %zu requests\n",
+                   rates[i], runs[i].report.served, searches.size());
+      return 1;
+    }
+    if (rates[i] > 0.0 && runs[i].publishes == 0) {
+      std::fprintf(stderr, "FAIL: rate %.2f published nothing\n", rates[i]);
+      return 1;
+    }
+    if (rates[i] > 0.0 && runs[i].version != runs[i].publishes) {
+      std::fprintf(stderr, "FAIL: rate %.2f version %llu != publishes %zu\n",
+                   rates[i],
+                   static_cast<unsigned long long>(runs[i].version),
+                   runs[i].publishes);
+      return 1;
+    }
+  }
+  if (runs.front().applied != 0 || runs.front().publishes != 0) {
+    std::fprintf(stderr, "FAIL: read-only baseline ran updates\n");
+    return 1;
+  }
+  if (at_1pct < 0.85 * baseline) {
+    std::fprintf(stderr,
+                 "FAIL: goodput at 1%% updates dropped to %.1f%% of the "
+                 "read-only baseline (floor: 85%%)\n",
+                 100.0 * at_1pct / baseline);
+    return 1;
+  }
+  return 0;
+}

@@ -14,6 +14,8 @@
 #include <string>
 #include <vector>
 
+#include "core/ivf.hpp"
+#include "core/mutable_index.hpp"
 #include "core/topk.hpp"
 #include "data/dataset.hpp"
 #include "obs/trace.hpp"
@@ -144,6 +146,30 @@ class AnnBackend {
                                         std::size_t k) const = 0;
   /// Cumulative stats since reset_stream() / the last search().
   virtual BackendStats stats() const = 0;
+
+  // ---- mutable-index support (DESIGN.md §14) ----
+  /// True when the backend can install writer-published index snapshots.
+  virtual bool supports_updates() const { return false; }
+  /// Stage a new index version for installation. The backend installs it at
+  /// the next safe point (for batched devices: after in-flight work drains,
+  /// before the next step consumes fresh queries) and returns the MODELED
+  /// install cost in seconds — the writer's publish delta on the device
+  /// link, not the physical reload the simulator performs. Queries admitted
+  /// after this call see version `snapshot.version` once it lands; finished
+  /// results harvested before the install keep their old-version answers.
+  virtual double stage_snapshot(const IndexSnapshot& snapshot,
+                                const PublishDelta& delta) {
+    (void)snapshot; (void)delta;
+    throw std::logic_error(name() + " backend does not support index updates");
+  }
+  /// Re-balance the device data layout from traffic observed since the last
+  /// re-layout; returns the modeled cost of moving the re-placed bytes (0
+  /// when nothing moved or the backend has no layout). Same safe-point rule
+  /// as stage_snapshot().
+  virtual double stage_relayout() { return 0.0; }
+  /// Version of the index snapshot currently serving queries (0 for
+  /// backends built directly on a raw index).
+  virtual std::uint64_t snapshot_version() const { return 0; }
 };
 
 /// Which AnnBackend implementation to instantiate.

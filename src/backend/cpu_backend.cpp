@@ -17,19 +17,42 @@ double now_seconds() {
 }  // namespace
 
 CpuBackend::CpuBackend(const IvfPqIndex& index, const CpuBackendOptions& options)
-    : index_(index), searcher_(index), opts_(options) {}
+    : CpuBackend(make_root_snapshot(index), options) {}
+
+CpuBackend::CpuBackend(IndexSnapshot snapshot, const CpuBackendOptions& options)
+    : snapshot_(std::move(snapshot)), opts_(options) {
+  adopt_snapshot();
+}
+
+void CpuBackend::adopt_snapshot() {
+  if (snapshot_.tombstones && snapshot_.tombstones->any()) {
+    live_ = std::make_shared<IvfPqIndex>(compact_snapshot(snapshot_));
+  } else {
+    live_ = snapshot_.index;
+  }
+}
+
+double CpuBackend::stage_snapshot(const IndexSnapshot& snapshot,
+                                  const PublishDelta& delta) {
+  // Queries admitted before the publish point are answered by the old
+  // version (bit-identity with a cold rebuild requires it).
+  while (next_query_ < pending_.size()) step(0, true);
+  snapshot_ = snapshot;
+  adopt_snapshot();
+  return static_cast<double>(delta.total_bytes()) / opts_.platform.bandwidth_Bps;
+}
 
 double CpuBackend::model_group_seconds(std::size_t num_queries, std::size_t nprobe,
                                        std::size_t k) const {
   AnnWorkload w;
-  w.N = static_cast<double>(index_.ntotal());
+  w.N = static_cast<double>(index().ntotal());
   w.Q = static_cast<double>(num_queries);
-  w.D = static_cast<double>(index_.dim());
+  w.D = static_cast<double>(index().dim());
   w.K = static_cast<double>(k);
-  w.P = static_cast<double>(std::min(nprobe, index_.nlist()));
-  w.C = static_cast<double>(index_.ntotal()) / static_cast<double>(index_.nlist());
-  w.M = static_cast<double>(index_.pq().m());
-  w.CB = static_cast<double>(index_.pq().cb_entries());
+  w.P = static_cast<double>(std::min(nprobe, index().nlist()));
+  w.C = static_cast<double>(index().ntotal()) / static_cast<double>(index().nlist());
+  w.M = static_cast<double>(index().pq().m());
+  w.CB = static_cast<double>(index().pq().cb_entries());
   return estimate_single(w, opts_.platform, opts_.multiplier_less);
 }
 
@@ -43,12 +66,12 @@ std::vector<std::vector<Neighbor>> CpuBackend::search(const FloatMatrix& queries
                                                       std::size_t k,
                                                       std::size_t nprobe) {
   const double t0 = now_seconds();
-  auto results = searcher_.search_batch(queries, k, nprobe);
+  auto results = CpuIvfPq(index()).search_batch(queries, k, nprobe);
   stats_ = BackendStats{};
   stats_.host_wall_seconds = now_seconds() - t0;
   stats_.queries = queries.count();
   stats_.batches = 1;
-  stats_.tasks = queries.count() * std::min(nprobe, index_.nlist());
+  stats_.tasks = queries.count() * std::min(nprobe, index().nlist());
   stats_.total_seconds = model_group_seconds(queries.count(), nprobe, k);
   stats_.batch_seconds = {stats_.total_seconds};
   return results;
@@ -101,13 +124,13 @@ BackendStepStats CpuBackend::step(std::size_t max_queries, bool flush) {
     groups[{pending_[q].k, pending_[q].nprobe}].push_back(q);
   }
   for (const auto& [kp, members] : groups) {
-    FloatMatrix batch(members.size(), index_.dim());
+    FloatMatrix batch(members.size(), index().dim());
     for (std::size_t i = 0; i < members.size(); ++i) {
       auto row = batch.row(i);
       const auto& src = pending_[members[i]].values;
       std::copy(src.begin(), src.end(), row.begin());
     }
-    auto results = searcher_.search_batch(batch, kp.first, kp.second);
+    auto results = CpuIvfPq(index()).search_batch(batch, kp.first, kp.second);
     for (std::size_t i = 0; i < members.size(); ++i) {
       pending_[members[i]].results = std::move(results[i]);
       pending_[members[i]].done = true;
@@ -121,7 +144,7 @@ BackendStepStats CpuBackend::step(std::size_t max_queries, bool flush) {
                     {"nprobe", static_cast<double>(kp.second)}});
     }
     out.exec_seconds += group_s;
-    out.tasks += members.size() * std::min<std::size_t>(kp.second, index_.nlist());
+    out.tasks += members.size() * std::min<std::size_t>(kp.second, index().nlist());
   }
   out.step_seconds = out.exec_seconds;
   if (trace_ != nullptr) trace_->advance(out.step_seconds);

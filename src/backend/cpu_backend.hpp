@@ -29,6 +29,12 @@ struct CpuBackendOptions {
 class CpuBackend final : public AnnBackend {
  public:
   explicit CpuBackend(const IvfPqIndex& index, const CpuBackendOptions& options = {});
+  /// Deleted: a temporary would dangle behind the non-owning root snapshot.
+  explicit CpuBackend(IvfPqIndex&& index, const CpuBackendOptions& options = {}) = delete;
+  /// Snapshot construction: the backend shares ownership of the snapshot's
+  /// index; tombstoned snapshots are compacted up front (the CPU scan has no
+  /// tombstone filter).
+  explicit CpuBackend(IndexSnapshot snapshot, const CpuBackendOptions& options = {});
 
   std::string name() const override { return "cpu"; }
   std::vector<std::vector<Neighbor>> search(const FloatMatrix& queries, std::size_t k,
@@ -48,7 +54,14 @@ class CpuBackend final : public AnnBackend {
                                 std::size_t k) const override;
   BackendStats stats() const override { return stats_; }
 
- private:
+  // ---- mutable-index support ----
+  bool supports_updates() const override { return true; }
+  /// Flush pending queries through the current version, then swap to the
+  /// new snapshot (compacted when it carries tombstones). The install cost
+  /// is the delta's bytes rewritten at the platform's memory bandwidth.
+  double stage_snapshot(const IndexSnapshot& snapshot,
+                        const PublishDelta& delta) override;
+  std::uint64_t snapshot_version() const override { return snapshot_.version; }
   struct PendingQuery {
     std::vector<float> values;
     std::uint32_t k = 0;
@@ -62,9 +75,14 @@ class CpuBackend final : public AnnBackend {
   double model_group_seconds(std::size_t num_queries, std::size_t nprobe,
                              std::size_t k) const;
   void maybe_compact();
+  /// Point live_ at the snapshot's index, compacting when it has tombstones.
+  void adopt_snapshot();
+  const IvfPqIndex& index() const { return *live_; }
 
-  const IvfPqIndex& index_;
-  CpuIvfPq searcher_;
+  IndexSnapshot snapshot_;
+  /// What the scan actually runs over: the snapshot's index, or its
+  /// compacted live-only copy when the snapshot carries tombstones.
+  std::shared_ptr<const IvfPqIndex> live_;
   CpuBackendOptions opts_;
   obs::TraceRecorder* trace_ = nullptr;  // not owned; may be null
   std::vector<PendingQuery> pending_;  ///< stream state, indexed by handle - base

@@ -19,6 +19,12 @@ DrimBackend::DrimBackend(const IvfPqIndex& index, const FloatMatrix& sample_quer
     : owned_(std::make_unique<DrimAnnEngine>(index, sample_queries, options)),
       engine_(owned_.get()) {}
 
+DrimBackend::DrimBackend(IndexSnapshot snapshot, const FloatMatrix& sample_queries,
+                         const DrimEngineOptions& options)
+    : owned_(std::make_unique<DrimAnnEngine>(std::move(snapshot), sample_queries,
+                                             options)),
+      engine_(owned_.get()) {}
+
 DrimBackend::DrimBackend(DrimAnnEngine& engine) : engine_(&engine) {}
 
 std::string DrimBackend::name() const {
@@ -80,6 +86,25 @@ BackendStepStats DrimBackend::step(std::size_t max_queries, bool flush) {
   out.submit_seconds = s.submit_seconds;
   out.complete_seconds = s.complete_seconds;
   return out;
+}
+
+void DrimBackend::flush_stream() {
+  const double t0 = now_seconds();
+  while (!state_.idle()) {
+    engine_->search_batch(state_, 0, true, &stats_);
+  }
+  host_wall_seconds_ += now_seconds() - t0;
+}
+
+double DrimBackend::stage_snapshot(const IndexSnapshot& snapshot,
+                                   const PublishDelta& delta) {
+  flush_stream();
+  return engine_->apply_snapshot(snapshot, delta);
+}
+
+double DrimBackend::stage_relayout() {
+  flush_stream();
+  return engine_->replan_layout();
 }
 
 bool DrimBackend::finished(std::uint32_t handle) const {

@@ -20,6 +20,13 @@ class DrimBackend final : public AnnBackend {
   /// Construct and own an engine for `index` with `options`.
   DrimBackend(const IvfPqIndex& index, const FloatMatrix& sample_queries,
               const DrimEngineOptions& options);
+  /// Deleted: a temporary would dangle behind the non-owning root snapshot.
+  DrimBackend(IvfPqIndex&& index, const FloatMatrix& sample_queries,
+              const DrimEngineOptions& options) = delete;
+  /// Construct and own an engine serving `snapshot` (shared ownership, so
+  /// the backend can outlive the writer that published it).
+  DrimBackend(IndexSnapshot snapshot, const FloatMatrix& sample_queries,
+              const DrimEngineOptions& options);
   /// Borrow an existing engine (must outlive the backend).
   explicit DrimBackend(DrimAnnEngine& engine);
 
@@ -52,6 +59,21 @@ class DrimBackend final : public AnnBackend {
                                 std::size_t k) const override;
   BackendStats stats() const override;
 
+  // ---- mutable-index support ----
+  bool supports_updates() const override { return true; }
+  /// Flush every in-flight and pending query through the CURRENT version
+  /// (they arrived before the publish point, so they must be answered by the
+  /// old index — this is what makes per-version results bit-identical to a
+  /// cold rebuild), then swap the engine onto the new snapshot. Finished
+  /// results not yet taken stay harvestable; only queries enqueued after
+  /// this call see the new version.
+  double stage_snapshot(const IndexSnapshot& snapshot,
+                        const PublishDelta& delta) override;
+  double stage_relayout() override;
+  std::uint64_t snapshot_version() const override {
+    return engine_->snapshot().version;
+  }
+
   DrimAnnEngine& engine() { return *engine_; }
   const DrimAnnEngine& engine() const { return *engine_; }
   /// The engine-level stat detail behind stats() (phase times, counters...).
@@ -61,6 +83,9 @@ class DrimBackend final : public AnnBackend {
   /// Rebase handles and drop the state once it is drained and every result
   /// has been taken.
   void maybe_compact();
+  /// Run flushing steps until the stream state is idle (the safe point for
+  /// an index swap: carried tasks hold shard ids of the current layout).
+  void flush_stream();
 
   std::unique_ptr<DrimAnnEngine> owned_;
   DrimAnnEngine* engine_;

@@ -12,7 +12,10 @@ namespace drim::cluster {
 ClusterBackend::ClusterBackend(const IvfPqIndex& index, ShardPlan plan,
                                std::vector<std::unique_ptr<AnnBackend>> shards,
                                const ClusterOptions& options)
-    : index_(index), plan_(std::move(plan)), shards_(std::move(shards)), opts_(options) {
+    : snapshot_(make_root_snapshot(index)),
+      plan_(std::move(plan)),
+      shards_(std::move(shards)),
+      opts_(options) {
   if (shards_.empty() || shards_.size() != plan_.num_shards()) {
     throw std::invalid_argument(
         "ClusterBackend: shard backend count must match the plan's num_shards");
@@ -116,7 +119,7 @@ std::uint32_t ClusterBackend::enqueue(std::span<const float> query, std::size_t 
 }
 
 double ClusterBackend::fallback_scan(RouterQuery& q, std::uint32_t cluster) {
-  if (!fallback_data_) fallback_data_ = std::make_unique<PimIndexData>(index_);
+  if (!fallback_data_) fallback_data_ = std::make_unique<PimIndexData>(index());
   const auto size = static_cast<std::uint32_t>(fallback_data_->cluster_size(cluster));
   if (size == 0) return 0.0;
   Shard whole;
@@ -124,8 +127,8 @@ double ClusterBackend::fallback_scan(RouterQuery& q, std::uint32_t cluster) {
   whole.begin = 0;
   whole.end = size;
   const std::vector<std::int16_t> q16 = PimIndexData::quantize_query(q.values);
-  const std::vector<KernelHit> hits =
-      host_search_task(*fallback_data_, q16, whole, q.k);
+  const std::vector<KernelHit> hits = host_search_task(
+      *fallback_data_, q16, whole, q.k, snapshot_.dead_flags(cluster));
   for (const KernelHit& h : hits) {
     if (h.id == 0xFFFFFFFFu && h.dist == 0xFFFFFFFFu) continue;  // sentinel pad
     q.fallback_hits.push_back({static_cast<float>(h.dist), h.id});
@@ -174,7 +177,7 @@ BackendStepStats ClusterBackend::step(std::size_t max_queries, bool flush) {
   for (std::size_t qi = begin; qi < end; ++qi) {
     RouterQuery& q = queries_[qi];
     const std::vector<std::uint32_t> probes =
-        index_.locate_clusters(q.values, q.nprobe);
+        index().locate_clusters(q.values, q.nprobe);
     for (auto& list : per_shard_probes) list.clear();
     for (std::uint32_t c : probes) {
       const auto& owners = plan_.owners(c);
@@ -369,6 +372,156 @@ std::vector<ShardHealth> ClusterBackend::shard_health() const {
   return out;
 }
 
+bool ClusterBackend::supports_updates() const {
+  for (const auto& s : shards_) {
+    if (!s->supports_updates()) return false;
+  }
+  return true;
+}
+
+void ClusterBackend::flush_all() {
+  const double trace_now = trace_ != nullptr ? trace_->now() : 0.0;
+  bool again = true;
+  while (again) {
+    again = false;
+    for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+      if (!shards_[s]->has_deferred()) continue;
+      step_shard(s, true, trace_now);
+      again = true;
+    }
+  }
+}
+
+double ClusterBackend::stage_snapshot(const IndexSnapshot& snapshot,
+                                      const PublishDelta& delta) {
+  if (passthrough()) {
+    const double cost = shards_[0]->stage_snapshot(snapshot, delta);
+    snapshot_ = snapshot;
+    fallback_data_.reset();
+    return cost;
+  }
+  // Dispatched partials flush through the current version first: queries
+  // admitted before the publish point keep old-version answers, exactly as
+  // the single-node backends guarantee.
+  flush_all();
+  // Children of online splits inherit their parents' owners, so routing
+  // reaches them without a full re-plan. The guard makes re-application of
+  // an already-extended delta a no-op.
+  for (const SplitRecord& sr : delta.splits) {
+    if (sr.child == plan_.nlist()) {
+      plan_.add_split_child(sr.parent, snapshot.index->list(sr.parent).size(),
+                            snapshot.index->list(sr.child).size());
+    }
+  }
+  double cost = 0.0;
+  for (auto& s : shards_) cost = std::max(cost, s->stage_snapshot(snapshot, delta));
+  snapshot_ = snapshot;
+  fallback_data_.reset();
+  return cost;
+}
+
+double ClusterBackend::stage_relayout() {
+  if (passthrough()) return shards_[0]->stage_relayout();
+  flush_all();
+  double cost = 0.0;
+  for (auto& s : shards_) cost = std::max(cost, s->stage_relayout());
+  return cost;
+}
+
+void ClusterBackend::stash_partials(std::uint32_t s) {
+  for (RouterQuery& q : queries_) {
+    if (q.taken) continue;
+    auto it = q.parts.begin();
+    while (it != q.parts.end()) {
+      if (it->first == s) {
+        const std::vector<Neighbor> part = shards_[s]->take_results(it->second);
+        q.fallback_hits.insert(q.fallback_hits.end(), part.begin(), part.end());
+        it = q.parts.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+}
+
+ClusterBackend::RecoveryReport ClusterBackend::recover_shard(std::uint32_t failed) {
+  if (passthrough()) {
+    throw std::logic_error(
+        "ClusterBackend: recovery needs a multi-shard cluster");
+  }
+  if (failed >= shards_.size()) {
+    throw std::invalid_argument("ClusterBackend: shard id out of range");
+  }
+  if (!drained_[failed]) {
+    throw std::logic_error(
+        "ClusterBackend: recover_shard requires the shard to be drained first");
+  }
+  if (!shard_factory_) {
+    throw std::logic_error(
+        "ClusterBackend: recovery needs a shard factory (set_shard_factory)");
+  }
+  bool any_live = false;
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    if (!drained_[s]) {
+      any_live = true;
+      break;
+    }
+  }
+  if (!any_live) {
+    throw std::logic_error("ClusterBackend: no live shard to recover onto");
+  }
+
+  // Every dispatched partial must be final before a survivor rebuild kills
+  // its shard-local handles.
+  flush_all();
+
+  RecoveryReport rep;
+  std::vector<std::uint8_t> rebuild(shards_.size(), 0);
+  const std::size_t bytes_per_point = index().code_size() + sizeof(std::uint32_t);
+  // add_owner keeps planned_load() current, so successive re-homes spread
+  // across survivors instead of piling onto one.
+  const std::vector<double>& load = plan_.planned_load();
+  for (std::uint32_t c = 0; c < plan_.nlist(); ++c) {
+    const auto& owners = plan_.owners(c);
+    if (std::find(owners.begin(), owners.end(), failed) == owners.end()) continue;
+    bool has_live_owner = false;
+    for (std::uint32_t s : owners) {
+      if (!drained_[s]) {
+        has_live_owner = true;
+        break;
+      }
+    }
+    if (has_live_owner) continue;
+    // Least-loaded live survivor, lowest id on ties.
+    std::uint32_t best = 0;
+    double best_load = 1e300;
+    for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+      if (drained_[s]) continue;
+      if (load[s] < best_load) {
+        best_load = load[s];
+        best = s;
+      }
+    }
+    plan_.add_owner(c, best);
+    rebuild[best] = 1;
+    ++rep.clusters_rehomed;
+    rep.moved_bytes += index().list(c).size() * bytes_per_point;
+  }
+  for (std::uint32_t s = 0; s < shards_.size(); ++s) {
+    if (!rebuild[s]) continue;
+    stash_partials(s);
+    shards_[s] = shard_factory_(s, snapshot_, plan_.owned_mask(s));
+    if (trace_ != nullptr) shards_[s]->set_trace(trace_);
+    ++rep.rebuilt_shards;
+  }
+  // The degraded path is closed — every cluster has a live owner again — so
+  // the fallback counters return to zero.
+  for (auto& h : health_) h.fallback_tasks = 0;
+  rep.seconds =
+      static_cast<double>(rep.moved_bytes) / opts_.fallback_bytes_per_sec;
+  return rep;
+}
+
 void ClusterBackend::set_shard_drained(std::uint32_t shard, bool drained) {
   if (passthrough()) {
     throw std::logic_error(
@@ -423,8 +576,21 @@ std::unique_ptr<AnnBackend> make_cluster_backend(
           std::make_unique<DrimBackend>(index, sample_queries, per_shard));
     }
   }
-  return std::make_unique<ClusterBackend>(index, std::move(plan), std::move(shards),
-                                          cluster_options);
+  auto backend = std::make_unique<ClusterBackend>(index, std::move(plan),
+                                                  std::move(shards), cluster_options);
+  if (S > 1 && kind == BackendKind::kDrim) {
+    // Recovery rebuilds survivors through this factory. Captures own copies:
+    // the factory can outlive the caller's sample_queries.
+    const FloatMatrix samples = sample_queries;
+    backend->set_shard_factory(
+        [samples, engine_options](std::uint32_t, const IndexSnapshot& snap,
+                                  const std::vector<std::uint8_t>& mask) {
+          DrimEngineOptions per_shard = engine_options;
+          per_shard.layout.owned_clusters = mask;
+          return std::make_unique<DrimBackend>(snap, samples, per_shard);
+        });
+  }
+  return backend;
 }
 
 }  // namespace drim::cluster

@@ -13,6 +13,7 @@
 // host-side exact fallback (host_exact), so no query is ever dropped.
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <optional>
 #include <span>
@@ -54,9 +55,16 @@ struct ClusterOptions {
 /// owned subsets per shard, barrier-step the shards, merge on take.
 class ClusterBackend final : public AnnBackend {
  public:
-  /// `index` must outlive the backend (cluster location + fallback scans).
-  /// `shards.size()` must equal `plan.num_shards()`; every shard must
-  /// support routed enqueue when there is more than one.
+  /// Rebuilds one shard backend from the current snapshot and its (possibly
+  /// extended) ownership mask — recovery re-homes clusters this way.
+  using ShardFactory = std::function<std::unique_ptr<AnnBackend>(
+      std::uint32_t shard, const IndexSnapshot& snapshot,
+      const std::vector<std::uint8_t>& owned_mask)>;
+
+  /// `index` must outlive the backend (cluster location + fallback scans);
+  /// internally it is held as a non-owning root snapshot, replaced wholesale
+  /// by stage_snapshot(). `shards.size()` must equal `plan.num_shards()`;
+  /// every shard must support routed enqueue when there is more than one.
   ClusterBackend(const IvfPqIndex& index, ShardPlan plan,
                  std::vector<std::unique_ptr<AnnBackend>> shards,
                  const ClusterOptions& options);
@@ -83,6 +91,20 @@ class ClusterBackend final : public AnnBackend {
   BackendStats stats() const override;
   std::vector<ShardHealth> shard_health() const override;
 
+  // ---- mutable-index support (DESIGN.md §14) ----
+  bool supports_updates() const override;
+  /// Flush every in-flight routed query through the CURRENT version (their
+  /// answers must match a cold rebuild of the old logical state), extend the
+  /// plan for the delta's splits (child inherits its parent's owners), then
+  /// fan the install out to every shard. Returns the modeled install cost:
+  /// shards install in parallel, so the max over shards.
+  double stage_snapshot(const IndexSnapshot& snapshot,
+                        const PublishDelta& delta) override;
+  /// Flush, then let every shard re-plan its intra-array layout from its
+  /// observed probe traffic. Parallel across shards: max cost.
+  double stage_relayout() override;
+  std::uint64_t snapshot_version() const override { return snapshot_.version; }
+
   // ---- cluster-tier control plane ----
   /// Drain (or undrain) one shard: a draining shard accepts no new
   /// dispatches but still executes work already queued on it, so in-flight
@@ -92,6 +114,29 @@ class ClusterBackend final : public AnnBackend {
   /// single-shard passthrough mode.
   void set_shard_drained(std::uint32_t shard, bool drained);
   bool shard_drained(std::uint32_t shard) const { return drained_[shard] != 0; }
+
+  /// What one recover_shard() call re-homed, with its modeled cost.
+  struct RecoveryReport {
+    std::size_t clusters_rehomed = 0;  ///< clusters that regained a live owner
+    std::size_t rebuilt_shards = 0;    ///< survivors rebuilt with wider masks
+    std::size_t moved_bytes = 0;       ///< re-homed cluster codes + ids
+    double seconds = 0.0;              ///< moved_bytes at fallback bandwidth
+  };
+
+  /// Failure recovery for a drained shard: every cluster it owns that has no
+  /// remaining live owner is re-replicated onto the least-loaded live
+  /// survivor (lowest shard id on ties), and each affected survivor's
+  /// backend is rebuilt from the current snapshot with its extended
+  /// ownership mask (requires a shard factory — make_cluster_backend wires
+  /// one). In-flight queries are flushed first and their finished partials
+  /// stashed, so nothing is dropped. Fallback health counters reset to zero:
+  /// the degraded path is closed once every cluster has a live owner again.
+  /// Throws std::logic_error in passthrough mode, when the shard is not
+  /// drained, or when no live survivor exists.
+  RecoveryReport recover_shard(std::uint32_t failed);
+
+  /// Install the factory recover_shard() uses to rebuild survivor backends.
+  void set_shard_factory(ShardFactory factory) { shard_factory_ = std::move(factory); }
 
   const ShardPlan& plan() const { return plan_; }
   std::size_t num_shards() const { return shards_.size(); }
@@ -115,11 +160,21 @@ class ClusterBackend final : public AnnBackend {
   /// Step one shard with the trace cursor anchored at `now_s` under its
   /// per-shard lane prefix; returns the shard's step stats.
   BackendStepStats step_shard(std::uint32_t s, bool flush, double now_s);
-  /// Exact-scan one whole cluster on the host for `q`; returns modeled
-  /// seconds and appends the hits to q.fallback_hits.
+  /// Exact-scan one whole cluster on the host for `q` (tombstone-aware: the
+  /// snapshot's dead flags filter before the top-k, like the kernels);
+  /// returns modeled seconds and appends the hits to q.fallback_hits.
   double fallback_scan(RouterQuery& q, std::uint32_t cluster);
+  /// Step every shard with flush until no routed work is deferred, so every
+  /// dispatched partial is finished (install/recovery precondition).
+  void flush_all();
+  /// Take shard `s`'s finished partials into their queries' stashes — its
+  /// handles are about to die with a backend rebuild. The merge sorts, so
+  /// stash order does not affect results.
+  void stash_partials(std::uint32_t s);
 
-  const IvfPqIndex& index_;
+  const IvfPqIndex& index() const { return *snapshot_.index; }
+
+  IndexSnapshot snapshot_;
   ShardPlan plan_;
   std::vector<std::unique_ptr<AnnBackend>> shards_;
   ClusterOptions opts_;
@@ -139,8 +194,10 @@ class ClusterBackend final : public AnnBackend {
   obs::TraceRecorder* trace_ = nullptr;
 
   /// Quantized-index copy for the fallback exact scan, built on first use
-  /// (only drain scenarios pay for it).
+  /// (only drain scenarios pay for it); invalidated by stage_snapshot().
   mutable std::unique_ptr<PimIndexData> fallback_data_;
+
+  ShardFactory shard_factory_;  ///< rebuilds survivors during recovery
 };
 
 /// Construct a cluster backend over `index`: plans the shard assignment from

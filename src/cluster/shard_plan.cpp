@@ -107,6 +107,37 @@ std::vector<std::uint8_t> ShardPlan::owned_mask(std::uint32_t shard) const {
   return mask;
 }
 
+void ShardPlan::add_owner(std::uint32_t cluster, std::uint32_t shard) {
+  if (cluster >= owners_.size()) {
+    throw std::invalid_argument("ShardPlan::add_owner: cluster out of range");
+  }
+  if (shard >= params_.num_shards) {
+    throw std::invalid_argument("ShardPlan::add_owner: shard out of range");
+  }
+  auto& owners = owners_[cluster];
+  if (std::find(owners.begin(), owners.end(), shard) != owners.end()) return;
+  owners.insert(std::upper_bound(owners.begin(), owners.end(), shard), shard);
+  auto& clusters = shard_clusters_[shard];
+  clusters.insert(std::upper_bound(clusters.begin(), clusters.end(), cluster),
+                  cluster);
+  planned_load_[shard] += cluster_cost(cluster);
+}
+
+void ShardPlan::add_split_child(std::uint32_t parent, std::size_t parent_size,
+                                std::size_t child_size) {
+  if (parent >= owners_.size()) {
+    throw std::invalid_argument("ShardPlan::add_split_child: parent out of range");
+  }
+  const auto child = static_cast<std::uint32_t>(owners_.size());
+  sizes_[parent] = parent_size;
+  sizes_.push_back(child_size);
+  owners_.push_back(owners_[parent]);
+  for (std::uint32_t s : owners_[parent]) {
+    shard_clusters_[s].push_back(child);  // child id == old nlist: stays sorted
+    planned_load_[s] += cluster_cost(child);
+  }
+}
+
 double ShardPlan::mean_cluster_cost(std::uint32_t shard) const {
   const auto& clusters = shard_clusters_[shard];
   if (clusters.empty()) return params_.lut_cost_points;

@@ -65,6 +65,19 @@ class ShardPlan {
   /// Heat-weighted load the planner assigned each shard (what it balanced).
   const std::vector<double>& planned_load() const { return planned_load_; }
 
+  // ---- online mutation (recovery / snapshot publishes) ----
+  /// Add `shard` as an owner of `cluster` (failure recovery re-replicates a
+  /// drained shard's exclusive clusters this way). No-op when the shard
+  /// already owns the cluster. The shard's planned load grows by the
+  /// cluster's per-visit cost (heat is unknown post-hoc; cost is the proxy
+  /// the dispatch policy already uses).
+  void add_owner(std::uint32_t cluster, std::uint32_t shard);
+  /// Extend the plan for one online cluster split: the child (whose id is
+  /// nlist() before the call) inherits every owner of its parent, and both
+  /// recorded sizes refresh so cluster_cost() stays meaningful for dispatch.
+  void add_split_child(std::uint32_t parent, std::size_t parent_size,
+                       std::size_t child_size);
+
  private:
   ShardPlanParams params_;
   std::vector<std::size_t> sizes_;

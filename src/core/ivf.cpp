@@ -78,6 +78,47 @@ void IvfPqIndex::restore(const IvfPqParams& params, FloatMatrix centroids,
   trained_ = true;
 }
 
+IndexSnapshot make_root_snapshot(const IvfPqIndex& index) {
+  IndexSnapshot snap;
+  snap.version = 0;
+  // Aliasing, non-owning: the caller keeps ownership, exactly as it did when
+  // the layers below held a raw `const IvfPqIndex&`.
+  snap.index = std::shared_ptr<const IvfPqIndex>(&index, [](const IvfPqIndex*) {});
+  return snap;
+}
+
+IvfPqIndex IvfPqIndex::clone() const {
+  IvfPqIndex copy;
+  copy.params_ = params_;
+  copy.trained_ = trained_;
+  copy.ntotal_ = ntotal_;
+  copy.centroids_ = centroids_;
+  copy.pq_ = pq_;
+  if (opq_) copy.opq_ = std::make_unique<OptimizedProductQuantizer>(*opq_);
+  copy.lists_ = lists_;
+  return copy;
+}
+
+void IvfPqIndex::reconstruct(std::uint32_t cluster, std::size_t i,
+                             std::span<float> out) const {
+  const std::size_t d = dim();
+  assert(out.size() == d);
+  std::vector<float> decoded(d);
+  pq_.decode(lists_[cluster].code(i, code_size()), decoded);
+  auto cen = centroids_.row(cluster);
+  if (opq_) {
+    // decode() yields the rotated residual r = R (v - c); undo with R^T.
+    const Matrix& r = opq_->rotation();
+    for (std::size_t a = 0; a < d; ++a) {
+      double acc = 0.0;
+      for (std::size_t b = 0; b < d; ++b) acc += r.at(b, a) * decoded[b];
+      out[a] = static_cast<float>(acc) + cen[a];
+    }
+  } else {
+    for (std::size_t a = 0; a < d; ++a) out[a] = decoded[a] + cen[a];
+  }
+}
+
 void IvfPqIndex::encode_residual(std::span<const float> v, std::uint32_t cluster,
                                  std::span<std::uint8_t> code) const {
   const std::size_t dim = centroids_.dim();

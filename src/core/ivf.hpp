@@ -18,6 +18,50 @@
 
 namespace drim {
 
+class IvfPqIndex;
+
+/// Per-cluster positional tombstone flags for a mutable index (see
+/// core/mutable_index.hpp). `dead[c][i]` is nonzero when position i of
+/// cluster c's inverted list is deleted. The search path consults these at
+/// scan time — before the bounded top-k — so a dead entry can never evict a
+/// live one and results stay bit-identical to a cold rebuild of the live set.
+struct Tombstones {
+  std::vector<std::vector<std::uint8_t>> dead;  ///< [cluster][position] flags
+  std::size_t count = 0;                        ///< total dead positions
+
+  bool any() const { return count > 0; }
+  /// Flags for one cluster, or nullptr when the cluster has no tombstones
+  /// (callers skip the per-point liveness test entirely in that case).
+  const std::uint8_t* cluster_flags(std::size_t c) const {
+    if (c >= dead.size() || dead[c].empty()) return nullptr;
+    return dead[c].data();
+  }
+};
+
+/// An immutable, refcounted view of one version of the index — what the
+/// search path consumes. Every layer (engine, platforms, backends, serving
+/// runtime, cluster router) resolves a snapshot per batch instead of holding
+/// raw index references, so a writer can publish a new version between
+/// batches without pausing serving. `tombstones` may be null (no deletes).
+struct IndexSnapshot {
+  std::uint64_t version = 0;
+  std::shared_ptr<const IvfPqIndex> index;
+  std::shared_ptr<const Tombstones> tombstones;
+
+  const IvfPqIndex& operator*() const { return *index; }
+  const IvfPqIndex* operator->() const { return index.get(); }
+  /// Tombstone flags for cluster c, or nullptr when none.
+  const std::uint8_t* dead_flags(std::size_t c) const {
+    return tombstones ? tombstones->cluster_flags(c) : nullptr;
+  }
+};
+
+/// Wrap a caller-owned index into a version-0 snapshot without taking
+/// ownership (aliasing shared_ptr with a no-op deleter). This is how the
+/// read-only construction paths — tests, benches, the CLI search command —
+/// enter the snapshot world unchanged.
+IndexSnapshot make_root_snapshot(const IvfPqIndex& index);
+
 /// Which PQ variant encodes residuals.
 enum class PQVariant : std::uint8_t { kPQ, kOPQ, kDPQ };
 
@@ -79,6 +123,23 @@ class IvfPqIndex {
   /// Sizes of all inverted lists (the paper's uneven-cluster observation).
   std::vector<std::size_t> list_sizes() const;
 
+  /// Deep copy (duplicates the OPQ rotation owner when present). The mutable
+  /// index writer clones the base index once, then materializes immutable
+  /// per-version snapshots via restore().
+  IvfPqIndex clone() const;
+
+  /// Encode a raw (original-space) vector against `cluster`: residual,
+  /// OPQ rotation when applicable, PQ encode. Public so the mutable-index
+  /// writer can encode streamed inserts and re-encode points moved by an
+  /// online cluster split.
+  void encode_residual(std::span<const float> v, std::uint32_t cluster,
+                       std::span<std::uint8_t> code) const;
+
+  /// Reconstruct position `i` of cluster `c` back into the original vector
+  /// space: decode the PQ code, undo the OPQ rotation when applicable, add
+  /// the centroid. Deterministic; the online splitter re-clusters on these.
+  void reconstruct(std::uint32_t cluster, std::size_t i, std::span<float> out) const;
+
   /// CL phase: ids of the nprobe closest centroids, ascending by distance.
   std::vector<std::uint32_t> locate_clusters(std::span<const float> query,
                                              std::size_t nprobe) const;
@@ -93,11 +154,6 @@ class IvfPqIndex {
                                std::size_t nprobe) const;
 
  private:
-  /// Residual of a raw base/learn vector against a centroid, rotated when the
-  /// variant uses OPQ.
-  void encode_residual(std::span<const float> v, std::uint32_t cluster,
-                       std::span<std::uint8_t> code) const;
-
   IvfPqParams params_;
   bool trained_ = false;
   std::size_t ntotal_ = 0;

@@ -1,0 +1,136 @@
+#pragma once
+// Mutable-index writer over the versioned IndexSnapshot (ISSUE 8). The
+// search layers consume immutable snapshots; this writer owns the mutable
+// state — centroids, quantizer copies, inverted lists, tombstone bitmaps —
+// and materializes a new immutable snapshot on publish(). The discipline
+// follows PIM-tree's batched push/pull updates: mutations accumulate on the
+// host, then one publish swaps the version in between search batches, so
+// serving never pauses and the whole run stays deterministic given the
+// arrival trace.
+//
+// Mutations:
+//  - insert(v): assign to the nearest coarse centroid, PQ-encode the
+//    residual, append to the cluster (an MRAM shadow-slot append, billed on
+//    the host link as code_size + 4 id bytes).
+//  - erase(id): tombstone. The entry stays in place physically; the search
+//    path consults the positional bitmap at scan time, so the id never
+//    surfaces but relative order / distances of live points are unchanged —
+//    which is what makes per-version results bit-identical to a cold
+//    rebuild of the same live set.
+//  - online split: when a cluster's live size outgrows its MRAM slot
+//    (params.split_threshold), the writer re-clusters the live members with
+//    the same 2-means machinery the offline builder uses (fixed seed), adds
+//    a new cluster id = nlist, re-encodes both halves against their new
+//    centroids, and drops tombstones for that cluster (splits compact).
+
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/ivf.hpp"
+
+namespace drim {
+
+/// Writer knobs (surfaced on `drim serve` as --update-* / writer flags).
+struct WriterParams {
+  /// Live cluster size above which an online split triggers; 0 disables
+  /// splitting (clusters may then outgrow their planned MRAM slot).
+  std::size_t split_threshold = 0;
+  std::size_t split_iters = 10;  ///< 2-means refinement iterations per split
+  std::uint64_t seed = 2024;     ///< split seeding (deterministic)
+};
+
+/// One online split: `child` (== nlist before the split) took
+/// `child_fraction` of the parent's live members. Layers that keep
+/// per-cluster state (e.g. the engine's heat table) use these records to
+/// extend deterministically.
+struct SplitRecord {
+  std::uint32_t parent = 0;
+  std::uint32_t child = 0;
+  double child_fraction = 0.0;
+};
+
+/// What one publish shipped, in modeled host-link bytes. The engine bills
+/// publish time from these deltas — NOT from the physical MRAM reload the
+/// simulator performs for bit-exactness — so an append costs an append even
+/// though the functional platform rewrites its arrays.
+struct PublishDelta {
+  std::uint64_t version = 0;
+  std::size_t inserts = 0;
+  std::size_t deletes = 0;
+  std::size_t appended_bytes = 0;   ///< shadow-slot appends (codes + ids)
+  std::size_t tombstone_bytes = 0;  ///< tombstone metadata shipped
+  std::size_t moved_bytes = 0;      ///< bytes rewritten by splits/re-layout
+  std::vector<SplitRecord> splits;
+
+  std::size_t total_bytes() const {
+    return appended_bytes + tombstone_bytes + moved_bytes;
+  }
+  bool empty() const { return inserts == 0 && deletes == 0 && splits.empty(); }
+};
+
+/// Streaming insert / tombstone delete / online split over a cloned index,
+/// publishing immutable versioned snapshots.
+class IndexWriter {
+ public:
+  explicit IndexWriter(const IvfPqIndex& base, WriterParams params = {});
+
+  /// Insert one original-space vector; returns its assigned id (sequential
+  /// from the base index's ntotal). May trigger an online split.
+  std::uint32_t insert(std::span<const float> v);
+
+  /// Tombstone an id. Returns false when the id is unknown or already dead.
+  bool erase(std::uint32_t id);
+
+  bool alive(std::uint32_t id) const;
+  std::size_t live_count() const { return live_count_; }
+  std::size_t nlist() const { return params_.nlist; }
+  std::uint64_t version() const { return version_; }
+  /// Mutations accumulated since the last publish().
+  bool dirty() const { return !pending_.empty(); }
+  const PublishDelta& pending_delta() const { return pending_; }
+
+  /// Materialize the current state as an immutable snapshot (version + 1).
+  /// When `delta_out` is non-null it receives the accumulated delta, which
+  /// is then reset. publish() with no pending mutations is valid (e.g. a
+  /// pure re-layout publish) and yields an empty delta.
+  IndexSnapshot publish(PublishDelta* delta_out = nullptr);
+
+  /// Cold-rebuild oracle: an index holding exactly the live entries, in
+  /// list order, with their original ids — what an offline build of the
+  /// current logical state looks like. Search over this (no tombstones)
+  /// must be bit-identical to search over publish()'s snapshot.
+  IvfPqIndex compacted_index() const;
+
+ private:
+  void split_cluster(std::uint32_t c);
+  std::size_t live_size(std::uint32_t c) const;
+
+  WriterParams writer_params_;
+  IvfPqParams params_;
+  FloatMatrix centroids_;
+  ProductQuantizer pq_;
+  std::unique_ptr<OptimizedProductQuantizer> opq_;
+  std::vector<InvertedList> lists_;
+  std::vector<std::vector<std::uint8_t>> dead_;  ///< positional tombstones
+  std::vector<std::size_t> dead_count_;          ///< per cluster
+  std::size_t ntotal_ = 0;
+  std::size_t live_count_ = 0;
+  std::uint64_t version_ = 0;
+  std::size_t total_splits_ = 0;
+  PublishDelta pending_;
+  /// id -> (cluster, position); positions move only on split.
+  std::unordered_map<std::uint32_t, std::pair<std::uint32_t, std::uint32_t>> where_;
+
+  /// Rebuild an IvfPqIndex from the writer's current raw state.
+  IvfPqIndex materialize(std::vector<InvertedList> lists) const;
+};
+
+/// Live-only deep copy of a snapshot: tombstoned entries dropped, relative
+/// order preserved. Searchers with no tombstone filter (the CPU baseline)
+/// install this instead of the raw snapshot index; by construction it equals
+/// a cold offline build of the snapshot's live set.
+IvfPqIndex compact_snapshot(const IndexSnapshot& snapshot);
+
+}  // namespace drim

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cassert>
 #include <cstdio>
+#include <map>
 #include <stdexcept>
 
 #include "common/parallel.hpp"
@@ -67,17 +68,22 @@ SchedulerParams derive_scheduler_params(const PimConfig& cfg, std::size_t dim,
 
 DrimAnnEngine::DrimAnnEngine(const IvfPqIndex& index, const FloatMatrix& sample_queries,
                              const DrimEngineOptions& options)
-    : index_(index),
+    : DrimAnnEngine(make_root_snapshot(index), sample_queries, options) {}
+
+DrimAnnEngine::DrimAnnEngine(IndexSnapshot snapshot, const FloatMatrix& sample_queries,
+                             const DrimEngineOptions& options)
+    : snapshot_(std::move(snapshot)),
       opts_(options),
-      data_(index),
+      data_(*snapshot_.index),
       // Cover |residual| + |codeword|; OPQ rotations can widen residual
       // components, so leave generous headroom (misses fall back to the
       // multiply path, results stay exact either way).
       sq_lut_(std::min<std::int32_t>(8192, 2 * (255 + data_.max_operand_abs()))) {
-  // Heat estimation from the sample query set (Section IV-A).
-  const std::vector<double> heat =
-      estimate_heat(index_, sample_queries, opts_.heat_nprobe);
-  layout_ = std::make_unique<DataLayout>(data_, opts_.pim.num_dpus, heat, opts_.layout);
+  // Heat estimation from the sample query set (Section IV-A). Kept as a
+  // member so apply_snapshot() can extend it over split children.
+  heat_ = estimate_heat(index(), sample_queries, opts_.heat_nprobe);
+  probe_counts_.assign(index().nlist(), 0);
+  layout_ = std::make_unique<DataLayout>(data_, opts_.pim.num_dpus, heat_, opts_.layout);
 
   // Exact Eq. 15 coefficients for this index geometry at a placeholder depth;
   // search() re-derives them for its actual k before scheduling.
@@ -178,6 +184,16 @@ void DrimAnnEngine::load_static_data() {
       ShardRegion region;
       region.size = sh.size();
       region.cluster = sh.cluster;
+      region.begin = sh.begin;
+      region.dead = snapshot_.dead_flags(sh.cluster);
+      region.live = region.size;
+      if (region.dead != nullptr) {
+        std::uint32_t live = 0;
+        for (std::uint32_t i = 0; i < region.size; ++i) {
+          if (region.dead[region.begin + i] == 0) ++live;
+        }
+        region.live = live;
+      }
       region.codes_offset = pim_->alloc_on(d, region.size * cs);
       region.ids_offset = pim_->alloc_on(d, region.size * sizeof(std::uint32_t));
       pim_->push(d, region.codes_offset,
@@ -218,13 +234,109 @@ void DrimAnnEngine::load_static_data() {
   }
 }
 
+void DrimAnnEngine::rebuild_from_snapshot() {
+  data_ = PimIndexData(index());
+  sq_lut_ = SquareLut(std::min<std::int32_t>(8192, 2 * (255 + data_.max_operand_abs())));
+  layout_ = std::make_unique<DataLayout>(data_, opts_.pim.num_dpus, heat_, opts_.layout);
+  scheduler_ = std::make_unique<RuntimeScheduler>(*layout_, opts_.scheduler);
+  pim_->reset_memory();
+  // resize() would keep stale entries from the previous layout; start clean.
+  dpu_shard_regions_.assign(pim_->num_dpus(), {});
+  dpu_shard_ids_.assign(pim_->num_dpus(), {});
+  shard_slot_.clear();
+  load_static_data();
+  // The physical reload exists only for functional bit-exactness; its
+  // host-link tally must not leak into the next batch's transfer_in (callers
+  // bill the modeled delta instead).
+  pim_->drain_pending_transfer();
+}
+
+double DrimAnnEngine::apply_snapshot(const IndexSnapshot& snapshot,
+                                     const PublishDelta& delta) {
+  // Deterministic heat extension over split children: the child takes its
+  // observed fraction of the parent's heat, the parent keeps the rest. Split
+  // records are replayed in order, so chained splits (a child splitting
+  // again) resolve correctly.
+  for (const SplitRecord& s : delta.splits) {
+    if (s.child >= heat_.size()) heat_.resize(s.child + 1, 0.0);
+    const double parent_heat = s.parent < heat_.size() ? heat_[s.parent] : 0.0;
+    const double child_heat = parent_heat * s.child_fraction;
+    heat_[s.parent] = parent_heat - child_heat;
+    heat_[s.child] = child_heat;
+    // Cluster-tier ownership: a split child stays on the shard that owned
+    // (and physically holds) its parent's points.
+    if (!opts_.layout.owned_clusters.empty()) {
+      if (s.child >= opts_.layout.owned_clusters.size()) {
+        opts_.layout.owned_clusters.resize(s.child + 1, 0);
+      }
+      opts_.layout.owned_clusters[s.child] =
+          s.parent < opts_.layout.owned_clusters.size()
+              ? opts_.layout.owned_clusters[s.parent]
+              : std::uint8_t{0};
+    }
+  }
+  snapshot_ = snapshot;
+  const std::size_t nlist = index().nlist();
+  if (heat_.size() < nlist) heat_.resize(nlist, 0.5);  // smoothing floor
+  if (!opts_.layout.owned_clusters.empty() &&
+      opts_.layout.owned_clusters.size() < nlist) {
+    opts_.layout.owned_clusters.resize(nlist, 0);
+  }
+  probe_counts_.assign(nlist, 0);
+  rebuild_from_snapshot();
+  return static_cast<double>(delta.total_bytes()) /
+         opts_.pim.host_link_bytes_per_sec;
+}
+
+double DrimAnnEngine::replan_layout() {
+  std::uint64_t total = 0;
+  for (const std::uint64_t c : probe_counts_) total += c;
+  if (total == 0) return 0.0;
+
+  // Same Laplace smoothing as the construction-time estimate: unseen
+  // clusters still carry their size-proportional base cost.
+  heat_.assign(probe_counts_.size(), 0.0);
+  for (std::size_t c = 0; c < probe_counts_.size(); ++c) {
+    heat_[c] = static_cast<double>(probe_counts_[c]) + 0.5;
+  }
+
+  // Remember where every (cluster, slice, replica) lived so only shards
+  // whose DPU placement actually changed are billed.
+  struct SliceKey {
+    std::uint64_t hi, lo;
+    bool operator<(const SliceKey& o) const {
+      return hi != o.hi ? hi < o.hi : lo < o.lo;
+    }
+  };
+  std::map<SliceKey, std::uint32_t> old_home;
+  for (const Shard& sh : layout_->shards()) {
+    old_home[{(static_cast<std::uint64_t>(sh.cluster) << 32) | sh.begin,
+              (static_cast<std::uint64_t>(sh.end) << 32) | sh.replica}] = sh.dpu;
+  }
+
+  probe_counts_.assign(probe_counts_.size(), 0);
+  rebuild_from_snapshot();
+
+  const std::size_t cs = data_.code_size();
+  std::uint64_t moved_bytes = 0;
+  for (const Shard& sh : layout_->shards()) {
+    const auto it = old_home.find(
+        {(static_cast<std::uint64_t>(sh.cluster) << 32) | sh.begin,
+         (static_cast<std::uint64_t>(sh.end) << 32) | sh.replica});
+    if (it != old_home.end() && it->second == sh.dpu) continue;  // stayed put
+    moved_bytes += static_cast<std::uint64_t>(sh.size()) *
+                   (cs + sizeof(std::uint32_t));
+  }
+  return static_cast<double>(moved_bytes) / opts_.pim.host_link_bytes_per_sec;
+}
+
 double DrimAnnEngine::model_host_cl_seconds(std::size_t num_queries) const {
   // CL = exhaustive centroid scan + partial selection on the host.
   const double flops = static_cast<double>(num_queries) *
-                       static_cast<double>(index_.nlist()) *
+                       static_cast<double>(index().nlist()) *
                        (3.0 * static_cast<double>(data_.dim()));
   const double bytes = static_cast<double>(num_queries) *
-                       static_cast<double>(index_.nlist()) *
+                       static_cast<double>(index().nlist()) *
                        (static_cast<double>(data_.dim()) * 4.0);
   return std::max(flops / opts_.host.flops_per_sec, bytes / opts_.host.bytes_per_sec);
 }
@@ -430,7 +542,7 @@ std::uint32_t DrimAnnEngine::enqueue_query(SearchBatchState& state,
   const std::uint32_t handle = static_cast<std::uint32_t>(state.quantized.size());
   state.quantized.push_back(PimIndexData::quantize_query(query));
   state.probes.emplace_back();
-  if (!opts_.cl_on_pim) state.probes.back() = index_.locate_clusters(query, nprobe);
+  if (!opts_.cl_on_pim) state.probes.back() = index().locate_clusters(query, nprobe);
   state.query_k.push_back(static_cast<std::uint32_t>(k));
   state.query_nprobe.push_back(static_cast<std::uint32_t>(nprobe));
   state.cl_external.push_back(0);
@@ -481,7 +593,7 @@ void DrimAnnEngine::enqueue_queries(SearchBatchState& state, const FloatMatrix& 
   // fills probes lazily inside each step instead.
   if (!opts_.cl_on_pim) {
     parallel_for(0, nq, [&](std::size_t q) {
-      state.probes[base + q] = index_.locate_clusters(queries.row(q), nprobe);
+      state.probes[base + q] = index().locate_clusters(queries.row(q), nprobe);
     });
   }
 }
@@ -557,6 +669,13 @@ BatchStepStats DrimAnnEngine::search_batch(SearchBatchState& state,
     if (trace_ != nullptr && cl_trace.valid) {
       trace_launch(pre_start, cl_trace.batch, "cl-pim",
                    std::vector<std::size_t>(cl_trace.active_dpus, cl_trace.num_queries));
+    }
+  }
+
+  // Observed cluster traffic feeds replan_layout()'s heat estimate.
+  for (std::size_t q = begin; q < end; ++q) {
+    for (const std::uint32_t c : state.probes[q]) {
+      if (c < probe_counts_.size()) ++probe_counts_[c];
     }
   }
 
@@ -680,7 +799,8 @@ BatchStepStats DrimAnnEngine::search_batch(SearchBatchState& state,
               host_search_task_into(
                   data_, state.quantized[dpu_task_query[d][t]], sh,
                   static_cast<std::uint32_t>(k),
-                  std::span<KernelHit>(dpu_hits[d].data() + t * k, k));
+                  std::span<KernelHit>(dpu_hits[d].data() + t * k, k),
+                  snapshot_.dead_flags(sh.cluster));
             }
           }
           pim_->pull(d, dpu_output_off[d],

@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "core/ivf.hpp"
+#include "core/mutable_index.hpp"
 #include "core/topk.hpp"
 #include "drim/kernels.hpp"
 #include "drim/layout.hpp"
@@ -172,11 +173,26 @@ SchedulerParams derive_scheduler_params(const PimConfig& cfg, std::size_t dim,
                                         std::size_t m, std::size_t cb, std::size_t k,
                                         bool use_square_lut);
 
-/// The engine. Holds a reference to the trained index (for host CL), so the
-/// index must outlive the engine.
+/// The engine. Consumes the index through a versioned IndexSnapshot — the
+/// read-only view (centroids, codebooks, cluster codes/ids, tombstones) is
+/// resolved per batch, and a writer can swap in a new version between
+/// batches via apply_snapshot() without pausing the stream.
 class DrimAnnEngine {
  public:
+  /// Read-only construction: wraps the caller-owned index in a version-0
+  /// snapshot (non-owning). Behavior is bit-identical — results AND modeled
+  /// times — to the pre-snapshot engine.
   DrimAnnEngine(const IvfPqIndex& index, const FloatMatrix& sample_queries,
+                const DrimEngineOptions& options);
+  /// A temporary index would dangle behind the non-owning root snapshot
+  /// (e.g. `DrimAnnEngine(writer.compacted_index(), ...)`) — bind it to a
+  /// local, or publish() and use the owning snapshot constructor.
+  DrimAnnEngine(IvfPqIndex&& index, const FloatMatrix& sample_queries,
+                const DrimEngineOptions& options) = delete;
+
+  /// Snapshot construction: the engine shares ownership of the snapshot's
+  /// index, so a writer-published version outlives its writer.
+  DrimAnnEngine(IndexSnapshot snapshot, const FloatMatrix& sample_queries,
                 const DrimEngineOptions& options);
 
   /// Batch search. Results are ascending (distance, id); distances are the
@@ -248,6 +264,30 @@ class DrimAnnEngine {
   void set_trace(obs::TraceRecorder* trace) { trace_ = trace; }
   obs::TraceRecorder* trace() const { return trace_; }
 
+  // ---- mutable-index support (DESIGN.md §14) ----
+
+  /// The snapshot currently being served.
+  const IndexSnapshot& snapshot() const { return snapshot_; }
+
+  /// Install a new index version between batches: rebuild the quantized
+  /// view, the heat-balanced layout (heat is carried over, with split
+  /// children inheriting their parent's heat proportionally), the scheduler,
+  /// and every DPU's MRAM image. The caller must have flushed its stream
+  /// state first — carried tasks hold shard ids that dangle across layout
+  /// swaps. Returns the MODELED publish cost in seconds: the writer's delta
+  /// (shadow-slot appends + tombstone metadata + split-moved bytes) on the
+  /// host link — the physical full reload the simulator performs for
+  /// bit-exactness is drained and discarded, never billed.
+  double apply_snapshot(const IndexSnapshot& snapshot, const PublishDelta& delta);
+
+  /// Background re-layout: recompute the heat-balanced allocation from the
+  /// cluster-visit counts observed since the last re-layout (same smoothing
+  /// as the construction-time estimate) and swap it in. Billed as the bytes
+  /// of shards whose DPU placement actually changed, on the host link.
+  /// No-op (returns 0) when no traffic has been observed. Same flush
+  /// precondition as apply_snapshot().
+  double replan_layout();
+
   const DrimEngineOptions& options() const { return opts_; }
   /// Sanitized in-flight depth of the pipelined executor (0 is clamped to 1).
   std::size_t pipeline_depth() const {
@@ -263,6 +303,10 @@ class DrimAnnEngine {
 
  private:
   void load_static_data();
+  /// Tear down and rebuild everything derived from snapshot_: quantized
+  /// data, square LUT, layout (from heat_), scheduler, MRAM image. The
+  /// physical reload's host-link tally is drained and discarded.
+  void rebuild_from_snapshot();
   double model_host_cl_seconds(std::size_t num_queries) const;
 
   /// Throw if even a single query at depth `k` cannot be staged (satellite
@@ -328,13 +372,22 @@ class DrimAnnEngine {
     return staging_base_ + (step_index % pipeline_depth()) * staging_stride_;
   }
 
-  const IvfPqIndex& index_;
+  const IvfPqIndex& index() const { return *snapshot_.index; }
+
+  IndexSnapshot snapshot_;
   DrimEngineOptions opts_;
   PimIndexData data_;
   SquareLut sq_lut_;
   std::unique_ptr<DataLayout> layout_;
   std::unique_ptr<PimPlatform> pim_;
   std::unique_ptr<RuntimeScheduler> scheduler_;
+  /// Per-cluster heat driving the layout. Seeded from sample queries at
+  /// construction; extended deterministically on splits (child inherits
+  /// parent * child_fraction); replaced by observed traffic in
+  /// replan_layout().
+  std::vector<double> heat_;
+  /// Cluster-visit counts observed by search_batch since the last re-layout.
+  std::vector<std::uint64_t> probe_counts_;
   obs::TraceRecorder* trace_ = nullptr;  // not owned; may be null
   std::size_t sched_params_k_ = 0;     // k the Eq. 15 coefficients are derived for
   double index_load_seconds_ = 0.0;    // one-time static upload cost

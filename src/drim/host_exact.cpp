@@ -89,7 +89,8 @@ class BoundedTopK {
 
 void host_search_task_into(const PimIndexData& data,
                            std::span<const std::int16_t> query, const Shard& shard,
-                           std::uint32_t k, std::span<KernelHit> out) {
+                           std::uint32_t k, std::span<KernelHit> out,
+                           const std::uint8_t* dead) {
   const std::size_t dim = data.dim();
   const std::size_t m = data.m();
   const std::size_t dsub = data.dsub();
@@ -128,6 +129,8 @@ void host_search_task_into(const PimIndexData& data,
                          data.code_size(), data.wide_codes(), size,
                          dists.data());
   for (std::uint32_t i = 0; i < size; ++i) {
+    // Tombstoned positions never enter the bounded top-k (see header note).
+    if (dead && dead[shard.begin + i]) continue;
     topk.push(dists[i], i);
   }
 
@@ -140,9 +143,10 @@ void host_search_task_into(const PimIndexData& data,
 
 std::vector<KernelHit> host_search_task(const PimIndexData& data,
                                         std::span<const std::int16_t> query,
-                                        const Shard& shard, std::uint32_t k) {
+                                        const Shard& shard, std::uint32_t k,
+                                        const std::uint8_t* dead) {
   std::vector<KernelHit> hits(k);
-  host_search_task_into(data, query, shard, k, hits);
+  host_search_task_into(data, query, shard, k, hits, dead);
   return hits;
 }
 

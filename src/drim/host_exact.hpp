@@ -24,14 +24,21 @@ namespace drim {
 /// run_search_kernel writes for the task. Writes straight into the caller's
 /// k-entry output row (the engine's collect path hands each task its slice
 /// of the pulled block, so the hot loop allocates nothing per task).
+/// `dead`, when non-null, holds the cluster's positional tombstone flags
+/// (indexed by shard.begin + local point, exactly the kernel's ShardRegion
+/// view): dead entries are skipped before the bounded top-k, so they never
+/// surface and never evict live candidates — the replay stays byte-for-byte
+/// equal to the functional kernel under the same snapshot.
 void host_search_task_into(const PimIndexData& data,
                            std::span<const std::int16_t> query, const Shard& shard,
-                           std::uint32_t k, std::span<KernelHit> out);
+                           std::uint32_t k, std::span<KernelHit> out,
+                           const std::uint8_t* dead = nullptr);
 
 /// Allocating convenience wrapper around host_search_task_into().
 std::vector<KernelHit> host_search_task(const PimIndexData& data,
                                         std::span<const std::int16_t> query,
-                                        const Shard& shard, std::uint32_t k);
+                                        const Shard& shard, std::uint32_t k,
+                                        const std::uint8_t* dead = nullptr);
 
 /// Exact per-DPU CL candidates of one query over the centroid range
 /// [centroid_begin, centroid_begin + centroid_count): top-`keep` by

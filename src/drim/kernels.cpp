@@ -17,6 +17,17 @@ void mram_read_chunked(DpuContext& ctx, std::size_t offset, std::span<std::uint8
   }
 }
 
+/// Bill the DMA of a region fetched in <= kMaxDmaBytes chunks (charge-only
+/// twin of mram_read_chunked: same transfer count and sizes).
+void charge_read_chunked(DpuContext& ctx, std::size_t bytes) {
+  std::size_t done = 0;
+  while (done < bytes) {
+    const std::size_t n = std::min(kMaxDmaBytes, bytes - done);
+    ctx.charge_mram_read(n);
+    done += n;
+  }
+}
+
 // ---- shared instruction-charging policy ----
 // The functional kernels and their analytic twins bill instruction cycles
 // through the SAME deterministic helpers below, so per-phase cycle counters
@@ -224,6 +235,10 @@ void run_search_kernel(DpuContext& ctx, const SearchKernelArgs& args,
       const std::size_t points_in_block = block_bytes / args.code_size;
 
       for (std::size_t i = 0; i < points_in_block; ++i, ++point) {
+        // Tombstoned entries are skipped before the top-k push: a dead point
+        // can never evict a live candidate, so the surviving (dist, id)
+        // stream equals a cold rebuild of the live set.
+        if (shard.dead && shard.dead[shard.begin + point]) continue;
         const std::uint8_t* code = code_block.data() + i * args.code_size;
         std::uint32_t dist = 0;
         for (std::size_t sub = 0; sub < m; ++sub) {
@@ -243,6 +258,14 @@ void run_search_kernel(DpuContext& ctx, const SearchKernelArgs& args,
       ctx.charge_lut_lookups(points_in_block * m);
       ctx.charge_adds(points_in_block * (m - 1));
       streamed += block_bytes;
+    }
+    if (shard.dead) {
+      // Liveness flags stream alongside the codes (one byte per point) and
+      // cost one compare each. Billed only when the cluster actually has
+      // tombstones, so read-only runs charge nothing extra.
+      ctx.set_phase(Phase::DC);
+      charge_read_chunked(ctx, shard.size);
+      ctx.charge_cmps(shard.size);
     }
     // TS: amortized heap maintenance at this task's effective depth.
     ctx.set_phase(Phase::TS);
@@ -267,21 +290,6 @@ void run_search_kernel(DpuContext& ctx, const SearchKernelArgs& args,
                     args.k * sizeof(KernelHit)});
   }
 }
-
-namespace {
-
-/// Bill the DMA of a region fetched in <= kMaxDmaBytes chunks (the analytic
-/// twin of mram_read_chunked: same transfer count and sizes).
-void charge_read_chunked(DpuContext& ctx, std::size_t bytes) {
-  std::size_t done = 0;
-  while (done < bytes) {
-    const std::size_t n = std::min(kMaxDmaBytes, bytes - done);
-    ctx.charge_mram_read(n);
-    done += n;
-  }
-}
-
-}  // namespace
 
 void charge_search_kernel(DpuContext& ctx, const SearchKernelArgs& args,
                           std::span<const ShardRegion> shards,
@@ -340,6 +348,12 @@ void charge_search_kernel(DpuContext& ctx, const SearchKernelArgs& args,
     }
     ctx.charge_lut_lookups(points * m);
     ctx.charge_adds(points * (m - 1));
+    if (shard.dead) {
+      // Same liveness flag-stream DMA + per-point compare as the functional
+      // kernel bills under tombstones.
+      charge_read_chunked(ctx, shard.size);
+      ctx.charge_cmps(shard.size);
+    }
 
     // TS: amortized heap maintenance at this task's effective depth.
     ctx.set_phase(Phase::TS);
@@ -348,8 +362,9 @@ void charge_search_kernel(DpuContext& ctx, const SearchKernelArgs& args,
     ctx.charge_cycles(amortized_topk_cycles(c, points, kk));
 
     // AUX: resolve winners' ids (one 4-byte read each), write the padded row.
+    // Only live points can win, so the winner count follows the live total.
     ctx.set_phase(Phase::AUX);
-    const std::uint64_t hits = std::min<std::uint64_t>(args.k, points);
+    const std::uint64_t hits = std::min<std::uint64_t>(args.k, shard_live_points(shard));
     for (std::uint64_t h = 0; h < hits; ++h) {
       ctx.charge_mram_read(sizeof(std::uint32_t));
     }

@@ -18,13 +18,29 @@ namespace drim {
 /// Maximum bytes per single MRAM DMA transfer (UPMEM hardware limit).
 inline constexpr std::size_t kMaxDmaBytes = 2048;
 
-/// Where one shard's data lives in this DPU's MRAM.
+/// Where one shard's data lives in this DPU's MRAM, plus the shard's
+/// tombstone view for the current index snapshot. `dead` (host-side flags
+/// for the whole cluster, indexed by `begin + local point`) is null when the
+/// cluster has no tombstones — the common case, in which the kernel bills
+/// zero liveness cost, keeping read-only runs bit-identical in both results
+/// and cycle counters. With tombstones, dead entries are skipped BEFORE the
+/// bounded top-k so they can never evict live candidates, and both the
+/// functional kernel and its analytic twin bill the same flag-stream DMA and
+/// per-point compare.
 struct ShardRegion {
   std::size_t codes_offset = 0;
   std::size_t ids_offset = 0;
-  std::uint32_t size = 0;      ///< points in the shard
+  std::uint32_t size = 0;      ///< points physically in the shard
   std::uint32_t cluster = 0;   ///< original cluster id (selects the centroid)
+  std::uint32_t begin = 0;     ///< shard's first position in the cluster list
+  std::uint32_t live = 0;      ///< live points (== size when dead is null)
+  const std::uint8_t* dead = nullptr;  ///< cluster tombstone flags, or null
 };
+
+/// Points of a shard that can surface in results.
+inline std::uint32_t shard_live_points(const ShardRegion& s) {
+  return s.dead ? s.live : s.size;
+}
 
 /// One task in the per-DPU task list: scan shard `shard_slot` for the query
 /// staged at `query_slot`.

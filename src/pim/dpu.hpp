@@ -39,6 +39,16 @@ class Mram {
   /// std::bad_alloc-like runtime_error when MRAM is exhausted.
   std::size_t alloc(std::size_t bytes);
 
+  /// Release every allocation and zero the backing store. The engine uses
+  /// this when it installs a new index snapshot: the whole static layout
+  /// (codes, ids, codebooks, centroids, staging) is rebuilt from scratch,
+  /// which keeps the functional simulation bit-exact while the *billed*
+  /// publish cost stays the modeled delta, not the physical reload.
+  void reset() {
+    used_ = 0;
+    std::fill(data_.begin(), data_.end(), std::uint8_t{0});
+  }
+
   /// Host-side (transfer) access — used by PimSystem, not by kernels.
   void write(std::size_t offset, std::span<const std::uint8_t> src);
   void read(std::size_t offset, std::span<std::uint8_t> dst) const;

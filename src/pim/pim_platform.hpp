@@ -89,6 +89,13 @@ class PimPlatform {
   /// clears the pending tally (one-time index loading).
   virtual double drain_pending_transfer() = 0;
 
+  /// Release every MRAM allocation on every DPU (allocator rewound, backing
+  /// zeroed) so the engine can rebuild the static layout for a new index
+  /// snapshot. The physical reload this enables is a simulation-fidelity
+  /// device; callers bill the *modeled* publish delta and discard the
+  /// reload's drain_pending_transfer() figure (see DESIGN.md §14).
+  virtual void reset_memory() = 0;
+
   /// Run `kernel(dpu_id, ctx)` on every DPU behind one barrier. Counters are
   /// reset first; pending pushed bytes are billed as transfer_in and bytes
   /// pulled during `collect` as transfer_out. Kernels execute concurrently

@@ -66,6 +66,26 @@ ServeResult ServingRuntime::run(const std::vector<Request>& trace) {
     max_k = std::max(max_k, req.k);
     max_nprobe = std::max(max_nprobe, req.nprobe);
   }
+  if (updates_ != nullptr && updates_->writer != nullptr) {
+    if (!backend_.supports_updates()) {
+      throw std::invalid_argument(
+          "ServingRuntime: backend '" + backend_.name() +
+          "' does not support index updates");
+    }
+    if (updates_->trace == nullptr) {
+      throw std::invalid_argument("ServingRuntime: update stream has no trace");
+    }
+    // Each run() is an independent simulation; the write-back counters
+    // restart with it.
+    updates_->applied = 0;
+    updates_->inserts = 0;
+    updates_->deletes = 0;
+    updates_->publishes = 0;
+    updates_->relayouts = 0;
+    updates_->publish_seconds = 0.0;
+    updates_->relayout_seconds = 0.0;
+  }
+
   if (trace.empty()) {
     result.report = summarize(result.records, params_.admission.slo_s);
     return result;
@@ -112,6 +132,79 @@ ServeResult ServingRuntime::run_serial(const std::vector<Request>& trace,
     merge_lane = trace_->lane("host/merge");
     trace_->set_now(0.0);
   }
+
+  // ---- mutable-index hooks (no-ops without an update stream) ----
+  std::size_t next_update = 0;
+  // Apply every update op whose arrival the clock has passed. Writer-only:
+  // the backend keeps serving its installed snapshot until a publish.
+  auto apply_updates = [&](double upto) {
+    if (updates_ == nullptr || updates_->writer == nullptr) return;
+    const auto& ops = updates_->trace->ops;
+    while (next_update < ops.size() && ops[next_update].arrival_s <= upto) {
+      const UpdateOp& op = ops[next_update];
+      if (op.kind == UpdateKind::kInsert) {
+        updates_->writer->insert(updates_->trace->insert_vectors.row(op.target));
+        ++updates_->inserts;
+      } else {
+        updates_->writer->erase(op.target);
+        ++updates_->deletes;
+      }
+      ++updates_->applied;
+      ++next_update;
+    }
+  };
+  // Requests an install flushed to completion get their records closed at
+  // the install instant (their decomposition fields stay as the last step
+  // left them: the flush is maintenance, not a normal serving step).
+  auto sweep_completions = [&](double at) {
+    for (auto it = inflight.begin(); it != inflight.end();) {
+      if (!backend_.finished(it->first)) {
+        ++it;
+        continue;
+      }
+      RequestRecord& rec = result.records[it->second];
+      rec.done_s = at;
+      rec.latency_s = at - rec.request.arrival_s;
+      rec.results = backend_.take_results(it->first).size();
+      it = inflight.erase(it);
+    }
+  };
+  // Between-batch maintenance: publish the writer's pending mutations and/or
+  // re-plan the layout when their cadences come due. The modeled install
+  // cost extends the virtual timeline; serving resumes immediately after.
+  std::size_t last_maintenance_batches = 0;
+  auto maybe_publish = [&] {
+    if (updates_ == nullptr || updates_->writer == nullptr) return;
+    if (result.batches == last_maintenance_batches) return;
+    const bool pub_due = updates_->publish_every_batches > 0 &&
+                         result.batches % updates_->publish_every_batches == 0;
+    const bool rel_due = updates_->relayout_every_batches > 0 &&
+                         result.batches % updates_->relayout_every_batches == 0;
+    if (!pub_due && !rel_due) return;
+    last_maintenance_batches = result.batches;
+    bool staged = false;
+    if (pub_due && updates_->writer->dirty()) {
+      PublishDelta delta;
+      const IndexSnapshot snap = updates_->writer->publish(&delta);
+      const double cost = backend_.stage_snapshot(snap, delta);
+      updates_->publish_seconds += cost;
+      ++updates_->publishes;
+      now += cost;
+      staged = true;
+    }
+    if (rel_due) {
+      const double cost = backend_.stage_relayout();
+      updates_->relayout_seconds += cost;
+      ++updates_->relayouts;
+      now += cost;
+      staged = true;
+    }
+    if (staged) {
+      busy_until = now;
+      if (tracing) trace_->set_now(now);
+      sweep_completions(now);
+    }
+  };
 
   double next_snapshot = 0.0;
   auto maybe_snapshot = [&](bool force = false) {
@@ -275,6 +368,11 @@ ServeResult ServingRuntime::run_serial(const std::vector<Request>& trace,
       rec.results = backend_.take_results(it->first).size();
       it = inflight.erase(it);
     }
+
+    // Mutations the step's span covered land now; maintenance (publish /
+    // re-layout) runs between steps, on its cadence.
+    apply_updates(now);
+    maybe_publish();
   };
 
   while (next_arrival < trace.size() || !batcher.empty() || !inflight.empty()) {
@@ -316,6 +414,7 @@ ServeResult ServingRuntime::run_serial(const std::vector<Request>& trace,
       process_arrival(trace[next_arrival]);
       ++next_arrival;
     }
+    apply_updates(now);
   }
 
   maybe_snapshot(/*force=*/true);  // final state at the makespan
@@ -360,6 +459,77 @@ ServeResult ServingRuntime::run_pipelined(const std::vector<Request>& trace,
     merge_lane = trace_->lane("host/merge");
     trace_->set_now(0.0);
   }
+
+  // ---- mutable-index hooks (no-ops without an update stream); see the
+  // serial loop for the semantics. An install drains the pipe (the backends
+  // flush before swapping), so it lands at the newest in-flight completion
+  // and the modeled cost extends the timeline from there.
+  std::size_t next_update = 0;
+  auto apply_updates = [&](double upto) {
+    if (updates_ == nullptr || updates_->writer == nullptr) return;
+    const auto& ops = updates_->trace->ops;
+    while (next_update < ops.size() && ops[next_update].arrival_s <= upto) {
+      const UpdateOp& op = ops[next_update];
+      if (op.kind == UpdateKind::kInsert) {
+        updates_->writer->insert(updates_->trace->insert_vectors.row(op.target));
+        ++updates_->inserts;
+      } else {
+        updates_->writer->erase(op.target);
+        ++updates_->deletes;
+      }
+      ++updates_->applied;
+      ++next_update;
+    }
+  };
+  auto sweep_completions = [&](double at) {
+    for (auto it = inflight.begin(); it != inflight.end();) {
+      if (!backend_.finished(it->first)) {
+        ++it;
+        continue;
+      }
+      RequestRecord& rec = result.records[it->second];
+      rec.done_s = at;
+      rec.latency_s = at - rec.request.arrival_s;
+      rec.results = backend_.take_results(it->first).size();
+      it = inflight.erase(it);
+    }
+  };
+  std::size_t last_maintenance_batches = 0;
+  auto maybe_publish = [&] {
+    if (updates_ == nullptr || updates_->writer == nullptr) return;
+    if (result.batches == last_maintenance_batches) return;
+    const bool pub_due = updates_->publish_every_batches > 0 &&
+                         result.batches % updates_->publish_every_batches == 0;
+    const bool rel_due = updates_->relayout_every_batches > 0 &&
+                         result.batches % updates_->relayout_every_batches == 0;
+    if (!pub_due && !rel_due) return;
+    last_maintenance_batches = result.batches;
+    bool staged = false;
+    double at = std::max(now, last_complete);
+    if (pub_due && updates_->writer->dirty()) {
+      PublishDelta delta;
+      const IndexSnapshot snap = updates_->writer->publish(&delta);
+      const double cost = backend_.stage_snapshot(snap, delta);
+      updates_->publish_seconds += cost;
+      ++updates_->publishes;
+      at += cost;
+      staged = true;
+    }
+    if (rel_due) {
+      const double cost = backend_.stage_relayout();
+      updates_->relayout_seconds += cost;
+      ++updates_->relayouts;
+      at += cost;
+      staged = true;
+    }
+    if (staged) {
+      now = at;
+      last_complete = at;
+      inflight_steps.clear();  // the install's flush drained the pipe
+      if (tracing) trace_->set_now(at);
+      sweep_completions(at);
+    }
+  };
 
   double next_snapshot = 0.0;
   auto maybe_snapshot = [&](bool force = false) {
@@ -512,6 +682,9 @@ ServeResult ServingRuntime::run_pipelined(const std::vector<Request>& trace,
       rec.results = backend_.take_results(it->first).size();
       it = inflight.erase(it);
     }
+
+    apply_updates(now);
+    maybe_publish();
   };
 
   while (next_arrival < trace.size() || !batcher.empty() || !inflight.empty()) {
@@ -563,6 +736,7 @@ ServeResult ServingRuntime::run_pipelined(const std::vector<Request>& trace,
       process_arrival(trace[next_arrival]);
       ++next_arrival;
     }
+    apply_updates(now);
   }
 
   now = std::max(now, last_complete);  // drain the pipe's tail

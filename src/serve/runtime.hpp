@@ -14,10 +14,12 @@
 #include <vector>
 
 #include "backend/ann_backend.hpp"
+#include "core/mutable_index.hpp"
 #include "drim/engine.hpp"
 #include "serve/admission.hpp"
 #include "serve/batcher.hpp"
 #include "serve/metrics.hpp"
+#include "serve/update_workload.hpp"
 #include "serve/workload.hpp"
 
 namespace drim::serve {
@@ -42,6 +44,32 @@ struct ServeParams {
   /// ServeResult::snapshots every this many virtual seconds (0 = off).
   /// Samples land on event boundaries, so the spacing is >= the period.
   double snapshot_period_s = 0.0;
+};
+
+/// Binds the mutable-index write path into the serving loop (DESIGN.md §14).
+/// run() applies each op to the writer when the virtual clock passes its
+/// arrival, and every `publish_every_batches` backend steps it publishes the
+/// writer's pending mutations and stages the snapshot onto the backend — in
+/// between steps, so serving never pauses; the modeled install cost extends
+/// the virtual timeline. Queries batched before a publish are answered by
+/// the old version (the backends flush before installing), queries admitted
+/// after see the new one. The counters are written back by run().
+struct UpdateStream {
+  const UpdateTrace* trace = nullptr;  ///< ops + insert payloads (not owned)
+  IndexWriter* writer = nullptr;       ///< mutable state (not owned)
+  std::size_t publish_every_batches = 8;
+  /// Every this many backend steps, re-plan the backend's layout from its
+  /// observed probe traffic (0 = never). Runs after any due publish.
+  std::size_t relayout_every_batches = 0;
+
+  // ---- written back by run() ----
+  std::size_t applied = 0;   ///< ops consumed off the trace
+  std::size_t inserts = 0;
+  std::size_t deletes = 0;
+  std::size_t publishes = 0;
+  std::size_t relayouts = 0;
+  double publish_seconds = 0.0;   ///< modeled install cost, summed
+  double relayout_seconds = 0.0;  ///< modeled re-layout cost, summed
 };
 
 /// Everything run() produces.
@@ -84,6 +112,12 @@ class ServingRuntime {
     backend_.set_trace(trace);
   }
 
+  /// Attach (or detach, with nullptr) an update stream: run() interleaves
+  /// its ops and publishes with the search trace on the virtual clock. The
+  /// stream (and its trace/writer) must outlive run(); requires a backend
+  /// with supports_updates() when the stream has a writer.
+  void set_update_stream(UpdateStream* updates) { updates_ = updates; }
+
  private:
   /// The serial event loop (backend pipeline_depth() == 1): one step in
   /// flight at a time, the clock jumping across each step's critical path.
@@ -99,7 +133,8 @@ class ServingRuntime {
   AnnBackend& backend_;
   const FloatMatrix& pool_;
   ServeParams params_;
-  obs::TraceRecorder* trace_ = nullptr;  ///< not owned; may be null
+  obs::TraceRecorder* trace_ = nullptr;      ///< not owned; may be null
+  UpdateStream* updates_ = nullptr;          ///< not owned; may be null
 };
 
 }  // namespace drim::serve

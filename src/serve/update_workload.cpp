@@ -1,0 +1,110 @@
+#include "serve/update_workload.hpp"
+
+#include <algorithm>
+#include <memory>
+#include <stdexcept>
+
+#include "common/rng.hpp"
+
+namespace drim::serve {
+
+UpdateTrace generate_update_trace(const std::vector<Request>& searches,
+                                  const FloatMatrix& insert_pool,
+                                  std::size_t base_ntotal,
+                                  const UpdateWorkloadParams& params) {
+  if (params.update_rate < 0.0) {
+    throw std::invalid_argument("update_rate must be >= 0");
+  }
+  if (params.insert_fraction < 0.0 || params.insert_fraction > 1.0) {
+    throw std::invalid_argument("insert_fraction must be in [0, 1]");
+  }
+  const auto count = static_cast<std::size_t>(
+      params.update_rate * static_cast<double>(searches.size()) + 0.5);
+  UpdateTrace trace;
+  if (count == 0) return trace;
+  if (insert_pool.count() == 0 && params.insert_fraction > 0.0) {
+    throw std::invalid_argument("insert_fraction > 0 needs a non-empty insert pool");
+  }
+  if (base_ntotal == 0 && params.insert_fraction < 1.0) {
+    throw std::invalid_argument("deletes need a non-empty base id space");
+  }
+
+  Rng rng(params.seed);
+  const double span_s = searches.empty() ? 1.0 : searches.back().arrival_s;
+
+  // Draw the arrival instants first and sort them, so the op *sequence*
+  // (what the writer and oracle consume) is independent of how the kinds and
+  // targets are drawn below.
+  std::vector<double> arrivals(count);
+  for (double& a : arrivals) a = rng.next_double() * span_s;
+  std::sort(arrivals.begin(), arrivals.end());
+
+  trace.ops.reserve(count);
+  std::size_t inserted = 0;
+  // The delete sampler's cdf is O(id space) to build; rebuild it only when
+  // an insert has grown the space since the last delete.
+  std::unique_ptr<ZipfSampler> zipf;
+  std::uint32_t zipf_space = 0;
+  for (std::size_t i = 0; i < count; ++i) {
+    UpdateOp op;
+    op.arrival_s = arrivals[i];
+    if (rng.next_double() < params.insert_fraction) {
+      op.kind = UpdateKind::kInsert;
+      const auto row = static_cast<std::uint32_t>(rng.next_below(insert_pool.count()));
+      op.target = static_cast<std::uint32_t>(trace.insert_vectors.count());
+      trace.insert_vectors.push_back(insert_pool.row(row));
+      ++inserted;
+    } else {
+      op.kind = UpdateKind::kDelete;
+      // Zipf over the id space that exists at this point of the sequence
+      // (base ids plus the inserts already issued). Low ids are hottest, so
+      // skew concentrates churn on the oldest — typically largest — lists.
+      // A duplicate draw deletes an already-dead id: a deterministic no-op.
+      const auto id_space = static_cast<std::uint32_t>(base_ntotal + inserted);
+      if (!zipf || zipf_space != id_space) {
+        zipf = std::make_unique<ZipfSampler>(id_space, params.delete_skew);
+        zipf_space = id_space;
+      }
+      op.target = (*zipf)(rng);
+    }
+    trace.ops.push_back(op);
+  }
+  return trace;
+}
+
+UpdateOracle::UpdateOracle(const FloatMatrix& base)
+    : points_(base), dead_(base.count(), 0), live_count_(base.count()) {}
+
+std::uint32_t UpdateOracle::apply(const UpdateOp& op,
+                                  const FloatMatrix& insert_vectors) {
+  if (op.kind == UpdateKind::kInsert) {
+    const auto id = static_cast<std::uint32_t>(points_.count());
+    points_.push_back(insert_vectors.row(op.target));
+    dead_.push_back(0);
+    ++live_count_;
+    return id;
+  }
+  if (op.target < dead_.size() && dead_[op.target] == 0) {
+    dead_[op.target] = 1;
+    --live_count_;
+  }
+  return op.target;
+}
+
+std::vector<Neighbor> UpdateOracle::topk(std::span<const float> query,
+                                         std::size_t k) const {
+  TopK heap(k);
+  for (std::size_t id = 0; id < points_.count(); ++id) {
+    if (dead_[id]) continue;
+    const auto row = points_.row(id);
+    float dist = 0.0f;
+    for (std::size_t d = 0; d < row.size(); ++d) {
+      const float diff = row[d] - query[d];
+      dist += diff * diff;
+    }
+    heap.push(dist, static_cast<std::uint32_t>(id));
+  }
+  return heap.take_sorted();
+}
+
+}  // namespace drim::serve

@@ -1,0 +1,85 @@
+#pragma once
+// Update-workload generation for the mutable-index serving path (DESIGN.md
+// §14): a timestamped trace of insert/delete operations interleaved with a
+// search trace on the same virtual clock, plus a brute-force oracle that
+// tracks the evolving live set for recall / correctness checks. Everything
+// is seeded, so an update run is reproducible bit-for-bit — the acceptance
+// contract ("results after N update batches equal a cold offline build of
+// the same logical state") only means anything on a deterministic trace.
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/topk.hpp"
+#include "data/dataset.hpp"
+#include "serve/workload.hpp"
+
+namespace drim::serve {
+
+enum class UpdateKind : std::uint8_t { kInsert, kDelete };
+
+/// One mutation as the serving layer sees it. For kInsert, `target` is the
+/// row of UpdateTrace::insert_vectors to insert (the writer assigns the real
+/// id); for kDelete, `target` is the id to tombstone (a miss — already
+/// deleted or never existed — is a deterministic no-op, like a DELETE of an
+/// absent key).
+struct UpdateOp {
+  double arrival_s = 0.0;
+  UpdateKind kind = UpdateKind::kInsert;
+  std::uint32_t target = 0;
+};
+
+/// A generated update stream: ops sorted by arrival, plus the payload
+/// vectors the insert ops reference.
+struct UpdateTrace {
+  std::vector<UpdateOp> ops;
+  FloatMatrix insert_vectors;  ///< row i backs the i-th insert op
+};
+
+struct UpdateWorkloadParams {
+  /// Updates per search request (1% update rate = 0.01).
+  double update_rate = 0.01;
+  /// Fraction of updates that are inserts; the rest are deletes.
+  double insert_fraction = 0.5;
+  /// Zipf exponent over delete targets (0 = uniform): skewed deletes
+  /// concentrate tombstones on low ids — the hot-cluster churn regime.
+  double delete_skew = 0.0;
+  std::uint64_t seed = 977;
+};
+
+/// Interleave `round(update_rate * searches.size())` mutations with a search
+/// trace: arrival times are uniform draws over the search trace's span (then
+/// sorted), each op is an insert with probability insert_fraction (payload
+/// drawn uniformly from `insert_pool`) and otherwise a delete whose target
+/// is Zipf-drawn from the id space [0, base_ntotal + inserts-so-far).
+UpdateTrace generate_update_trace(const std::vector<Request>& searches,
+                                  const FloatMatrix& insert_pool,
+                                  std::size_t base_ntotal,
+                                  const UpdateWorkloadParams& params);
+
+/// Brute-force ground truth over the evolving live set. Apply the same ops
+/// in the same order as the IndexWriter and ids line up exactly (inserts are
+/// assigned sequentially from the base ntotal, matching the writer).
+class UpdateOracle {
+ public:
+  /// The base corpus: ids 0..base.count()-1, all live.
+  explicit UpdateOracle(const FloatMatrix& base);
+
+  /// Apply one op; returns the id it affected (the assigned id for inserts).
+  std::uint32_t apply(const UpdateOp& op, const FloatMatrix& insert_vectors);
+
+  bool alive(std::uint32_t id) const { return id < dead_.size() && dead_[id] == 0; }
+  std::size_t live_count() const { return live_count_; }
+
+  /// Exact float-L2 top-k over the live set, ties broken toward lower id.
+  std::vector<Neighbor> topk(std::span<const float> query, std::size_t k) const;
+
+ private:
+  FloatMatrix points_;               ///< id-indexed (base rows then inserts)
+  std::vector<std::uint8_t> dead_;
+  std::size_t live_count_ = 0;
+};
+
+}  // namespace drim::serve

@@ -21,6 +21,8 @@
 //               [--shards 1] [--shard-replication 0.1]
 //               [--trace out.json] [--metrics out.csv|out.json]
 //               [--snapshot-ms 0]
+//               [--update-trace 0] [--update-skew 0] [--update-inserts 0.5]
+//               [--publish-every 8] [--relayout-every 0] [--split-threshold 0]
 //
 // --shards N serves the index from an N-shard cluster tier (drim backend
 // only): clusters are partitioned across N PIM nodes by the heat-balancing
@@ -43,6 +45,13 @@
 // admission control, tail-latency accounting — on any backend (default
 // drim). --max-wait-us/--slo-ms default to multiples of the backend's
 // Eq. 15 batch-time estimate (printed) when left at 0.
+//
+// --update-trace R interleaves R mutations per search request (inserts drawn
+// from the query pool, deletes Zipf-skewed by --update-skew with insert
+// fraction --update-inserts) through the mutable-index writer; snapshots
+// publish to the backend every --publish-every batches, the layout re-plans
+// from observed traffic every --relayout-every batches (0 = never), and
+// --split-threshold T splits any cluster whose live size exceeds T.
 //
 // --trace writes a Chrome-trace / Perfetto JSON timeline of the run (device
 // phase spans, host phases, serve-layer events); open it at
@@ -394,6 +403,37 @@ int cmd_serve(const Args& args) {
 
   const auto trace = serve::generate_workload(pool.count(), wp);
   serve::ServingRuntime runtime(*backend, pool, sp);
+
+  // Mutable-index serving: interleave an update trace and publish on cadence.
+  const double update_rate = args.get_double("update-trace", 0.0);
+  const std::size_t relayout_every = args.get_size("relayout-every", 0);
+  serve::UpdateTrace update_trace;
+  std::unique_ptr<IndexWriter> writer;
+  serve::UpdateStream updates;
+  if (update_rate > 0.0 || relayout_every > 0) {
+    if (update_rate > 0.0) {
+      serve::UpdateWorkloadParams up;
+      up.update_rate = update_rate;
+      up.delete_skew = args.get_double("update-skew", 0.0);
+      up.insert_fraction = args.get_double("update-inserts", 0.5);
+      up.seed = args.get_size("seed", 42) + 1;
+      update_trace = serve::generate_update_trace(trace, pool, index.ntotal(), up);
+    }
+    WriterParams writer_params;
+    writer_params.split_threshold = args.get_size("split-threshold", 0);
+    writer = std::make_unique<IndexWriter>(index, writer_params);
+    updates.trace = &update_trace;
+    updates.writer = writer.get();
+    updates.publish_every_batches = args.get_size("publish-every", 8);
+    updates.relayout_every_batches = relayout_every;
+    runtime.set_update_stream(&updates);
+    std::printf("updates: %zu ops (%.2f/search), publish every %zu batches, "
+                "re-layout every %zu, split threshold %zu\n",
+                update_trace.ops.size(), update_rate,
+                updates.publish_every_batches, relayout_every,
+                writer_params.split_threshold);
+  }
+
   obs::TraceRecorder recorder;
   if (args.has("trace")) runtime.set_trace(&recorder);
   const serve::ServeResult res = runtime.run(trace);
@@ -419,6 +459,16 @@ int cmd_serve(const Args& args) {
               r.mean_queue_wait_ms, r.throughput_qps, r.goodput_qps);
   std::printf("timeout rate %.1f%%, shed rate %.1f%%\n", 100.0 * r.timeout_rate,
               100.0 * r.shed_rate);
+  if (writer != nullptr) {
+    std::printf("updates: %zu applied (%zu ins / %zu del), %zu publishes "
+                "(%.3f ms), %zu re-layouts (%.3f ms); index v%llu: %zu live, "
+                "nlist %zu\n",
+                updates.applied, updates.inserts, updates.deletes,
+                updates.publishes, updates.publish_seconds * 1e3,
+                updates.relayouts, updates.relayout_seconds * 1e3,
+                static_cast<unsigned long long>(backend->snapshot_version()),
+                writer->live_count(), writer->nlist());
+  }
   print_shard_health(*backend);
   return 0;
 }
