@@ -17,6 +17,9 @@
 // pipeline legitimately flattens the latency/load curve near capacity). A
 // separate depth-sweep section always compares the depth-1 and depth-2
 // backend totals on a transfer-heavy streaming run and records the speedup.
+// On the unsharded drim backend, an adaptive-precision section additionally
+// compares shed-only vs degrade-to-q4 admission at the overload point on a
+// ladder-enabled engine (recall-vs-goodput: see bench/precision_ladder).
 // `--shards N` (with `--shard-replication F`) serves from an N-shard cluster
 // tier (drim backend only): the whole sweep runs unchanged behind the
 // ShardRouter, so saturation and admission behavior are directly comparable
@@ -304,6 +307,42 @@ int main(int argc, char** argv) {
   // Acceptance: shedding keeps goodput within 10% of the sweep's peak even
   // past saturation.
   ok = ok && overload_goodput >= 0.9 * peak_goodput;
+
+  // Adaptive precision at the overload point: on a ladder-enabled backend
+  // (drim only — the cpu baseline has no ladder and would silently ignore
+  // the rung), degrade-before-shed admission serves predicted SLO violators
+  // on the q4 rung instead of rejecting them. Recall-vs-goodput: degraded
+  // requests trade recall for staying admitted, so goodput can only improve.
+  if (backend_kind == BackendKind::kDrim && num_shards == 1) {
+    print_title("Adaptive precision — degrade-to-q4 vs shed-only at overload");
+    DrimEngineOptions l_opts = opts;
+    l_opts.enable_q4 = true;
+    std::unique_ptr<AnnBackend> ladder =
+        make_backend(backend_kind, index, bench.data.learn, l_opts, cpu_opts);
+    wp.offered_qps = multipliers.back() * capacity_qps;
+    const std::vector<Request> trace =
+        generate_workload(bench.data.queries.count(), wp);
+    std::printf("%10s | %6s %6s %8s | %9s | %8s\n", "policy", "served", "shed",
+                "degraded", "goodput", "timeout%");
+    print_rule(64);
+    double shed_goodput = 0.0, degrade_goodput = 0.0;
+    for (const bool degrade : {false, true}) {
+      ServeParams p = sp;
+      p.admission.degrade_to_q4 = degrade;
+      ServeResult res = ServingRuntime(*ladder, bench.data.queries, p).run(trace);
+      std::printf("%10s | %6zu %6zu %8zu | %9.0f | %7.1f%%\n",
+                  degrade ? "degrade" : "shed-only", res.report.served,
+                  res.report.shed, res.report.degraded, res.report.goodput_qps,
+                  100.0 * res.report.timeout_rate);
+      report.add_row(degrade ? "adaptive_degrade" : "adaptive_shed_only");
+      add_report_metrics(report, res.report, wp.offered_qps);
+      report.add_metric("degraded", static_cast<double>(res.report.degraded));
+      ok = ok && res.report.served + res.report.shed == res.report.offered;
+      (degrade ? degrade_goodput : shed_goodput) = res.report.goodput_qps;
+    }
+    // Acceptance: degrading instead of shedding never loses goodput.
+    ok = ok && degrade_goodput >= shed_goodput;
+  }
 
   print_title("Pipelined execution — depth sweep (streaming, small batches)");
   std::printf("%6s | %12s | %8s\n", "depth", "total ms", "speedup");

@@ -188,23 +188,38 @@ std::string json_number(double v) {
   return s;
 }
 
-std::string git_revision() {
-  std::string rev = "unknown";
-  if (FILE* pipe = ::popen("git rev-parse HEAD 2>/dev/null", "r")) {
-    char buf[128];
-    if (std::fgets(buf, sizeof(buf), pipe)) {
-      rev = buf;
-      while (!rev.empty() && (rev.back() == '\n' || rev.back() == '\r')) {
-        rev.pop_back();
-      }
-      if (rev.empty()) rev = "unknown";
-    }
-    ::pclose(pipe);
+/// Run one git command; returns true when it exited 0, with its (trimmed)
+/// stdout in `out`.
+bool run_git(const char* cmd, std::string& out) {
+  FILE* pipe = ::popen(cmd, "r");
+  if (pipe == nullptr) return false;
+  char buf[256];
+  while (std::fgets(buf, sizeof(buf), pipe)) out += buf;
+  const int status = ::pclose(pipe);
+  while (!out.empty() && (out.back() == '\n' || out.back() == '\r')) {
+    out.pop_back();
   }
-  return rev;
+  return status == 0;
 }
 
 }  // namespace
+
+GitState query_git_state() {
+  GitState g;
+  std::string rev;
+  if (run_git("git rev-parse HEAD 2>/dev/null", rev) && !rev.empty()) {
+    g.rev = rev;
+  } else {
+    return g;  // not a repository: "unknown", clean, attached
+  }
+  std::string status;
+  if (run_git("git status --porcelain 2>/dev/null", status)) {
+    g.dirty = !status.empty();
+  }
+  std::string ref;
+  g.detached = !run_git("git symbolic-ref -q HEAD 2>/dev/null", ref);
+  return g;
+}
 
 BenchReport::BenchReport(std::string name)
     : name_(std::move(name)), start_seconds_(steady_seconds()) {}
@@ -233,9 +248,12 @@ void BenchReport::add_metric(const std::string& key, double value) {
 std::string BenchReport::write(const std::string& dir) const {
   const std::string path = dir + "/BENCH_" + name_ + ".json";
   std::ofstream out(path);
+  const GitState git = query_git_state();
   out << "{\n";
   out << "  \"bench\": \"" << json_escape(name_) << "\",\n";
-  out << "  \"git_rev\": \"" << json_escape(git_revision()) << "\",\n";
+  out << "  \"git_rev\": \"" << json_escape(git.rev) << "\",\n";
+  out << "  \"git_dirty\": " << (git.dirty ? "true" : "false") << ",\n";
+  out << "  \"git_detached\": " << (git.detached ? "true" : "false") << ",\n";
   out << "  \"host_wall_seconds\": "
       << json_number(steady_seconds() - start_seconds_) << ",\n";
   out << "  \"config\": {";

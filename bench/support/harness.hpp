@@ -123,11 +123,24 @@ struct BackendRun {
 BackendRun run_backend(const BenchData& bench, AnnBackend& backend, std::size_t k,
                        std::size_t nprobe);
 
+/// Git state recorded into every BENCH_*.json: the revision plus whether the
+/// working tree was dirty or HEAD detached when the report was written, so
+/// artifacts from unclean trees are distinguishable from clean-rev runs.
+struct GitState {
+  std::string rev = "unknown";
+  bool dirty = false;     ///< `git status --porcelain` non-empty
+  bool detached = false;  ///< `git symbolic-ref -q HEAD` fails (detached HEAD)
+};
+
+/// Probe the current working directory's git state ("unknown" / false fields
+/// outside a repository).
+GitState query_git_state();
+
 /// Machine-readable companion to the printed tables: accumulates a config
 /// map plus labeled metric rows and serializes them as BENCH_<name>.json
-/// (bench name, git revision, host wall-clock since construction, config,
-/// rows). Every figure/bench binary writes one so sweeps are scriptable
-/// without scraping stdout.
+/// (bench name, git revision + dirty/detached state, host wall-clock since
+/// construction, config, rows). Every figure/bench binary writes one so
+/// sweeps are scriptable without scraping stdout.
 class BenchReport {
  public:
   explicit BenchReport(std::string name);

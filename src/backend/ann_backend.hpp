@@ -16,6 +16,7 @@
 
 #include "core/ivf.hpp"
 #include "core/mutable_index.hpp"
+#include "core/precision.hpp"
 #include "core/topk.hpp"
 #include "data/dataset.hpp"
 #include "obs/trace.hpp"
@@ -91,6 +92,14 @@ class AnnBackend {
   /// Admit one query; returns its completion handle.
   virtual std::uint32_t enqueue(std::span<const float> query, std::size_t k,
                                 std::size_t nprobe) = 0;
+  /// Admit one query at an explicit precision rung (DESIGN.md §15). The
+  /// default ignores the rung and runs full precision — backends without a
+  /// quantization ladder stay correct unchanged; DrimBackend honors it.
+  virtual std::uint32_t enqueue(std::span<const float> query, std::size_t k,
+                                std::size_t nprobe, Precision precision) {
+    (void)precision;
+    return enqueue(query, k, nprobe);
+  }
   /// True when the backend can accept caller-routed probe lists (the cluster
   /// router's per-shard dispatch path). Default: no.
   virtual bool supports_routed_enqueue() const { return false; }
@@ -100,6 +109,14 @@ class AnnBackend {
                                        std::span<const std::uint32_t> probes) {
     (void)query; (void)k; (void)probes;
     throw std::logic_error(name() + " backend does not support routed enqueue");
+  }
+  /// Routed admit at an explicit precision rung; same default-ignore
+  /// contract as the precision-taking enqueue().
+  virtual std::uint32_t enqueue_routed(std::span<const float> query, std::size_t k,
+                                       std::span<const std::uint32_t> probes,
+                                       Precision precision) {
+    (void)precision;
+    return enqueue_routed(query, k, probes);
   }
   /// Modeled host cluster-location cost for n queries (what the router bills
   /// at the front-end instead of per shard). 0 for backends with no model.

@@ -41,6 +41,9 @@ class CpuBackend final : public AnnBackend {
                                             std::size_t nprobe) override;
 
   void reset_stream() override;
+  // Precision-taking enqueue stays visible (the CPU baseline has no ladder;
+  // the seam's default ignores the rung and lands here).
+  using AnnBackend::enqueue;
   std::uint32_t enqueue(std::span<const float> query, std::size_t k,
                         std::size_t nprobe) override;
   BackendStepStats step(std::size_t max_queries, bool flush) override;

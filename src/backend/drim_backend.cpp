@@ -57,16 +57,29 @@ void DrimBackend::maybe_compact() {
 
 std::uint32_t DrimBackend::enqueue(std::span<const float> query, std::size_t k,
                                    std::size_t nprobe) {
+  return enqueue(query, k, nprobe, Precision::kFull);
+}
+
+std::uint32_t DrimBackend::enqueue(std::span<const float> query, std::size_t k,
+                                   std::size_t nprobe, Precision precision) {
   maybe_compact();
-  const std::uint32_t internal = engine_->enqueue_query(state_, query, k, nprobe);
+  const std::uint32_t internal =
+      engine_->enqueue_query(state_, query, k, nprobe, precision);
   ++live_handles_;
   return handle_base_ + internal;
 }
 
 std::uint32_t DrimBackend::enqueue_routed(std::span<const float> query, std::size_t k,
                                           std::span<const std::uint32_t> probes) {
+  return enqueue_routed(query, k, probes, Precision::kFull);
+}
+
+std::uint32_t DrimBackend::enqueue_routed(std::span<const float> query, std::size_t k,
+                                          std::span<const std::uint32_t> probes,
+                                          Precision precision) {
   maybe_compact();
-  const std::uint32_t internal = engine_->enqueue_query_routed(state_, query, k, probes);
+  const std::uint32_t internal =
+      engine_->enqueue_query_routed(state_, query, k, probes, precision);
   ++live_handles_;
   return handle_base_ + internal;
 }
@@ -77,7 +90,7 @@ BackendStepStats DrimBackend::step(std::size_t max_queries, bool flush) {
   host_wall_seconds_ += now_seconds() - t0;
   BackendStepStats out;
   out.step_seconds = s.step_seconds;
-  out.host_seconds = s.host_cl_seconds;
+  out.host_seconds = s.host_cl_seconds + s.host_rerank_seconds;
   out.pre_seconds = s.cl_pim_seconds;
   out.exec_seconds = s.pim_batch_seconds;
   out.fresh_queries = s.fresh_queries;

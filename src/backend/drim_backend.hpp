@@ -37,9 +37,14 @@ class DrimBackend final : public AnnBackend {
   void reset_stream() override;
   std::uint32_t enqueue(std::span<const float> query, std::size_t k,
                         std::size_t nprobe) override;
+  std::uint32_t enqueue(std::span<const float> query, std::size_t k,
+                        std::size_t nprobe, Precision precision) override;
   bool supports_routed_enqueue() const override { return true; }
   std::uint32_t enqueue_routed(std::span<const float> query, std::size_t k,
                                std::span<const std::uint32_t> probes) override;
+  std::uint32_t enqueue_routed(std::span<const float> query, std::size_t k,
+                               std::span<const std::uint32_t> probes,
+                               Precision precision) override;
   double locate_cost_seconds(std::size_t num_queries) const override {
     return engine_->host_cl_cost_seconds(num_queries);
   }

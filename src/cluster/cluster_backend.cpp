@@ -107,12 +107,18 @@ void ClusterBackend::maybe_compact() {
 
 std::uint32_t ClusterBackend::enqueue(std::span<const float> query, std::size_t k,
                                       std::size_t nprobe) {
-  if (passthrough()) return shards_[0]->enqueue(query, k, nprobe);
+  return enqueue(query, k, nprobe, Precision::kFull);
+}
+
+std::uint32_t ClusterBackend::enqueue(std::span<const float> query, std::size_t k,
+                                      std::size_t nprobe, Precision precision) {
+  if (passthrough()) return shards_[0]->enqueue(query, k, nprobe, precision);
   maybe_compact();
   RouterQuery q;
   q.values.assign(query.begin(), query.end());
   q.k = static_cast<std::uint32_t>(k);
   q.nprobe = static_cast<std::uint32_t>(nprobe);
+  q.precision = precision;
   queries_.push_back(std::move(q));
   ++live_handles_;
   return handle_base_ + static_cast<std::uint32_t>(queries_.size() - 1);
@@ -221,7 +227,7 @@ BackendStepStats ClusterBackend::step(std::size_t max_queries, bool flush) {
     for (std::uint32_t s = 0; s < shards_.size(); ++s) {
       if (per_shard_probes[s].empty()) continue;
       const std::uint32_t handle =
-          shards_[s]->enqueue_routed(q.values, q.k, per_shard_probes[s]);
+          shards_[s]->enqueue_routed(q.values, q.k, per_shard_probes[s], q.precision);
       q.parts.emplace_back(s, handle);
       ++health_[s].dispatched_queries;
       health_[s].dispatched_tasks += per_shard_probes[s].size();

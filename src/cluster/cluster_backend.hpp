@@ -76,6 +76,8 @@ class ClusterBackend final : public AnnBackend {
   void reset_stream() override;
   std::uint32_t enqueue(std::span<const float> query, std::size_t k,
                         std::size_t nprobe) override;
+  std::uint32_t enqueue(std::span<const float> query, std::size_t k,
+                        std::size_t nprobe, Precision precision) override;
   BackendStepStats step(std::size_t max_queries, bool flush) override;
   std::size_t pipeline_depth() const override;
   void set_step_start(double submit_seconds) override;
@@ -147,6 +149,9 @@ class ClusterBackend final : public AnnBackend {
     std::vector<float> values;
     std::uint32_t k = 0;
     std::uint32_t nprobe = 0;
+    /// Requested precision rung, forwarded to every shard dispatch (shards
+    /// without a ladder ignore it via the seam's default).
+    Precision precision = Precision::kFull;
     /// (shard, shard-local handle) of each partial dispatched for this query.
     std::vector<std::pair<std::uint32_t, std::uint32_t>> parts;
     /// Host-exact hits for probed clusters with no live owner.

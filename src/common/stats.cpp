@@ -35,10 +35,12 @@ double stddev(const std::vector<double>& v) {
   return std::sqrt(s / static_cast<double>(v.size()));
 }
 
-double percentile(std::vector<double> v, double p) {
+namespace {
+
+/// Percentile of an already-sorted (ascending) sample.
+double sorted_percentile(const std::vector<double>& v, double p) {
   if (v.empty()) return 0.0;
   p = std::clamp(p, 0.0, 100.0);
-  std::sort(v.begin(), v.end());
   const double rank = (p / 100.0) * static_cast<double>(v.size() - 1);
   const std::size_t lo = static_cast<std::size_t>(rank);
   const std::size_t hi = std::min(lo + 1, v.size() - 1);
@@ -46,14 +48,27 @@ double percentile(std::vector<double> v, double p) {
   return v[lo] * (1.0 - frac) + v[hi] * frac;
 }
 
+}  // namespace
+
+double percentile(std::vector<double> v, double p) {
+  std::sort(v.begin(), v.end());
+  return sorted_percentile(v, p);
+}
+
 TailSummary tail_summary(const std::vector<double>& v) {
   TailSummary t;
   if (v.empty()) return t;
-  t.p50 = percentile(v, 50);
-  t.p95 = percentile(v, 95);
-  t.p99 = percentile(v, 99);
+  // Sort one copy and derive every statistic from it, instead of letting
+  // percentile() copy and re-sort the full sample per call.
+  std::vector<double> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  t.p50 = sorted_percentile(sorted, 50);
+  t.p95 = sorted_percentile(sorted, 95);
+  t.p99 = sorted_percentile(sorted, 99);
+  // Mean over the ORIGINAL order: fp addition is not associative, so summing
+  // the sorted copy would drift the mean by ulps from mean(v).
   t.mean = mean(v);
-  t.max = *std::max_element(v.begin(), v.end());
+  t.max = sorted.back();
   return t;
 }
 

@@ -1,0 +1,35 @@
+#pragma once
+// The quantization ladder's rung type (DESIGN.md §15). A request executes at
+// exactly one rung: kFull runs the standard 8/16-bit PQ pipeline, kQ4 runs
+// the packed 4-bit code path (coarsened codebooks, dual-nibble LUT lookups,
+// half the MRAM code traffic) followed by an exact host-side rerank of the
+// surviving candidates. The rung travels with the query through every layer
+// — backend enqueue, cluster routing, scheduling, kernel launch — so mixed
+// batches are first-class.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+namespace drim {
+
+/// One rung of the precision ladder, ordered cheap-to-precise from the top.
+enum class Precision : std::uint8_t {
+  kFull = 0,  ///< full-precision PQ scan (the default path)
+  kQ4 = 1,    ///< packed 4-bit scan + exact host rerank of the top-k
+};
+
+/// "full" / "q4" (matches the CLI --precision values).
+inline std::string precision_name(Precision p) {
+  return p == Precision::kQ4 ? "q4" : "full";
+}
+
+/// Parse a --precision value; throws std::invalid_argument on anything else.
+inline Precision parse_precision(const std::string& name) {
+  if (name == "full") return Precision::kFull;
+  if (name == "q4") return Precision::kQ4;
+  throw std::invalid_argument("unknown precision '" + name +
+                              "' (expected full or q4)");
+}
+
+}  // namespace drim

@@ -43,7 +43,7 @@ void dedup_reserve(std::size_t id_space) {
 
 SchedulerParams derive_scheduler_params(const PimConfig& cfg, std::size_t dim,
                                         std::size_t m, std::size_t cb, std::size_t k,
-                                        bool use_square_lut) {
+                                        bool use_square_lut, std::size_t cb4) {
   const std::size_t dsub = dim / m;
   const DpuInstructionCosts& c = cfg.costs;
   SchedulerParams p;
@@ -63,6 +63,26 @@ SchedulerParams derive_scheduler_params(const PimConfig& cfg, std::size_t dim,
   double log2k = 1.0;
   for (std::size_t v = k; v > 1; v >>= 1) log2k += 1.0;
   p.l_sortu = c.cmp + 0.25 * log2k * (c.cmp + 2.0 * c.wram_access);
+
+  // 4-bit rung coefficients, matching the q4 kernel's charges: cb4-entry
+  // coarse LUTs with per-component shifts, a 256-entry pair fold per LUT
+  // pair, and a packed (m+1)/2-byte code stream.
+  if (cb4 > 0) {
+    const std::size_t pairs = (m + 1) / 2;
+    const double per_entry_q4 = per_entry + static_cast<double>(dsub);  // + shift
+    const double lc_dma_q4 =
+        static_cast<double>(m * cb4 * dsub * 2) * cfg.dma_cycles_per_byte;
+    const double pair_fold =
+        static_cast<double>(pairs) * 256.0 * (c.add + c.wram_access);
+    p.l_lut_q4 = static_cast<double>(m * cb4) * per_entry_q4 + rc +
+                 static_cast<double>(dim) + lc_dma_q4 + pair_fold;
+    p.l_calu_q4 = static_cast<double>(pairs) * c.lut_lookup +
+                  static_cast<double>(pairs - 1) * c.add +
+                  static_cast<double>(pairs) * cfg.dma_cycles_per_byte;
+  } else {
+    p.l_lut_q4 = p.l_lut;
+    p.l_calu_q4 = p.l_calu;
+  }
   return p;
 }
 
@@ -140,7 +160,8 @@ void DrimAnnEngine::ensure_scheduler_params(std::size_t k) {
   const double slack = opts_.scheduler.filter_slack;
   const SchedulePolicy policy = opts_.scheduler.policy;
   opts_.scheduler = derive_scheduler_params(opts_.pim, data_.dim(), data_.m(),
-                                            data_.cb_entries(), k, opts_.use_square_lut);
+                                            data_.cb_entries(), k, opts_.use_square_lut,
+                                            q4_ready() ? data_.cb4() : 0);
   opts_.scheduler.enable_filter = filter;
   opts_.scheduler.filter_slack = slack;
   opts_.scheduler.policy = policy;
@@ -164,6 +185,18 @@ void DrimAnnEngine::load_static_data() {
   centroids_off_ = pim_->alloc_symmetric(cents.size() * 2);
   pim_->broadcast(centroids_off_,
                   {reinterpret_cast<const std::uint8_t*>(cents.data()), cents.size() * 2});
+
+  // Quantization-ladder statics (DESIGN.md §15), only when the ladder is on:
+  // with enable_q4 off the MRAM image stays byte-identical to the pre-ladder
+  // engine, so staging geometry and modeled times are unchanged.
+  const bool ladder = opts_.enable_q4 && data_.has_q4();
+  if (ladder) {
+    const auto books_q4 = data_.codebooks_q4();
+    codebooks_q4_off_ = pim_->alloc_symmetric(books_q4.size() * 2);
+    pim_->broadcast(codebooks_q4_off_,
+                    {reinterpret_cast<const std::uint8_t*>(books_q4.data()),
+                     books_q4.size() * 2});
+  }
 
   // ---- per-DPU shard data ----
   const std::size_t num_dpus = pim_->num_dpus();
@@ -201,6 +234,15 @@ void DrimAnnEngine::load_static_data() {
       pim_->push(d, region.ids_offset,
                  {reinterpret_cast<const std::uint8_t*>(ids.data() + sh.begin),
                   static_cast<std::size_t>(region.size) * sizeof(std::uint32_t)});
+      if (ladder) {
+        const auto codes_q4 = data_.cluster_codes_q4(sh.cluster);
+        const std::size_t cs4 = data_.code_size_q4();
+        region.q4_codes_offset = pim_->alloc_on(d, region.size * cs4);
+        region.q4_shift = data_.cluster_shift(sh.cluster);
+        pim_->push(d, region.q4_codes_offset,
+                   codes_q4.subspan(sh.begin * cs4,
+                                    static_cast<std::size_t>(region.size) * cs4));
+      }
 
       shard_slot_[shard_id] = static_cast<std::uint32_t>(dpu_shard_regions_[d].size());
       dpu_shard_regions_[d].push_back(region);
@@ -538,7 +580,7 @@ double DrimAnnEngine::locate_on_pim(
 
 std::uint32_t DrimAnnEngine::enqueue_query(SearchBatchState& state,
                                            std::span<const float> query, std::size_t k,
-                                           std::size_t nprobe) {
+                                           std::size_t nprobe, Precision precision) {
   const std::uint32_t handle = static_cast<std::uint32_t>(state.quantized.size());
   state.quantized.push_back(PimIndexData::quantize_query(query));
   state.probes.emplace_back();
@@ -546,6 +588,8 @@ std::uint32_t DrimAnnEngine::enqueue_query(SearchBatchState& state,
   state.query_k.push_back(static_cast<std::uint32_t>(k));
   state.query_nprobe.push_back(static_cast<std::uint32_t>(nprobe));
   state.cl_external.push_back(0);
+  state.query_precision.push_back(
+      precision == Precision::kQ4 && q4_ready() ? 1 : 0);
   state.accum.emplace_back(k);
   state.deferred_per_query.push_back(0);
   return handle;
@@ -554,7 +598,8 @@ std::uint32_t DrimAnnEngine::enqueue_query(SearchBatchState& state,
 std::uint32_t DrimAnnEngine::enqueue_query_routed(SearchBatchState& state,
                                                   std::span<const float> query,
                                                   std::size_t k,
-                                                  std::span<const std::uint32_t> probes) {
+                                                  std::span<const std::uint32_t> probes,
+                                                  Precision precision) {
   if (opts_.cl_on_pim) {
     throw std::invalid_argument(
         "enqueue_query_routed: caller-supplied probe lists are incompatible "
@@ -567,20 +612,25 @@ std::uint32_t DrimAnnEngine::enqueue_query_routed(SearchBatchState& state,
   state.query_nprobe.push_back(
       static_cast<std::uint32_t>(std::max<std::size_t>(probes.size(), 1)));
   state.cl_external.push_back(1);
+  state.query_precision.push_back(
+      precision == Precision::kQ4 && q4_ready() ? 1 : 0);
   state.accum.emplace_back(k);
   state.deferred_per_query.push_back(0);
   return handle;
 }
 
 void DrimAnnEngine::enqueue_queries(SearchBatchState& state, const FloatMatrix& queries,
-                                    std::size_t k, std::size_t nprobe) {
+                                    std::size_t k, std::size_t nprobe,
+                                    Precision precision) {
   const std::size_t base = state.quantized.size();
   const std::size_t nq = queries.count();
+  const std::uint8_t rung = precision == Precision::kQ4 && q4_ready() ? 1 : 0;
   state.quantized.resize(base + nq);
   state.probes.resize(base + nq);
   state.query_k.resize(base + nq, static_cast<std::uint32_t>(k));
   state.query_nprobe.resize(base + nq, static_cast<std::uint32_t>(nprobe));
   state.cl_external.resize(base + nq, 0);
+  state.query_precision.resize(base + nq, rung);
   state.accum.reserve(base + nq);
   for (std::size_t q = 0; q < nq; ++q) state.accum.emplace_back(k);
   state.deferred_per_query.resize(base + nq, 0);
@@ -681,8 +731,8 @@ BatchStepStats DrimAnnEngine::search_batch(SearchBatchState& state,
 
   // The scheduler walks only this chunk's range of the probe table
   // (Task.query indexes the whole state).
-  const Assignment assignment =
-      scheduler_->schedule(state.probes, begin, end, state.carried, flush);
+  const Assignment assignment = scheduler_->schedule(
+      state.probes, begin, end, state.carried, flush, &state.query_precision);
   state.carried = assignment.deferred;
   std::fill(state.deferred_per_query.begin(), state.deferred_per_query.end(), 0u);
   for (const Task& t : state.carried) ++state.deferred_per_query[t.query];
@@ -702,6 +752,7 @@ BatchStepStats DrimAnnEngine::search_batch(SearchBatchState& state,
   const std::uint64_t epoch_base =
       g_dedup_epoch.fetch_add(num_dpus, std::memory_order_relaxed);
   const std::size_t id_space = state.quantized.size();
+  const bool ladder = q4_ready();
   parallel_for(0, num_dpus, [&](std::size_t d) {
     const auto& tasks = assignment.per_dpu[d];
     if (tasks.empty()) return;
@@ -714,7 +765,14 @@ BatchStepStats DrimAnnEngine::search_batch(SearchBatchState& state,
         tl_dedup_slot[t.query] = static_cast<std::uint32_t>(slot_query.size());
         slot_query.push_back(t.query);
       }
-      dpu_tasks[d].push_back({tl_dedup_slot[t.query], shard_slot_[t.shard]});
+      // The task's precision rung rides in the slot word's top bit; the
+      // staged query payload is rung-independent, so dedup stays by query.
+      const std::uint32_t rung_bit =
+          ladder && t.query < state.query_precision.size() &&
+                  state.query_precision[t.query] != 0
+              ? kTaskQ4Bit
+              : 0u;
+      dpu_tasks[d].push_back({tl_dedup_slot[t.query] | rung_bit, shard_slot_[t.shard]});
       dpu_task_query[d].push_back(t.query);
     }
     // Staging layout: [queries][outputs], within this step's slot.
@@ -767,6 +825,12 @@ BatchStepStats DrimAnnEngine::search_batch(SearchBatchState& state,
   args.centroids_offset = centroids_off_;
   args.queries_offset = slot_base;
   args.use_square_lut = opts_.use_square_lut;
+  if (ladder) {
+    args.has_q4 = true;
+    args.cb4 = static_cast<std::uint32_t>(data_.cb4());
+    args.code_size_q4 = static_cast<std::uint32_t>(data_.code_size_q4());
+    args.codebooks_q4_offset = codebooks_q4_off_;
+  }
 
   const bool functional = pim_->functional();
   BatchResult batch = pim_->run_batch(
@@ -796,16 +860,38 @@ BatchStepStats DrimAnnEngine::search_batch(SearchBatchState& state,
             for (std::size_t t = 0; t < dpu_tasks[d].size(); ++t) {
               const KernelTask& kt = dpu_tasks[d][t];
               const Shard& sh = layout_->shard(dpu_shard_ids_[d][kt.shard_slot]);
-              host_search_task_into(
-                  data_, state.quantized[dpu_task_query[d][t]], sh,
-                  static_cast<std::uint32_t>(k),
-                  std::span<KernelHit>(dpu_hits[d].data() + t * k, k),
-                  snapshot_.dead_flags(sh.cluster));
+              // Replay the rung the kernel would have run: q4 task rows hold
+              // (coarse dist, LOCAL index) pairs, full rows global ids.
+              if (ladder && task_is_q4(kt)) {
+                host_search_task_q4_into(
+                    data_, state.quantized[dpu_task_query[d][t]], sh,
+                    static_cast<std::uint32_t>(k),
+                    std::span<KernelHit>(dpu_hits[d].data() + t * k, k),
+                    snapshot_.dead_flags(sh.cluster));
+              } else {
+                host_search_task_into(
+                    data_, state.quantized[dpu_task_query[d][t]], sh,
+                    static_cast<std::uint32_t>(k),
+                    std::span<KernelHit>(dpu_hits[d].data() + t * k, k),
+                    snapshot_.dead_flags(sh.cluster));
+              }
             }
           }
           pim_->pull(d, dpu_output_off[d],
                      {reinterpret_cast<std::uint8_t*>(dpu_hits[d].data()),
                       dpu_hits[d].size() * sizeof(KernelHit)});
+          // Exact-rerank tail (both platforms): each q4 row's candidates are
+          // re-scored with the full-precision ADC LUT on the host and their
+          // global ids resolved, so what enters the merge heaps is exact.
+          if (ladder) {
+            for (std::size_t t = 0; t < dpu_tasks[d].size(); ++t) {
+              const KernelTask& kt = dpu_tasks[d][t];
+              if (!task_is_q4(kt)) continue;
+              const Shard& sh = layout_->shard(dpu_shard_ids_[d][kt.shard_slot]);
+              host_rerank_q4_row(data_, state.quantized[dpu_task_query[d][t]], sh,
+                                 std::span<KernelHit>(dpu_hits[d].data() + t * k, k));
+            }
+          }
         });
         // Merge into the shared per-query heaps in parallel across queries:
         // first index every (dpu, task) visit per query in the fixed global
@@ -857,6 +943,24 @@ BatchStepStats DrimAnnEngine::search_batch(SearchBatchState& state,
   }
   const double host_cl = opts_.cl_on_pim ? 0.0 : model_host_cl_seconds(cl_queries);
   step.host_cl_seconds = host_cl;
+  // Exact-rerank host cost: per q4 task, one full ADC LUT build plus <= k
+  // candidate re-scores. Exactly 0 (preserving pre-ladder times) when the
+  // step carried no q4 task. Overlapped with the PIM batch like host CL.
+  std::size_t q4_tasks = 0;
+  for (std::size_t d = 0; d < num_dpus; ++d) {
+    for (const KernelTask& kt : dpu_tasks[d]) {
+      if (ladder && task_is_q4(kt)) ++q4_tasks;
+    }
+  }
+  const double host_rerank =
+      q4_tasks == 0
+          ? 0.0
+          : static_cast<double>(q4_tasks) *
+                (static_cast<double>(data_.m() * data_.cb_entries() * data_.dsub()) * 3.0 +
+                 static_cast<double>(k * data_.m())) /
+                opts_.host.flops_per_sec;
+  step.host_rerank_seconds = host_rerank;
+  const double host_side = host_cl + host_rerank;
   step.pim_batch_seconds = batch.total_seconds();
   step.transfer_in_seconds = batch.transfer_in_seconds;
   step.transfer_out_seconds = batch.transfer_out_seconds;
@@ -865,7 +969,7 @@ BatchStepStats DrimAnnEngine::search_batch(SearchBatchState& state,
 
   PipelineSchedule sched;
   if (depth == 1) {
-    step.step_seconds = step.cl_pim_seconds + std::max(host_cl, batch.total_seconds());
+    step.step_seconds = step.cl_pim_seconds + std::max(host_side, batch.total_seconds());
     const double base = std::max(state.last_complete_seconds, state.submit_hint_seconds);
     step.submit_seconds = base;
     step.complete_seconds = base + step.step_seconds;
@@ -875,7 +979,7 @@ BatchStepStats DrimAnnEngine::search_batch(SearchBatchState& state,
     stages.launch_overhead_seconds = batch.launch_overhead_seconds;
     stages.compute_seconds = batch.dpu_seconds;
     stages.transfer_out_seconds = batch.transfer_out_seconds;
-    stages.host_seconds = host_cl;
+    stages.host_seconds = host_side;
     sched = state.pipeline->finish_batch(stages);
     const double base = std::max(state.last_complete_seconds, sched.submit_seconds);
     step.submit_seconds = base;
@@ -887,6 +991,7 @@ BatchStepStats DrimAnnEngine::search_batch(SearchBatchState& state,
 
   st.total_seconds += step.step_seconds;
   st.host_cl_seconds += host_cl;
+  st.host_rerank_seconds += host_rerank;
   st.transfer_in_seconds += batch.transfer_in_seconds;
   st.transfer_out_seconds += batch.transfer_out_seconds;
   st.dpu_busy_seconds += batch.dpu_seconds;
@@ -901,6 +1006,9 @@ BatchStepStats DrimAnnEngine::search_batch(SearchBatchState& state,
   st.counters.add(pim_->aggregate_counters());
   ++st.batches;
   st.batch_seconds.push_back(step.step_seconds);
+  // Restamp from the cumulative total so streaming clients (CLI q4 path,
+  // cluster shards, serving) see energy without a batch-mode search() wrap.
+  st.energy_joules = opts_.energy.pim_energy_joules(opts_.pim, st.total_seconds);
 
   if (trace_ != nullptr) {
     std::vector<std::size_t> tasks_per_dpu(num_dpus);
@@ -913,14 +1021,24 @@ BatchStepStats DrimAnnEngine::search_batch(SearchBatchState& state,
         trace_->span(trace_->lane("host/cl"), "host-cl", "host", exec0, host_cl,
                      {{"queries", static_cast<double>(cl_queries)}});
       }
+      if (host_rerank > 0.0) {
+        trace_->span(trace_->lane("host/rerank"), "host-rerank", "host",
+                     exec0 + host_cl, host_rerank,
+                     {{"q4_tasks", static_cast<double>(q4_tasks)}});
+      }
       trace_launch(exec0, batch, "search", tasks_per_dpu);
-      trace_->set_now(exec0 + std::max(host_cl, batch.total_seconds()));
+      trace_->set_now(exec0 + std::max(host_side, batch.total_seconds()));
     } else {
       // Pipelined: every span sits at its scheduled absolute time, so
       // overlapping steps render as overlapping host-link/dpu spans.
       if (host_cl > 0.0) {
         trace_->span(trace_->lane("host/cl"), "host-cl", "host", sched.host_start,
                      host_cl, {{"queries", static_cast<double>(cl_queries)}});
+      }
+      if (host_rerank > 0.0) {
+        trace_->span(trace_->lane("host/rerank"), "host-rerank", "host",
+                     sched.host_start + host_cl, host_rerank,
+                     {{"q4_tasks", static_cast<double>(q4_tasks)}});
       }
       LaunchLayout layout;
       layout.in_start = sched.in_start;
@@ -973,7 +1091,8 @@ double DrimAnnEngine::estimate_batch_seconds(std::size_t num_queries, std::size_
 
 std::vector<std::vector<Neighbor>> DrimAnnEngine::search(const FloatMatrix& queries,
                                                          std::size_t k, std::size_t nprobe,
-                                                         DrimSearchStats* stats) {
+                                                         DrimSearchStats* stats,
+                                                         Precision precision) {
   const std::size_t nq = queries.count();
 
   DrimSearchStats local;
@@ -984,7 +1103,7 @@ std::vector<std::vector<Neighbor>> DrimAnnEngine::search(const FloatMatrix& quer
   validate_staging(k);
 
   SearchBatchState state;
-  enqueue_queries(state, queries, k, nprobe);
+  enqueue_queries(state, queries, k, nprobe, precision);
 
   const std::size_t batch_queries = opts_.batch_size == 0 ? nq : opts_.batch_size;
   while (state.next_query < nq || state.has_deferred()) {

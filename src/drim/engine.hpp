@@ -16,6 +16,7 @@
 
 #include "core/ivf.hpp"
 #include "core/mutable_index.hpp"
+#include "core/precision.hpp"
 #include "core/topk.hpp"
 #include "drim/kernels.hpp"
 #include "drim/layout.hpp"
@@ -68,12 +69,24 @@ struct DrimEngineOptions {
   /// be confused with PimConfig::pipeline_depth, the DPU's *instruction*
   /// pipeline depth.
   std::size_t pipeline_depth = 2;
+  /// Upload the quantization ladder's 4-bit rung tables (coarse codebooks +
+  /// packed codes) to MRAM so queries may run at Precision::kQ4. OFF by
+  /// default: with the ladder off the static MRAM image — and therefore the
+  /// staging geometry and every modeled time — is byte-identical to the
+  /// pre-ladder engine. With it ON, full-rung queries still charge the
+  /// identical per-batch streams (offsets shift, byte counts don't).
+  /// Ignored (with a clamp to full precision at enqueue) when the index has
+  /// no q4 tables (wide codes).
+  bool enable_q4 = false;
 };
 
 /// Timing/energy/traffic report for one search() call.
 struct DrimSearchStats {
   double total_seconds = 0.0;       ///< modeled end-to-end latency
   double host_cl_seconds = 0.0;     ///< host CL time (overlapped)
+  /// Host-side exact rerank of q4 result rows (overlapped with the PIM
+  /// batch, like host CL). Exactly 0 when no query ran on the 4-bit rung.
+  double host_rerank_seconds = 0.0;
   /// One-time static index upload (codebooks, centroids, shards) billed at
   /// construction, NOT included in total_seconds or any batch's
   /// transfer_in_seconds — the engine drains the load bytes before the first
@@ -102,6 +115,7 @@ struct BatchStepStats {
   /// Modeled critical path of this step: cl_pim + max(host CL, PIM batch).
   double step_seconds = 0.0;
   double host_cl_seconds = 0.0;      ///< host CL (overlapped with the PIM batch)
+  double host_rerank_seconds = 0.0;  ///< q4 exact-rerank host cost (overlapped)
   double cl_pim_seconds = 0.0;       ///< dedicated CL launch (cl_on_pim only)
   double pim_batch_seconds = 0.0;    ///< search launch: transfers + barrier + overhead
   double transfer_in_seconds = 0.0;  ///< search launch only (CL launch billed in cl_pim)
@@ -136,6 +150,9 @@ struct SearchBatchState {
   /// Nonzero for queries whose cluster location was done by the caller
   /// (enqueue_query_routed): the step skips billing host CL for them.
   std::vector<std::uint8_t> cl_external;
+  /// Per-query precision rung (0 = full, 1 = q4), set at enqueue time after
+  /// clamping to what the engine can execute (see DrimAnnEngine::q4_ready).
+  std::vector<std::uint8_t> query_precision;
   std::vector<TopK> accum;                 ///< per-query result accumulation
   std::vector<Task> carried;               ///< inter-batch filter buffer
   std::vector<std::uint32_t> deferred_per_query;  ///< outstanding carried tasks
@@ -169,9 +186,12 @@ struct SearchBatchState {
 
 /// Derive Eq. 15 predictor coefficients (in DPU cycles) from the index
 /// geometry and the platform cost table, matching the kernel's charges.
+/// `cb4`, when nonzero, also derives the 4-bit rung's l_lut_q4/l_calu_q4
+/// from the q4 kernel's charges; at 0 the q4 coefficients mirror the
+/// full-precision ones (no ladder).
 SchedulerParams derive_scheduler_params(const PimConfig& cfg, std::size_t dim,
                                         std::size_t m, std::size_t cb, std::size_t k,
-                                        bool use_square_lut);
+                                        bool use_square_lut, std::size_t cb4 = 0);
 
 /// The engine. Consumes the index through a versioned IndexSnapshot — the
 /// read-only view (centroids, codebooks, cluster codes/ids, tombstones) is
@@ -198,23 +218,29 @@ class DrimAnnEngine {
   /// Batch search. Results are ascending (distance, id); distances are the
   /// integer ADC values from the quantized PIM domain, widened to float.
   /// Implemented as enqueue_queries() + a search_batch() loop over
-  /// opts().batch_size chunks.
+  /// opts().batch_size chunks. `precision` selects the rung every query of
+  /// the call runs at (kQ4 requires opts().enable_q4 and an index with q4
+  /// tables; otherwise it clamps to full).
   std::vector<std::vector<Neighbor>> search(const FloatMatrix& queries, std::size_t k,
                                             std::size_t nprobe,
-                                            DrimSearchStats* stats = nullptr);
+                                            DrimSearchStats* stats = nullptr,
+                                            Precision precision = Precision::kFull);
 
   // ---- streaming step API (the serving runtime's entry point) ----
 
   /// Admit one query into a streaming state: quantizes the payload and (in
   /// host-CL mode) locates its clusters. Returns the query's dense handle.
+  /// `precision` is the requested rung; it clamps to full unless q4_ready().
   std::uint32_t enqueue_query(SearchBatchState& state, std::span<const float> query,
-                              std::size_t k, std::size_t nprobe);
+                              std::size_t k, std::size_t nprobe,
+                              Precision precision = Precision::kFull);
 
   /// Bulk admit, fanning the per-query quantization and CL across host
   /// threads. Handles are assigned in row order starting at state.pending
   /// end; search() uses this path.
   void enqueue_queries(SearchBatchState& state, const FloatMatrix& queries,
-                       std::size_t k, std::size_t nprobe);
+                       std::size_t k, std::size_t nprobe,
+                       Precision precision = Precision::kFull);
 
   /// Admit one query with a caller-supplied probe list (the cluster-tier
   /// router locates clusters once and hands each shard only the clusters it
@@ -224,7 +250,13 @@ class DrimAnnEngine {
   /// std::invalid_argument in that mode.
   std::uint32_t enqueue_query_routed(SearchBatchState& state,
                                      std::span<const float> query, std::size_t k,
-                                     std::span<const std::uint32_t> probes);
+                                     std::span<const std::uint32_t> probes,
+                                     Precision precision = Precision::kFull);
+
+  /// True when Precision::kQ4 requests actually execute on the 4-bit rung:
+  /// the ladder option is on AND the index built q4 tables (narrow codes).
+  /// When false, kQ4 enqueues clamp to full precision.
+  bool q4_ready() const { return opts_.enable_q4 && data_.has_q4(); }
 
   /// Modeled host cluster-location cost for `num_queries` queries (the same
   /// Eq. 1 centroid-scan model search_batch bills per step). Public so the
@@ -395,6 +427,7 @@ class DrimAnnEngine {
   // MRAM geometry.
   std::size_t sq_lut_off_ = 0;
   std::size_t codebooks_off_ = 0;
+  std::size_t codebooks_q4_off_ = 0;  // coarse q4 books (enable_q4 only)
   std::size_t centroids_off_ = 0;
   std::size_t staging_base_ = 0;  // identical on every DPU
   // Bytes of one staging slot: the whole region above staging_base_ at depth

@@ -91,31 +91,12 @@ void host_search_task_into(const PimIndexData& data,
                            std::span<const std::int16_t> query, const Shard& shard,
                            std::uint32_t k, std::span<KernelHit> out,
                            const std::uint8_t* dead) {
-  const std::size_t dim = data.dim();
   const std::size_t m = data.m();
-  const std::size_t dsub = data.dsub();
   const std::size_t cb = data.cb_entries();
 
   // RC + LC: the ADC table in exact uint32 arithmetic (wraparound included).
-  const auto centroid = data.centroid(shard.cluster);
-  std::vector<std::int32_t> residual(dim);
-  for (std::size_t d = 0; d < dim; ++d) {
-    residual[d] = static_cast<std::int32_t>(query[d]) - centroid[d];
-  }
   std::vector<std::uint32_t> lut(m * cb);
-  for (std::size_t sub = 0; sub < m; ++sub) {
-    const std::int32_t* res = residual.data() + sub * dsub;
-    for (std::size_t e = 0; e < cb; ++e) {
-      const auto cw = data.codeword(sub, e);
-      std::uint32_t acc = 0;
-      for (std::size_t d = 0; d < dsub; ++d) {
-        const std::int32_t diff = res[d] - cw[d];
-        const auto a = static_cast<std::uint32_t>(diff < 0 ? -diff : diff);
-        acc += a * a;
-      }
-      lut[sub * cb + e] = acc;
-    }
-  }
+  host_build_adc_lut(data, query, shard.cluster, lut);
 
   // DC + TS over the shard's slice of the cluster.
   const auto codes = data.cluster_codes(shard.cluster);
@@ -148,6 +129,120 @@ std::vector<KernelHit> host_search_task(const PimIndexData& data,
   std::vector<KernelHit> hits(k);
   host_search_task_into(data, query, shard, k, hits, dead);
   return hits;
+}
+
+void host_build_adc_lut(const PimIndexData& data,
+                        std::span<const std::int16_t> query,
+                        std::uint32_t cluster, std::span<std::uint32_t> lut) {
+  const std::size_t dim = data.dim();
+  const std::size_t m = data.m();
+  const std::size_t dsub = data.dsub();
+  const std::size_t cb = data.cb_entries();
+
+  const auto centroid = data.centroid(cluster);
+  std::vector<std::int32_t> residual(dim);
+  for (std::size_t d = 0; d < dim; ++d) {
+    residual[d] = static_cast<std::int32_t>(query[d]) - centroid[d];
+  }
+  for (std::size_t sub = 0; sub < m; ++sub) {
+    const std::int32_t* res = residual.data() + sub * dsub;
+    for (std::size_t e = 0; e < cb; ++e) {
+      const auto cw = data.codeword(sub, e);
+      std::uint32_t acc = 0;
+      for (std::size_t d = 0; d < dsub; ++d) {
+        const std::int32_t diff = res[d] - cw[d];
+        const auto a = static_cast<std::uint32_t>(diff < 0 ? -diff : diff);
+        acc += a * a;
+      }
+      lut[sub * cb + e] = acc;
+    }
+  }
+}
+
+void host_search_task_q4_into(const PimIndexData& data,
+                              std::span<const std::int16_t> query,
+                              const Shard& shard, std::uint32_t k,
+                              std::span<KernelHit> out,
+                              const std::uint8_t* dead) {
+  const std::size_t dim = data.dim();
+  const std::size_t m = data.m();
+  const std::size_t dsub = data.dsub();
+  const std::size_t cb4 = data.cb4();
+  const std::size_t cs4 = data.code_size_q4();
+  const std::uint32_t shift = data.cluster_shift(shard.cluster);
+
+  // RC with the cluster's residual scalar-quantization shift (arithmetic
+  // right shift, exactly the kernel's).
+  const auto centroid = data.centroid(shard.cluster);
+  std::vector<std::int32_t> residual(dim);
+  for (std::size_t d = 0; d < dim; ++d) {
+    residual[d] =
+        (static_cast<std::int32_t>(query[d]) - centroid[d]) >> shift;
+  }
+
+  // LC: cb4-entry coarse sub-LUTs, codeword components shifted to match.
+  const auto books = data.codebooks_q4();
+  std::vector<std::uint32_t> lut4(m * cb4);
+  for (std::size_t sub = 0; sub < m; ++sub) {
+    const std::int32_t* res = residual.data() + sub * dsub;
+    for (std::size_t g = 0; g < cb4; ++g) {
+      const std::int16_t* cw = books.data() + (sub * cb4 + g) * dsub;
+      std::uint32_t acc = 0;
+      for (std::size_t d = 0; d < dsub; ++d) {
+        const std::int32_t diff = res[d] - (cw[d] >> shift);
+        const auto a = static_cast<std::uint32_t>(diff < 0 ? -diff : diff);
+        acc += a * a;
+      }
+      lut4[sub * cb4 + g] = acc;
+    }
+  }
+
+  // DC + TS over the packed codes (low nibble = even subquantizer). Hits
+  // keep LOCAL indices; the rerank tail resolves ids.
+  const auto codes = data.cluster_codes_q4(shard.cluster);
+  const std::uint32_t size = static_cast<std::uint32_t>(shard.size());
+  const std::uint32_t kk = std::min<std::uint32_t>(k, std::max<std::uint32_t>(size, 1));
+  BoundedTopK topk(kk);
+  for (std::uint32_t i = 0; i < size; ++i) {
+    if (dead && dead[shard.begin + i]) continue;
+    const std::uint8_t* code = codes.data() + (shard.begin + i) * cs4;
+    std::uint32_t dist = 0;
+    for (std::size_t sub = 0; sub < m; ++sub) {
+      const std::uint32_t g = (code[sub / 2] >> ((sub % 2) * 4)) & 0xF;
+      dist += lut4[sub * cb4 + g];
+    }
+    topk.push(dist, i);
+  }
+  topk.sorted_into(out);  // sentinel-pads short shards
+}
+
+void host_rerank_q4_row(const PimIndexData& data,
+                        std::span<const std::int16_t> query, const Shard& shard,
+                        std::span<KernelHit> row) {
+  const std::size_t m = data.m();
+  const std::size_t cb = data.cb_entries();
+
+  std::vector<std::uint32_t> lut(m * cb);
+  host_build_adc_lut(data, query, shard.cluster, lut);
+
+  const auto codes = data.cluster_codes(shard.cluster);
+  const auto ids = data.cluster_ids(shard.cluster);
+  std::size_t n = 0;
+  for (KernelHit& h : row) {
+    if (h.id == 0xFFFFFFFFu && h.dist == 0xFFFFFFFFu) break;
+    const std::size_t pos = shard.begin + h.id;
+    std::uint32_t dist = 0;
+    for (std::size_t sub = 0; sub < m; ++sub) {
+      dist += lut[sub * cb + data.code_at(codes, pos, sub)];
+    }
+    h = {dist, ids[pos]};
+    ++n;
+  }
+  std::sort(row.begin(), row.begin() + static_cast<std::ptrdiff_t>(n),
+            [](const KernelHit& a, const KernelHit& b) {
+              if (a.dist != b.dist) return a.dist < b.dist;
+              return a.id < b.id;
+            });
 }
 
 void host_cl_candidates_into(const PimIndexData& data,

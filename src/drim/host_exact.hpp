@@ -40,6 +40,33 @@ std::vector<KernelHit> host_search_task(const PimIndexData& data,
                                         const Shard& shard, std::uint32_t k,
                                         const std::uint8_t* dead = nullptr);
 
+/// Build the full-precision exact ADC table for (query, cluster): the RC +
+/// LC front end of host_search_task_into, factored out so the q4 rerank tail
+/// prices candidates with the identical integer pipeline. `lut` must hold
+/// m * cb_entries uint32 values.
+void host_build_adc_lut(const PimIndexData& data,
+                        std::span<const std::int16_t> query,
+                        std::uint32_t cluster, std::span<std::uint32_t> lut);
+
+/// Bit-exact replay of the 4-bit rung of run_search_kernel for one task:
+/// shifted residual, coarse cb4-entry sub-LUTs, packed dual-nibble code
+/// scan. Output rows carry LOCAL shard indices (the kernel skips id
+/// resolution on this rung); host_rerank_q4_row turns them into final
+/// (exact distance, global id) rows. Requires data.has_q4().
+void host_search_task_q4_into(const PimIndexData& data,
+                              std::span<const std::int16_t> query,
+                              const Shard& shard, std::uint32_t k,
+                              std::span<KernelHit> out,
+                              const std::uint8_t* dead = nullptr);
+
+/// The q4 rung's exact-rerank tail: re-score a q4 result row's local-index
+/// candidates with the full-precision ADC table, resolve global base-point
+/// ids, and rewrite the row ascending by (exact distance, id), sentinel-
+/// padded. The row becomes directly mergeable with full-rung rows.
+void host_rerank_q4_row(const PimIndexData& data,
+                        std::span<const std::int16_t> query, const Shard& shard,
+                        std::span<KernelHit> row);
+
 /// Exact per-DPU CL candidates of one query over the centroid range
 /// [centroid_begin, centroid_begin + centroid_count): top-`keep` by
 /// (distance, global centroid id), sentinel-padded to keep — what

@@ -155,6 +155,16 @@ void run_search_kernel(DpuContext& ctx, const SearchKernelArgs& args,
   const std::size_t cb = args.cb;
   const std::size_t dsub = dim / m;
 
+  // Quantization-ladder geometry; q4 buffers join the working set only when
+  // this launch actually carries a 4-bit task, so full-rung launches keep
+  // the exact pre-ladder WRAM accounting.
+  const std::size_t cb4 = args.cb4;
+  const std::size_t pairs = args.has_q4 ? (m + 1) / 2 : 0;
+  bool any_q4 = false;
+  if (args.has_q4) {
+    for (const KernelTask& t : tasks) any_q4 = any_q4 || task_is_q4(t);
+  }
+
   // ---- WRAM working set (checked against the 64 KB budget) ----
   std::vector<std::int16_t> query(dim);
   std::vector<std::int16_t> centroid(dim);
@@ -163,12 +173,15 @@ void run_search_kernel(DpuContext& ctx, const SearchKernelArgs& args,
   std::vector<std::int16_t> cb_slice(cb * dsub);       // one subquantizer's book
   std::vector<std::uint8_t> code_block(kMaxDmaBytes);  // streamed PQ codes
   std::vector<std::uint8_t> id_buf(sizeof(std::uint32_t));
+  std::vector<std::uint32_t> lut4(any_q4 ? m * cb4 : 0);  // coarse sub-LUTs
+  std::vector<std::uint32_t> pair_lut(any_q4 ? pairs * 256 : 0);
   const std::size_t sq_lut_bytes =
       args.use_square_lut ? (args.sq_lut_max_abs + 1) * sizeof(std::uint32_t) : 0;
   const std::size_t wram_bytes =
       query.size() * 2 + centroid.size() * 2 + residual.size() * 4 + lut.size() * 4 +
       std::min(cb_slice.size() * 2, kMaxDmaBytes * 2) + code_block.size() +
-      sq_lut_bytes + args.k * sizeof(KernelHit);
+      sq_lut_bytes + args.k * sizeof(KernelHit) +
+      lut4.size() * 4 + pair_lut.size() * 4;
   check_wram_budget(ctx.config(), wram_bytes);
 
   // Task list itself is fetched from MRAM by the real kernel; charge its DMA.
@@ -179,10 +192,12 @@ void run_search_kernel(DpuContext& ctx, const SearchKernelArgs& args,
   for (std::size_t t = 0; t < tasks.size(); ++t) {
     const KernelTask& task = tasks[t];
     const ShardRegion& shard = shards[task.shard_slot];
+    const bool q4 = args.has_q4 && task_is_q4(task);
+    const std::uint32_t shift = q4 ? shard.q4_shift : 0;
 
     // ---- RC: residual = query - centroid ----
     ctx.set_phase(Phase::RC);
-    ctx.mram_read_t<std::int16_t>(args.queries_offset + task.query_slot * dim * 2,
+    ctx.mram_read_t<std::int16_t>(args.queries_offset + task_query_slot(task) * dim * 2,
                                   std::span<std::int16_t>(query));
     ctx.mram_read_t<std::int16_t>(args.centroids_offset + shard.cluster * dim * 2,
                                   std::span<std::int16_t>(centroid));
@@ -191,72 +206,131 @@ void run_search_kernel(DpuContext& ctx, const SearchKernelArgs& args,
     }
     ctx.charge_adds(dim);
     ctx.charge_wram(dim * 3);  // two loads + one store per component
+    if (q4) {
+      // Per-cluster residual scalar quantization: arithmetic shift, one
+      // cycle per component (billed even at shift 0 so the q4 charge
+      // stream is schedule-determined, not data-determined).
+      for (std::size_t d = 0; d < dim; ++d) residual[d] >>= shift;
+      ctx.charge_cycles(dim);
+    }
 
-    // ---- LC: lut[sub][e] = sum_d (residual - codeword)^2 ----
     ctx.set_phase(Phase::LC);
-    for (std::size_t sub = 0; sub < m; ++sub) {
-      mram_read_chunked(
-          ctx, args.codebooks_offset + sub * cb * dsub * 2,
-          {reinterpret_cast<std::uint8_t*>(cb_slice.data()), cb * dsub * 2});
-      const std::int32_t* res = residual.data() + sub * dsub;
-      std::uint32_t* lrow = lut.data() + sub * cb;
-      for (std::size_t e = 0; e < cb; ++e) {
-        const std::int16_t* cw = cb_slice.data() + e * dsub;
-        std::uint32_t acc = 0;
-        for (std::size_t d = 0; d < dsub; ++d) {
-          const std::int32_t diff = res[d] - cw[d];
-          const auto a = static_cast<std::uint32_t>(diff < 0 ? -diff : diff);
-          acc += a * a;
+    if (!q4) {
+      // ---- LC: lut[sub][e] = sum_d (residual - codeword)^2 ----
+      for (std::size_t sub = 0; sub < m; ++sub) {
+        mram_read_chunked(
+            ctx, args.codebooks_offset + sub * cb * dsub * 2,
+            {reinterpret_cast<std::uint8_t*>(cb_slice.data()), cb * dsub * 2});
+        const std::int32_t* res = residual.data() + sub * dsub;
+        std::uint32_t* lrow = lut.data() + sub * cb;
+        for (std::size_t e = 0; e < cb; ++e) {
+          const std::int16_t* cw = cb_slice.data() + e * dsub;
+          std::uint32_t acc = 0;
+          for (std::size_t d = 0; d < dsub; ++d) {
+            const std::int32_t diff = res[d] - cw[d];
+            const auto a = static_cast<std::uint32_t>(diff < 0 ? -diff : diff);
+            acc += a * a;
+          }
+          lrow[e] = acc;
         }
-        lrow[e] = acc;
+        // Cost per dimension of each entry: one subtract, one square (square-
+        // table lookup, or multiply in the ablation), one accumulate — the
+        // paper's "M x 3 - 1 per subvector" accounting — plus one WRAM store
+        // per finished entry.
+        charge_square_stream(ctx, args.use_square_lut, cb * dsub);
+        ctx.charge_adds(cb * 2 * dsub);
+        ctx.charge_wram(cb);
       }
-      // Cost per dimension of each entry: one subtract, one square (square-
-      // table lookup, or multiply in the ablation), one accumulate — the
-      // paper's "M x 3 - 1 per subvector" accounting — plus one WRAM store
-      // per finished entry.
-      charge_square_stream(ctx, args.use_square_lut, cb * dsub);
-      ctx.charge_adds(cb * 2 * dsub);
-      ctx.charge_wram(cb);
+    } else {
+      // ---- LC (q4): coarse sub-LUTs, folded into per-pair byte LUTs ----
+      // Each subquantizer scores against its cb4-entry coarse codebook
+      // (shifted into the cluster's residual scale), then pairs of sub-LUTs
+      // fold into one 256-entry table so DC scores two subquantizers per
+      // byte lookup.
+      for (std::size_t sub = 0; sub < m; ++sub) {
+        mram_read_chunked(
+            ctx, args.codebooks_q4_offset + sub * cb4 * dsub * 2,
+            {reinterpret_cast<std::uint8_t*>(cb_slice.data()), cb4 * dsub * 2});
+        const std::int32_t* res = residual.data() + sub * dsub;
+        std::uint32_t* lrow = lut4.data() + sub * cb4;
+        for (std::size_t g = 0; g < cb4; ++g) {
+          const std::int16_t* cw = cb_slice.data() + g * dsub;
+          std::uint32_t acc = 0;
+          for (std::size_t d = 0; d < dsub; ++d) {
+            const std::int32_t diff = res[d] - (cw[d] >> shift);
+            const auto a = static_cast<std::uint32_t>(diff < 0 ? -diff : diff);
+            acc += a * a;
+          }
+          lrow[g] = acc;
+        }
+        ctx.charge_cycles(cb4 * dsub);  // per-component codeword shift
+        charge_square_stream(ctx, args.use_square_lut, cb4 * dsub);
+        ctx.charge_adds(cb4 * 2 * dsub);
+        ctx.charge_wram(cb4);
+      }
+      for (std::size_t p = 0; p < pairs; ++p) {
+        std::uint32_t* prow = pair_lut.data() + p * 256;
+        const std::uint32_t* lo_row = lut4.data() + (2 * p) * cb4;
+        const std::uint32_t* hi_row =
+            2 * p + 1 < m ? lut4.data() + (2 * p + 1) * cb4 : nullptr;
+        for (std::size_t b = 0; b < 256; ++b) {
+          const std::size_t lo = b & 0xF;
+          const std::size_t hi = b >> 4;
+          std::uint32_t v = lo < cb4 ? lo_row[lo] : 0;
+          if (hi_row && hi < cb4) v += hi_row[hi];
+          prow[b] = v;
+        }
+        ctx.charge_adds(256);
+        ctx.charge_wram(256);
+      }
     }
 
     // ---- DC + TS: stream codes, accumulate LUT entries, keep top-k ----
+    const std::size_t code_size = q4 ? args.code_size_q4 : args.code_size;
+    const std::size_t codes_base = q4 ? shard.q4_codes_offset : shard.codes_offset;
     WramTopK topk(std::min<std::uint32_t>(args.k, std::max<std::uint32_t>(shard.size, 1)));
-    const std::size_t codes_bytes = static_cast<std::size_t>(shard.size) * args.code_size;
+    const std::size_t codes_bytes = static_cast<std::size_t>(shard.size) * code_size;
     std::size_t streamed = 0;
     std::uint32_t point = 0;
     while (streamed < codes_bytes) {
       ctx.set_phase(Phase::DC);
-      // Stream whole codes per block.
-      const std::size_t codes_per_block = kMaxDmaBytes / args.code_size;
+      // Stream whole codes per block (packed q4 codes fit twice as many).
+      const std::size_t codes_per_block = kMaxDmaBytes / code_size;
       const std::size_t block_bytes =
-          std::min(codes_per_block * args.code_size, codes_bytes - streamed);
-      ctx.mram_read(shard.codes_offset + streamed,
-                    {code_block.data(), block_bytes});
-      const std::size_t points_in_block = block_bytes / args.code_size;
+          std::min(codes_per_block * code_size, codes_bytes - streamed);
+      ctx.mram_read(codes_base + streamed, {code_block.data(), block_bytes});
+      const std::size_t points_in_block = block_bytes / code_size;
 
       for (std::size_t i = 0; i < points_in_block; ++i, ++point) {
         // Tombstoned entries are skipped before the top-k push: a dead point
         // can never evict a live candidate, so the surviving (dist, id)
         // stream equals a cold rebuild of the live set.
         if (shard.dead && shard.dead[shard.begin + point]) continue;
-        const std::uint8_t* code = code_block.data() + i * args.code_size;
+        const std::uint8_t* code = code_block.data() + i * code_size;
         std::uint32_t dist = 0;
-        for (std::size_t sub = 0; sub < m; ++sub) {
-          std::uint32_t entry;
-          if (args.wide_codes) {
-            std::uint16_t v = 0;
-            std::memcpy(&v, code + sub * 2, 2);
-            entry = v;
-          } else {
-            entry = code[sub];
+        if (q4) {
+          for (std::size_t p = 0; p < pairs; ++p) {
+            dist += pair_lut[p * 256 + code[p]];
           }
-          dist += lut[sub * cb + entry];
+        } else {
+          for (std::size_t sub = 0; sub < m; ++sub) {
+            std::uint32_t entry;
+            if (args.wide_codes) {
+              std::uint16_t v = 0;
+              std::memcpy(&v, code + sub * 2, 2);
+              entry = v;
+            } else {
+              entry = code[sub];
+            }
+            dist += lut[sub * cb + entry];
+          }
         }
         topk.push(dist, point);
       }
-      // Per point: m LUT loads (address calc + load) + (m-1) adds.
-      ctx.charge_lut_lookups(points_in_block * m);
-      ctx.charge_adds(points_in_block * (m - 1));
+      // Per point: one LUT load per (paired) lookup + the accumulate adds.
+      const std::size_t lookups = q4 ? pairs : m;
+      ctx.charge_lut_lookups(points_in_block * lookups);
+      ctx.charge_adds(points_in_block * (lookups - 1));
       streamed += block_bytes;
     }
     if (shard.dead) {
@@ -274,15 +348,19 @@ void run_search_kernel(DpuContext& ctx, const SearchKernelArgs& args,
                                                 args.k, std::max<std::uint32_t>(shard.size, 1))));
 
     // Resolve winners' base-point ids from the shard's id table, then write
-    // the task result row to MRAM.
+    // the task result row to MRAM. Q4 tasks skip the per-winner id reads and
+    // emit LOCAL shard indices — the host rerank resolves ids while it
+    // re-scores the candidates exactly.
     ctx.set_phase(Phase::AUX);
     std::vector<KernelHit> hits = topk.sorted();
-    for (KernelHit& h : hits) {
-      ctx.mram_read(shard.ids_offset + h.id * sizeof(std::uint32_t),
-                    {id_buf.data(), sizeof(std::uint32_t)});
-      std::uint32_t global_id = 0;
-      std::memcpy(&global_id, id_buf.data(), sizeof(global_id));
-      h.id = global_id;
+    if (!q4) {
+      for (KernelHit& h : hits) {
+        ctx.mram_read(shard.ids_offset + h.id * sizeof(std::uint32_t),
+                      {id_buf.data(), sizeof(std::uint32_t)});
+        std::uint32_t global_id = 0;
+        std::memcpy(&global_id, id_buf.data(), sizeof(global_id));
+        h.id = global_id;
+      }
     }
     hits.resize(args.k, KernelHit{});  // sentinel-pad short shards
     ctx.mram_write(args.output_offset + t * args.k * sizeof(KernelHit),
@@ -300,13 +378,23 @@ void charge_search_kernel(DpuContext& ctx, const SearchKernelArgs& args,
   const std::size_t dsub = dim / m;
   const DpuInstructionCosts& c = ctx.config().costs;
 
+  // Quantization-ladder geometry (same launch-level condition as the
+  // functional kernel: q4 buffers count only when a q4 task is present).
+  const std::size_t cb4 = args.cb4;
+  const std::size_t pairs = args.has_q4 ? (m + 1) / 2 : 0;
+  bool any_q4 = false;
+  if (args.has_q4) {
+    for (const KernelTask& t : tasks) any_q4 = any_q4 || task_is_q4(t);
+  }
+
   // Same WRAM working-set accounting as run_search_kernel.
   const std::size_t sq_lut_bytes =
       args.use_square_lut ? (args.sq_lut_max_abs + 1) * sizeof(std::uint32_t) : 0;
   const std::size_t wram_bytes =
       dim * 2 + dim * 2 + dim * 4 + m * cb * 4 +
       std::min(cb * dsub * 2, kMaxDmaBytes * 2) + kMaxDmaBytes + sq_lut_bytes +
-      args.k * sizeof(KernelHit);
+      args.k * sizeof(KernelHit) +
+      (any_q4 ? m * cb4 * 4 + pairs * 256 * 4 : 0);
   check_wram_budget(ctx.config(), wram_bytes);
 
   ctx.set_phase(Phase::AUX);
@@ -316,38 +404,61 @@ void charge_search_kernel(DpuContext& ctx, const SearchKernelArgs& args,
   for (const KernelTask& task : tasks) {
     const ShardRegion& shard = shards[task.shard_slot];
     const std::uint64_t points = shard.size;
+    const bool q4 = args.has_q4 && task_is_q4(task);
 
-    // RC: query + centroid reads, residual arithmetic.
+    // RC: query + centroid reads, residual arithmetic (+ the q4 rung's
+    // per-component residual shift).
     ctx.set_phase(Phase::RC);
     ctx.charge_mram_read(dim * 2);
     ctx.charge_mram_read(dim * 2);
     ctx.charge_adds(dim);
     ctx.charge_wram(dim * 3);
+    if (q4) ctx.charge_cycles(dim);
 
     // LC: per subquantizer, one chunked codebook-slice fetch plus the
     // per-entry square/accumulate/store stream (same shared policy helpers
-    // as run_search_kernel — see the header note).
+    // as run_search_kernel — see the header note). The q4 rung fetches the
+    // cb4-entry coarse books, shifts each codeword component, then folds
+    // sub-LUT pairs into 256-entry byte LUTs.
     ctx.set_phase(Phase::LC);
-    for (std::size_t sub = 0; sub < m; ++sub) {
-      charge_read_chunked(ctx, cb * dsub * 2);
-      charge_square_stream(ctx, args.use_square_lut, cb * dsub);
-      ctx.charge_adds(cb * 2 * dsub);
-      ctx.charge_wram(cb);
+    if (!q4) {
+      for (std::size_t sub = 0; sub < m; ++sub) {
+        charge_read_chunked(ctx, cb * dsub * 2);
+        charge_square_stream(ctx, args.use_square_lut, cb * dsub);
+        ctx.charge_adds(cb * 2 * dsub);
+        ctx.charge_wram(cb);
+      }
+    } else {
+      for (std::size_t sub = 0; sub < m; ++sub) {
+        charge_read_chunked(ctx, cb4 * dsub * 2);
+        ctx.charge_cycles(cb4 * dsub);  // per-component codeword shift
+        charge_square_stream(ctx, args.use_square_lut, cb4 * dsub);
+        ctx.charge_adds(cb4 * 2 * dsub);
+        ctx.charge_wram(cb4);
+      }
+      for (std::size_t p = 0; p < pairs; ++p) {
+        ctx.charge_adds(256);
+        ctx.charge_wram(256);
+      }
     }
 
-    // DC: stream whole codes per block, ADC-sum each point.
+    // DC: stream whole codes per block, ADC-sum each point. The q4 rung
+    // streams the packed codes — half the bytes, twice the codes per DMA —
+    // and pays one paired lookup per code byte.
     ctx.set_phase(Phase::DC);
-    const std::size_t codes_bytes = static_cast<std::size_t>(points) * args.code_size;
-    const std::size_t codes_per_block = kMaxDmaBytes / args.code_size;
+    const std::size_t code_size = q4 ? args.code_size_q4 : args.code_size;
+    const std::size_t codes_bytes = static_cast<std::size_t>(points) * code_size;
+    const std::size_t codes_per_block = kMaxDmaBytes / code_size;
     std::size_t streamed = 0;
     while (streamed < codes_bytes) {
       const std::size_t block_bytes =
-          std::min(codes_per_block * args.code_size, codes_bytes - streamed);
+          std::min(codes_per_block * code_size, codes_bytes - streamed);
       ctx.charge_mram_read(block_bytes);
       streamed += block_bytes;
     }
-    ctx.charge_lut_lookups(points * m);
-    ctx.charge_adds(points * (m - 1));
+    const std::size_t lookups = q4 ? pairs : m;
+    ctx.charge_lut_lookups(points * lookups);
+    ctx.charge_adds(points * (lookups - 1));
     if (shard.dead) {
       // Same liveness flag-stream DMA + per-point compare as the functional
       // kernel bills under tombstones.
@@ -361,12 +472,16 @@ void charge_search_kernel(DpuContext& ctx, const SearchKernelArgs& args,
         std::min<std::uint32_t>(args.k, std::max<std::uint32_t>(shard.size, 1));
     ctx.charge_cycles(amortized_topk_cycles(c, points, kk));
 
-    // AUX: resolve winners' ids (one 4-byte read each), write the padded row.
-    // Only live points can win, so the winner count follows the live total.
+    // AUX: resolve winners' ids (one 4-byte read each — skipped on the q4
+    // rung, which emits local indices for the host rerank), write the
+    // padded row. Only live points can win, so the winner count follows
+    // the live total.
     ctx.set_phase(Phase::AUX);
-    const std::uint64_t hits = std::min<std::uint64_t>(args.k, shard_live_points(shard));
-    for (std::uint64_t h = 0; h < hits; ++h) {
-      ctx.charge_mram_read(sizeof(std::uint32_t));
+    if (!q4) {
+      const std::uint64_t hits = std::min<std::uint64_t>(args.k, shard_live_points(shard));
+      for (std::uint64_t h = 0; h < hits; ++h) {
+        ctx.charge_mram_read(sizeof(std::uint32_t));
+      }
     }
     ctx.charge_mram_write(args.k * sizeof(KernelHit));
   }

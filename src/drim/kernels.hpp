@@ -35,6 +35,12 @@ struct ShardRegion {
   std::uint32_t begin = 0;     ///< shard's first position in the cluster list
   std::uint32_t live = 0;      ///< live points (== size when dead is null)
   const std::uint8_t* dead = nullptr;  ///< cluster tombstone flags, or null
+
+  // Quantization-ladder fields (valid only when SearchKernelArgs::has_q4):
+  // where the shard's packed 4-bit codes live, and the cluster's residual
+  // scalar-quantization shift. Host-side catalog state, never byte-billed.
+  std::size_t q4_codes_offset = 0;
+  std::uint32_t q4_shift = 0;
 };
 
 /// Points of a shard that can surface in results.
@@ -43,11 +49,26 @@ inline std::uint32_t shard_live_points(const ShardRegion& s) {
 }
 
 /// One task in the per-DPU task list: scan shard `shard_slot` for the query
-/// staged at `query_slot`.
+/// staged at `query_slot`. The top bit of query_slot carries the task's
+/// precision rung (set = 4-bit path), keeping sizeof(KernelTask) == 8 so the
+/// task-list DMA charge — and with it the full-rung batch timing — is
+/// bit-identical whether or not the ladder is compiled into the launch.
 struct KernelTask {
   std::uint32_t query_slot = 0;
   std::uint32_t shard_slot = 0;
 };
+
+/// Rung flag inside KernelTask::query_slot.
+inline constexpr std::uint32_t kTaskQ4Bit = 0x80000000u;
+
+/// Staged query slot with the rung bit stripped.
+inline std::uint32_t task_query_slot(const KernelTask& t) {
+  return t.query_slot & ~kTaskQ4Bit;
+}
+/// True when the task runs on the packed 4-bit rung.
+inline bool task_is_q4(const KernelTask& t) {
+  return (t.query_slot & kTaskQ4Bit) != 0;
+}
 
 /// Result entry written back to MRAM: (distance, base-point id).
 struct KernelHit {
@@ -78,6 +99,18 @@ struct SearchKernelArgs {
   // Toggle for the Fig. 10a ablation: with the conversion off, LC squares
   // via 32-cycle multiplies instead of square-LUT lookups.
   bool use_square_lut = true;
+
+  // ---- quantization ladder (4-bit rung; DESIGN.md §15) ----
+  // With has_q4 set, tasks flagged kTaskQ4Bit scan the packed 4-bit codes:
+  // LC builds cb4-entry sub-LUTs from the coarse codebooks, folds them into
+  // a per-pair 256-entry byte LUT (one lookup scores two subquantizers),
+  // and DC streams code_size_q4-byte codes — half the MRAM traffic, twice
+  // the codes per DMA. Q4 result rows carry LOCAL shard indices (no
+  // per-winner id resolution on the DPU); the host reranks them exactly.
+  bool has_q4 = false;
+  std::uint32_t cb4 = 0;                ///< coarse entries per subquantizer
+  std::uint32_t code_size_q4 = 0;       ///< packed bytes per point
+  std::size_t codebooks_q4_offset = 0;  ///< int16[m * cb4 * dsub]
 };
 
 /// Execute the search kernel for `tasks` against the shard catalog. Results

@@ -8,11 +8,17 @@ namespace drim {
 Assignment RuntimeScheduler::schedule(const std::vector<std::vector<std::uint32_t>>& probes,
                                       std::size_t begin, std::size_t end,
                                       const std::vector<Task>& carried,
-                                      bool final_batch) const {
+                                      bool final_batch,
+                                      const std::vector<std::uint8_t>* precision) const {
   const std::size_t num_dpus = layout_.num_dpus();
   Assignment out;
   out.per_dpu.resize(num_dpus);
   out.predicted_load.assign(num_dpus, 0.0);
+
+  // Rung of a global query id (nonzero = the cheap 4-bit rung).
+  const auto is_q4 = [&](std::uint32_t q) {
+    return precision != nullptr && q < precision->size() && (*precision)[q] != 0;
+  };
 
   // Expand (q, c) pairs into slice tasks; carried tasks are already
   // shard-resolved but still re-pick their replica this batch.
@@ -36,15 +42,16 @@ Assignment RuntimeScheduler::schedule(const std::vector<std::vector<std::uint32_
         break;
       }
     }
-    candidates.push_back({t.query, &groups[slice_idx], task_cost(sh)});
+    candidates.push_back({t.query, &groups[slice_idx], task_cost(sh, is_q4(t.query))});
   }
 
   for (std::size_t q = begin; q < end; ++q) {
+    const bool q4 = is_q4(static_cast<std::uint32_t>(q));
     for (std::uint32_t c : probes[q]) {
       for (const auto& group : layout_.slice_groups(c)) {
         if (group.empty()) continue;
         candidates.push_back({static_cast<std::uint32_t>(q), &group,
-                              task_cost(layout_.shard(group.front()))});
+                              task_cost(layout_.shard(group.front()), q4)});
       }
     }
   }
@@ -98,12 +105,13 @@ Assignment RuntimeScheduler::schedule(const std::vector<std::vector<std::uint32_
       // Cheapest tasks leave first so the DPU keeps its big, cache-resident
       // work and the deferral costs the next batch as little as possible.
       std::stable_sort(tasks.begin(), tasks.end(), [&](const Task& a, const Task& b) {
-        return task_cost(layout_.shard(a.shard)) > task_cost(layout_.shard(b.shard));
+        return task_cost(layout_.shard(a.shard), is_q4(a.query)) >
+               task_cost(layout_.shard(b.shard), is_q4(b.query));
       });
       while (out.predicted_load[dpu] > cap && !tasks.empty()) {
         const Task t = tasks.back();
         tasks.pop_back();
-        out.predicted_load[dpu] -= task_cost(layout_.shard(t.shard));
+        out.predicted_load[dpu] -= task_cost(layout_.shard(t.shard), is_q4(t.query));
         out.deferred.push_back(t);
       }
     }

@@ -26,6 +26,12 @@ struct SchedulerParams {
   double l_lut = 8000.0;   ///< LUT construction latency per task
   double l_calu = 40.0;    ///< distance calculation per point
   double l_sortu = 12.0;   ///< top-k update per point
+  /// Eq. 15 coefficients of the 4-bit rung (DESIGN.md §15): a q4 task builds
+  /// cb4-entry coarse LUTs (plus the pair fold) and scans packed codes, so
+  /// both its fixed and per-point terms are cheaper. l_sortu is rung-
+  /// independent (TS sees the same point stream either way).
+  double l_lut_q4 = 4000.0;
+  double l_calu_q4 = 20.0;
   bool enable_filter = true;
   double filter_slack = 0.30;  ///< defer work above (1+slack)*mean load
   SchedulePolicy policy = SchedulePolicy::kGreedy;
@@ -50,11 +56,15 @@ class RuntimeScheduler {
   RuntimeScheduler(const DataLayout& layout, const SchedulerParams& params)
       : layout_(layout), params_(params) {}
 
-  /// Predicted latency of one task on its shard (Eq. 15).
-  double task_cost(const Shard& shard) const {
+  /// Predicted latency of one task on its shard (Eq. 15), priced for the
+  /// task's precision rung.
+  double task_cost(const Shard& shard, bool q4) const {
     const double x = static_cast<double>(shard.size());
+    if (q4) return params_.l_lut_q4 + x * params_.l_calu_q4 + x * params_.l_sortu;
     return params_.l_lut + x * params_.l_calu + x * params_.l_sortu;
   }
+  /// Full-precision convenience overload.
+  double task_cost(const Shard& shard) const { return task_cost(shard, false); }
 
   /// Build the batch assignment for queries [begin, end) of `probes`.
   /// `probes[q]` lists the clusters query q must visit (Task.query keeps the
@@ -63,15 +73,19 @@ class RuntimeScheduler {
   /// is true the filter is disabled so nothing is left behind. Taking a
   /// range keeps per-chunk scheduling O(chunk), not O(nq): callers hand over
   /// the full probe table once instead of rebuilding an nq-sized copy per
-  /// chunk.
+  /// chunk. `precision`, when given, maps global query id -> rung (nonzero
+  /// = q4) so Eq. 15 prices each task at its actual rung; null prices
+  /// everything full-precision.
   Assignment schedule(const std::vector<std::vector<std::uint32_t>>& probes,
                       std::size_t begin, std::size_t end,
-                      const std::vector<Task>& carried, bool final_batch) const;
+                      const std::vector<Task>& carried, bool final_batch,
+                      const std::vector<std::uint8_t>* precision = nullptr) const;
 
   /// Whole-table convenience overload: schedule(probes, 0, probes.size(), ...).
   Assignment schedule(const std::vector<std::vector<std::uint32_t>>& probes,
-                      const std::vector<Task>& carried, bool final_batch) const {
-    return schedule(probes, 0, probes.size(), carried, final_batch);
+                      const std::vector<Task>& carried, bool final_batch,
+                      const std::vector<std::uint8_t>* precision = nullptr) const {
+    return schedule(probes, 0, probes.size(), carried, final_batch, precision);
   }
 
   const SchedulerParams& params() const { return params_; }

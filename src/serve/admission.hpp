@@ -6,6 +6,12 @@
 // request when the prediction blows the SLO budget. Shedding early keeps the
 // queue short, so admitted requests still finish inside the SLO and goodput
 // holds near peak instead of collapsing past saturation.
+//
+// With the precision ladder enabled (degrade_to_q4), shedding gains a middle
+// rung: a request whose full-precision prediction blows the budget but whose
+// cheap-rung prediction fits is admitted DEGRADED (served on the 4-bit PQ
+// path at lower recall) instead of being rejected outright. Only requests
+// that would miss the SLO even at the cheap rung shed.
 
 #include <cstddef>
 
@@ -16,6 +22,23 @@ struct AdmissionParams {
   /// End-to-end latency budget. Predictions above slo_s * headroom shed.
   double slo_s = 10e-3;
   double headroom = 1.0;
+  /// Degrade-before-shed: when the full-precision prediction blows the
+  /// budget, re-test with the cheap-rung prediction and admit degraded if it
+  /// fits. Requires a backend with the Q4 ladder built (otherwise the rung
+  /// request is ignored downstream and degradation only mislabels records).
+  bool degrade_to_q4 = false;
+  /// Modeled cost of a cheap-rung batch relative to a full-precision one,
+  /// used to scale the EWMA-priced backlog term of the prediction. The Q4
+  /// rung halves the DC code stream and the LUT footprint; ~0.65 is
+  /// conservative against the >= 1.5x modeled speedup the ladder targets.
+  double degrade_cost_ratio = 0.65;
+};
+
+/// Outcome of one arrival-time decision.
+enum class AdmissionDecision : unsigned char {
+  kAdmit,    ///< full precision
+  kDegrade,  ///< admitted on the cheap rung
+  kShed,     ///< rejected
 };
 
 class AdmissionController {
@@ -36,13 +59,34 @@ class AdmissionController {
     return ok;
   }
 
+  /// Ladder-aware decision: admit on the full-rung prediction, else degrade
+  /// on the cheap-rung prediction, else shed. With degrade_to_q4 off this is
+  /// exactly admit() — predicted_degraded_s is never consulted — so existing
+  /// shed-only configurations are bit-identical.
+  AdmissionDecision decide(double predicted_s, double predicted_degraded_s) {
+    if (!params_.enabled || predicted_s <= params_.slo_s * params_.headroom) {
+      ++admitted_;
+      return AdmissionDecision::kAdmit;
+    }
+    if (params_.degrade_to_q4 &&
+        predicted_degraded_s <= params_.slo_s * params_.headroom) {
+      ++admitted_;
+      ++degraded_;
+      return AdmissionDecision::kDegrade;
+    }
+    ++shed_;
+    return AdmissionDecision::kShed;
+  }
+
   std::size_t admitted() const { return admitted_; }
   std::size_t shed() const { return shed_; }
+  std::size_t degraded() const { return degraded_; }
 
  private:
   AdmissionParams params_;
   std::size_t admitted_ = 0;
   std::size_t shed_ = 0;
+  std::size_t degraded_ = 0;  ///< subset of admitted_ served on the cheap rung
 };
 
 }  // namespace drim::serve

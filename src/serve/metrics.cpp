@@ -28,6 +28,7 @@ ServeReport summarize(const std::vector<RequestRecord>& records, double slo_s) {
       continue;
     }
     ++rep.served;
+    if (r.degraded) ++rep.degraded;
     last_done = std::max(last_done, r.done_s);
     latencies_ms.push_back(r.latency_s * 1e3);
     waits_ms.push_back(r.queue_wait_s * 1e3);
@@ -72,15 +73,15 @@ void write_snapshots_csv(const std::vector<MetricsSnapshot>& snaps,
   // prefix keep parsing; shard = -1 marks the single row of an unsharded
   // backend. Sharded samples repeat the base columns once per shard.
   out << "t_s,queue_depth,inflight,deferred_tasks,ewma_batch_s,admitted,shed,"
-         "shed_rate,batches,shard,shard_draining,shard_queue_tasks,"
+         "degraded,shed_rate,batches,shard,shard_draining,shard_queue_tasks,"
          "shard_queries,shard_tasks,shard_fallbacks,shard_busy_s\n";
   for (const MetricsSnapshot& s : snaps) {
     const std::size_t rows = s.shards.empty() ? 1 : s.shards.size();
     for (std::size_t i = 0; i < rows; ++i) {
       out << fmt_double(s.t_s) << ',' << s.queue_depth << ',' << s.inflight << ','
           << s.deferred_tasks << ',' << fmt_double(s.ewma_batch_s) << ','
-          << s.admitted << ',' << s.shed << ',' << fmt_double(s.shed_rate) << ','
-          << s.batches;
+          << s.admitted << ',' << s.shed << ',' << s.degraded << ','
+          << fmt_double(s.shed_rate) << ',' << s.batches;
       if (s.shards.empty()) {
         out << ",-1,0,0,0,0,0,0\n";
       } else {
@@ -105,6 +106,7 @@ void write_snapshots_json(const std::vector<MetricsSnapshot>& snaps,
         << ",\"deferred_tasks\":" << s.deferred_tasks
         << ",\"ewma_batch_s\":" << fmt_double(s.ewma_batch_s)
         << ",\"admitted\":" << s.admitted << ",\"shed\":" << s.shed
+        << ",\"degraded\":" << s.degraded
         << ",\"shed_rate\":" << fmt_double(s.shed_rate)
         << ",\"batches\":" << s.batches;
     if (!s.shards.empty()) {

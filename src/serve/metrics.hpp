@@ -19,6 +19,7 @@ namespace drim::serve {
 struct RequestRecord {
   Request request;
   bool shed = false;          ///< rejected at admission; latency fields unset
+  bool degraded = false;      ///< served on the cheap Q4 rung (degrade-before-shed)
   std::size_t results = 0;    ///< neighbors returned (k when served)
   double done_s = 0.0;        ///< completion on the virtual clock
   double latency_s = 0.0;     ///< done_s - arrival_s
@@ -39,6 +40,7 @@ struct ServeReport {
   std::size_t offered = 0;  ///< requests in the trace
   std::size_t served = 0;
   std::size_t shed = 0;
+  std::size_t degraded = 0;        ///< served on the cheap Q4 rung
   std::size_t slo_violations = 0;  ///< served but past the SLO
 
   double duration_s = 0.0;  ///< first arrival -> last completion
@@ -69,6 +71,7 @@ struct MetricsSnapshot {
   double ewma_batch_s = 0.0;       ///< admission predictor's batch time
   std::size_t admitted = 0;        ///< cumulative admitted requests
   std::size_t shed = 0;            ///< cumulative shed requests
+  std::size_t degraded = 0;        ///< cumulative degraded admissions (of admitted)
   double shed_rate = 0.0;          ///< shed / (admitted + shed) so far
   std::size_t batches = 0;         ///< cumulative backend steps
   /// Per-shard health when the backend is a cluster tier (src/cluster);

@@ -218,6 +218,7 @@ ServeResult ServingRuntime::run_serial(const std::vector<Request>& trace,
     s.ewma_batch_s = ewma;
     s.admitted = admission.admitted();
     s.shed = admission.shed();
+    s.degraded = admission.degraded();
     const std::size_t seen = s.admitted + s.shed;
     s.shed_rate = seen > 0 ? static_cast<double>(s.shed) / static_cast<double>(seen)
                            : 0.0;
@@ -264,12 +265,28 @@ ServeResult ServingRuntime::run_serial(const std::vector<Request>& trace,
         (backlog + params_.batcher.max_batch - 1) / params_.batcher.max_batch;
     const double predicted =
         residual + static_cast<double>(backlog_batches) * ewma;
-    if (admission.admit(predicted)) {
-      batcher.enqueue(req, req.arrival_s);
+    // Cheap-rung prediction: the residual (already-launched work) is sunk;
+    // only the backlog's batches would run degraded.
+    const double predicted_degraded =
+        residual + static_cast<double>(backlog_batches) * ewma *
+                       params_.admission.degrade_cost_ratio;
+    const AdmissionDecision decision =
+        admission.decide(predicted, predicted_degraded);
+    if (decision != AdmissionDecision::kShed) {
+      Request admitted = req;
+      if (decision == AdmissionDecision::kDegrade) {
+        admitted.precision = Precision::kQ4;
+        result.records[req.id].degraded = true;
+        result.records[req.id].request.precision = Precision::kQ4;
+      }
+      batcher.enqueue(admitted, req.arrival_s);
       if (tracing) {
-        trace_->instant(req_lane, "arrive", "serve", req.arrival_s,
-                        {{"id", static_cast<double>(req.id)},
-                         {"predicted_ms", predicted * 1e3}});
+        trace_->instant(
+            req_lane,
+            decision == AdmissionDecision::kDegrade ? "degrade" : "arrive",
+            "serve", req.arrival_s,
+            {{"id", static_cast<double>(req.id)},
+             {"predicted_ms", predicted * 1e3}});
       }
     } else {
       result.records[req.id].shed = true;
@@ -385,7 +402,7 @@ ServeResult ServingRuntime::run_serial(const std::vector<Request>& trace,
       std::vector<Request> batch = batcher.take_batch();
       for (const Request& req : batch) {
         const std::uint32_t handle =
-            backend_.enqueue(pool_.row(req.query), req.k, req.nprobe);
+            backend_.enqueue(pool_.row(req.query), req.k, req.nprobe, req.precision);
         inflight.emplace(handle, static_cast<std::size_t>(req.id));
         RequestRecord& rec = result.records[req.id];
         rec.queue_wait_s = now - req.arrival_s;
@@ -543,6 +560,7 @@ ServeResult ServingRuntime::run_pipelined(const std::vector<Request>& trace,
     s.ewma_batch_s = ewma;
     s.admitted = admission.admitted();
     s.shed = admission.shed();
+    s.degraded = admission.degraded();
     const std::size_t seen = s.admitted + s.shed;
     s.shed_rate = seen > 0 ? static_cast<double>(s.shed) / static_cast<double>(seen)
                            : 0.0;
@@ -586,12 +604,28 @@ ServeResult ServingRuntime::run_pipelined(const std::vector<Request>& trace,
         (backlog + params_.batcher.max_batch - 1) / params_.batcher.max_batch;
     const double predicted =
         residual + static_cast<double>(backlog_batches) * ewma;
-    if (admission.admit(predicted)) {
-      batcher.enqueue(req, req.arrival_s);
+    // Cheap-rung prediction: the residual (already-launched work) is sunk;
+    // only the backlog's batches would run degraded.
+    const double predicted_degraded =
+        residual + static_cast<double>(backlog_batches) * ewma *
+                       params_.admission.degrade_cost_ratio;
+    const AdmissionDecision decision =
+        admission.decide(predicted, predicted_degraded);
+    if (decision != AdmissionDecision::kShed) {
+      Request admitted = req;
+      if (decision == AdmissionDecision::kDegrade) {
+        admitted.precision = Precision::kQ4;
+        result.records[req.id].degraded = true;
+        result.records[req.id].request.precision = Precision::kQ4;
+      }
+      batcher.enqueue(admitted, req.arrival_s);
       if (tracing) {
-        trace_->instant(req_lane, "arrive", "serve", req.arrival_s,
-                        {{"id", static_cast<double>(req.id)},
-                         {"predicted_ms", predicted * 1e3}});
+        trace_->instant(
+            req_lane,
+            decision == AdmissionDecision::kDegrade ? "degrade" : "arrive",
+            "serve", req.arrival_s,
+            {{"id", static_cast<double>(req.id)},
+             {"predicted_ms", predicted * 1e3}});
       }
     } else {
       result.records[req.id].shed = true;
@@ -702,7 +736,7 @@ ServeResult ServingRuntime::run_pipelined(const std::vector<Request>& trace,
       std::vector<Request> batch = batcher.take_batch();
       for (const Request& req : batch) {
         const std::uint32_t handle =
-            backend_.enqueue(pool_.row(req.query), req.k, req.nprobe);
+            backend_.enqueue(pool_.row(req.query), req.k, req.nprobe, req.precision);
         inflight.emplace(handle, static_cast<std::size_t>(req.id));
         result.records[req.id].queue_wait_s = now - req.arrival_s;
       }

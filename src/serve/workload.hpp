@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <vector>
 
+#include "core/precision.hpp"
+
 namespace drim::serve {
 
 /// One search request as the serving layer sees it.
@@ -19,6 +21,10 @@ struct Request {
   std::uint32_t query = 0;    ///< row in the serving query pool
   std::uint32_t k = 10;
   std::uint32_t nprobe = 16;
+  /// Precision rung the request is served at. Traces are generated at kFull;
+  /// admission control may lower it to kQ4 (degrade-before-shed) on the way
+  /// into the batcher. Backends without a ladder ignore it.
+  Precision precision = Precision::kFull;
 };
 
 /// Arrival process shapes.

@@ -16,6 +16,22 @@ function(run_step)
   set(STEP_OUTPUT "${out}" PARENT_SCOPE)
 endfunction()
 
+# Expect the command to FAIL with exit code 2 and an error message matching
+# `pattern` (the parse-time numeric-knob validation contract).
+function(run_step_expect_usage_error pattern)
+  execute_process(COMMAND ${ARGN}
+                  WORKING_DIRECTORY ${WORK_DIR}
+                  RESULT_VARIABLE rc
+                  OUTPUT_VARIABLE out
+                  ERROR_VARIABLE err)
+  if(NOT rc EQUAL 2)
+    message(FATAL_ERROR "expected exit 2, got ${rc}: ${ARGN}\n${out}\n${err}")
+  endif()
+  if(NOT err MATCHES "${pattern}")
+    message(FATAL_ERROR "error output missing '${pattern}': ${err}")
+  endif()
+endfunction()
+
 run_step(${DRIM_BIN} gen --out-base base.bvecs --out-queries q.fvecs
          --out-learn learn.fvecs --n 6000 --queries 40 --components 16)
 run_step(${DRIM_BIN} build --base base.bvecs --learn learn.fvecs
@@ -64,6 +80,22 @@ run_step(${DRIM_BIN} serve --index test.idx --queries q.fvecs --qps 500
 if(NOT STEP_OUTPUT MATCHES "backend cpu")
   message(FATAL_ERROR "serve did not report the cpu backend: ${STEP_OUTPUT}")
 endif()
+
+# Numeric-knob validation: 0/negative/garbage values must fail at parse time
+# (exit 2) with an error naming the flag and the legal range, not deep inside
+# the engine.
+run_step_expect_usage_error("invalid --pipeline-depth value '0'.*\\[1, 64\\]"
+    ${DRIM_BIN} search --index test.idx --queries q.fvecs --backend drim
+    --dpus 8 --pipeline-depth 0)
+run_step_expect_usage_error("invalid --shards value '-2'"
+    ${DRIM_BIN} serve --index test.idx --queries q.fvecs --requests 8
+    --dpus 8 --shards -2)
+run_step_expect_usage_error("invalid --batch-size value 'lots'"
+    ${DRIM_BIN} search --index test.idx --queries q.fvecs --backend drim
+    --dpus 8 --batch-size lots)
+run_step_expect_usage_error("invalid --shard-replication value '1.5'.*\\[0, 1\\]"
+    ${DRIM_BIN} serve --index test.idx --queries q.fvecs --requests 8
+    --dpus 8 --shards 2 --shard-replication 1.5)
 
 # --trace must emit a Chrome-trace JSON that actually parses and carries the
 # documented schema (displayTimeUnit, traceEvents with ph/pid/tid/ts).

@@ -149,6 +149,65 @@ TEST_F(PlatformTest, BatchTimesAreExactlyEqual) {
   EXPECT_DOUBLE_EQ(as.total_seconds, ss.total_seconds);
 }
 
+// Precision-ladder contract, full rung: merely enabling the q4 tables must
+// not perturb the precise path. Same neighbors bit for bit, same modeled
+// time to the last ulp, and a zero rerank tail — on both platforms.
+TEST_F(PlatformTest, EnablingQ4LeavesFullRungBitIdentical) {
+  for (const PimPlatformKind kind :
+       {PimPlatformKind::kSim, PimPlatformKind::kAnalytic}) {
+    SCOPED_TRACE(pim_platform_name(kind));
+    DrimEngineOptions off = options(kind);
+    DrimEngineOptions on = options(kind);
+    on.enable_q4 = true;
+    DrimAnnEngine plain(*index_, data_->learn, off);
+    DrimAnnEngine ladder(*index_, data_->learn, on);
+    ASSERT_TRUE(ladder.q4_ready());
+    DrimSearchStats ps, ls;
+    const auto plain_res = plain.search(data_->queries, 10, 8, &ps);
+    const auto ladder_res = ladder.search(data_->queries, 10, 8, &ls);
+    expect_identical(plain_res, ladder_res);
+    EXPECT_DOUBLE_EQ(ls.total_seconds, ps.total_seconds);
+    EXPECT_EQ(ls.host_rerank_seconds, 0.0);
+  }
+}
+
+// Precision-ladder contract, q4 rung: the charge twin holds on the coarse
+// rung too. Sim and analytic return bit-identical neighbors (host-exact
+// replay of the same packed-nibble ADC + rerank tail) and exactly equal
+// modeled times, and the rerank tail is actually billed.
+TEST_F(PlatformTest, Q4RungPlatformsAreChargeTwins) {
+  DrimEngineOptions so = options(PimPlatformKind::kSim);
+  so.enable_q4 = true;
+  DrimEngineOptions ao = options(PimPlatformKind::kAnalytic);
+  ao.enable_q4 = true;
+  DrimAnnEngine sim(*index_, data_->learn, so);
+  DrimAnnEngine analytic(*index_, data_->learn, ao);
+  DrimSearchStats ss, as;
+  const auto sim_res =
+      sim.search(data_->queries, 10, 8, &ss, Precision::kQ4);
+  const auto analytic_res =
+      analytic.search(data_->queries, 10, 8, &as, Precision::kQ4);
+  expect_identical(sim_res, analytic_res);
+  for (std::size_t p = 0; p < kNumPhases; ++p) {
+    SCOPED_TRACE(phase_name(static_cast<Phase>(p)));
+    EXPECT_EQ(ss.counters.phases[p].instr_cycles, as.counters.phases[p].instr_cycles);
+    EXPECT_DOUBLE_EQ(ss.counters.phases[p].dma_cycles, as.counters.phases[p].dma_cycles);
+    EXPECT_EQ(ss.counters.phases[p].mram_bytes_read,
+              as.counters.phases[p].mram_bytes_read);
+  }
+  EXPECT_DOUBLE_EQ(as.total_seconds, ss.total_seconds);
+  EXPECT_DOUBLE_EQ(as.host_rerank_seconds, ss.host_rerank_seconds);
+  EXPECT_GT(ss.host_rerank_seconds, 0.0);
+
+  // The coarse rung must actually be coarser: same task count, fewer MRAM
+  // code bytes per distance than the full rung would read.
+  DrimSearchStats fs;
+  sim.search(data_->queries, 10, 8, &fs, Precision::kFull);
+  EXPECT_EQ(ss.tasks, fs.tasks);
+  EXPECT_LT(ss.counters.at(Phase::DC).mram_bytes_read,
+            fs.counters.at(Phase::DC).mram_bytes_read);
+}
+
 TEST_F(PlatformTest, FactoryAndNamesRoundTrip) {
   EXPECT_EQ(pim_platform_name(PimPlatformKind::kSim), "sim");
   EXPECT_EQ(pim_platform_name(PimPlatformKind::kAnalytic), "analytic");

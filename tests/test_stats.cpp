@@ -2,8 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 #include <stdexcept>
+#include <vector>
 
 #include "common/stats.hpp"
 
@@ -80,6 +82,36 @@ TEST(Stats, PercentileInterpolationIsExactAtFractionalRanks) {
   std::vector<double> v{0, 10};
   EXPECT_DOUBLE_EQ(percentile(v, 25), 2.5);
   EXPECT_DOUBLE_EQ(percentile(v, 75), 7.5);
+}
+
+TEST(Stats, TailSummaryMatchesPercentileExactly) {
+  // tail_summary sorts the sample once and derives every percentile from the
+  // sorted copy; the results must stay bit-identical to calling percentile()
+  // three times (the old, 3x-sort implementation).
+  std::vector<double> v;
+  double x = 0.371;
+  for (int i = 0; i < 997; ++i) {
+    x = x * 1103.5153 - static_cast<double>(static_cast<long>(x * 1103.5153));
+    v.push_back(x * 25.0);
+  }
+  const TailSummary t = tail_summary(v);
+  EXPECT_DOUBLE_EQ(t.p50, percentile(v, 50));
+  EXPECT_DOUBLE_EQ(t.p95, percentile(v, 95));
+  EXPECT_DOUBLE_EQ(t.p99, percentile(v, 99));
+  EXPECT_DOUBLE_EQ(t.mean, mean(v));
+  EXPECT_DOUBLE_EQ(t.max, *std::max_element(v.begin(), v.end()));
+}
+
+TEST(Stats, TailSummaryEmptyAndSingle) {
+  const TailSummary e = tail_summary({});
+  EXPECT_DOUBLE_EQ(e.p50, 0.0);
+  EXPECT_DOUBLE_EQ(e.p99, 0.0);
+  EXPECT_DOUBLE_EQ(e.max, 0.0);
+  const TailSummary s = tail_summary({7.0});
+  EXPECT_DOUBLE_EQ(s.p50, 7.0);
+  EXPECT_DOUBLE_EQ(s.p95, 7.0);
+  EXPECT_DOUBLE_EQ(s.p99, 7.0);
+  EXPECT_DOUBLE_EQ(s.max, 7.0);
 }
 
 TEST(Stats, ImbalanceFactorUniformIsOne) {

@@ -9,6 +9,7 @@
 //               [--k 10] [--nprobe 16] [--gt gt.ivecs]
 //               [--backend cpu|drim] [--platform sim|analytic] [--dpus 64]
 //               [--pipeline-depth 2] [--batch-size 0] [--rerank 0]
+//               [--precision full|q4]
 //               [--shards 1] [--shard-replication 0.1]
 //               [--trace out.json]
 //   drim gt     --base base.bvecs --queries q.fvecs --out gt.ivecs [--k 100]
@@ -18,6 +19,7 @@
 //               [--k 10] [--nprobe 16] [--dpus 64] [--seed 42]
 //               [--backend cpu|drim] [--platform sim|analytic]
 //               [--pipeline-depth 2] [--no-admission] [--flush-every 4]
+//               [--precision full|q4] [--min-rung 0]
 //               [--shards 1] [--shard-replication 0.1]
 //               [--trace out.json] [--metrics out.csv|out.json]
 //               [--snapshot-ms 0]
@@ -40,6 +42,14 @@
 // batches in flight so host-link transfers overlap DPU compute (1 = serial;
 // results are bit-identical at every depth, only the modeled timeline moves).
 //
+// --precision picks the rung of the quantization ladder (drim backend only):
+// `full` is the stock 8-bit PQ path, `q4` runs the packed 4-bit codes with
+// the host exact-rerank tail — faster at lower recall. --min-rung 1 (serve)
+// turns on degrade-before-shed admission: requests whose full-precision
+// latency prediction blows the SLO are retried against the q4-rung
+// prediction and served degraded instead of shed when it fits. Either flag
+// builds the engine's q4 tables (enable_q4).
+//
 // serve replays an open-loop request trace (timestamped arrivals drawn from
 // the query file) through the online serving runtime — dynamic batching,
 // admission control, tail-latency accounting — on any backend (default
@@ -59,6 +69,7 @@
 // (queue depth, EWMA batch time, shed rate) as CSV or JSON, sampled every
 // --snapshot-ms of virtual time.
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -71,6 +82,7 @@
 #include "common/io.hpp"
 #include "common/timer.hpp"
 #include "core/flat_search.hpp"
+#include "core/precision.hpp"
 #include "core/rerank.hpp"
 #include "core/serialize.hpp"
 #include "data/recall.hpp"
@@ -113,6 +125,45 @@ class Args {
   double get_double(const std::string& key, double fallback) const {
     auto it = values_.find(key);
     return it == values_.end() ? fallback : std::strtod(it->second.c_str(), nullptr);
+  }
+  /// Strictly-parsed integer knob: the value must be a whole non-negative
+  /// number inside [min_value, max_value]. Garbage, trailing junk, negatives,
+  /// and out-of-range values exit 2 at parse time with an error naming the
+  /// flag and the legal range, instead of failing deep inside the engine.
+  std::size_t get_size_checked(const std::string& key, std::size_t fallback,
+                               std::size_t min_value, std::size_t max_value) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    const std::string& text = it->second;
+    char* end = nullptr;
+    errno = 0;
+    const unsigned long long parsed = std::strtoull(text.c_str(), &end, 10);
+    const bool numeric = end != text.c_str() && end != nullptr && *end == '\0' &&
+                         errno == 0 && text.find('-') == std::string::npos;
+    if (!numeric || parsed < min_value || parsed > max_value) {
+      std::fprintf(stderr,
+                   "invalid --%s value '%s': expected an integer in [%zu, %zu]\n",
+                   key.c_str(), text.c_str(), min_value, max_value);
+      std::exit(2);
+    }
+    return static_cast<std::size_t>(parsed);
+  }
+  /// Strictly-parsed floating-point knob with the same contract.
+  double get_double_checked(const std::string& key, double fallback,
+                            double min_value, double max_value) const {
+    auto it = values_.find(key);
+    if (it == values_.end()) return fallback;
+    const std::string& text = it->second;
+    char* end = nullptr;
+    const double parsed = std::strtod(text.c_str(), &end);
+    if (end == text.c_str() || end == nullptr || *end != '\0' ||
+        !(parsed >= min_value && parsed <= max_value)) {
+      std::fprintf(stderr,
+                   "invalid --%s value '%s': expected a number in [%g, %g]\n",
+                   key.c_str(), text.c_str(), min_value, max_value);
+      std::exit(2);
+    }
+    return parsed;
   }
   bool has(const std::string& key) const { return values_.count(key) > 0; }
   std::string require(const std::string& key) const {
@@ -259,6 +310,25 @@ std::vector<std::vector<Neighbor>> load_gt(const std::string& path) {
   return gt;
 }
 
+/// --precision {full,q4}: the ladder rung requests run at (search: every
+/// query; serve: the trace default). Unknown values exit 2 at parse time.
+Precision precision_from_args(const Args& args) {
+  const std::string text = args.get("precision", "full");
+  try {
+    return parse_precision(text);
+  } catch (const std::exception&) {
+    std::fprintf(stderr, "invalid --precision value '%s': expected full|q4\n",
+                 text.c_str());
+    std::exit(2);
+  }
+}
+
+/// --min-rung {0,1}: the cheapest rung admission control may degrade a
+/// request to under predicted SLO violation (0 = never degrade, shed only).
+std::size_t min_rung_from_args(const Args& args) {
+  return args.get_size_checked("min-rung", 0, 0, 1);
+}
+
 /// Backend selection shared by search and serve: --backend {drim,cpu} with
 /// the legacy --pim boolean as an alias for --backend drim; --platform
 /// {sim,analytic} picks the PIM platform under the drim backend.
@@ -269,19 +339,24 @@ std::unique_ptr<AnnBackend> backend_from_args(const Args& args, const IvfPqIndex
   const BackendKind kind = parse_backend_kind(
       args.get("backend", args.has("pim") ? "drim" : default_backend));
   DrimEngineOptions opts;
-  opts.pim.num_dpus = args.get_size("dpus", 64);
+  opts.pim.num_dpus = args.get_size_checked("dpus", 64, 1, 1'000'000);
   opts.heat_nprobe = nprobe;
   opts.platform = parse_pim_platform(args.get("platform", "sim"));
-  opts.pipeline_depth = args.get_size("pipeline-depth", opts.pipeline_depth);
-  opts.batch_size = args.get_size("batch-size", opts.batch_size);
+  opts.pipeline_depth =
+      args.get_size_checked("pipeline-depth", opts.pipeline_depth, 1, 64);
+  opts.batch_size = args.get_size_checked("batch-size", opts.batch_size, 0, 1 << 20);
+  // Any request for the cheap rung — static (--precision q4) or adaptive
+  // (--min-rung >= 1) — needs the engine's q4 tables built.
+  opts.enable_q4 = precision_from_args(args) == Precision::kQ4 ||
+                   min_rung_from_args(args) >= 1;
   CpuBackendOptions cpu_opts;
   cpu_opts.pipeline_depth = opts.pipeline_depth;
-  const std::size_t shards = args.get_size("shards", 1);
+  const std::size_t shards = args.get_size_checked("shards", 1, 1, 4096);
   if (shards > 1 || args.has("shard-replication")) {
     cluster::ClusterOptions copts;
     copts.num_shards = shards;
-    copts.replication_fraction =
-        args.get_double("shard-replication", copts.replication_fraction);
+    copts.replication_fraction = args.get_double_checked(
+        "shard-replication", copts.replication_fraction, 0.0, 1.0);
     return cluster::make_cluster_backend(kind, index, sample_queries, opts, copts,
                                          cpu_opts);
   }
@@ -314,8 +389,34 @@ int cmd_search(const Args& args) {
       backend_from_args(args, index, queries, nprobe, "cpu");
   obs::TraceRecorder recorder;
   if (args.has("trace")) backend->set_trace(&recorder);
-  std::vector<std::vector<Neighbor>> results =
-      backend->search(queries, fetch_k, nprobe);
+  const Precision rung = precision_from_args(args);
+  std::vector<std::vector<Neighbor>> results;
+  if (rung == Precision::kFull) {
+    results = backend->search(queries, fetch_k, nprobe);
+  } else {
+    // Cheap-rung search goes through the streaming seam: the precision-aware
+    // enqueue is per-query, so every backend (drim, cluster router) carries
+    // the rung; backends without a ladder ignore it and serve full.
+    backend->reset_stream();
+    std::vector<std::uint32_t> handles;
+    handles.reserve(queries.count());
+    for (std::size_t qi = 0; qi < queries.count(); ++qi) {
+      handles.push_back(backend->enqueue(queries.row(qi), fetch_k, nprobe, rung));
+    }
+    bool pending = true;
+    while (pending) {
+      backend->step(0, /*flush=*/true);
+      pending = false;
+      for (std::uint32_t h : handles) {
+        if (!backend->finished(h)) {
+          pending = true;
+          break;
+        }
+      }
+    }
+    results.reserve(handles.size());
+    for (std::uint32_t h : handles) results.push_back(backend->take_results(h));
+  }
   if (args.has("trace")) {
     recorder.write_chrome_trace_file(args.get("trace"));
     std::printf("wrote %zu trace events (%zu lanes) to %s\n",
@@ -366,6 +467,7 @@ int cmd_serve(const Args& args) {
   sp.batcher.max_batch = args.get_size("max-batch", 32);
   sp.flush_every = args.get_size("flush-every", 4);
   sp.admission.enabled = !args.has("no-admission");
+  sp.admission.degrade_to_q4 = min_rung_from_args(args) >= 1;
   sp.snapshot_period_s = args.get_double("snapshot-ms", 0.0) * 1e-3;
   if (sp.snapshot_period_s <= 0.0 && (args.has("metrics") || args.has("trace"))) {
     sp.snapshot_period_s = 1e-3;  // something to plot when output is requested
@@ -401,7 +503,11 @@ int cmd_serve(const Args& args) {
               sp.admission.slo_s * 1e3, sp.admission.enabled ? "on" : "off",
               est * 1e3);
 
-  const auto trace = serve::generate_workload(pool.count(), wp);
+  auto trace = serve::generate_workload(pool.count(), wp);
+  const Precision rung = precision_from_args(args);
+  if (rung != Precision::kFull) {
+    for (serve::Request& req : trace) req.precision = rung;
+  }
   serve::ServingRuntime runtime(*backend, pool, sp);
 
   // Mutable-index serving: interleave an update trace and publish on cadence.
@@ -450,9 +556,10 @@ int cmd_serve(const Args& args) {
                 args.get("metrics").c_str());
   }
 
-  std::printf("served %zu / shed %zu of %zu offered in %zu batches "
-              "(makespan %.3f s)\n",
-              r.served, r.shed, r.offered, res.batches, res.makespan_s);
+  std::printf("served %zu (%zu degraded) / shed %zu of %zu offered in %zu "
+              "batches (makespan %.3f s)\n",
+              r.served, r.degraded, r.shed, r.offered, res.batches,
+              res.makespan_s);
   std::printf("latency ms: p50 %.3f  p95 %.3f  p99 %.3f  mean %.3f  max %.3f\n",
               r.p50_ms, r.p95_ms, r.p99_ms, r.mean_ms, r.max_ms);
   std::printf("queue wait: %.3f ms mean; throughput %.0f qps, goodput %.0f qps\n",
