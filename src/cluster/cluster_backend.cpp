@@ -124,7 +124,9 @@ std::uint32_t ClusterBackend::enqueue(std::span<const float> query, std::size_t 
   return handle_base_ + static_cast<std::uint32_t>(queries_.size() - 1);
 }
 
-double ClusterBackend::fallback_scan(RouterQuery& q, std::uint32_t cluster) {
+double ClusterBackend::fallback_scan_group(std::uint32_t cluster, std::uint32_t k,
+                                           std::span<RouterQuery*> members) {
+  if (members.empty()) return 0.0;
   if (!fallback_data_) fallback_data_ = std::make_unique<PimIndexData>(index());
   const auto size = static_cast<std::uint32_t>(fallback_data_->cluster_size(cluster));
   if (size == 0) return 0.0;
@@ -132,17 +134,30 @@ double ClusterBackend::fallback_scan(RouterQuery& q, std::uint32_t cluster) {
   whole.cluster = cluster;
   whole.begin = 0;
   whole.end = size;
-  const std::vector<std::int16_t> q16 = PimIndexData::quantize_query(q.values);
-  const std::vector<KernelHit> hits = host_search_task(
-      *fallback_data_, q16, whole, q.k, snapshot_.dead_flags(cluster));
-  for (const KernelHit& h : hits) {
-    if (h.id == 0xFFFFFFFFu && h.dist == 0xFFFFFFFFu) continue;  // sentinel pad
-    q.fallback_hits.push_back({static_cast<float>(h.dist), h.id});
+  std::vector<std::vector<std::int16_t>> q16(members.size());
+  std::vector<std::vector<KernelHit>> rows(members.size());
+  std::vector<HostFusedTask> tasks(members.size());
+  for (std::size_t w = 0; w < members.size(); ++w) {
+    q16[w] = PimIndexData::quantize_query(members[w]->values);
+    rows[w].resize(k);
+    tasks[w] = {q16[w].data(), rows[w].data()};
   }
-  // Streaming exact scan over the cluster's codes + ids at host bandwidth.
+  host_search_tasks_fused_into(*fallback_data_, tasks, whole, k, /*q4=*/false,
+                               snapshot_.dead_flags(cluster));
+  for (std::size_t w = 0; w < members.size(); ++w) {
+    for (const KernelHit& h : rows[w]) {
+      if (h.id == 0xFFFFFFFFu && h.dist == 0xFFFFFFFFu) continue;  // sentinel pad
+      members[w]->fallback_hits.push_back({static_cast<float>(h.dist), h.id});
+    }
+  }
+  // Streaming exact scan over the cluster's codes + ids at host bandwidth —
+  // pulled ONCE for the whole group; the members past the first are the
+  // duplicate pulls this path used to pay.
   const double bytes = static_cast<double>(size) *
                        (static_cast<double>(fallback_data_->code_size()) +
                         sizeof(std::uint32_t));
+  stats_.dc_bytes_saved +=
+      static_cast<std::uint64_t>(members.size() - 1) * static_cast<std::uint64_t>(bytes);
   return bytes / opts_.fallback_bytes_per_sec;
 }
 
@@ -178,6 +193,15 @@ BackendStepStats ClusterBackend::step(std::size_t max_queries, bool flush) {
               plan_.mean_cluster_cost(s);
   }
   std::vector<std::vector<std::uint32_t>> per_shard_probes(shards_.size());
+  // Ownerless (query, cluster) visits collected during routing; scanned
+  // AFTER the loop grouped by (cluster, k) so each dead cluster's block is
+  // pulled once per step, not once per query.
+  struct FallbackVisit {
+    std::uint32_t cluster;
+    std::uint32_t k;
+    std::uint32_t query;  // index into queries_
+  };
+  std::vector<FallbackVisit> fallback_visits;
   double fallback_seconds = 0.0;
   std::size_t fallback_tasks = 0;
   for (std::size_t qi = begin; qi < end; ++qi) {
@@ -219,8 +243,8 @@ BackendStepStats ClusterBackend::step(std::size_t max_queries, bool flush) {
       }
       // No live owner: degrade to the host-side exact scan so the query
       // still completes with full recall. Attributed to the first (drained)
-      // owner's health row.
-      fallback_seconds += fallback_scan(q, c);
+      // owner's health row; the scan itself runs coalesced after routing.
+      fallback_visits.push_back({c, q.k, static_cast<std::uint32_t>(qi)});
       ++fallback_tasks;
       if (!owners.empty()) ++health_[owners.front()].fallback_tasks;
     }
@@ -234,6 +258,32 @@ BackendStepStats ClusterBackend::step(std::size_t max_queries, bool flush) {
       out.tasks += per_shard_probes[s].size();
     }
     q.dispatched = true;
+  }
+
+  // ---- coalesced drain fallback ----
+  // Group the ownerless visits by (cluster, k) in discovery order (stable:
+  // independent of thread count) and scan each group once. Merges sort and
+  // dedup, so hit-append order never affects results.
+  if (!fallback_visits.empty()) {
+    std::stable_sort(fallback_visits.begin(), fallback_visits.end(),
+                     [](const FallbackVisit& a, const FallbackVisit& b) {
+                       if (a.cluster != b.cluster) return a.cluster < b.cluster;
+                       return a.k < b.k;
+                     });
+    std::vector<RouterQuery*> members;
+    for (std::size_t i = 0; i < fallback_visits.size();) {
+      std::size_t j = i;
+      members.clear();
+      while (j < fallback_visits.size() &&
+             fallback_visits[j].cluster == fallback_visits[i].cluster &&
+             fallback_visits[j].k == fallback_visits[i].k) {
+        members.push_back(&queries_[fallback_visits[j].query]);
+        ++j;
+      }
+      fallback_seconds += fallback_scan_group(fallback_visits[i].cluster,
+                                              fallback_visits[i].k, members);
+      i = j;
+    }
   }
 
   // ---- barrier-step the shards ----
@@ -363,7 +413,9 @@ BackendStats ClusterBackend::stats() const {
   if (passthrough()) return shards_[0]->stats();
   BackendStats out = stats_;
   for (const auto& s : shards_) {
-    out.host_wall_seconds += s->stats().host_wall_seconds;
+    const BackendStats ss = s->stats();
+    out.host_wall_seconds += ss.host_wall_seconds;
+    out.dc_bytes_saved += ss.dc_bytes_saved;
   }
   return out;
 }

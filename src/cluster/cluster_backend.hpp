@@ -165,10 +165,16 @@ class ClusterBackend final : public AnnBackend {
   /// Step one shard with the trace cursor anchored at `now_s` under its
   /// per-shard lane prefix; returns the shard's step stats.
   BackendStepStats step_shard(std::uint32_t s, bool flush, double now_s);
-  /// Exact-scan one whole cluster on the host for `q` (tombstone-aware: the
-  /// snapshot's dead flags filter before the top-k, like the kernels);
-  /// returns modeled seconds and appends the hits to q.fallback_hits.
-  double fallback_scan(RouterQuery& q, std::uint32_t cluster);
+  /// Exact-scan one whole cluster on the host for every query in `members`
+  /// at search depth `k` (tombstone-aware: the snapshot's dead flags filter
+  /// before the top-k, like the kernels), appending each member's hits to
+  /// its q.fallback_hits. Coalesced like the kernels' cluster-major fusion
+  /// (DESIGN.md §16): the cluster's code + id block is pulled ONCE per step
+  /// instead of once per query, so the returned modeled seconds bill one
+  /// stream regardless of member count; the avoided re-pulls are added to
+  /// stats_.dc_bytes_saved.
+  double fallback_scan_group(std::uint32_t cluster, std::uint32_t k,
+                             std::span<RouterQuery*> members);
   /// Step every shard with flush until no routed work is deferred, so every
   /// dispatched partial is finished (install/recovery precondition).
   void flush_all();

@@ -55,10 +55,12 @@ SchedulerParams derive_scheduler_params(const PimConfig& cfg, std::size_t dim,
   const double rc = static_cast<double>(dim) * (c.add + 3.0 * c.wram_access);
   const double lc_dma = static_cast<double>(m * cb * dsub * 2) * cfg.dma_cycles_per_byte;
   p.l_lut = static_cast<double>(m * cb) * per_entry + rc + lc_dma;
-  // DC per point: m LUT loads + (m-1) adds + streamed code bytes.
+  // DC per point: m LUT loads + (m-1) adds + streamed code bytes. The DMA
+  // share is also recorded separately (l_dc_dma) so the fusion stage's
+  // amortized pricing can subtract exactly the term fusion removes.
+  p.l_dc_dma = static_cast<double>(m) * cfg.dma_cycles_per_byte;
   p.l_calu = static_cast<double>(m) * c.lut_lookup +
-             static_cast<double>(m - 1) * c.add +
-             static_cast<double>(m) * cfg.dma_cycles_per_byte;
+             static_cast<double>(m - 1) * c.add + p.l_dc_dma;
   // TS per point: threshold compare plus amortized heap maintenance.
   double log2k = 1.0;
   for (std::size_t v = k; v > 1; v >>= 1) log2k += 1.0;
@@ -76,12 +78,13 @@ SchedulerParams derive_scheduler_params(const PimConfig& cfg, std::size_t dim,
         static_cast<double>(pairs) * 256.0 * (c.add + c.wram_access);
     p.l_lut_q4 = static_cast<double>(m * cb4) * per_entry_q4 + rc +
                  static_cast<double>(dim) + lc_dma_q4 + pair_fold;
+    p.l_dc_dma_q4 = static_cast<double>(pairs) * cfg.dma_cycles_per_byte;
     p.l_calu_q4 = static_cast<double>(pairs) * c.lut_lookup +
-                  static_cast<double>(pairs - 1) * c.add +
-                  static_cast<double>(pairs) * cfg.dma_cycles_per_byte;
+                  static_cast<double>(pairs - 1) * c.add + p.l_dc_dma_q4;
   } else {
     p.l_lut_q4 = p.l_lut;
     p.l_calu_q4 = p.l_calu;
+    p.l_dc_dma_q4 = p.l_dc_dma;
   }
   return p;
 }
@@ -131,6 +134,11 @@ DrimAnnEngine::DrimAnnEngine(IndexSnapshot snapshot, const FloatMatrix& sample_q
       throw std::invalid_argument(msg);
     }
   }
+
+  // Up-front fuse_width feasibility at a minimal depth (k = 1); search entry
+  // re-validates with the caller's actual k, whose heaps only grow the
+  // working set.
+  validate_fuse_width(1);
 }
 
 std::size_t DrimAnnEngine::max_staged_queries(std::size_t k) const {
@@ -142,6 +150,44 @@ std::size_t DrimAnnEngine::max_staged_queries(std::size_t k) const {
   // output block (alignment padding ignored — this is an upper bound).
   const std::size_t per_query = data_.dim() * 2 + k * sizeof(KernelHit);
   return capacity / per_query;
+}
+
+std::size_t DrimAnnEngine::max_feasible_fuse_width(std::size_t k) const {
+  SearchKernelArgs args;
+  args.dim = static_cast<std::uint32_t>(data_.dim());
+  args.m = static_cast<std::uint32_t>(data_.m());
+  args.cb = static_cast<std::uint32_t>(data_.cb_entries());
+  args.k = static_cast<std::uint32_t>(std::max<std::size_t>(k, 1));
+  args.use_square_lut = opts_.use_square_lut;
+  args.sq_lut_max_abs = static_cast<std::uint32_t>(sq_lut_.max_abs());
+  const bool ladder = q4_ready();
+  if (ladder) {
+    args.has_q4 = true;
+    args.cb4 = static_cast<std::uint32_t>(data_.cb4());
+  }
+  std::size_t feasible = 0;
+  for (std::size_t w = 1;; ++w) {
+    // With the ladder on, full and q4 groups can coexist in one launch, so
+    // the bound must hold with BOTH rungs at width w (worst case).
+    const std::size_t need = fused_search_wram_bytes(args, w, ladder ? w : 0);
+    if (need > opts_.pim.wram_bytes) break;
+    feasible = w;
+  }
+  return feasible;
+}
+
+void DrimAnnEngine::validate_fuse_width(std::size_t k) const {
+  const std::size_t width = opts_.fuse_width == 0 ? 1 : opts_.fuse_width;
+  if (width <= 1) return;
+  const std::size_t feasible = max_feasible_fuse_width(k);
+  if (width <= feasible) return;
+  char msg[192];
+  std::snprintf(msg, sizeof(msg),
+                "fuse_width %zu exceeds the WRAM budget at k %zu (G LUTs + one "
+                "code block + G top-k heaps must fit); maximum feasible "
+                "fuse_width is %zu",
+                width, k, feasible);
+  throw std::invalid_argument(msg);
 }
 
 void DrimAnnEngine::validate_staging(std::size_t k) const {
@@ -165,6 +211,9 @@ void DrimAnnEngine::ensure_scheduler_params(std::size_t k) {
   opts_.scheduler.enable_filter = filter;
   opts_.scheduler.filter_slack = slack;
   opts_.scheduler.policy = policy;
+  // Eq. 15 prices tasks at the width the kernels will actually fuse at, so
+  // dispatch and the filter see the amortized DC DMA cost (DESIGN.md §16).
+  opts_.scheduler.fuse_width = opts_.fuse_width == 0 ? 1 : opts_.fuse_width;
   sched_params_k_ = k;
   if (scheduler_) scheduler_->params() = opts_.scheduler;
 }
@@ -688,8 +737,10 @@ BatchStepStats DrimAnnEngine::search_batch(SearchBatchState& state,
   for (const Task& t : state.carried) {
     k = std::max<std::size_t>(k, state.query_k[t.query]);
   }
-  // Price the Eq. 15 TS term for this step's actual search depth.
+  // Price the Eq. 15 TS term for this step's actual search depth, and check
+  // the fusion width's WRAM working set against it (the heaps scale with k).
   ensure_scheduler_params(k);
+  validate_fuse_width(k);
 
   // CL-on-PIM: a dedicated barrier launch precedes the search launch (it
   // cannot overlap — the search needs its output). The launch keeps the
@@ -811,6 +862,39 @@ BatchStepStats DrimAnnEngine::search_batch(SearchBatchState& state,
     }
   });
 
+  // ---- cluster-major fusion plan (DESIGN.md §16) ----
+  // Group each DPU's tasks by (cluster, rung) so the kernel streams every
+  // fused group's codes from MRAM once. Planned host-side (the kernel is
+  // shipped the plan, and the charge twin must see the identical grouping);
+  // the saved re-stream bytes are tallied here from the plan alone.
+  const std::size_t fuse_width = opts_.fuse_width == 0 ? 1 : opts_.fuse_width;
+  std::vector<std::vector<FusedTaskGroup>> dpu_groups;
+  std::uint64_t dc_bytes_saved = 0;
+  std::size_t fused_groups = 0;
+  std::size_t fused_tasks = 0;
+  if (fuse_width > 1) {
+    dpu_groups.resize(num_dpus);
+    parallel_for(0, num_dpus, [&](std::size_t d) {
+      if (!dpu_tasks[d].empty()) {
+        dpu_groups[d] = plan_task_fusion(dpu_tasks[d], fuse_width);
+      }
+    });
+    for (std::size_t d = 0; d < num_dpus; ++d) {
+      fused_groups += dpu_groups[d].size();
+      for (const FusedTaskGroup& g : dpu_groups[d]) {
+        if (g.tasks.size() <= 1) continue;
+        fused_tasks += g.tasks.size();
+        const ShardRegion& sh = dpu_shard_regions_[d][g.shard_slot];
+        const std::size_t code_size =
+            ladder && g.q4 ? data_.code_size_q4() : data_.code_size();
+        std::uint64_t bytes = static_cast<std::uint64_t>(sh.size) * code_size;
+        // The tombstone-flag stream is also shared by the group.
+        if (sh.dead != nullptr) bytes += sh.size;
+        dc_bytes_saved += (g.tasks.size() - 1) * bytes;
+      }
+    }
+  }
+
   // ---- launch ----
   SearchKernelArgs args;
   args.dim = static_cast<std::uint32_t>(dim);
@@ -838,10 +922,22 @@ BatchStepStats DrimAnnEngine::search_batch(SearchBatchState& state,
         if (dpu_tasks[d].empty()) return;
         SearchKernelArgs a = args;
         a.output_offset = dpu_output_off[d];
+        // fuse_width 1 keeps the LITERAL per-task kernels so results and
+        // modeled times reproduce the pre-fusion engine bit-for-bit.
         if (functional) {
-          run_search_kernel(ctx, a, dpu_shard_regions_[d], dpu_tasks[d]);
+          if (fuse_width > 1) {
+            run_fused_search_kernel(ctx, a, dpu_shard_regions_[d], dpu_tasks[d],
+                                    dpu_groups[d]);
+          } else {
+            run_search_kernel(ctx, a, dpu_shard_regions_[d], dpu_tasks[d]);
+          }
         } else {
-          charge_search_kernel(ctx, a, dpu_shard_regions_[d], dpu_tasks[d]);
+          if (fuse_width > 1) {
+            charge_fused_search_kernel(ctx, a, dpu_shard_regions_[d], dpu_tasks[d],
+                                       dpu_groups[d]);
+          } else {
+            charge_search_kernel(ctx, a, dpu_shard_regions_[d], dpu_tasks[d]);
+          }
         }
       },
       [&]() {
@@ -857,24 +953,30 @@ BatchStepStats DrimAnnEngine::search_batch(SearchBatchState& state,
           if (dpu_tasks[d].empty()) return;
           dpu_hits[d].resize(dpu_tasks[d].size() * k);
           if (!functional) {
-            for (std::size_t t = 0; t < dpu_tasks[d].size(); ++t) {
-              const KernelTask& kt = dpu_tasks[d][t];
-              const Shard& sh = layout_->shard(dpu_shard_ids_[d][kt.shard_slot]);
-              // Replay the rung the kernel would have run: q4 task rows hold
-              // (coarse dist, LOCAL index) pairs, full rows global ids.
-              if (ladder && task_is_q4(kt)) {
-                host_search_task_q4_into(
-                    data_, state.quantized[dpu_task_query[d][t]], sh,
-                    static_cast<std::uint32_t>(k),
-                    std::span<KernelHit>(dpu_hits[d].data() + t * k, k),
-                    snapshot_.dead_flags(sh.cluster));
-              } else {
-                host_search_task_into(
-                    data_, state.quantized[dpu_task_query[d][t]], sh,
-                    static_cast<std::uint32_t>(k),
-                    std::span<KernelHit>(dpu_hits[d].data() + t * k, k),
-                    snapshot_.dead_flags(sh.cluster));
+            // Coalesced exact replay: group this DPU's tasks by (shard, rung)
+            // and pull each shard's code block ONCE per batch, scoring it
+            // against every member query before advancing. Per-task
+            // arithmetic and push order are unchanged, so rows stay
+            // byte-identical to the per-task replay (and to the functional
+            // kernel); this is a host wall-clock fix, billed times are
+            // untouched. Replays the rung the kernel would have run: q4 task
+            // rows hold (coarse dist, LOCAL index) pairs, full rows global
+            // ids.
+            const auto replay_groups =
+                plan_task_fusion(dpu_tasks[d], dpu_tasks[d].size());
+            std::vector<HostFusedTask> members;
+            for (const FusedTaskGroup& g : replay_groups) {
+              const Shard& sh =
+                  layout_->shard(dpu_shard_ids_[d][g.shard_slot]);
+              members.clear();
+              for (const std::uint32_t t : g.tasks) {
+                members.push_back({state.quantized[dpu_task_query[d][t]].data(),
+                                   dpu_hits[d].data() + t * k});
               }
+              host_search_tasks_fused_into(data_, members, sh,
+                                           static_cast<std::uint32_t>(k),
+                                           ladder && g.q4,
+                                           snapshot_.dead_flags(sh.cluster));
             }
           }
           pim_->pull(d, dpu_output_off[d],
@@ -884,12 +986,45 @@ BatchStepStats DrimAnnEngine::search_batch(SearchBatchState& state,
           // re-scored with the full-precision ADC LUT on the host and their
           // global ids resolved, so what enters the merge heaps is exact.
           if (ladder) {
+            // Rows sharing (query, cluster) — e.g. slices of one cluster —
+            // rebuild the full-precision ADC table once. Rows are rescored
+            // independently, so visiting them in (query, cluster) order
+            // leaves every row byte-identical to the per-row path.
+            std::vector<std::uint32_t> rows;
             for (std::size_t t = 0; t < dpu_tasks[d].size(); ++t) {
-              const KernelTask& kt = dpu_tasks[d][t];
-              if (!task_is_q4(kt)) continue;
-              const Shard& sh = layout_->shard(dpu_shard_ids_[d][kt.shard_slot]);
-              host_rerank_q4_row(data_, state.quantized[dpu_task_query[d][t]], sh,
-                                 std::span<KernelHit>(dpu_hits[d].data() + t * k, k));
+              if (task_is_q4(dpu_tasks[d][t])) {
+                rows.push_back(static_cast<std::uint32_t>(t));
+              }
+            }
+            const auto row_cluster = [&](std::uint32_t t) {
+              return layout_->shard(dpu_shard_ids_[d][dpu_tasks[d][t].shard_slot])
+                  .cluster;
+            };
+            std::stable_sort(rows.begin(), rows.end(),
+                             [&](std::uint32_t a, std::uint32_t b) {
+                               if (dpu_task_query[d][a] != dpu_task_query[d][b]) {
+                                 return dpu_task_query[d][a] < dpu_task_query[d][b];
+                               }
+                               return row_cluster(a) < row_cluster(b);
+                             });
+            std::vector<std::uint32_t> lut(data_.m() * data_.cb_entries());
+            bool lut_valid = false;
+            std::uint64_t lut_key = 0;
+            for (const std::uint32_t t : rows) {
+              const Shard& sh =
+                  layout_->shard(dpu_shard_ids_[d][dpu_tasks[d][t].shard_slot]);
+              const std::uint64_t key =
+                  (static_cast<std::uint64_t>(dpu_task_query[d][t]) << 32) |
+                  sh.cluster;
+              if (!lut_valid || key != lut_key) {
+                host_build_adc_lut(data_, state.quantized[dpu_task_query[d][t]],
+                                   sh.cluster, lut);
+                lut_valid = true;
+                lut_key = key;
+              }
+              host_rerank_q4_row_with_lut(
+                  data_, lut, sh,
+                  std::span<KernelHit>(dpu_hits[d].data() + t * k, k));
             }
           }
         });
@@ -1003,6 +1138,7 @@ BatchStepStats DrimAnnEngine::search_batch(SearchBatchState& state,
     }
   }
   st.tasks += step.tasks;
+  st.dc_bytes_saved += dc_bytes_saved;
   st.counters.add(pim_->aggregate_counters());
   ++st.batches;
   st.batch_seconds.push_back(step.step_seconds);
@@ -1013,6 +1149,18 @@ BatchStepStats DrimAnnEngine::search_batch(SearchBatchState& state,
   if (trace_ != nullptr) {
     std::vector<std::size_t> tasks_per_dpu(num_dpus);
     for (std::size_t d = 0; d < num_dpus; ++d) tasks_per_dpu[d] = dpu_tasks[d].size();
+    // Fused-group span alongside the search launch's DPU compute, plus the
+    // running saved-bytes counter (DESIGN.md §16).
+    const auto trace_fusion = [&](double compute_start) {
+      if (fuse_width <= 1 || fused_groups == 0) return;
+      trace_->span(trace_->lane("pim/fusion"), "fused-groups", "pim",
+                   compute_start, batch.dpu_seconds,
+                   {{"groups", static_cast<double>(fused_groups)},
+                    {"fused_tasks", static_cast<double>(fused_tasks)},
+                    {"dc_bytes_saved", static_cast<double>(dc_bytes_saved)}});
+      trace_->counter("dc_bytes_saved", step.complete_seconds,
+                      {{"bytes", static_cast<double>(st.dc_bytes_saved)}});
+    };
     if (depth == 1) {
       // locate_on_pim already advanced the cursor past the CL launch, so the
       // search launch and the overlapped host CL both start at now().
@@ -1027,6 +1175,7 @@ BatchStepStats DrimAnnEngine::search_batch(SearchBatchState& state,
                      {{"q4_tasks", static_cast<double>(q4_tasks)}});
       }
       trace_launch(exec0, batch, "search", tasks_per_dpu);
+      trace_fusion(exec0 + batch.transfer_in_seconds + batch.launch_overhead_seconds);
       trace_->set_now(exec0 + std::max(host_side, batch.total_seconds()));
     } else {
       // Pipelined: every span sits at its scheduled absolute time, so
@@ -1047,6 +1196,7 @@ BatchStepStats DrimAnnEngine::search_batch(SearchBatchState& state,
       layout.kern_start = sched.compute_start + batch.launch_overhead_seconds;
       layout.out_start = sched.out_start;
       trace_launch_spans(layout, batch, "search", tasks_per_dpu);
+      trace_fusion(layout.kern_start);
       trace_->set_now(state.last_complete_seconds);
     }
   }
@@ -1074,7 +1224,22 @@ double DrimAnnEngine::estimate_batch_seconds(std::size_t num_queries, std::size_
   const double tasks = static_cast<double>(num_queries) *
                        static_cast<double>(std::min<std::size_t>(nprobe, nlist)) *
                        mean_slices;
-  const double cycles = tasks * (p.l_lut + mean_points * (p.l_calu + p.l_sortu));
+  // Cluster-major fusion amortizes the per-point DC DMA share: the effective
+  // width is bounded both by the configured fuse_width and by how many
+  // co-cluster tasks a batch statistically offers (num_queries * nprobe
+  // visits spread over nlist clusters). At fuse_width 1 the subtrahend is
+  // exactly 0.0, so the estimate reproduces the unfused arithmetic
+  // bit-for-bit.
+  const double fuse_width =
+      static_cast<double>(opts_.fuse_width == 0 ? 1 : opts_.fuse_width);
+  const double eff = std::min(
+      fuse_width,
+      std::max(1.0, static_cast<double>(num_queries) *
+                        static_cast<double>(std::min<std::size_t>(nprobe, nlist)) /
+                        std::max(1.0, static_cast<double>(nlist))));
+  const double cycles =
+      tasks * (p.l_lut + mean_points * (p.l_calu + p.l_sortu) -
+               (1.0 - 1.0 / eff) * mean_points * p.l_dc_dma);
   const PimConfig& cfg = opts_.pim;
   const double dpu_s = cycles / static_cast<double>(cfg.num_dpus) /
                        cfg.effective_ipc() * cfg.seconds_per_cycle();

@@ -78,6 +78,17 @@ struct DrimEngineOptions {
   /// Ignored (with a clamp to full precision at enqueue) when the index has
   /// no q4 tables (wide codes).
   bool enable_q4 = false;
+  /// Cluster-major task fusion width (DESIGN.md §16): after scheduling, each
+  /// DPU's tasks are grouped by (cluster, rung) into fused groups of up to
+  /// this many queries; the kernel streams the cluster's packed codes from
+  /// MRAM once per group, scoring every member's LUT against each code block
+  /// before advancing. 1 (default) keeps the literal per-task kernels —
+  /// results AND modeled times reproduce bit-for-bit. Widths > 1 leave
+  /// results bit-identical (each member keeps its own LUT, heap, and output
+  /// row) and only amortize the DC DMA stream. Bounded by the 64 KB WRAM
+  /// budget: G LUTs + one code block + G top-k heaps must fit; infeasible
+  /// widths throw naming the maximum feasible width.
+  std::size_t fuse_width = 1;
 };
 
 /// Timing/energy/traffic report for one search() call.
@@ -106,6 +117,11 @@ struct DrimSearchStats {
   std::vector<double> batch_seconds;
   DpuCounters counters;             ///< aggregate over DPUs and batches
   double energy_joules = 0.0;
+  /// MRAM code-stream bytes the cluster-major fusion stage avoided re-reading
+  /// (DESIGN.md §16): for each fused group, (width - 1) x the cluster's
+  /// packed-code bytes (plus tombstone-flag bytes on deleted-from shards).
+  /// Exactly 0 at fuse_width 1.
+  std::uint64_t dc_bytes_saved = 0;
 
   double qps() const { return total_seconds > 0 ? queries / total_seconds : 0.0; }
 };
@@ -287,6 +303,13 @@ class DrimAnnEngine {
   /// depends on the schedule and is re-validated by search_batch().
   std::size_t max_staged_queries(std::size_t k) const;
 
+  /// Largest cluster-major fusion width whose WRAM working set (G LUTs + one
+  /// code block + G bounded top-k heaps; q4 pair-LUT rows when the ladder is
+  /// on) fits the 64 KB budget at search depth `k` (DESIGN.md §16). 0 means
+  /// even the unfused per-task working set does not fit. search_batch() and
+  /// the constructor validate opts().fuse_width against this bound.
+  std::size_t max_feasible_fuse_width(std::size_t k) const;
+
   /// Attach (or detach, with nullptr) a trace recorder. Every subsequent
   /// search_batch() lays its launches on the recorder's virtual clock: a
   /// CL-on-PIM launch first, then transfer-in / launch overhead / per-DPU
@@ -344,6 +367,11 @@ class DrimAnnEngine {
   /// Throw if even a single query at depth `k` cannot be staged (satellite
   /// of the up-front batch_size validation; called at search entry).
   void validate_staging(std::size_t k) const;
+
+  /// Throw std::invalid_argument naming the maximum feasible fusion width
+  /// when opts_.fuse_width's WRAM working set cannot fit at depth `k`.
+  /// No-op at fuse_width <= 1 (the per-task kernels do their own check).
+  void validate_fuse_width(std::size_t k) const;
 
   /// (Re)derive the Eq. 15 predictor coefficients for search depth `k`,
   /// preserving the caller's filter/policy settings. Cached per k: search()

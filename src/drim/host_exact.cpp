@@ -1,6 +1,7 @@
 #include "drim/host_exact.hpp"
 
 #include <algorithm>
+#include <deque>
 
 #include "core/distances.hpp"
 
@@ -131,6 +132,121 @@ std::vector<KernelHit> host_search_task(const PimIndexData& data,
   return hits;
 }
 
+void host_search_tasks_fused_into(const PimIndexData& data,
+                                  std::span<const HostFusedTask> tasks,
+                                  const Shard& shard, std::uint32_t k, bool q4,
+                                  const std::uint8_t* dead) {
+  if (tasks.empty()) return;
+  const std::size_t width = tasks.size();
+  const std::size_t dim = data.dim();
+  const std::size_t m = data.m();
+  const std::uint32_t size = static_cast<std::uint32_t>(shard.size());
+  const std::uint32_t kk =
+      std::min<std::uint32_t>(k, std::max<std::uint32_t>(size, 1));
+  // Codes are walked in tiles small enough to stay cache-resident while they
+  // are scored against every member — the coalescing win. Tiling never
+  // changes a member's per-point distances or its ascending push order, so
+  // rows match the single-task replay byte-for-byte.
+  constexpr std::uint32_t kTile = 2048;
+
+  // Per-member heaps: BoundedTopK's thread-local scratch serves one live
+  // instance per thread, extra members fall back to owned storage (a deque
+  // because the type is intentionally pinned in place).
+  std::deque<BoundedTopK> topk;
+  for (std::size_t w = 0; w < width; ++w) topk.emplace_back(kk);
+
+  if (!q4) {
+    const std::size_t cb = data.cb_entries();
+    std::vector<std::uint32_t> luts(width * m * cb);
+    for (std::size_t w = 0; w < width; ++w) {
+      host_build_adc_lut(data, std::span<const std::int16_t>(tasks[w].query, dim),
+                         shard.cluster,
+                         std::span<std::uint32_t>(luts.data() + w * m * cb, m * cb));
+    }
+    const auto codes = data.cluster_codes(shard.cluster);
+    const auto ids = data.cluster_ids(shard.cluster);
+    std::vector<std::uint32_t> dists(std::min(size, kTile));
+    for (std::uint32_t t0 = 0; t0 < size; t0 += kTile) {
+      const std::uint32_t n = std::min(kTile, size - t0);
+      const std::uint8_t* tile =
+          codes.data() + (shard.begin + t0) * data.code_size();
+      for (std::size_t w = 0; w < width; ++w) {
+        kernels().adc_scan_u32(luts.data() + w * m * cb, cb, m, tile,
+                               data.code_size(), data.wide_codes(), n,
+                               dists.data());
+        BoundedTopK& tk = topk[w];
+        for (std::uint32_t i = 0; i < n; ++i) {
+          if (dead && dead[shard.begin + t0 + i]) continue;
+          tk.push(dists[i], t0 + i);
+        }
+      }
+    }
+    for (std::size_t w = 0; w < width; ++w) {
+      const std::span<KernelHit> out(tasks[w].out, k);
+      topk[w].sorted_into(out);
+      for (KernelHit& h : out) {
+        if (h.id == 0xFFFFFFFFu && h.dist == 0xFFFFFFFFu) break;
+        h.id = ids[shard.begin + h.id];
+      }
+    }
+    return;
+  }
+
+  // 4-bit rung: per-member coarse LUTs (shifted residuals, exactly
+  // host_search_task_q4_into's), then one pass over the packed codes.
+  const std::size_t dsub = data.dsub();
+  const std::size_t cb4 = data.cb4();
+  const std::size_t cs4 = data.code_size_q4();
+  const std::uint32_t shift = data.cluster_shift(shard.cluster);
+  const auto centroid = data.centroid(shard.cluster);
+  const auto books = data.codebooks_q4();
+  std::vector<std::uint32_t> luts(width * m * cb4);
+  std::vector<std::int32_t> residual(dim);
+  for (std::size_t w = 0; w < width; ++w) {
+    for (std::size_t d = 0; d < dim; ++d) {
+      residual[d] =
+          (static_cast<std::int32_t>(tasks[w].query[d]) - centroid[d]) >> shift;
+    }
+    std::uint32_t* lut4 = luts.data() + w * m * cb4;
+    for (std::size_t sub = 0; sub < m; ++sub) {
+      const std::int32_t* res = residual.data() + sub * dsub;
+      for (std::size_t g = 0; g < cb4; ++g) {
+        const std::int16_t* cw = books.data() + (sub * cb4 + g) * dsub;
+        std::uint32_t acc = 0;
+        for (std::size_t d = 0; d < dsub; ++d) {
+          const std::int32_t diff = res[d] - (cw[d] >> shift);
+          const auto a = static_cast<std::uint32_t>(diff < 0 ? -diff : diff);
+          acc += a * a;
+        }
+        lut4[sub * cb4 + g] = acc;
+      }
+    }
+  }
+  const auto codes = data.cluster_codes_q4(shard.cluster);
+  for (std::uint32_t t0 = 0; t0 < size; t0 += kTile) {
+    const std::uint32_t n = std::min(kTile, size - t0);
+    for (std::size_t w = 0; w < width; ++w) {
+      const std::uint32_t* lut4 = luts.data() + w * m * cb4;
+      BoundedTopK& tk = topk[w];
+      for (std::uint32_t i = 0; i < n; ++i) {
+        if (dead && dead[shard.begin + t0 + i]) continue;
+        const std::uint8_t* code =
+            codes.data() + (shard.begin + t0 + i) * cs4;
+        std::uint32_t dist = 0;
+        for (std::size_t sub = 0; sub < m; ++sub) {
+          const std::uint32_t g = (code[sub / 2] >> ((sub % 2) * 4)) & 0xF;
+          dist += lut4[sub * cb4 + g];
+        }
+        tk.push(dist, t0 + i);
+      }
+    }
+  }
+  // Rows keep LOCAL indices; the rerank tail resolves ids.
+  for (std::size_t w = 0; w < width; ++w) {
+    topk[w].sorted_into(std::span<KernelHit>(tasks[w].out, k));
+  }
+}
+
 void host_build_adc_lut(const PimIndexData& data,
                         std::span<const std::int16_t> query,
                         std::uint32_t cluster, std::span<std::uint32_t> lut) {
@@ -219,12 +335,16 @@ void host_search_task_q4_into(const PimIndexData& data,
 void host_rerank_q4_row(const PimIndexData& data,
                         std::span<const std::int16_t> query, const Shard& shard,
                         std::span<KernelHit> row) {
+  std::vector<std::uint32_t> lut(data.m() * data.cb_entries());
+  host_build_adc_lut(data, query, shard.cluster, lut);
+  host_rerank_q4_row_with_lut(data, lut, shard, row);
+}
+
+void host_rerank_q4_row_with_lut(const PimIndexData& data,
+                                 std::span<const std::uint32_t> lut,
+                                 const Shard& shard, std::span<KernelHit> row) {
   const std::size_t m = data.m();
   const std::size_t cb = data.cb_entries();
-
-  std::vector<std::uint32_t> lut(m * cb);
-  host_build_adc_lut(data, query, shard.cluster, lut);
-
   const auto codes = data.cluster_codes(shard.cluster);
   const auto ids = data.cluster_ids(shard.cluster);
   std::size_t n = 0;

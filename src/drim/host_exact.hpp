@@ -40,6 +40,28 @@ std::vector<KernelHit> host_search_task(const PimIndexData& data,
                                         const Shard& shard, std::uint32_t k,
                                         const std::uint8_t* dead = nullptr);
 
+/// One member of a coalesced (cluster-major) host scan: a quantized query
+/// (dim int16 values) paired with its k-entry output row.
+struct HostFusedTask {
+  const std::int16_t* query = nullptr;
+  KernelHit* out = nullptr;
+};
+
+/// Coalesced replay of `tasks.size()` search tasks that all scan the SAME
+/// shard: builds every member's LUT, then walks the shard's codes in
+/// cache-sized tiles, scoring each tile against all members before
+/// advancing — the shard's code block is pulled once per batch instead of
+/// once per query (DESIGN.md §16). Each member keeps its own LUT, bounded
+/// top-k, and ascending point order, so every output row is byte-identical
+/// to the corresponding single-task host_search_task_into /
+/// host_search_task_q4_into call. `q4` selects the rung for ALL members
+/// (callers group by (shard, rung)); q4 rows keep LOCAL indices, exactly
+/// like the single-task q4 replay.
+void host_search_tasks_fused_into(const PimIndexData& data,
+                                  std::span<const HostFusedTask> tasks,
+                                  const Shard& shard, std::uint32_t k, bool q4,
+                                  const std::uint8_t* dead = nullptr);
+
 /// Build the full-precision exact ADC table for (query, cluster): the RC +
 /// LC front end of host_search_task_into, factored out so the q4 rerank tail
 /// prices candidates with the identical integer pipeline. `lut` must hold
@@ -66,6 +88,15 @@ void host_search_task_q4_into(const PimIndexData& data,
 void host_rerank_q4_row(const PimIndexData& data,
                         std::span<const std::int16_t> query, const Shard& shard,
                         std::span<KernelHit> row);
+
+/// host_rerank_q4_row with a caller-provided full-precision ADC table for
+/// (query, shard.cluster) — `lut` must be host_build_adc_lut's output for
+/// that pair. Lets batch collect paths rebuild the table once per
+/// (query, cluster) instead of once per row; rows are rescored
+/// independently, so results are byte-identical to the rebuilding variant.
+void host_rerank_q4_row_with_lut(const PimIndexData& data,
+                                 std::span<const std::uint32_t> lut,
+                                 const Shard& shard, std::span<KernelHit> row);
 
 /// Exact per-DPU CL candidates of one query over the centroid range
 /// [centroid_begin, centroid_begin + centroid_count): top-`keep` by

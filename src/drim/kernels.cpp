@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <unordered_map>
 
 namespace drim {
 namespace {
@@ -286,19 +287,19 @@ void run_search_kernel(DpuContext& ctx, const SearchKernelArgs& args,
     }
 
     // ---- DC + TS: stream codes, accumulate LUT entries, keep top-k ----
+    // Block schedule comes from the shared for_each_code_block helper (whole
+    // codes per block; packed q4 codes fit twice as many), the same iterator
+    // the charge twin bills through.
     const std::size_t code_size = q4 ? args.code_size_q4 : args.code_size;
     const std::size_t codes_base = q4 ? shard.q4_codes_offset : shard.codes_offset;
     WramTopK topk(std::min<std::uint32_t>(args.k, std::max<std::uint32_t>(shard.size, 1)));
     const std::size_t codes_bytes = static_cast<std::size_t>(shard.size) * code_size;
-    std::size_t streamed = 0;
+    const std::size_t lookups = q4 ? pairs : m;
     std::uint32_t point = 0;
-    while (streamed < codes_bytes) {
+    for_each_code_block(codes_bytes, code_size, [&](std::size_t block_off,
+                                                    std::size_t block_bytes) {
       ctx.set_phase(Phase::DC);
-      // Stream whole codes per block (packed q4 codes fit twice as many).
-      const std::size_t codes_per_block = kMaxDmaBytes / code_size;
-      const std::size_t block_bytes =
-          std::min(codes_per_block * code_size, codes_bytes - streamed);
-      ctx.mram_read(codes_base + streamed, {code_block.data(), block_bytes});
+      ctx.mram_read(codes_base + block_off, {code_block.data(), block_bytes});
       const std::size_t points_in_block = block_bytes / code_size;
 
       for (std::size_t i = 0; i < points_in_block; ++i, ++point) {
@@ -328,11 +329,9 @@ void run_search_kernel(DpuContext& ctx, const SearchKernelArgs& args,
         topk.push(dist, point);
       }
       // Per point: one LUT load per (paired) lookup + the accumulate adds.
-      const std::size_t lookups = q4 ? pairs : m;
       ctx.charge_lut_lookups(points_in_block * lookups);
       ctx.charge_adds(points_in_block * (lookups - 1));
-      streamed += block_bytes;
-    }
+    });
     if (shard.dead) {
       // Liveness flags stream alongside the codes (one byte per point) and
       // cost one compare each. Billed only when the cluster actually has
@@ -444,21 +443,20 @@ void charge_search_kernel(DpuContext& ctx, const SearchKernelArgs& args,
 
     // DC: stream whole codes per block, ADC-sum each point. The q4 rung
     // streams the packed codes — half the bytes, twice the codes per DMA —
-    // and pays one paired lookup per code byte.
+    // and pays one paired lookup per code byte. The block schedule is the
+    // shared for_each_code_block iterator, so transfer count and sizes are
+    // the functional kernel's by construction.
     ctx.set_phase(Phase::DC);
     const std::size_t code_size = q4 ? args.code_size_q4 : args.code_size;
     const std::size_t codes_bytes = static_cast<std::size_t>(points) * code_size;
-    const std::size_t codes_per_block = kMaxDmaBytes / code_size;
-    std::size_t streamed = 0;
-    while (streamed < codes_bytes) {
-      const std::size_t block_bytes =
-          std::min(codes_per_block * code_size, codes_bytes - streamed);
-      ctx.charge_mram_read(block_bytes);
-      streamed += block_bytes;
-    }
     const std::size_t lookups = q4 ? pairs : m;
-    ctx.charge_lut_lookups(points * lookups);
-    ctx.charge_adds(points * (lookups - 1));
+    for_each_code_block(codes_bytes, code_size, [&](std::size_t,
+                                                    std::size_t block_bytes) {
+      ctx.charge_mram_read(block_bytes);
+      const std::size_t points_in_block = block_bytes / code_size;
+      ctx.charge_lut_lookups(points_in_block * lookups);
+      ctx.charge_adds(points_in_block * (lookups - 1));
+    });
     if (shard.dead) {
       // Same liveness flag-stream DMA + per-point compare as the functional
       // kernel bills under tombstones.
@@ -484,6 +482,377 @@ void charge_search_kernel(DpuContext& ctx, const SearchKernelArgs& args,
       }
     }
     ctx.charge_mram_write(args.k * sizeof(KernelHit));
+  }
+}
+
+std::vector<FusedTaskGroup> plan_task_fusion(std::span<const KernelTask> tasks,
+                                             std::size_t fuse_width) {
+  const std::size_t width = std::max<std::size_t>(fuse_width, 1);
+  std::vector<FusedTaskGroup> groups;
+  // Open group per (shard_slot, rung); the map is only ever point-queried, so
+  // its iteration order never influences the (deterministic) group order.
+  std::unordered_map<std::uint64_t, std::size_t> open;
+  for (std::size_t t = 0; t < tasks.size(); ++t) {
+    const bool q4 = task_is_q4(tasks[t]);
+    const std::uint64_t key =
+        (static_cast<std::uint64_t>(tasks[t].shard_slot) << 1) | (q4 ? 1u : 0u);
+    const auto it = open.find(key);
+    if (it != open.end() && groups[it->second].tasks.size() < width) {
+      groups[it->second].tasks.push_back(static_cast<std::uint32_t>(t));
+      continue;
+    }
+    if (it != open.end()) it->second = groups.size();
+    else open.emplace(key, groups.size());
+    FusedTaskGroup g;
+    g.shard_slot = tasks[t].shard_slot;
+    g.q4 = q4;
+    g.tasks.push_back(static_cast<std::uint32_t>(t));
+    groups.push_back(std::move(g));
+  }
+  return groups;
+}
+
+std::size_t fused_search_wram_bytes(const SearchKernelArgs& args,
+                                    std::size_t full_width, std::size_t q4_width) {
+  const std::size_t dim = args.dim;
+  const std::size_t m = args.m;
+  const std::size_t cb = args.cb;
+  const std::size_t dsub = m > 0 ? dim / m : 0;
+  const std::size_t pairs = (m + 1) / 2;
+  const std::size_t sq_lut_bytes =
+      args.use_square_lut ? (args.sq_lut_max_abs + 1) * sizeof(std::uint32_t) : 0;
+  // One LUT slab row per full-rung member (the slab keeps the per-task
+  // kernel's single row even in an all-q4 launch, mirroring its accounting),
+  // one shared lut4 scratch plus a pair-LUT row per q4 member, and one
+  // k-entry heap per member of the widest group. Everything else — query /
+  // centroid / residual scratch, one codebook slice, ONE code block, the
+  // square table — is group-shared.
+  const std::size_t heap_width =
+      std::max<std::size_t>(std::max(full_width, q4_width), 1);
+  std::size_t bytes = dim * 2 + dim * 2 + dim * 4 +
+                      std::max<std::size_t>(full_width, 1) * m * cb * 4 +
+                      std::min(cb * dsub * 2, kMaxDmaBytes * 2) + kMaxDmaBytes +
+                      sq_lut_bytes + heap_width * args.k * sizeof(KernelHit);
+  if (q4_width > 0) bytes += m * args.cb4 * 4 + q4_width * pairs * 256 * 4;
+  return bytes;
+}
+
+void run_fused_search_kernel(DpuContext& ctx, const SearchKernelArgs& args,
+                             std::span<const ShardRegion> shards,
+                             std::span<const KernelTask> tasks,
+                             std::span<const FusedTaskGroup> groups) {
+  const std::size_t dim = args.dim;
+  const std::size_t m = args.m;
+  const std::size_t cb = args.cb;
+  const std::size_t dsub = dim / m;
+  const std::size_t cb4 = args.cb4;
+  const std::size_t pairs = args.has_q4 ? (m + 1) / 2 : 0;
+
+  std::size_t full_width = 0;
+  std::size_t q4_width = 0;
+  for (const FusedTaskGroup& g : groups) {
+    if (g.q4 && args.has_q4) q4_width = std::max(q4_width, g.tasks.size());
+    else full_width = std::max(full_width, g.tasks.size());
+  }
+
+  // ---- WRAM working set (checked against the 64 KB budget) ----
+  check_wram_budget(ctx.config(), fused_search_wram_bytes(args, full_width, q4_width));
+  std::vector<std::int16_t> query(dim);
+  std::vector<std::int16_t> centroid(dim);
+  std::vector<std::int32_t> residual(dim);
+  std::vector<std::uint32_t> lut(std::max<std::size_t>(full_width, 1) * m * cb);
+  std::vector<std::int16_t> cb_slice(cb * dsub);
+  std::vector<std::uint8_t> code_block(kMaxDmaBytes);
+  std::vector<std::uint8_t> id_buf(sizeof(std::uint32_t));
+  std::vector<std::uint32_t> lut4(q4_width > 0 ? m * cb4 : 0);
+  std::vector<std::uint32_t> pair_lut(q4_width > 0 ? q4_width * pairs * 256 : 0);
+
+  // Task list AND the fused-group descriptor table both arrive by DMA (the
+  // host ships the plan; the kernel never re-derives it).
+  ctx.set_phase(Phase::AUX);
+  ctx.charge_cycles(tasks.size() * 4);  // task decode / loop control
+  ctx.charge_mram_read(tasks.size() * sizeof(KernelTask));
+  ctx.charge_cycles(groups.size() * 4);  // group decode / loop control
+  ctx.charge_mram_read(groups.size() * sizeof(KernelTask));
+
+  for (const FusedTaskGroup& group : groups) {
+    const ShardRegion& shard = shards[group.shard_slot];
+    const bool q4 = args.has_q4 && group.q4;
+    const std::uint32_t shift = q4 ? shard.q4_shift : 0;
+    const std::size_t width = group.tasks.size();
+
+    // ---- RC + LC per member: the centroid is group-shared (read once);
+    // each member reads its own query, forms its residual, and builds its
+    // own LUT slab row with exactly the per-task kernel's charges. ----
+    ctx.set_phase(Phase::RC);
+    ctx.mram_read_t<std::int16_t>(args.centroids_offset + shard.cluster * dim * 2,
+                                  std::span<std::int16_t>(centroid));
+    for (std::size_t g = 0; g < width; ++g) {
+      const KernelTask& task = tasks[group.tasks[g]];
+      ctx.set_phase(Phase::RC);
+      ctx.mram_read_t<std::int16_t>(
+          args.queries_offset + task_query_slot(task) * dim * 2,
+          std::span<std::int16_t>(query));
+      for (std::size_t d = 0; d < dim; ++d) {
+        residual[d] = static_cast<std::int32_t>(query[d]) - centroid[d];
+      }
+      ctx.charge_adds(dim);
+      ctx.charge_wram(dim * 3);
+      if (q4) {
+        for (std::size_t d = 0; d < dim; ++d) residual[d] >>= shift;
+        ctx.charge_cycles(dim);
+      }
+
+      ctx.set_phase(Phase::LC);
+      if (!q4) {
+        std::uint32_t* lut_g = lut.data() + g * m * cb;
+        for (std::size_t sub = 0; sub < m; ++sub) {
+          mram_read_chunked(
+              ctx, args.codebooks_offset + sub * cb * dsub * 2,
+              {reinterpret_cast<std::uint8_t*>(cb_slice.data()), cb * dsub * 2});
+          const std::int32_t* res = residual.data() + sub * dsub;
+          std::uint32_t* lrow = lut_g + sub * cb;
+          for (std::size_t e = 0; e < cb; ++e) {
+            const std::int16_t* cw = cb_slice.data() + e * dsub;
+            std::uint32_t acc = 0;
+            for (std::size_t d = 0; d < dsub; ++d) {
+              const std::int32_t diff = res[d] - cw[d];
+              const auto a = static_cast<std::uint32_t>(diff < 0 ? -diff : diff);
+              acc += a * a;
+            }
+            lrow[e] = acc;
+          }
+          charge_square_stream(ctx, args.use_square_lut, cb * dsub);
+          ctx.charge_adds(cb * 2 * dsub);
+          ctx.charge_wram(cb);
+        }
+      } else {
+        // Coarse sub-LUTs into the shared lut4 scratch, folded into this
+        // member's 256-entry pair-LUT slab row.
+        for (std::size_t sub = 0; sub < m; ++sub) {
+          mram_read_chunked(
+              ctx, args.codebooks_q4_offset + sub * cb4 * dsub * 2,
+              {reinterpret_cast<std::uint8_t*>(cb_slice.data()), cb4 * dsub * 2});
+          const std::int32_t* res = residual.data() + sub * dsub;
+          std::uint32_t* lrow = lut4.data() + sub * cb4;
+          for (std::size_t e = 0; e < cb4; ++e) {
+            const std::int16_t* cw = cb_slice.data() + e * dsub;
+            std::uint32_t acc = 0;
+            for (std::size_t d = 0; d < dsub; ++d) {
+              const std::int32_t diff = res[d] - (cw[d] >> shift);
+              const auto a = static_cast<std::uint32_t>(diff < 0 ? -diff : diff);
+              acc += a * a;
+            }
+            lrow[e] = acc;
+          }
+          ctx.charge_cycles(cb4 * dsub);  // per-component codeword shift
+          charge_square_stream(ctx, args.use_square_lut, cb4 * dsub);
+          ctx.charge_adds(cb4 * 2 * dsub);
+          ctx.charge_wram(cb4);
+        }
+        std::uint32_t* pair_g = pair_lut.data() + g * pairs * 256;
+        for (std::size_t p = 0; p < pairs; ++p) {
+          std::uint32_t* prow = pair_g + p * 256;
+          const std::uint32_t* lo_row = lut4.data() + (2 * p) * cb4;
+          const std::uint32_t* hi_row =
+              2 * p + 1 < m ? lut4.data() + (2 * p + 1) * cb4 : nullptr;
+          for (std::size_t b = 0; b < 256; ++b) {
+            const std::size_t lo = b & 0xF;
+            const std::size_t hi = b >> 4;
+            std::uint32_t v = lo < cb4 ? lo_row[lo] : 0;
+            if (hi_row && hi < cb4) v += hi_row[hi];
+            prow[b] = v;
+          }
+          ctx.charge_adds(256);
+          ctx.charge_wram(256);
+        }
+      }
+    }
+
+    // ---- DC: stream the shard's codes ONCE, scoring every member's LUT
+    // against each block before advancing. Per-point compute (lookups +
+    // accumulate adds) is billed per member — only the DMA is amortized. ----
+    const std::size_t code_size = q4 ? args.code_size_q4 : args.code_size;
+    const std::size_t codes_base = q4 ? shard.q4_codes_offset : shard.codes_offset;
+    const std::uint32_t kk =
+        std::min<std::uint32_t>(args.k, std::max<std::uint32_t>(shard.size, 1));
+    std::vector<WramTopK> heaps;
+    heaps.reserve(width);
+    for (std::size_t g = 0; g < width; ++g) heaps.emplace_back(kk);
+    const std::size_t codes_bytes = static_cast<std::size_t>(shard.size) * code_size;
+    const std::size_t lookups = q4 ? pairs : m;
+    std::uint32_t point = 0;
+    for_each_code_block(codes_bytes, code_size, [&](std::size_t block_off,
+                                                    std::size_t block_bytes) {
+      ctx.set_phase(Phase::DC);
+      ctx.mram_read(codes_base + block_off, {code_block.data(), block_bytes});
+      const std::size_t points_in_block = block_bytes / code_size;
+      for (std::size_t i = 0; i < points_in_block; ++i, ++point) {
+        // The liveness skip is group-shared: one check covers all members.
+        if (shard.dead && shard.dead[shard.begin + point]) continue;
+        const std::uint8_t* code = code_block.data() + i * code_size;
+        for (std::size_t g = 0; g < width; ++g) {
+          std::uint32_t dist = 0;
+          if (q4) {
+            const std::uint32_t* pair_g = pair_lut.data() + g * pairs * 256;
+            for (std::size_t p = 0; p < pairs; ++p) {
+              dist += pair_g[p * 256 + code[p]];
+            }
+          } else {
+            const std::uint32_t* lut_g = lut.data() + g * m * cb;
+            for (std::size_t sub = 0; sub < m; ++sub) {
+              std::uint32_t entry;
+              if (args.wide_codes) {
+                std::uint16_t v = 0;
+                std::memcpy(&v, code + sub * 2, 2);
+                entry = v;
+              } else {
+                entry = code[sub];
+              }
+              dist += lut_g[sub * cb + entry];
+            }
+          }
+          heaps[g].push(dist, point);
+        }
+      }
+      ctx.charge_lut_lookups(points_in_block * lookups * width);
+      ctx.charge_adds(points_in_block * (lookups - 1) * width);
+    });
+    if (shard.dead) {
+      // Flags stream once per GROUP (the skip decision is shared), so fusion
+      // amortizes the tombstone stream and its per-point compare too.
+      ctx.set_phase(Phase::DC);
+      charge_read_chunked(ctx, shard.size);
+      ctx.charge_cmps(shard.size);
+    }
+
+    // ---- TS + AUX per member, each at its task's ORIGINAL output row ----
+    for (std::size_t g = 0; g < width; ++g) {
+      ctx.set_phase(Phase::TS);
+      ctx.charge_cycles(amortized_topk_cycles(ctx.config().costs, point, kk));
+
+      ctx.set_phase(Phase::AUX);
+      std::vector<KernelHit> hits = heaps[g].sorted();
+      if (!q4) {
+        for (KernelHit& h : hits) {
+          ctx.mram_read(shard.ids_offset + h.id * sizeof(std::uint32_t),
+                        {id_buf.data(), sizeof(std::uint32_t)});
+          std::uint32_t global_id = 0;
+          std::memcpy(&global_id, id_buf.data(), sizeof(global_id));
+          h.id = global_id;
+        }
+      }
+      hits.resize(args.k, KernelHit{});  // sentinel-pad short shards
+      ctx.mram_write(
+          args.output_offset + group.tasks[g] * args.k * sizeof(KernelHit),
+          {reinterpret_cast<const std::uint8_t*>(hits.data()),
+           args.k * sizeof(KernelHit)});
+    }
+  }
+}
+
+void charge_fused_search_kernel(DpuContext& ctx, const SearchKernelArgs& args,
+                                std::span<const ShardRegion> shards,
+                                std::span<const KernelTask> tasks,
+                                std::span<const FusedTaskGroup> groups) {
+  const std::size_t dim = args.dim;
+  const std::size_t m = args.m;
+  const std::size_t cb = args.cb;
+  const std::size_t dsub = dim / m;
+  const std::size_t cb4 = args.cb4;
+  const std::size_t pairs = args.has_q4 ? (m + 1) / 2 : 0;
+  const DpuInstructionCosts& c = ctx.config().costs;
+
+  std::size_t full_width = 0;
+  std::size_t q4_width = 0;
+  for (const FusedTaskGroup& g : groups) {
+    if (g.q4 && args.has_q4) q4_width = std::max(q4_width, g.tasks.size());
+    else full_width = std::max(full_width, g.tasks.size());
+  }
+
+  // Same WRAM working-set accounting as run_fused_search_kernel (the shared
+  // helper IS the accounting on both sides).
+  check_wram_budget(ctx.config(), fused_search_wram_bytes(args, full_width, q4_width));
+
+  ctx.set_phase(Phase::AUX);
+  ctx.charge_cycles(tasks.size() * 4);  // task decode / loop control
+  ctx.charge_mram_read(tasks.size() * sizeof(KernelTask));
+  ctx.charge_cycles(groups.size() * 4);  // group decode / loop control
+  ctx.charge_mram_read(groups.size() * sizeof(KernelTask));
+
+  for (const FusedTaskGroup& group : groups) {
+    const ShardRegion& shard = shards[group.shard_slot];
+    const bool q4 = args.has_q4 && group.q4;
+    const std::size_t width = group.tasks.size();
+    const std::uint64_t points = shard.size;
+
+    // RC + LC per member; the centroid read is group-shared.
+    ctx.set_phase(Phase::RC);
+    ctx.charge_mram_read(dim * 2);  // centroid, once per group
+    for (std::size_t g = 0; g < width; ++g) {
+      ctx.set_phase(Phase::RC);
+      ctx.charge_mram_read(dim * 2);  // member query
+      ctx.charge_adds(dim);
+      ctx.charge_wram(dim * 3);
+      if (q4) ctx.charge_cycles(dim);
+
+      ctx.set_phase(Phase::LC);
+      if (!q4) {
+        for (std::size_t sub = 0; sub < m; ++sub) {
+          charge_read_chunked(ctx, cb * dsub * 2);
+          charge_square_stream(ctx, args.use_square_lut, cb * dsub);
+          ctx.charge_adds(cb * 2 * dsub);
+          ctx.charge_wram(cb);
+        }
+      } else {
+        for (std::size_t sub = 0; sub < m; ++sub) {
+          charge_read_chunked(ctx, cb4 * dsub * 2);
+          ctx.charge_cycles(cb4 * dsub);  // per-component codeword shift
+          charge_square_stream(ctx, args.use_square_lut, cb4 * dsub);
+          ctx.charge_adds(cb4 * 2 * dsub);
+          ctx.charge_wram(cb4);
+        }
+        for (std::size_t p = 0; p < pairs; ++p) {
+          ctx.charge_adds(256);
+          ctx.charge_wram(256);
+        }
+      }
+    }
+
+    // DC: ONE code stream per group; per-point compute billed per member.
+    ctx.set_phase(Phase::DC);
+    const std::size_t code_size = q4 ? args.code_size_q4 : args.code_size;
+    const std::size_t codes_bytes = static_cast<std::size_t>(points) * code_size;
+    const std::size_t lookups = q4 ? pairs : m;
+    for_each_code_block(codes_bytes, code_size, [&](std::size_t,
+                                                    std::size_t block_bytes) {
+      ctx.charge_mram_read(block_bytes);
+      const std::size_t points_in_block = block_bytes / code_size;
+      ctx.charge_lut_lookups(points_in_block * lookups * width);
+      ctx.charge_adds(points_in_block * (lookups - 1) * width);
+    });
+    if (shard.dead) {
+      charge_read_chunked(ctx, shard.size);
+      ctx.charge_cmps(shard.size);
+    }
+
+    // TS + AUX per member.
+    const std::uint32_t kk =
+        std::min<std::uint32_t>(args.k, std::max<std::uint32_t>(shard.size, 1));
+    for (std::size_t g = 0; g < width; ++g) {
+      ctx.set_phase(Phase::TS);
+      ctx.charge_cycles(amortized_topk_cycles(c, points, kk));
+
+      ctx.set_phase(Phase::AUX);
+      if (!q4) {
+        const std::uint64_t hits =
+            std::min<std::uint64_t>(args.k, shard_live_points(shard));
+        for (std::uint64_t h = 0; h < hits; ++h) {
+          ctx.charge_mram_read(sizeof(std::uint32_t));
+        }
+      }
+      ctx.charge_mram_write(args.k * sizeof(KernelHit));
+    }
   }
 }
 

@@ -7,6 +7,7 @@
 // working set within the 64 KB WRAM budget; every operation charges cycles
 // into the per-phase counters that drive batch timing and Fig. 8.
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -17,6 +18,25 @@ namespace drim {
 
 /// Maximum bytes per single MRAM DMA transfer (UPMEM hardware limit).
 inline constexpr std::size_t kMaxDmaBytes = 2048;
+
+/// The DC phase's MRAM transfer schedule over a shard's packed codes: whole
+/// codes per <= kMaxDmaBytes block. Calls fn(block_offset, block_bytes) for
+/// every block, in stream order. This is the SINGLE source of truth for the
+/// code-block loop — the functional kernels, their analytic charge twins,
+/// and the fused variants all iterate through it, so the two sides can never
+/// drift apart in transfer count or sizes (pinned by tests/test_kernels.cpp).
+template <typename Fn>
+inline void for_each_code_block(std::size_t codes_bytes, std::size_t code_size,
+                                Fn&& fn) {
+  const std::size_t codes_per_block = kMaxDmaBytes / code_size;
+  std::size_t streamed = 0;
+  while (streamed < codes_bytes) {
+    const std::size_t block_bytes =
+        std::min(codes_per_block * code_size, codes_bytes - streamed);
+    fn(streamed, block_bytes);
+    streamed += block_bytes;
+  }
+}
 
 /// Where one shard's data lives in this DPU's MRAM, plus the shard's
 /// tombstone view for the current index snapshot. `dead` (host-side flags
@@ -121,6 +141,52 @@ void run_search_kernel(DpuContext& ctx, const SearchKernelArgs& args,
                        std::span<const ShardRegion> shards,
                        std::span<const KernelTask> tasks);
 
+// ---- cluster-major task fusion (DESIGN.md §16) ----
+// Under Zipf-skewed batches the hottest clusters are probed by many queries
+// of the same launch, and the per-task kernel re-streams the cluster's codes
+// from MRAM once per probing query. Fusion groups a DPU's tasks by
+// (shard, rung) into groups of up to fuse_width members; the fused kernel
+// builds every member's LUT, then streams the shard's codes ONCE, scoring
+// each code block against all member LUTs before advancing. Each member
+// keeps its own LUT, its own bounded top-k, and its own k-hit output row at
+// the task's original index, so results are bit-identical to the per-task
+// kernel at any width — only the DMA charges shrink.
+
+/// One fused group: tasks (indices into the launch's task list) that scan
+/// the same shard on the same precision rung.
+struct FusedTaskGroup {
+  std::uint32_t shard_slot = 0;
+  bool q4 = false;
+  std::vector<std::uint32_t> tasks;
+};
+
+/// Group a launch's task list into fused groups of up to `fuse_width`
+/// members by (shard_slot, rung). Deterministic: tasks are scanned in list
+/// order, each joining the open group for its key (a full group closes and a
+/// new one opens), and groups are emitted in creation order — independent of
+/// host thread count. fuse_width < 1 is treated as 1.
+std::vector<FusedTaskGroup> plan_task_fusion(std::span<const KernelTask> tasks,
+                                             std::size_t fuse_width);
+
+/// WRAM working-set bytes of a fused search launch whose widest full-rung
+/// group has `full_width` members and widest q4 group `q4_width` (0 = no
+/// group on that rung): shared scratch + one LUT slab row per full member,
+/// one pair-LUT row per q4 member, one code block, and one k-entry heap per
+/// member of the widest group. At (1, 0) this equals the per-task kernel's
+/// accounting exactly. Shared by both fused kernels and the engine's
+/// up-front fuse_width feasibility check so they can never disagree.
+std::size_t fused_search_wram_bytes(const SearchKernelArgs& args,
+                                    std::size_t full_width, std::size_t q4_width);
+
+/// Execute the fused search kernel: `groups` must partition [0, tasks.size())
+/// (as produced by plan_task_fusion over the same task list). Results for
+/// task t still land at output_offset + t * k * sizeof(KernelHit), so the
+/// caller's collect/merge path is unchanged from run_search_kernel.
+void run_fused_search_kernel(DpuContext& ctx, const SearchKernelArgs& args,
+                             std::span<const ShardRegion> shards,
+                             std::span<const KernelTask> tasks,
+                             std::span<const FusedTaskGroup> groups);
+
 /// Arguments for the optional cluster-locating kernel (CL on the PIM instead
 /// of the host — the placement alternative of Section III-B). Each DPU owns
 /// a contiguous range of centroids and reports, per query, its local top-P
@@ -168,6 +234,13 @@ void run_cl_kernel(DpuContext& ctx, const ClKernelArgs& args);
 void charge_search_kernel(DpuContext& ctx, const SearchKernelArgs& args,
                           std::span<const ShardRegion> shards,
                           std::span<const KernelTask> tasks);
+
+/// Analytic twin of run_fused_search_kernel: same WRAM budget check, same
+/// fused DMA schedule (one code stream per group), same instruction tallies.
+void charge_fused_search_kernel(DpuContext& ctx, const SearchKernelArgs& args,
+                                std::span<const ShardRegion> shards,
+                                std::span<const KernelTask> tasks,
+                                std::span<const FusedTaskGroup> groups);
 
 /// Analytic twin of run_cl_kernel.
 void charge_cl_kernel(DpuContext& ctx, const ClKernelArgs& args);
